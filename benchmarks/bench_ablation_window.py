@@ -1,0 +1,71 @@
+"""Benchmark E10 (ablation) — window-size sensitivity.
+
+Section 3.1 of the paper discusses the role of the data window size N: a
+period longer than the window can never be detected, while a needlessly
+large window costs more per sample.  This ablation sweeps N for the event
+DPD on the turb3d stream (outer period 142) and reports which periodicities
+are detectable and what each element costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.traces.spec_apps import turb3d_model
+
+WINDOW_SIZES = (32, 64, 128, 256, 512, 1024)
+
+
+def detect_with_window(values, window_size):
+    detector = EventPeriodicityDetector(
+        EventDetectorConfig(window_size=window_size, require_full_window=True)
+    )
+    started = time.perf_counter()
+    detector.process(values)
+    elapsed = time.perf_counter() - started
+    return tuple(detector.detected_periods), elapsed / len(values)
+
+
+def test_window_size_sweep(benchmark, once):
+    values = [int(v) for v in turb3d_model().generate().values]
+
+    def sweep():
+        return {n: detect_with_window(values, n) for n in WINDOW_SIZES}
+
+    results = once(benchmark, sweep)
+    rows = []
+    for n, (periods, per_elem) in results.items():
+        rows.append([n, ", ".join(map(str, periods)) or "-", f"{per_elem * 1e6:.1f}"])
+    print()
+    print(format_table(["window size N", "detected periodicities", "cost per element (us)"], rows,
+                       title="Window-size ablation on turb3d (true periods 12, 142)"))
+
+    # Shape criteria from Section 3.1:
+    #  * the inner period (12) is detected only when the window both holds
+    #    two repetitions (N >= 24) and fits inside the 96-event inner
+    #    stretch (N <= 96);
+    #  * the outer period (142) requires N >= 2*142 = 284, i.e. only the
+    #    512 and 1024 windows can capture it;
+    #  * the per-element cost stays far below the per-element application
+    #    time at every window size.
+    for n in WINDOW_SIZES:
+        periods, per_elem = results[n]
+        assert (12 in periods) == (24 <= n <= 96), (n, periods)
+        assert (142 in periods) == (n >= 284), (n, periods)
+        assert per_elem < 1e-3
+
+
+@pytest.mark.parametrize("window_size", [64, 512])
+def test_event_detector_throughput(benchmark, window_size):
+    values = [int(v) for v in turb3d_model().generate(1000).values]
+
+    def run():
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=window_size))
+        det.process(values)
+        return det.detected_periods
+
+    benchmark(run)

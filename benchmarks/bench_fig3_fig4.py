@@ -1,0 +1,51 @@
+"""Benchmarks E1/E2 — Figures 3 and 4: the FT CPU-usage trace and its d(m) profile.
+
+Figure 3 is the trace of the number of active CPUs of the FT-like
+application (up to 16 CPUs, 1 ms sampling); Figure 4 is the distance profile
+``d(m)`` whose local minimum at m = 44 is the detected periodicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import ascii_plot, run_figure3, run_figure4, run_figure4_streaming
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.traces.nas_ft import FT_PERIOD, generate_ft_cpu_trace
+
+
+def test_figure3_trace_generation(benchmark, once):
+    fig3 = once(benchmark, run_figure3)
+    print()
+    print("Figure 3: CPU usage of the FT-like application (first 3 iterations)")
+    print(ascii_plot(fig3.cpus[: 3 * FT_PERIOD + 10], height=8, width=100))
+    assert fig3.max_cpus == 16
+    assert fig3.sampling_interval == 1e-3
+
+
+def test_figure4_profile_minimum_at_44(benchmark, once):
+    fig4 = once(benchmark, run_figure4)
+    print()
+    finite = np.nan_to_num(fig4.distances, nan=np.inf)
+    print(f"Figure 4: d(m) profile, minimum at m = {int(np.argmin(finite))} (paper: 44)")
+    assert fig4.detected_period == FT_PERIOD
+
+
+def test_figure4_streaming_detection(benchmark, once):
+    period = once(benchmark, run_figure4_streaming)
+    assert period == FT_PERIOD
+
+
+def test_magnitude_detector_throughput_on_ft_trace(benchmark):
+    """Per-sample cost of the streaming magnitude detector on the FT trace."""
+    trace = generate_ft_cpu_trace(iterations=12, seed=7)
+    values = np.asarray(trace.values)
+
+    def process():
+        detector = DynamicPeriodicityDetector(
+            DetectorConfig(window_size=256, max_lag=128, min_depth=0.2, evaluation_interval=4)
+        )
+        detector.process(values)
+        return detector.current_period
+
+    assert benchmark(process) == FT_PERIOD

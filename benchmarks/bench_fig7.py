@@ -1,0 +1,42 @@
+"""Benchmark E5 — Figure 7: segmentation of the five application streams.
+
+The DPD is run over each application's loop-address stream and the
+segmentation marks (period starts) it produces are checked to be spaced by
+the application's outer iteration length — the "*" marks of Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import run_figure7
+from repro.bench.harness import format_table
+
+
+def test_figure7_segmentation(benchmark, once):
+    panels = once(benchmark, run_figure7)
+    rows = []
+    for panel in panels:
+        outer = max(panel.paper_periods)
+        starts = np.asarray(panel.segment_starts)
+        spacings = np.diff(starts) if starts.size > 1 else np.array([])
+        outer_spaced = int(np.count_nonzero(spacings == outer))
+        rows.append(
+            [
+                panel.application,
+                outer,
+                starts.size,
+                outer_spaced,
+                ", ".join(str(p) for p in panel.detected_periods),
+            ]
+        )
+        assert starts.size >= 2, panel.application
+        assert outer in set(spacings.tolist()), panel.application
+    print()
+    print(
+        format_table(
+            ["Appl.", "outer period", "marks", "marks one period apart", "detected periods"],
+            rows,
+            title="Figure 7: DPD segmentation marks",
+        )
+    )

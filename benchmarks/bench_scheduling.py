@@ -1,0 +1,57 @@
+"""Benchmark E8 — performance-driven processor allocation.
+
+The downstream use of the run-time speedup (the paper's motivation,
+[Corbalan2000]): a multi-programmed workload is scheduled once with
+equipartition and once with the performance-driven policy fed by the
+measured parallel fractions.  The scalable applications must finish earlier
+under the performance-driven policy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import format_table
+from repro.runtime.machine import Machine
+from repro.scheduling.allocator import WorkloadSimulator
+from repro.scheduling.metrics import ApplicationProfile
+from repro.scheduling.policies import EquipartitionPolicy, PerformanceDrivenPolicy
+
+
+def workload():
+    return [
+        ApplicationProfile("fft_like", requested_cpus=32, parallel_fraction=0.98, remaining_work=240.0),
+        ApplicationProfile("stencil_like", requested_cpus=32, parallel_fraction=0.90, remaining_work=160.0),
+        ApplicationProfile("sparse_like", requested_cpus=32, parallel_fraction=0.60, remaining_work=80.0),
+        ApplicationProfile("serial_like", requested_cpus=32, parallel_fraction=0.20, remaining_work=40.0),
+    ]
+
+
+def test_policy_comparison(benchmark, once):
+    def run_both():
+        eq = WorkloadSimulator(Machine(32), EquipartitionPolicy(), quantum=0.5).run(workload())
+        pd = WorkloadSimulator(
+            Machine(32), PerformanceDrivenPolicy(efficiency_target=0.5), quantum=0.5
+        ).run(workload())
+        return eq, pd
+
+    eq, pd = once(benchmark, run_both)
+    rows = []
+    for name in sorted(eq.finish_times):
+        rows.append([name, f"{eq.finish_times[name]:.1f}", f"{pd.finish_times[name]:.1f}"])
+    rows.append(["(mean turnaround)", f"{eq.mean_turnaround:.1f}", f"{pd.mean_turnaround:.1f}"])
+    print()
+    print(format_table(["application", "equipartition finish (s)", "performance-driven finish (s)"], rows,
+                       title="Processor allocation driven by run-time speedup"))
+    # Shape criteria: the highly scalable applications benefit, nobody starves.
+    assert pd.finish_times["fft_like"] < eq.finish_times["fft_like"]
+    assert set(pd.finish_times) == set(eq.finish_times)
+
+
+def test_allocation_decision_cost(benchmark):
+    """Cost of one performance-driven allocation decision on a 64-CPU machine."""
+    policy = PerformanceDrivenPolicy(efficiency_target=0.5)
+    profiles = [
+        ApplicationProfile(f"app{i}", requested_cpus=64, parallel_fraction=0.5 + 0.04 * i, remaining_work=10.0)
+        for i in range(12)
+    ]
+    grants = benchmark(policy.allocate, profiles, 64)
+    assert sum(grants.values()) <= 64

@@ -1,0 +1,80 @@
+"""Benchmark E7 — Section 5 case study: DPD-driven speedup computation.
+
+Runs the FT-like application under the SelfAnalyzer at several processor
+counts and compares the dynamically computed speedup with the analytic
+speedup of the simulated application (the ground truth of the substrate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import ft_like_application, spec_application
+from repro.runtime.application import ApplicationRunner
+from repro.runtime.ditools import DIToolsInterposer
+from repro.runtime.machine import Machine
+from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
+
+
+def measure_speedup(cpus: int, iterations: int = 30):
+    app = ft_like_application(iterations=iterations)
+    interposer = DIToolsInterposer()
+    runner = ApplicationRunner(app, machine=Machine(32), interposer=interposer, cpus=cpus)
+    analyzer = SelfAnalyzer(
+        SelfAnalyzerConfig(baseline_cpus=1, dpd_window_size=64, total_iterations_hint=iterations)
+    )
+    analyzer.attach(interposer, runner)
+    runner.run()
+    return analyzer.speedup_of_main_region(), app.analytic_speedup(cpus)
+
+
+def test_selfanalyzer_speedup_curve(benchmark, once):
+    def sweep():
+        return {cpus: measure_speedup(cpus) for cpus in (2, 4, 8, 16, 32)}
+
+    results = once(benchmark, sweep)
+    rows = []
+    for cpus, (measured, analytic) in results.items():
+        rows.append([cpus, f"{analytic:.2f}", f"{measured:.2f}" if measured else "-"])
+        assert measured is not None
+        assert measured == pytest.approx(analytic, rel=0.06)
+    print()
+    print(format_table(["CPUs", "analytic speedup", "DPD+SelfAnalyzer speedup"], rows,
+                       title="Case study: dynamic speedup computation"))
+
+
+def test_selfanalyzer_on_nested_application(benchmark, once):
+    """The SelfAnalyzer measures the outer region of a nested application."""
+
+    def run():
+        app = spec_application("turb3d", iterations=9)
+        interposer = DIToolsInterposer()
+        runner = ApplicationRunner(app, machine=Machine(16), interposer=interposer, cpus=8)
+        analyzer = SelfAnalyzer(
+            SelfAnalyzerConfig(baseline_cpus=1, dpd_window_size=512, total_iterations_hint=9)
+        )
+        analyzer.attach(interposer, runner)
+        runner.run()
+        return analyzer.main_region().period, analyzer.speedup_of_main_region(), app.analytic_speedup(8)
+
+    period, measured, analytic = once(benchmark, run)
+    assert period == 142
+    assert measured is not None
+    assert measured == pytest.approx(analytic, rel=0.1)
+
+
+def test_interposition_overhead_per_call(benchmark):
+    """Real cost of the full DITools -> DPD -> SelfAnalyzer chain per loop call."""
+    app = ft_like_application(iterations=40)
+    interposer = DIToolsInterposer()
+    analyzer = SelfAnalyzer(SelfAnalyzerConfig(dpd_window_size=64, total_iterations_hint=40))
+    analyzer.attach(interposer)
+
+    def run():
+        runner = ApplicationRunner(app, machine=Machine(8), interposer=interposer, cpus=4)
+        runner.run()
+        return interposer.mean_cost_per_call()
+
+    cost = benchmark(run)
+    assert cost < 5e-3  # well below a millisecond per intercepted call on any host

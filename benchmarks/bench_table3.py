@@ -1,0 +1,46 @@
+"""Benchmark E6 — Table 3: overhead of the DPD mechanism.
+
+Regenerates the paper's overhead analysis: the wall-clock cost of pushing
+every element of each application trace through the DPD, compared with the
+application's (simulated) sequential execution time.  The shape criterion is
+the paper's conclusion: the overhead is a small fraction of the execution
+time and the per-element cost of the nested applications (large window) is
+roughly an order of magnitude above the single-level ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.table3 import format_table3, run_table3
+from repro.core.api import DPDInterface
+from repro.traces.spec_apps import all_spec_models
+
+
+def test_table3_full_reproduction(benchmark, once):
+    rows = once(benchmark, run_table3)
+    print()
+    print(format_table3(rows))
+    for row in rows:
+        assert row.percentage < 10.0, f"{row.application} overhead {row.percentage:.2f}% too large"
+    by_app = {r.application: r for r in rows}
+    small = np.mean([by_app[a].time_per_elem_ms for a in ("tomcatv", "swim", "apsi")])
+    large = np.mean([by_app[a].time_per_elem_ms for a in ("hydro2d", "turb3d")])
+    assert large > small
+
+
+@pytest.mark.parametrize("window_size", [100, 256, 1024])
+def test_dpd_cost_per_element(benchmark, window_size):
+    """Micro-benchmark: per-element cost of the event DPD (TimexElem column)."""
+    model = all_spec_models()[0]  # apsi
+    values = [int(v) for v in model.generate(2000).values]
+
+    def process():
+        dpd = DPDInterface(window_size, mode="event")
+        for v in values:
+            dpd.dpd(v)
+        return dpd.detected_periods
+
+    detected = benchmark(process)
+    assert 6 in detected

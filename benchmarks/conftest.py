@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md, experiment index).  Heavy end-to-end reproductions use
+``benchmark.pedantic(..., rounds=1)`` so the full-size experiment runs once;
+micro-benchmarks (per-element DPD cost, profile evaluation) use the default
+calibration of pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Section 5 case study: dynamic speedup computation with the SelfAnalyzer.
+
+Builds an FT-like iterative application, runs it on a simulated 32-CPU
+machine with DITools interposition, and lets the SelfAnalyzer — driven by
+the DPD's segmentation — measure one iteration at the available processor
+count and one at the baseline, compute the speedup and estimate the total
+execution time.  The measured speedups are compared against the analytic
+speedup of the simulated application.
+
+Run with:  python examples/selfanalyzer_speedup.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import format_table
+from repro.bench.workloads import ft_like_application
+from repro.runtime import ApplicationRunner, DIToolsInterposer, Machine
+from repro.selfanalyzer import SelfAnalyzer, SelfAnalyzerConfig, format_analyzer_report
+
+
+def run_one(cpus: int, iterations: int = 30):
+    app = ft_like_application(iterations=iterations)
+    machine = Machine(32)
+    interposer = DIToolsInterposer()
+    runner = ApplicationRunner(app, machine=machine, interposer=interposer, cpus=cpus)
+    analyzer = SelfAnalyzer(
+        SelfAnalyzerConfig(baseline_cpus=1, dpd_window_size=64, total_iterations_hint=iterations)
+    )
+    analyzer.attach(interposer, runner)
+    result = runner.run()
+    return app, analyzer, result, interposer
+
+
+def main() -> None:
+    rows = []
+    for cpus in (2, 4, 8, 16, 32):
+        app, analyzer, result, interposer = run_one(cpus)
+        measured = analyzer.speedup_of_main_region()
+        estimate = analyzer.estimated_total_time()
+        rows.append(
+            [
+                cpus,
+                f"{app.analytic_speedup(cpus):.2f}",
+                f"{measured:.2f}" if measured else "-",
+                f"{result.total_time:.3f}",
+                f"{estimate:.3f}" if estimate else "-",
+                f"{interposer.mean_cost_per_call() * 1e6:.1f}",
+            ]
+        )
+    print(format_table(
+        ["CPUs", "analytic speedup", "measured speedup", "actual time (s)",
+         "estimated time (s)", "DPD cost/call (us)"],
+        rows,
+        title="Dynamic speedup computation (FT-like application, baseline = 1 CPU)",
+    ))
+
+    print("\nDetailed report for the 16-CPU run:\n")
+    _, analyzer, _, _ = run_one(16)
+    print(format_analyzer_report(analyzer))
+
+
+if __name__ == "__main__":
+    main()

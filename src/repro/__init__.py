@@ -1,0 +1,65 @@
+"""Reproduction of *A Dynamic Periodicity Detector: Application to Speedup
+Computation* (Freitag, Corbalan, Labarta — IPPS/IPDPS 2001).
+
+The package is organised in five layers:
+
+* :mod:`repro.core` — the Dynamic Periodicity Detector itself (streaming
+  detectors for magnitude and event streams, segmentation, prediction, the
+  C-like ``DPD`` / ``DPDWindowSize`` interface of Table 1);
+* :mod:`repro.traces` — the data-series substrate (synthetic generators,
+  CPU-usage traces, the five SPECfp95-like application models, the NAS-FT
+  model, perturbations and serialisation);
+* :mod:`repro.runtime` — the simulated execution substrate (virtual clock,
+  multiprocessor machine, OpenMP-like parallel loops, DITools-like
+  interposition, CPU-usage sampling, MPI cost model);
+* :mod:`repro.selfanalyzer` — dynamic speedup computation built on the DPD
+  segmentation (Section 5 of the paper);
+* :mod:`repro.scheduling` — performance-driven processor allocation, the
+  downstream consumer of the computed speedup;
+* :mod:`repro.bench` — reproductions of every table and figure of the
+  paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.core import DPDInterface
+>>> dpd = DPDInterface(window_size=64)
+>>> stream = [0x400000, 0x400140, 0x400280] * 30
+>>> periods = {dpd.dpd(v) for v in stream} - {0}
+>>> periods
+{3}
+"""
+
+from repro import bench, core, runtime, scheduling, selfanalyzer, traces, util
+from repro.core import (
+    DPD,
+    DPDInterface,
+    DPDWindowSize,
+    DynamicPeriodicityDetector,
+    EventPeriodicityDetector,
+    MultiScaleEventDetector,
+)
+from repro.selfanalyzer import SelfAnalyzer
+from repro.traces import Trace, generate_ft_cpu_trace, generate_spec_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "core",
+    "runtime",
+    "scheduling",
+    "selfanalyzer",
+    "traces",
+    "util",
+    "DPD",
+    "DPDInterface",
+    "DPDWindowSize",
+    "DynamicPeriodicityDetector",
+    "EventPeriodicityDetector",
+    "MultiScaleEventDetector",
+    "SelfAnalyzer",
+    "Trace",
+    "generate_ft_cpu_trace",
+    "generate_spec_stream",
+    "__version__",
+]

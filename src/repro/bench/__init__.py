@@ -1,0 +1,53 @@
+"""Experiment harness: reproductions of every table and figure.
+
+Each module returns plain data structures plus a text rendering, so the
+same code is used by the ``benchmarks/`` suite (pytest-benchmark), by the
+integration tests and by the examples.
+"""
+
+from repro.bench.figures import (
+    Figure3Data,
+    Figure4Data,
+    Figure7Panel,
+    ascii_plot,
+    figures_report,
+    run_figure3,
+    run_figure4,
+    run_figure7,
+)
+from repro.bench.harness import ExperimentRecord, ExperimentReport, format_table
+from repro.bench.table2 import Table2Row, format_table2, run_table2, table2_report
+from repro.bench.table3 import PAPER_TABLE3, Table3Row, format_table3, run_table3, table3_report
+from repro.bench.workloads import (
+    PAPER_TABLE3_APEXTIME,
+    ft_like_application,
+    spec_application,
+    spec_applications,
+)
+
+__all__ = [
+    "Figure3Data",
+    "Figure4Data",
+    "Figure7Panel",
+    "ascii_plot",
+    "figures_report",
+    "run_figure3",
+    "run_figure4",
+    "run_figure7",
+    "ExperimentRecord",
+    "ExperimentReport",
+    "format_table",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+    "table2_report",
+    "PAPER_TABLE3",
+    "Table3Row",
+    "format_table3",
+    "run_table3",
+    "table3_report",
+    "PAPER_TABLE3_APEXTIME",
+    "ft_like_application",
+    "spec_application",
+    "spec_applications",
+]

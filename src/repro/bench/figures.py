@@ -1,0 +1,213 @@
+"""Reproduction of Figures 3, 4 and 7.
+
+* **Figure 3** — the CPU-usage trace of the FT-like application (number of
+  active CPUs over time, sampled every millisecond).
+* **Figure 4** — the distance profile ``d(m)`` computed by the DPD over a
+  window of that trace; the paper's detected period is m = 44.
+* **Figure 7** — the loop-address streams of the five applications with the
+  segmentation marks produced by the DPD.
+
+The functions return plain data series (and can render a coarse ASCII plot)
+so the reproduction does not depend on a plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.harness import ExperimentReport
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.distance import amdf_profile
+from repro.core.minima import select_period
+from repro.core.multiperiod import MultiScaleConfig, MultiScaleEventDetector
+from repro.core.segmentation import Segment, segment_stream
+from repro.traces.nas_ft import FT_PERIOD, generate_ft_cpu_trace
+from repro.traces.spec_apps import PAPER_TABLE2, all_spec_models
+
+__all__ = [
+    "Figure3Data",
+    "Figure4Data",
+    "Figure7Panel",
+    "run_figure3",
+    "run_figure4",
+    "run_figure7",
+    "figures_report",
+    "ascii_plot",
+]
+
+
+@dataclass(frozen=True)
+class Figure3Data:
+    """The FT CPU-usage trace (Figure 3)."""
+
+    time: np.ndarray
+    cpus: np.ndarray
+    sampling_interval: float
+    max_cpus: int
+    expected_period: int
+
+
+@dataclass(frozen=True)
+class Figure4Data:
+    """The d(m) profile over the FT trace (Figure 4)."""
+
+    lags: np.ndarray
+    distances: np.ndarray
+    detected_period: int | None
+    paper_period: int = FT_PERIOD
+
+
+@dataclass(frozen=True)
+class Figure7Panel:
+    """One panel of Figure 7: an address stream plus its segmentation."""
+
+    application: str
+    values: np.ndarray
+    segment_starts: tuple[int, ...]
+    detected_periods: tuple[int, ...]
+    paper_periods: tuple[int, ...]
+
+
+def run_figure3(*, iterations: int = 24, seed: int = 7) -> Figure3Data:
+    """Generate the Figure 3 series."""
+    trace = generate_ft_cpu_trace(iterations=iterations, seed=seed)
+    return Figure3Data(
+        time=trace.time_axis(),
+        cpus=np.asarray(trace.values),
+        sampling_interval=trace.metadata.sampling_interval or 1e-3,
+        max_cpus=int(np.max(trace.values)),
+        expected_period=FT_PERIOD,
+    )
+
+
+def run_figure4(
+    *,
+    iterations: int = 24,
+    seed: int = 7,
+    window_size: int = 256,
+    max_lag: int = 100,
+) -> Figure4Data:
+    """Compute the d(m) profile of the FT trace (Figure 4)."""
+    trace = generate_ft_cpu_trace(iterations=iterations, seed=seed)
+    values = np.asarray(trace.values, dtype=float)
+    window = values[-window_size:]
+    profile = amdf_profile(window, max_lag)
+    candidate = select_period(profile, min_depth=0.2)
+    lags = np.arange(profile.size)
+    return Figure4Data(
+        lags=lags,
+        distances=profile,
+        detected_period=candidate.lag if candidate else None,
+    )
+
+
+def run_figure4_streaming(
+    *,
+    iterations: int = 24,
+    seed: int = 7,
+    window_size: int = 256,
+) -> int | None:
+    """Detect the FT period with the streaming magnitude detector."""
+    trace = generate_ft_cpu_trace(iterations=iterations, seed=seed)
+    detector = DynamicPeriodicityDetector(
+        DetectorConfig(window_size=window_size, max_lag=window_size // 2, min_depth=0.2)
+    )
+    detector.process(trace.values)
+    return detector.current_period
+
+
+def run_figure7(
+    *,
+    events_per_panel: int = 700,
+    window_sizes: tuple[int, ...] = (16, 64, 256, 1024),
+) -> list[Figure7Panel]:
+    """Segment the first part of every application stream (Figure 7)."""
+    panels: list[Figure7Panel] = []
+    for model in all_spec_models():
+        full_length, paper_periods = PAPER_TABLE2[model.name]
+        length = min(events_per_panel, full_length)
+        # Feed a long prefix so the large windows fill, then display the
+        # requested number of events (as the paper shows "a small part").
+        warm_length = min(full_length, max(length, 3 * max(window_sizes)))
+        trace = model.generate(warm_length)
+        detector = MultiScaleEventDetector(MultiScaleConfig(window_sizes=window_sizes))
+        segments, periods = segment_stream(trace.values, detector)
+        starts = tuple(s.start for s in segments if s.start < warm_length)
+        panels.append(
+            Figure7Panel(
+                application=model.name,
+                values=np.asarray(trace.values[:length]),
+                segment_starts=starts,
+                detected_periods=tuple(periods),
+                paper_periods=paper_periods,
+            )
+        )
+    return panels
+
+
+def ascii_plot(values: np.ndarray, *, height: int = 12, width: int = 100, marks: tuple[int, ...] = ()) -> str:
+    """Very small dependency-free line plot used by the examples.
+
+    ``marks`` are sample indices highlighted with ``*`` below the plot (the
+    segmentation marks of Figure 7).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return "(empty series)"
+    if arr.size > width:
+        # Down-sample by taking the maximum of each bucket (keeps peaks).
+        edges = np.linspace(0, arr.size, width + 1, dtype=int)
+        arr = np.array([arr[a:b].max() if b > a else arr[a] for a, b in zip(edges[:-1], edges[1:])])
+        scale = values.size / width
+    else:
+        scale = 1.0
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    levels = np.round((arr - lo) / span * (height - 1)).astype(int)
+    for level in range(height - 1, -1, -1):
+        row = "".join("#" if levels[i] >= level else " " for i in range(arr.size))
+        rows.append(row)
+    mark_row = [" "] * arr.size
+    for mark in marks:
+        pos = int(mark / scale)
+        if 0 <= pos < arr.size:
+            mark_row[pos] = "*"
+    rows.append("".join(mark_row))
+    return "\n".join(rows)
+
+
+def figures_report() -> ExperimentReport:
+    """Paper-vs-measured report for Figures 3, 4 and 7."""
+    report = ExperimentReport("Figures 3, 4 and 7")
+    fig3 = run_figure3()
+    report.add(
+        "Figure 3: peak CPUs",
+        16,
+        fig3.max_cpus,
+        matches=fig3.max_cpus == 16,
+    )
+    fig4 = run_figure4()
+    report.add(
+        "Figure 4: d(m) minimum (FT period)",
+        FT_PERIOD,
+        fig4.detected_period,
+        matches=fig4.detected_period == FT_PERIOD,
+    )
+    for panel in run_figure7():
+        expected_outer = max(panel.paper_periods)
+        starts = np.asarray(panel.segment_starts)
+        spacing_ok = False
+        if starts.size >= 3:
+            spacing = np.diff(starts)
+            spacing_ok = bool(np.any(spacing == expected_outer))
+        report.add(
+            f"Figure 7: {panel.application} segmentation spacing",
+            expected_outer,
+            sorted(set(np.diff(starts).tolist()))[-3:] if starts.size >= 2 else [],
+            matches=spacing_ok,
+            note="some consecutive segmentation marks must be one outer period apart",
+        )
+    return report

@@ -1,0 +1,81 @@
+"""Shared infrastructure for the experiment reproductions.
+
+Every table/figure reproduction returns plain data (rows, series) so it can
+be asserted on in tests, timed in pytest-benchmark and rendered as text.
+:func:`format_table` renders rows the way the paper's tables read, and
+:class:`ExperimentRecord` captures the paper-vs-measured comparison that
+EXPERIMENTS.md reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["format_table", "ExperimentRecord", "ExperimentReport"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str = "") -> str:
+    """Render ``rows`` as a fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-vs-measured comparison entry."""
+
+    experiment: str
+    quantity: str
+    paper_value: Any
+    measured_value: Any
+    matches: bool
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """Collection of comparison records for one experiment."""
+
+    name: str
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        quantity: str,
+        paper_value: Any,
+        measured_value: Any,
+        matches: bool,
+        note: str = "",
+    ) -> ExperimentRecord:
+        """Append one comparison record."""
+        record = ExperimentRecord(self.name, quantity, paper_value, measured_value, matches, note)
+        self.records.append(record)
+        return record
+
+    @property
+    def all_match(self) -> bool:
+        """Whether every recorded comparison matches."""
+        return all(r.matches for r in self.records)
+
+    def to_text(self) -> str:
+        """Render the report as a text table."""
+        rows = [
+            [r.quantity, r.paper_value, r.measured_value, "yes" if r.matches else "NO", r.note]
+            for r in self.records
+        ]
+        return format_table(
+            ["quantity", "paper", "measured", "match", "note"], rows, title=self.name
+        )

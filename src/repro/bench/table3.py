@@ -1,0 +1,171 @@
+"""Reproduction of Table 3: overhead of the DPD mechanism.
+
+The paper measures, for each application trace, the wall-clock time spent
+processing every trace element with the DPD and relates it to the
+application's execution time:
+
+=========  ======================================================
+column     meaning
+=========  ======================================================
+NumElems   number of elements in the trace file
+ApExTime   sequential execution time of the application (seconds)
+TimeProc   time spent processing the whole trace with the DPD (s)
+Perc.      ``TimeProc / ApExTime * 100``
+TimexElem  DPD cost per trace element (milliseconds)
+=========  ======================================================
+
+Our ``ApExTime`` is the *simulated* sequential execution time of the
+synthetic application (calibrated to the paper's order of magnitude, see
+:mod:`repro.bench.workloads`); ``TimeProc`` is the *real* wall-clock time
+of pushing the recorded trace through this library's DPD.  The absolute
+numbers therefore differ from the paper's, but the claim under test is the
+same: the per-element cost is small and the total overhead is a fraction of
+a percent for the single-level applications and a few percent for hydro2d
+(which uses a much larger window).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import ExperimentReport, format_table
+from repro.bench.workloads import PAPER_TABLE3_APEXTIME, spec_application
+from repro.core.api import DPDInterface
+from repro.traces.spec_apps import PAPER_TABLE2, all_spec_models
+
+__all__ = ["Table3Row", "PAPER_TABLE3", "run_table3", "format_table3", "table3_report"]
+
+
+#: The paper's Table 3 values: (NumElems, ApExTime, TimeProc, Perc, TimexElem_ms).
+PAPER_TABLE3 = {
+    "tomcatv": (3750, 136.33, 0.016678, 0.012, 0.004),
+    "swim": (5402, 135.17, 0.023476, 0.017, 0.004),
+    "apsi": (5762, 95.9, 0.025169, 0.026, 0.004),
+    "hydro2d": (53814, 183.92, 6.028188, 3.27, 0.112),
+    "turb3d": (1580, 266.44, 0.171326, 0.064, 0.108),
+}
+
+#: Window size used per application: the nested applications need the large
+#: window (the paper used up to N = 1024), the single-level ones use the
+#: default N = 100 the paper says is sufficient.
+_WINDOW_SIZES = {
+    "tomcatv": 100,
+    "swim": 100,
+    "apsi": 100,
+    "hydro2d": 1024,
+    "turb3d": 1024,
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of the Table 3 reproduction."""
+
+    application: str
+    num_elems: int
+    ap_ex_time: float
+    time_proc: float
+    percentage: float
+    time_per_elem_ms: float
+
+
+def measure_dpd_processing_time(values, window_size: int) -> float:
+    """Wall-clock seconds of pushing ``values`` through a fresh event DPD."""
+    dpd = DPDInterface(window_size, mode="event")
+    started = time.perf_counter()
+    push = dpd.dpd
+    for value in values:
+        push(int(value))
+    return time.perf_counter() - started
+
+
+def run_table3(*, length_override: int | None = None, use_simulated_apextime: bool = True) -> list[Table3Row]:
+    """Produce the Table 3 rows.
+
+    Parameters
+    ----------
+    length_override:
+        Process only this many trace elements (used by fast tests); the
+        ``NumElems`` column reflects the override.
+    use_simulated_apextime:
+        When True (default) ``ApExTime`` is the analytic sequential time of
+        the calibrated simulated application; when False the paper's value
+        is reused directly (pure-overhead mode).
+    """
+    rows: list[Table3Row] = []
+    for model in all_spec_models():
+        name = model.name
+        full_length, _ = PAPER_TABLE2[name]
+        length = length_override if length_override is not None else full_length
+        trace = model.generate(length)
+        window = _WINDOW_SIZES[name]
+        time_proc = measure_dpd_processing_time(trace.values, window)
+        if use_simulated_apextime:
+            app = spec_application(name)
+            ap_ex_time = app.analytic_time(1) * (length / full_length)
+        else:
+            ap_ex_time = PAPER_TABLE3_APEXTIME[name] * (length / full_length)
+        percentage = time_proc / ap_ex_time * 100.0 if ap_ex_time > 0 else float("inf")
+        per_elem_ms = time_proc / length * 1e3
+        rows.append(
+            Table3Row(
+                application=name,
+                num_elems=length,
+                ap_ex_time=ap_ex_time,
+                time_proc=time_proc,
+                percentage=percentage,
+                time_per_elem_ms=per_elem_ms,
+            )
+        )
+    return rows
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    """Render the Table 3 reproduction as text."""
+    table_rows = [
+        [
+            row.application,
+            row.num_elems,
+            f"{row.ap_ex_time:.2f}",
+            f"{row.time_proc:.6f}",
+            f"{row.percentage:.3f}%",
+            f"{row.time_per_elem_ms:.4f}",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["Appl.", "NumElems", "ApExTime(s)", "TimeProc(s)", "Perc.", "TimexElem(ms)"],
+        table_rows,
+        title="Table 3: Overhead analysis",
+    )
+
+
+def table3_report(rows: list[Table3Row] | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report for EXPERIMENTS.md.
+
+    The comparison is on *shape*: the overhead percentage stays small
+    (below 10 %) for every application, and the per-element cost of the
+    nested applications (large window) is roughly an order of magnitude
+    above the single-level ones, as in the paper (0.108–0.112 ms vs
+    0.004 ms).
+    """
+    rows = rows if rows is not None else run_table3()
+    report = ExperimentReport("Table 3 — DPD overhead")
+    for row in rows:
+        paper = PAPER_TABLE3[row.application]
+        report.add(
+            quantity=f"{row.application} overhead percentage",
+            paper_value=f"{paper[3]}%",
+            measured_value=f"{row.percentage:.3f}%",
+            matches=row.percentage < 10.0,
+            note="shape criterion: overhead remains a small fraction of ApExTime",
+        )
+        report.add(
+            quantity=f"{row.application} cost per element (ms)",
+            paper_value=paper[4],
+            measured_value=round(row.time_per_elem_ms, 4),
+            matches=row.time_per_elem_ms < 5.0,
+            note="shape criterion: per-element cost stays far below the per-element application time",
+        )
+    return report

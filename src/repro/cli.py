@@ -1,0 +1,184 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+The CLI exposes the experiment reproductions of :mod:`repro.bench` without
+writing any Python::
+
+    python -m repro table2              # Table 2 (detected periodicities)
+    python -m repro table3              # Table 3 (DPD overhead)
+    python -m repro fig3                # Figure 3 (FT CPU-usage trace, ASCII)
+    python -m repro fig4                # Figure 4 (d(m) profile)
+    python -m repro fig7                # Figure 7 (segmentation marks)
+    python -m repro speedup --cpus 8    # Section 5 case study
+    python -m repro detect trace.csv    # run the DPD over a recorded trace
+
+Every command prints a plain-text table/plot and exits non-zero when the
+reproduction does not match the paper's qualitative claim, so the CLI can
+be used as a smoke test of an installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.bench.figures import ascii_plot, run_figure3, run_figure4, run_figure7
+from repro.bench.harness import format_table
+from repro.bench.table2 import format_table2, run_table2
+from repro.bench.table3 import format_table3, run_table3
+from repro.bench.workloads import ft_like_application
+from repro.core.api import DPDInterface
+from repro.runtime.application import ApplicationRunner
+from repro.runtime.ditools import DIToolsInterposer
+from repro.runtime.machine import Machine
+from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
+from repro.selfanalyzer.reporting import format_analyzer_report
+from repro.traces.io import load_trace, load_trace_csv
+from repro.traces.nas_ft import FT_PERIOD
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Dynamic Periodicity Detector: Application to Speedup Computation'",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="Table 2: detected periodicities of the five applications")
+
+    t3 = sub.add_parser("table3", help="Table 3: overhead of the DPD mechanism")
+    t3.add_argument("--length", type=int, default=None, help="process only this many trace elements per application")
+
+    f3 = sub.add_parser("fig3", help="Figure 3: CPU usage of the FT-like application")
+    f3.add_argument("--iterations", type=int, default=24)
+
+    f4 = sub.add_parser("fig4", help="Figure 4: d(m) profile of the FT-like trace")
+    f4.add_argument("--iterations", type=int, default=24)
+
+    f7 = sub.add_parser("fig7", help="Figure 7: segmentation of the application streams")
+    f7.add_argument("--events", type=int, default=300, help="events shown per application")
+
+    sp = sub.add_parser("speedup", help="Section 5 case study: dynamic speedup computation")
+    sp.add_argument("--cpus", type=int, default=8)
+    sp.add_argument("--iterations", type=int, default=30)
+
+    det = sub.add_parser("detect", help="run the DPD over a recorded trace file (.npz or .csv)")
+    det.add_argument("path", help="trace file produced by repro.traces.io")
+    det.add_argument("--mode", choices=("event", "magnitude"), default=None,
+                     help="detector mode (default: inferred from the trace kind)")
+    det.add_argument("--window", type=int, default=256, help="data window size N")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+def _cmd_table2(args) -> int:
+    rows = run_table2()
+    print(format_table2(rows))
+    return 0 if all(row.matches for row in rows) else 1
+
+
+def _cmd_table3(args) -> int:
+    rows = run_table3(length_override=args.length)
+    print(format_table3(rows))
+    return 0 if all(row.percentage < 10.0 for row in rows) else 1
+
+
+def _cmd_fig3(args) -> int:
+    fig3 = run_figure3(iterations=args.iterations)
+    print("Figure 3: number of CPUs used (first iterations)")
+    print(ascii_plot(fig3.cpus[: 3 * FT_PERIOD + 10], height=10, width=110))
+    print(f"samples={fig3.cpus.size} peak_cpus={fig3.max_cpus} sampling={fig3.sampling_interval*1e3:g} ms")
+    return 0 if fig3.max_cpus == 16 else 1
+
+
+def _cmd_fig4(args) -> int:
+    fig4 = run_figure4(iterations=args.iterations)
+    finite = np.nan_to_num(fig4.distances, nan=np.nanmax(fig4.distances))
+    print("Figure 4: d(m) profile")
+    print(ascii_plot(finite[1:], height=10, width=100))
+    print(f"detected period m = {fig4.detected_period} (paper: {fig4.paper_period})")
+    return 0 if fig4.detected_period == fig4.paper_period else 1
+
+
+def _cmd_fig7(args) -> int:
+    panels = run_figure7(events_per_panel=args.events)
+    ok = True
+    for panel in panels:
+        outer = max(panel.paper_periods)
+        starts = np.asarray(panel.segment_starts)
+        spacings = set(np.diff(starts).tolist()) if starts.size > 1 else set()
+        matches = outer in spacings
+        ok &= matches
+        print(f"\n{panel.application}: detected periodicities {panel.detected_periods}, "
+              f"outer period {outer}, marks {starts.size}, outer-spaced: {'yes' if matches else 'NO'}")
+        in_view = tuple(int(s) for s in starts if s < panel.values.size)
+        print(ascii_plot(panel.values.astype(float), height=6, width=100, marks=in_view))
+    return 0 if ok else 1
+
+
+def _cmd_speedup(args) -> int:
+    app = ft_like_application(iterations=args.iterations)
+    interposer = DIToolsInterposer()
+    runner = ApplicationRunner(app, machine=Machine(max(args.cpus, 1)), interposer=interposer, cpus=args.cpus)
+    analyzer = SelfAnalyzer(
+        SelfAnalyzerConfig(baseline_cpus=1, dpd_window_size=64, total_iterations_hint=args.iterations)
+    )
+    analyzer.attach(interposer, runner)
+    runner.run()
+    print(format_analyzer_report(analyzer))
+    measured = analyzer.speedup_of_main_region()
+    analytic = app.analytic_speedup(args.cpus)
+    print(f"\nanalytic speedup on {args.cpus} CPUs: {analytic:.2f}")
+    if measured is None:
+        return 1
+    return 0 if abs(measured - analytic) / analytic < 0.1 else 1
+
+
+def _cmd_detect(args) -> int:
+    path = args.path
+    trace = load_trace_csv(path) if path.endswith(".csv") else load_trace(path)
+    mode = args.mode or ("event" if trace.kind == "events" else "magnitude")
+    dpd = DPDInterface(args.window, mode=mode)
+    starts = []
+    for index, value in enumerate(trace.values):
+        period = dpd.dpd(value if mode == "magnitude" else int(value))
+        if period:
+            starts.append((index, period))
+    print(f"trace {trace.name!r}: {len(trace)} samples, mode={mode}, window={args.window}")
+    print(f"detected periodicities: {dpd.detected_periods}")
+    print(f"period starts: {len(starts)}")
+    if starts:
+        rows = [[i, p] for i, p in starts[:10]]
+        print(format_table(["sample index", "period"], rows, title="first period starts"))
+    return 0 if dpd.detected_periods else 2
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig7": _cmd_fig7,
+    "speedup": _cmd_speedup,
+    "detect": _cmd_detect,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

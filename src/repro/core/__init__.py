@@ -1,0 +1,97 @@
+"""The Dynamic Periodicity Detector (DPD) — the paper's core contribution.
+
+The subpackage is organised around the streaming detectors:
+
+* :class:`~repro.core.detector.DynamicPeriodicityDetector` — equation (1),
+  for sampled magnitude streams (CPU usage, hardware counters);
+* :class:`~repro.core.events.EventPeriodicityDetector` — equation (2), for
+  event/identifier streams (parallel-loop addresses);
+* :class:`~repro.core.multiperiod.MultiScaleEventDetector` — a bank of
+  event detectors covering several window sizes, for applications with
+  nested parallelism;
+* :class:`~repro.core.api.DPDInterface` plus the module-level
+  :func:`~repro.core.api.DPD` / :func:`~repro.core.api.DPDWindowSize` —
+  the C-like interface of Table 1.
+
+Supporting modules provide the distance metrics, local-minimum search,
+segmentation records, value prediction, confidence scoring and offline
+baseline estimators.
+"""
+
+from repro.core.api import DPD, DPDInterface, DPDWindowSize, get_global_dpd, reset_global_dpd
+from repro.core.confidence import PeriodConfidence, evaluate_confidence, match_ratio
+from repro.core.detector import DetectionResult, DetectorConfig, DynamicPeriodicityDetector
+from repro.core.distance import (
+    amdf_at_lag,
+    amdf_profile,
+    event_distance_at_lag,
+    event_distance_profile,
+    matching_lags,
+    normalized_amdf_profile,
+)
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.core.minima import PeriodCandidate, filter_harmonics, find_local_minima, select_period
+from repro.core.multiperiod import (
+    MultiScaleConfig,
+    MultiScaleEventDetector,
+    hierarchical_periodicities,
+)
+from repro.core.prediction import PeriodicPredictor, extrapolate, predict_next
+from repro.core.segmentation import (
+    Segment,
+    SegmentationRecorder,
+    segment_boundaries,
+    segment_stream,
+)
+from repro.core.spectral import (
+    autocorrelation,
+    autocorrelation_period,
+    periodogram,
+    periodogram_period,
+)
+from repro.core.tracking import PeriodPhase, PeriodTracker
+from repro.core.window import AdaptiveWindowPolicy, DataWindow
+
+__all__ = [
+    "DPD",
+    "DPDInterface",
+    "DPDWindowSize",
+    "get_global_dpd",
+    "reset_global_dpd",
+    "PeriodConfidence",
+    "evaluate_confidence",
+    "match_ratio",
+    "DetectionResult",
+    "DetectorConfig",
+    "DynamicPeriodicityDetector",
+    "amdf_at_lag",
+    "amdf_profile",
+    "event_distance_at_lag",
+    "event_distance_profile",
+    "matching_lags",
+    "normalized_amdf_profile",
+    "EventDetectorConfig",
+    "EventPeriodicityDetector",
+    "PeriodCandidate",
+    "filter_harmonics",
+    "find_local_minima",
+    "select_period",
+    "MultiScaleConfig",
+    "MultiScaleEventDetector",
+    "hierarchical_periodicities",
+    "PeriodicPredictor",
+    "extrapolate",
+    "predict_next",
+    "Segment",
+    "SegmentationRecorder",
+    "segment_boundaries",
+    "segment_stream",
+    "autocorrelation",
+    "autocorrelation_period",
+    "periodogram",
+    "periodogram_period",
+    "PeriodPhase",
+    "PeriodTracker",
+    "AdaptiveWindowPolicy",
+    "DataWindow",
+]

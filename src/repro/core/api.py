@@ -1,0 +1,163 @@
+"""The C-like DPD interface of Table 1.
+
+The paper exposes the detector to the runtime through two functions::
+
+    int  DPD(long sample, int *period);   /* detection + segmentation  */
+    void DPDWindowSize(int size);          /* adjust data window size   */
+
+``DPD`` returns a non-zero value when the supplied sample is the *start of
+a period* and writes the period length through ``period``; it returns 0
+otherwise.  :class:`DPDInterface` reproduces these semantics in Python —
+:meth:`DPDInterface.dpd` returns the period length at period starts and 0
+otherwise — and module-level :func:`DPD` / :func:`DPDWindowSize` functions
+mirror the exact global-state C API for drop-in use by the runtime layer
+(:mod:`repro.runtime.ditools`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.util.validation import check_positive_int
+
+__all__ = ["DPDInterface", "DPD", "DPDWindowSize", "reset_global_dpd", "get_global_dpd"]
+
+
+class DPDInterface:
+    """Object-oriented wrapper with the call/return behaviour of Table 1.
+
+    Parameters
+    ----------
+    window_size:
+        Initial data window size ``N``.
+    mode:
+        ``"event"`` (default) uses the exact-match metric of equation (2),
+        appropriate for streams of identifiers such as function addresses;
+        ``"magnitude"`` uses the L1 metric of equation (1) for sampled
+        values such as the number of active CPUs.
+    min_repetitions, min_depth:
+        Forwarded to the underlying detector configuration.
+
+    Examples
+    --------
+    >>> dpd = DPDInterface(window_size=64)
+    >>> starts = [dpd.dpd(v) for v in [1, 2, 3] * 20]
+    >>> max(starts)
+    3
+    """
+
+    def __init__(
+        self,
+        window_size: int = 256,
+        *,
+        mode: str = "event",
+        min_repetitions: int = 2,
+        min_depth: float = 0.25,
+    ) -> None:
+        check_positive_int(window_size, "window_size")
+        if mode not in ("event", "magnitude"):
+            raise ValueError("mode must be 'event' or 'magnitude'")
+        self._mode = mode
+        if mode == "event":
+            self._detector = EventPeriodicityDetector(
+                EventDetectorConfig(
+                    window_size=window_size, min_repetitions=min_repetitions
+                )
+            )
+        else:
+            self._detector = DynamicPeriodicityDetector(
+                DetectorConfig(
+                    window_size=window_size,
+                    min_repetitions=min_repetitions,
+                    min_depth=min_depth,
+                )
+            )
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """Which distance metric backs this interface."""
+        return self._mode
+
+    @property
+    def detector(self):
+        """The underlying streaming detector instance."""
+        return self._detector
+
+    @property
+    def calls(self) -> int:
+        """Number of ``dpd()`` invocations so far."""
+        return self._calls
+
+    @property
+    def current_period(self) -> int | None:
+        """Currently locked period (``None`` while searching)."""
+        return self._detector.current_period
+
+    @property
+    def detected_periods(self) -> list[int]:
+        """Distinct periods detected over the lifetime of the stream."""
+        return self._detector.detected_periods
+
+    # ------------------------------------------------------------------
+    def dpd(self, sample: int | float) -> int:
+        """``int DPD(long sample, int *period)``.
+
+        Returns the period length when ``sample`` starts a new period and 0
+        otherwise (the "period" output argument of the C interface is the
+        return value here).
+        """
+        self._calls += 1
+        result = self._detector.update(sample)
+        if result.is_period_start and result.period is not None:
+            return int(result.period)
+        return 0
+
+    def dpd_window_size(self, size: int) -> None:
+        """``void DPDWindowSize(int size)`` — adjust the data window size."""
+        check_positive_int(size, "size")
+        self._detector.set_window_size(size)
+
+    def reset(self) -> None:
+        """Forget the stream processed so far."""
+        self._detector.reset()
+        self._calls = 0
+
+
+# ----------------------------------------------------------------------
+# Global C-like API.  The paper's interface is a pair of free functions
+# operating on hidden state; we reproduce that (guarded by a lock so the
+# simulated runtime may call it from several "threads").
+# ----------------------------------------------------------------------
+_global_lock = threading.Lock()
+_global_dpd: DPDInterface | None = None
+
+
+def get_global_dpd() -> DPDInterface:
+    """Return (lazily creating) the process-wide DPD instance."""
+    global _global_dpd
+    with _global_lock:
+        if _global_dpd is None:
+            _global_dpd = DPDInterface()
+        return _global_dpd
+
+
+def reset_global_dpd(window_size: int = 256, *, mode: str = "event") -> DPDInterface:
+    """Replace the process-wide DPD instance (used by tests and benches)."""
+    global _global_dpd
+    with _global_lock:
+        _global_dpd = DPDInterface(window_size, mode=mode)
+        return _global_dpd
+
+
+def DPD(sample: int | float) -> int:  # noqa: N802 - matches the paper's name
+    """Module-level ``DPD(sample)``: period length at period starts, else 0."""
+    return get_global_dpd().dpd(sample)
+
+
+def DPDWindowSize(size: int) -> None:  # noqa: N802 - matches the paper's name
+    """Module-level ``DPDWindowSize(size)``: adjust the window size."""
+    get_global_dpd().dpd_window_size(size)

@@ -1,0 +1,112 @@
+"""Quality metrics for a detected period.
+
+The paper reports the detected period itself; a production detector also
+needs to say *how sure* it is, because downstream tools (the SelfAnalyzer,
+a processor allocator) act on the detection.  This module quantifies the
+quality of a candidate period over a data window with three complementary
+measures that are combined into a single score in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.distance import amdf_at_lag, amdf_profile
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = ["PeriodConfidence", "evaluate_confidence", "match_ratio"]
+
+
+@dataclass(frozen=True)
+class PeriodConfidence:
+    """Break-down of the confidence in a detected period.
+
+    Attributes
+    ----------
+    period:
+        The evaluated period.
+    depth:
+        Relative depth of ``d(period)`` below the profile mean, clipped to
+        ``[0, 1]``; 1 for an exact repetition.
+    coverage:
+        Fraction of the window covered by full periods
+        (``floor(len/period) * period / len``); small coverage means the
+        period was confirmed over very little data.
+    repetitions:
+        Number of complete periods contained in the window.
+    score:
+        Combined confidence in ``[0, 1]``.
+    """
+
+    period: int
+    depth: float
+    coverage: float
+    repetitions: int
+    score: float
+
+
+def match_ratio(window: Sequence[float] | np.ndarray, period: int) -> float:
+    """Fraction of positions that repeat exactly with lag ``period``.
+
+    This is the event-stream analogue of the relative minimum depth: 1.0
+    means the window is exactly periodic with the given period.
+    """
+    arr = np.asarray(window)
+    check_positive_int(period, "period")
+    if arr.size <= period:
+        raise ValidationError("window must be longer than the period")
+    same = arr[period:] == arr[:-period]
+    return float(np.count_nonzero(same) / same.size)
+
+
+def evaluate_confidence(
+    window: Sequence[float] | np.ndarray,
+    period: int,
+    *,
+    exact: bool = False,
+) -> PeriodConfidence:
+    """Evaluate the confidence that ``window`` is periodic with ``period``.
+
+    Parameters
+    ----------
+    window:
+        Data window, oldest sample first.
+    period:
+        Candidate period (``>= 1`` and smaller than the window length).
+    exact:
+        When true the window holds event identifiers and the depth measure
+        is the exact :func:`match_ratio`; otherwise the AMDF depth is used.
+    """
+    arr = np.asarray(window, dtype=np.float64)
+    check_positive_int(period, "period")
+    if arr.size <= period:
+        raise ValidationError("window must be longer than the period")
+
+    if exact:
+        depth = match_ratio(arr, period)
+    else:
+        profile = amdf_profile(arr, min(arr.size - 1, max(period * 2, period + 1)))
+        finite = profile[np.isfinite(profile)]
+        mean = float(finite.mean()) if finite.size else 0.0
+        d_at = amdf_at_lag(arr, period)
+        if mean <= 0:
+            depth = 1.0 if d_at == 0 else 0.0
+        else:
+            depth = float(np.clip(1.0 - d_at / mean, 0.0, 1.0))
+
+    repetitions = int(arr.size // period)
+    coverage = float(repetitions * period / arr.size)
+    # Two repetitions is the minimum evidence; weight repetitions with a
+    # saturating curve so that 4+ repetitions count as "fully observed".
+    repetition_factor = min(1.0, max(0.0, (repetitions - 1) / 3.0))
+    score = float(np.clip(depth * (0.5 + 0.5 * repetition_factor) * coverage, 0.0, 1.0))
+    return PeriodConfidence(
+        period=int(period),
+        depth=float(depth),
+        coverage=coverage,
+        repetitions=repetitions,
+        score=score,
+    )

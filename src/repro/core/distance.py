@@ -1,0 +1,211 @@
+"""Distance metrics of the Dynamic Periodicity Detector.
+
+The paper defines two distances between the current data window and the
+window shifted by a lag ``m``:
+
+* Equation (1) — the *magnitude* metric, an average-magnitude-difference
+  function (AMDF) borrowed from speech processing [Deller87]::
+
+      d(m) = (1/N) * sum_{n} | x[n] - x[n - m] |
+
+  ``d(m)`` is zero when the window repeats exactly with period ``m`` and
+  grows with the dissimilarity of the two shifted views otherwise.  The lag
+  at which ``d(m)`` attains a (deep) local minimum is the detected period.
+
+* Equation (2) — the *event* metric, used when the sample values are not
+  meaningful magnitudes (e.g. a sequence of function addresses)::
+
+      d(m) = sign( sum_{n} | x[n] - x[n - m] | )
+
+  ``d(m)`` is 0 only for an exact periodic repetition and 1 otherwise.
+
+Both metrics are provided in a batch (whole profile, vectorised with NumPy)
+and a single-lag form.  The profiles are the quantities plotted in Figure 4
+of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = [
+    "amdf_at_lag",
+    "amdf_profile",
+    "event_distance_at_lag",
+    "event_distance_profile",
+    "normalized_amdf_profile",
+    "matching_lags",
+]
+
+
+def _as_window(window: Sequence[float] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(window, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError("data window must be one-dimensional")
+    if arr.size == 0:
+        raise ValidationError("data window must not be empty")
+    return arr
+
+
+def amdf_at_lag(window: Sequence[float] | np.ndarray, lag: int) -> float:
+    """Evaluate equation (1) for a single lag.
+
+    Parameters
+    ----------
+    window:
+        The data window ``x`` in chronological order (oldest first).
+    lag:
+        The delay ``m`` (``1 <= m < len(window)``).
+
+    Returns
+    -------
+    float
+        ``(1 / (N - m)) * sum_{n=m}^{N-1} |x[n] - x[n-m]|``.  The sum is
+        normalised by the number of compared pairs so that profiles at
+        different lags are comparable, matching the ``1/N`` normalisation
+        of the paper for a fixed comparison span.
+    """
+    arr = _as_window(window)
+    check_positive_int(lag, "lag")
+    if lag >= arr.size:
+        raise ValidationError(
+            f"lag {lag} must be smaller than the window size {arr.size}"
+        )
+    diffs = np.abs(arr[lag:] - arr[:-lag])
+    return float(diffs.mean())
+
+
+def amdf_profile(
+    window: Sequence[float] | np.ndarray,
+    max_lag: int | None = None,
+    *,
+    min_lag: int = 1,
+) -> np.ndarray:
+    """Evaluate equation (1) for every lag in ``[min_lag, max_lag]``.
+
+    Returns an array ``profile`` of length ``max_lag + 1`` where
+    ``profile[m]`` is ``d(m)``; entries below ``min_lag`` (including lag 0)
+    are set to ``nan`` so that indexing by lag stays natural.
+    """
+    arr = _as_window(window)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    check_positive_int(min_lag, "min_lag")
+    if max_lag >= n:
+        max_lag = n - 1
+    if min_lag > max_lag:
+        raise ValidationError(
+            f"min_lag {min_lag} must not exceed max_lag {max_lag}"
+        )
+    profile = np.full(max_lag + 1, np.nan, dtype=np.float64)
+    for lag in range(min_lag, max_lag + 1):
+        diffs = np.abs(arr[lag:] - arr[:-lag])
+        profile[lag] = diffs.mean()
+    return profile
+
+
+def normalized_amdf_profile(
+    window: Sequence[float] | np.ndarray,
+    max_lag: int | None = None,
+    *,
+    min_lag: int = 1,
+) -> np.ndarray:
+    """AMDF profile divided by its finite mean.
+
+    Normalising makes minimum-depth thresholds independent of the signal's
+    amplitude, which is required when the same detector configuration is
+    applied to streams as different as "number of active CPUs" and raw
+    hardware-counter values.
+    """
+    profile = amdf_profile(window, max_lag, min_lag=min_lag)
+    finite = profile[np.isfinite(profile)]
+    if finite.size == 0:
+        return profile
+    mean = float(finite.mean())
+    if mean == 0.0:
+        # Perfectly flat (or exactly periodic everywhere) signal: the
+        # profile is already all zeros, return it unchanged.
+        return profile
+    return profile / mean
+
+
+def event_distance_at_lag(window: Sequence[float] | np.ndarray, lag: int) -> int:
+    """Evaluate equation (2) for a single lag.
+
+    Returns 0 when the window repeats *exactly* with period ``lag`` and 1
+    otherwise.
+    """
+    arr = _as_window(window)
+    check_positive_int(lag, "lag")
+    if lag >= arr.size:
+        raise ValidationError(
+            f"lag {lag} must be smaller than the window size {arr.size}"
+        )
+    return int(np.any(arr[lag:] != arr[:-lag]))
+
+
+def event_distance_profile(
+    window: Sequence[float] | np.ndarray,
+    max_lag: int | None = None,
+    *,
+    min_lag: int = 1,
+) -> np.ndarray:
+    """Evaluate equation (2) for every lag in ``[min_lag, max_lag]``.
+
+    Entries below ``min_lag`` are set to ``-1`` (meaning "not evaluated").
+    """
+    arr = _as_window(window)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    check_positive_int(min_lag, "min_lag")
+    if max_lag >= n:
+        max_lag = n - 1
+    if min_lag > max_lag:
+        raise ValidationError(
+            f"min_lag {min_lag} must not exceed max_lag {max_lag}"
+        )
+    profile = np.full(max_lag + 1, -1, dtype=np.int64)
+    for lag in range(min_lag, max_lag + 1):
+        profile[lag] = int(np.any(arr[lag:] != arr[:-lag]))
+    return profile
+
+
+def matching_lags(
+    window: Sequence[float] | np.ndarray,
+    max_lag: int | None = None,
+    *,
+    min_lag: int = 1,
+    min_repetitions: int = 2,
+) -> list[int]:
+    """Return every lag ``m`` for which equation (2) evaluates to zero.
+
+    Parameters
+    ----------
+    min_repetitions:
+        Require the window to contain at least ``min_repetitions`` full
+        periods of length ``m`` (i.e. ``len(window) >= min_repetitions*m``)
+        before ``m`` is reported.  Two repetitions is the weakest evidence
+        of periodicity; the detector uses this to avoid declaring a period
+        from a single partial match at large lags.
+    """
+    arr = _as_window(window)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = min(max_lag, n - 1)
+    check_positive_int(min_repetitions, "min_repetitions")
+    lags: list[int] = []
+    for lag in range(min_lag, max_lag + 1):
+        if n < min_repetitions * lag:
+            break
+        if not np.any(arr[lag:] != arr[:-lag]):
+            lags.append(lag)
+    return lags

@@ -1,0 +1,140 @@
+"""Local-minimum search on d(m) profiles and harmonic filtering.
+
+The period reported by the DPD is the lag at which the distance profile
+``d(m)`` has a (deep) local minimum (Figure 4 of the paper).  Two practical
+complications are handled here:
+
+* **Harmonics.**  When the window is several times longer than the true
+  period ``p``, ``d(m)`` is (near) zero at every multiple of ``p``.  The
+  detector must report the fundamental, not one of its multiples.
+* **Shallow minima.**  Real traces (e.g. CPU-usage samples) never repeat
+  exactly; a minimum only indicates a period when it is deep relative to
+  the overall level of the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["PeriodCandidate", "find_local_minima", "select_period", "filter_harmonics"]
+
+
+@dataclass(frozen=True)
+class PeriodCandidate:
+    """One candidate period extracted from a distance profile.
+
+    Attributes
+    ----------
+    lag:
+        The candidate period ``m``.
+    distance:
+        ``d(m)`` at the candidate lag.
+    depth:
+        Relative depth of the minimum: ``1 - d(m) / mean(d)``.  1.0 means a
+        perfect (zero-distance) match; values near 0 mean the minimum is
+        barely below the profile average.
+    """
+
+    lag: int
+    distance: float
+    depth: float
+
+    def __post_init__(self) -> None:
+        if self.lag <= 0:
+            raise ValueError("lag must be positive")
+
+
+def find_local_minima(profile: np.ndarray, *, min_lag: int = 1) -> list[PeriodCandidate]:
+    """Return every local minimum of ``profile`` as a candidate period.
+
+    ``profile[m]`` must contain ``d(m)``; non-finite entries are ignored.
+    A point is a local minimum when it is not larger than both neighbours
+    (plateaus report their first point).  Endpoints qualify when they are
+    below their single neighbour, so that a monotonically decreasing
+    profile still yields its final lag as a candidate.
+    """
+    profile = np.asarray(profile, dtype=float)
+    finite_mask = np.isfinite(profile)
+    if not np.any(finite_mask):
+        return []
+    finite_values = profile[finite_mask]
+    mean = float(finite_values.mean())
+    candidates: list[PeriodCandidate] = []
+    lags = np.nonzero(finite_mask)[0]
+    lags = lags[lags >= min_lag]
+    if lags.size == 0:
+        return []
+    lag_set = set(int(l) for l in lags)
+    for lag in lags:
+        value = profile[lag]
+        left = profile[lag - 1] if (lag - 1) in lag_set else np.inf
+        right = profile[lag + 1] if (lag + 1) in lag_set else np.inf
+        if value <= left and value <= right:
+            # Plateau handling: skip if the previous lag had the same value
+            # and was itself a minimum (keep only the first of a plateau).
+            if (lag - 1) in lag_set and profile[lag - 1] == value and left <= right:
+                continue
+            depth = 1.0 - (value / mean) if mean > 0 else (1.0 if value == 0 else 0.0)
+            candidates.append(PeriodCandidate(lag=int(lag), distance=float(value), depth=float(depth)))
+    return candidates
+
+
+def filter_harmonics(
+    candidates: list[PeriodCandidate],
+    *,
+    tolerance: float = 0.15,
+) -> list[PeriodCandidate]:
+    """Remove candidates that are integer multiples of a stronger candidate.
+
+    A candidate at lag ``k*m`` is dropped when a candidate exists at lag
+    ``m`` whose distance is not worse than the multiple's distance by more
+    than ``tolerance`` (relative to the profile scale encoded in ``depth``).
+    The fundamental period therefore survives and its harmonics do not.
+    """
+    check_positive(tolerance + 1e-12, "tolerance")
+    if not candidates:
+        return []
+    by_lag = sorted(candidates, key=lambda c: c.lag)
+    kept: list[PeriodCandidate] = []
+    for cand in by_lag:
+        is_harmonic = False
+        for base in kept:
+            if cand.lag % base.lag == 0 and cand.lag != base.lag:
+                # The base explains this lag unless the multiple is clearly
+                # a *better* match (deeper minimum by more than tolerance).
+                if cand.depth <= base.depth + tolerance:
+                    is_harmonic = True
+                    break
+        if not is_harmonic:
+            kept.append(cand)
+    return kept
+
+
+def select_period(
+    profile: np.ndarray,
+    *,
+    min_lag: int = 1,
+    min_depth: float = 0.25,
+    harmonic_tolerance: float = 0.15,
+) -> PeriodCandidate | None:
+    """Select the period reported by the DPD from a distance profile.
+
+    The deepest non-harmonic local minimum whose relative depth is at least
+    ``min_depth`` is returned; ``None`` when no minimum qualifies (the
+    stream is considered aperiodic over the current window).
+    """
+    candidates = find_local_minima(profile, min_lag=min_lag)
+    candidates = [c for c in candidates if c.depth >= min_depth]
+    if not candidates:
+        return None
+    candidates = filter_harmonics(candidates, tolerance=harmonic_tolerance)
+    if not candidates:
+        return None
+    # Deepest minimum wins; ties broken in favour of the smaller lag (the
+    # fundamental) so that exact multiples never displace the fundamental.
+    best = min(candidates, key=lambda c: (-c.depth, c.lag))
+    return best

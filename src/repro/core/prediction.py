@@ -1,0 +1,132 @@
+"""Prediction of future stream values from a detected periodicity.
+
+Application (3) in the paper's introduction: "Given the periodicity of a
+data stream, future parameter values can be predicted."  Once the DPD has
+locked onto a period ``p`` the best guess for the value ``k`` samples ahead
+is simply the value observed ``p - (k mod p)`` samples ago; equivalently
+``x̂[n + k] = x[n + k - p]`` extended periodically.
+
+:class:`PeriodicPredictor` wraps this rule and keeps a running account of
+its own accuracy so a consumer (e.g. the SelfAnalyzer predicting the
+duration of the next iteration) can decide whether to trust it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.stats import OnlineStats
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = ["PeriodicPredictor", "predict_next", "extrapolate"]
+
+
+def predict_next(history: Sequence[float] | np.ndarray, period: int, horizon: int = 1) -> float:
+    """Predict the value ``horizon`` samples after the end of ``history``.
+
+    The prediction is the value one period (or the appropriate number of
+    periods) before the target position.
+    """
+    arr = np.asarray(history, dtype=np.float64)
+    check_positive_int(period, "period")
+    check_positive_int(horizon, "horizon")
+    if arr.size < period:
+        raise ValidationError("history must contain at least one full period")
+    # The target sample lies ``horizon`` positions past the end of the
+    # history; shifting it back by whole periods lands on an observed
+    # sample.  horizon = k*period maps onto the most recent sample.
+    offset = horizon % period
+    if offset == 0:
+        return float(arr[-1])
+    return float(arr[-period + offset - 1])
+
+
+def extrapolate(history: Sequence[float] | np.ndarray, period: int, count: int) -> np.ndarray:
+    """Extend ``history`` by ``count`` predicted samples."""
+    arr = np.asarray(history, dtype=np.float64)
+    check_positive_int(period, "period")
+    check_positive_int(count, "count")
+    if arr.size < period:
+        raise ValidationError("history must contain at least one full period")
+    template = arr[-period:]
+    reps = int(np.ceil(count / period))
+    return np.tile(template, reps)[:count]
+
+
+class PeriodicPredictor:
+    """Online one-step-ahead predictor driven by a detected period.
+
+    The predictor is fed the stream sample by sample (after the detector
+    has processed it).  Before consuming a sample the caller may ask for
+    the prediction of that sample; the predictor then scores itself when
+    the true value arrives.
+    """
+
+    def __init__(self, period: int, *, history: Sequence[float] | None = None) -> None:
+        check_positive_int(period, "period")
+        self._period = period
+        self._history: list[float] = [float(v) for v in (history or [])]
+        self._abs_error = OnlineStats()
+        self._hits = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def period(self) -> int:
+        """Period used for prediction."""
+        return self._period
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one full period of history is available."""
+        return len(self._history) >= self._period
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Mean absolute one-step prediction error so far."""
+        return self._abs_error.mean
+
+    @property
+    def exact_hit_rate(self) -> float:
+        """Fraction of predictions that matched the true value exactly."""
+        return self._hits / self._total if self._total else float("nan")
+
+    @property
+    def observations(self) -> int:
+        """Number of scored predictions."""
+        return self._total
+
+    # ------------------------------------------------------------------
+    def predict(self, horizon: int = 1) -> float:
+        """Predict the value ``horizon`` samples ahead of the last observed."""
+        if not self.ready:
+            raise ValidationError("predictor needs one full period of history")
+        return predict_next(self._history, self._period, horizon)
+
+    def observe(self, value: float) -> float | None:
+        """Consume the true next value; return the error of the prediction.
+
+        Returns ``None`` while the predictor is still accumulating its
+        first period of history.
+        """
+        value = float(value)
+        error: float | None = None
+        if self.ready:
+            predicted = self.predict(1)
+            error = abs(predicted - value)
+            self._abs_error.add(error)
+            self._total += 1
+            if predicted == value:
+                self._hits += 1
+        self._history.append(value)
+        # Keep a bounded history: two periods are enough for prediction.
+        if len(self._history) > 4 * self._period:
+            del self._history[: len(self._history) - 2 * self._period]
+        return error
+
+    def set_period(self, period: int) -> None:
+        """Switch to a new period (keeps the accumulated history)."""
+        check_positive_int(period, "period")
+        self._period = period

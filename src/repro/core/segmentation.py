@@ -1,0 +1,177 @@
+"""Segmentation of data streams into periods.
+
+Application (1) in the paper's introduction: "Knowing the periodicity of
+patterns can be used to perform the dynamic segmentation of the data stream
+in periods.  Periods in a data stream or multiples of them may represent
+reasonable intervals for performance measurement."
+
+A :class:`Segment` is one detected period instance (one iteration of the
+application's repetitive structure).  :class:`SegmentationRecorder` collects
+segments as a streaming detector emits period-start events, and
+:func:`segment_stream` is the offline convenience used by the Figure 7
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import DetectionResult
+
+__all__ = ["Segment", "SegmentationRecorder", "segment_stream", "segment_boundaries"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One period instance of the monitored stream.
+
+    Attributes
+    ----------
+    start:
+        Index (in samples since the start of the stream) of the first
+        sample of the segment.
+    length:
+        Period length in samples.
+    anchor_value:
+        The sample value observed at the segment start.  For event streams
+        this is the address of the loop function that opens the iterative
+        structure; the SelfAnalyzer identifies the parallel region by this
+        value plus the length (Section 5.1).
+    """
+
+    start: int
+    length: int
+    anchor_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("segment start must be non-negative")
+        check_positive_int(self.length, "length")
+
+    @property
+    def end(self) -> int:
+        """Index one past the last sample of the segment."""
+        return self.start + self.length
+
+    def contains(self, index: int) -> bool:
+        """Whether ``index`` falls inside this segment."""
+        return self.start <= index < self.end
+
+
+class SegmentationRecorder:
+    """Accumulates the segments reported by a streaming detector.
+
+    The recorder receives ``(index, period, value)`` period-start events
+    and closes the previous open segment when a new one begins.  It also
+    tracks the distinct period lengths observed, which is exactly the
+    "Detected periodicities" column of Table 2.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[Segment] = []
+        self._open_start: int | None = None
+        self._open_length: int | None = None
+        self._open_value: float = 0.0
+        self._period_lengths: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def on_period_start(self, index: int, period: int, value: float = 0.0) -> None:
+        """Record that a new period of ``period`` samples starts at ``index``."""
+        check_positive_int(period, "period")
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        if self._open_start is not None and self._open_length is not None:
+            # Close the previous segment at the boundary actually observed
+            # (the new start), not at its nominal length, so that drifting
+            # periods produce contiguous segments.
+            actual_length = index - self._open_start
+            if actual_length > 0:
+                self._segments.append(
+                    Segment(
+                        start=self._open_start,
+                        length=actual_length,
+                        anchor_value=self._open_value,
+                    )
+                )
+        self._open_start = index
+        self._open_length = period
+        self._open_value = value
+        self._period_lengths[period] = self._period_lengths.get(period, 0) + 1
+
+    def finalize(self, stream_length: int | None = None) -> None:
+        """Close the last open segment (optionally at ``stream_length``)."""
+        if self._open_start is None or self._open_length is None:
+            return
+        end = (
+            stream_length
+            if stream_length is not None
+            else self._open_start + self._open_length
+        )
+        length = max(0, end - self._open_start)
+        if length > 0:
+            self._segments.append(
+                Segment(
+                    start=self._open_start,
+                    length=length,
+                    anchor_value=self._open_value,
+                )
+            )
+        self._open_start = None
+        self._open_length = None
+
+    # ------------------------------------------------------------------
+    @property
+    def segments(self) -> list[Segment]:
+        """Closed segments recorded so far (chronological order)."""
+        return list(self._segments)
+
+    @property
+    def detected_periods(self) -> list[int]:
+        """Distinct period lengths observed, in increasing order."""
+        return sorted(self._period_lengths)
+
+    @property
+    def period_counts(self) -> dict[int, int]:
+        """Mapping period length -> number of period-start events."""
+        return dict(self._period_lengths)
+
+    def boundaries(self) -> list[int]:
+        """Stream indices at which a segment starts."""
+        return [seg.start for seg in self._segments]
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+def segment_boundaries(results: Iterable["DetectionResult"]) -> list[int]:
+    """Extract the indices of period starts from detection results."""
+    return [r.index for r in results if r.is_period_start]
+
+
+def segment_stream(
+    values: Sequence[float] | np.ndarray,
+    detector,
+) -> tuple[list[Segment], list[int]]:
+    """Run ``detector`` over ``values`` and return (segments, periods).
+
+    ``detector`` must expose the streaming ``update(sample)`` method of
+    :class:`repro.core.detector.DynamicPeriodicityDetector` /
+    :class:`repro.core.events.EventPeriodicityDetector`.  This is the
+    offline entry point used by the Figure 7 benchmark: the whole recorded
+    address stream is replayed through the detector and the resulting
+    segmentation marks are returned.
+    """
+    arr = np.asarray(values)
+    recorder = SegmentationRecorder()
+    for index, value in enumerate(arr):
+        result = detector.update(value)
+        if result.is_period_start and result.period is not None:
+            recorder.on_period_start(index, result.period, float(value))
+    recorder.finalize(stream_length=arr.size)
+    return recorder.segments, recorder.detected_periods

@@ -1,0 +1,133 @@
+"""Baseline (non-DPD) periodicity estimators used for comparison.
+
+The paper's DPD is a time-domain, streaming detector.  Two classic offline
+alternatives are provided as comparison baselines for the ablation bench
+(E9 in DESIGN.md):
+
+* :func:`autocorrelation_period` — the lag of the highest peak of the
+  biased autocorrelation function;
+* :func:`periodogram_period` — the period corresponding to the dominant
+  frequency bin of the FFT periodogram.
+
+Both operate on a complete recorded window, so they answer "what is the
+period of this trace?" but cannot by themselves provide the streaming
+segmentation (period-start events) the SelfAnalyzer needs — which is the
+point the ablation makes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = [
+    "autocorrelation",
+    "autocorrelation_period",
+    "periodogram",
+    "periodogram_period",
+]
+
+
+def _prepare(signal: Sequence[float] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(signal, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError("signal must be one-dimensional")
+    if arr.size < 4:
+        raise ValidationError("signal must contain at least 4 samples")
+    return arr
+
+
+def autocorrelation(signal: Sequence[float] | np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Biased, mean-removed autocorrelation for lags ``0..max_lag``."""
+    arr = _prepare(signal)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    max_lag = min(max_lag, n - 1)
+    centered = arr - arr.mean()
+    # FFT-based autocorrelation: O(n log n) instead of O(n * max_lag).
+    size = int(2 ** np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(centered, size)
+    acorr = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
+    if acorr[0] != 0:
+        acorr = acorr / acorr[0]
+    return acorr.real
+
+
+def autocorrelation_period(
+    signal: Sequence[float] | np.ndarray,
+    *,
+    min_lag: int = 1,
+    max_lag: int | None = None,
+    min_correlation: float = 0.2,
+) -> int | None:
+    """Estimate the fundamental period from the autocorrelation peak.
+
+    Returns ``None`` when no lag beyond ``min_lag`` reaches
+    ``min_correlation`` (the signal is considered aperiodic).
+    """
+    arr = _prepare(signal)
+    acorr = autocorrelation(arr, max_lag)
+    if acorr.size <= min_lag:
+        return None
+    search = acorr.copy()
+    search[:min_lag] = -np.inf
+    # Find the first local maximum above the threshold; the global maximum
+    # can sit on a multiple of the fundamental when the signal is noisy.
+    best_lag: int | None = None
+    best_value = -np.inf
+    for lag in range(min_lag, search.size - 1):
+        value = search[lag]
+        if value >= min_correlation and value >= search[lag - 1] and value >= search[lag + 1]:
+            if best_lag is None:
+                best_lag = lag
+                best_value = value
+            elif value > best_value * 1.05 and lag % (best_lag or 1) != 0:
+                best_lag = lag
+                best_value = value
+    return best_lag
+
+
+def periodogram(signal: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (frequencies, power) of the FFT periodogram (mean removed)."""
+    arr = _prepare(signal)
+    centered = arr - arr.mean()
+    spectrum = np.fft.rfft(centered)
+    power = np.abs(spectrum) ** 2 / arr.size
+    freqs = np.fft.rfftfreq(arr.size, d=1.0)
+    return freqs, power
+
+
+def periodogram_period(
+    signal: Sequence[float] | np.ndarray,
+    *,
+    max_period: int | None = None,
+) -> int | None:
+    """Estimate the period from the dominant periodogram frequency.
+
+    Returns ``None`` for a flat spectrum (no dominant component).
+    """
+    arr = _prepare(signal)
+    freqs, power = periodogram(arr)
+    if max_period is not None:
+        check_positive_int(max_period, "max_period")
+        mask = freqs >= 1.0 / max_period
+    else:
+        mask = freqs > 0
+    if not np.any(mask):
+        return None
+    masked_power = np.where(mask, power, 0.0)
+    total = masked_power.sum()
+    if total <= 0:
+        return None
+    peak = int(np.argmax(masked_power))
+    if masked_power[peak] < 1e-12:
+        return None
+    frequency = freqs[peak]
+    if frequency <= 0:
+        return None
+    return int(round(1.0 / frequency))

@@ -1,0 +1,139 @@
+"""Tracking of the detected period over the lifetime of a stream.
+
+The streaming detectors report the *currently* locked period; a dynamic
+optimization tool usually also wants the history — when did the application
+enter a new phase, how long did each periodic phase last, how stable was
+the detection.  :class:`PeriodTracker` consumes the per-sample
+:class:`~repro.core.detector.DetectionResult` objects and produces a
+timeline of :class:`PeriodPhase` records, which is also a convenient input
+for plotting phase diagrams of an execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.detector import DetectionResult
+
+__all__ = ["PeriodPhase", "PeriodTracker"]
+
+
+@dataclass(frozen=True)
+class PeriodPhase:
+    """A maximal run of samples during which the locked period was constant.
+
+    Attributes
+    ----------
+    period:
+        Locked period during the phase (``None`` for a searching phase).
+    start:
+        Index of the first sample of the phase.
+    end:
+        Index one past the last sample of the phase.
+    period_starts:
+        Number of period-start events observed during the phase.
+    """
+
+    period: int | None
+    start: int
+    end: int
+    period_starts: int
+
+    @property
+    def length(self) -> int:
+        """Number of samples covered by the phase."""
+        return self.end - self.start
+
+    @property
+    def iterations(self) -> float:
+        """Approximate number of period instances covered by the phase."""
+        if not self.period:
+            return 0.0
+        return self.length / self.period
+
+
+class PeriodTracker:
+    """Builds the phase timeline of a detection run."""
+
+    def __init__(self) -> None:
+        self._phases: list[PeriodPhase] = []
+        self._current_period: int | None = None
+        self._phase_start = 0
+        self._phase_starts = 0
+        self._last_index = -1
+
+    # ------------------------------------------------------------------
+    def observe(self, result: DetectionResult) -> None:
+        """Consume one detection result."""
+        if result.index != self._last_index + 1 and self._last_index >= 0:
+            raise ValueError("detection results must be observed in stream order")
+        if self._last_index < 0:
+            self._phase_start = result.index
+        if result.period != self._current_period and self._last_index >= 0:
+            self._close_phase(result.index)
+            self._current_period = result.period
+        elif self._last_index < 0:
+            self._current_period = result.period
+        if result.is_period_start:
+            self._phase_starts += 1
+        self._last_index = result.index
+
+    def observe_all(self, results: Iterable[DetectionResult]) -> "PeriodTracker":
+        """Consume a whole sequence of detection results."""
+        for result in results:
+            self.observe(result)
+        return self
+
+    def _close_phase(self, end: int) -> None:
+        if end > self._phase_start:
+            self._phases.append(
+                PeriodPhase(
+                    period=self._current_period,
+                    start=self._phase_start,
+                    end=end,
+                    period_starts=self._phase_starts,
+                )
+            )
+        self._phase_start = end
+        self._phase_starts = 0
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> list[PeriodPhase]:
+        """Close the open phase and return the full timeline."""
+        if self._last_index >= self._phase_start:
+            self._close_phase(self._last_index + 1)
+            self._phase_start = self._last_index + 1
+        return self.phases
+
+    @property
+    def phases(self) -> list[PeriodPhase]:
+        """Closed phases so far (chronological order)."""
+        return list(self._phases)
+
+    @property
+    def current_period(self) -> int | None:
+        """Period of the phase currently open."""
+        return self._current_period
+
+    def periodic_phases(self) -> list[PeriodPhase]:
+        """Only the phases during which a period was locked."""
+        return [p for p in self._phases if p.period]
+
+    def stability(self) -> float:
+        """Fraction of observed samples spent with a locked period."""
+        total = sum(p.length for p in self._phases)
+        if total == 0:
+            return 0.0
+        locked = sum(p.length for p in self._phases if p.period)
+        return locked / total
+
+    def dominant_period(self) -> int | None:
+        """The period covering the most samples (``None`` if never locked)."""
+        coverage: dict[int, int] = {}
+        for phase in self._phases:
+            if phase.period:
+                coverage[phase.period] = coverage.get(phase.period, 0) + phase.length
+        if not coverage:
+            return None
+        return max(coverage, key=coverage.get)

@@ -1,0 +1,147 @@
+"""The DPD data window and its dynamic resizing policy.
+
+Section 3.1 of the paper discusses how the window size ``N`` bounds the
+largest detectable period (a period longer than the window can never be
+confirmed) and notes that, for an unknown stream, ``N`` should start large
+and may be reduced dynamically once a satisfying periodicity is found.  The
+``DPDWindowSize`` entry of the interface (Table 1) exposes exactly that
+knob.  :class:`DataWindow` holds the samples and :class:`AdaptiveWindowPolicy`
+implements the grow/shrink heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.ringbuffer import RingBuffer
+from repro.util.validation import check_positive_int
+
+__all__ = ["DataWindow", "AdaptiveWindowPolicy"]
+
+
+class DataWindow:
+    """Sliding window of the most recent stream samples.
+
+    Parameters
+    ----------
+    size:
+        Window capacity ``N``.
+    integral:
+        When true the backing storage is ``int64``; event streams (loop
+        addresses, opcode identifiers) require exact integer comparison.
+    """
+
+    def __init__(self, size: int, *, integral: bool = False) -> None:
+        check_positive_int(size, "size")
+        self._integral = bool(integral)
+        dtype = np.int64 if integral else np.float64
+        self._buffer = RingBuffer(size, dtype=dtype)
+        self._total_pushed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Configured capacity ``N`` of the window."""
+        return self._buffer.capacity
+
+    @property
+    def fill(self) -> int:
+        """Number of samples currently held (``<= size``)."""
+        return len(self._buffer)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the window holds ``size`` samples."""
+        return self._buffer.is_full
+
+    @property
+    def integral(self) -> bool:
+        """Whether the window stores integer (event) samples."""
+        return self._integral
+
+    @property
+    def total_pushed(self) -> int:
+        """Total number of samples pushed since construction."""
+        return self._total_pushed
+
+    # ------------------------------------------------------------------
+    def push(self, sample: float) -> None:
+        """Append one sample to the window."""
+        self._buffer.push(sample)
+        self._total_pushed += 1
+
+    def values(self) -> np.ndarray:
+        """Samples currently in the window, oldest first."""
+        return self._buffer.to_array()
+
+    def resize(self, size: int) -> None:
+        """Change the capacity, keeping the newest samples."""
+        check_positive_int(size, "size")
+        self._buffer.resize(size)
+
+    def clear(self) -> None:
+        """Drop the content of the window (capacity unchanged)."""
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "events" if self._integral else "samples"
+        return f"DataWindow(size={self.size}, fill={self.fill}, kind={kind})"
+
+
+@dataclass
+class AdaptiveWindowPolicy:
+    """Grow-then-shrink policy for the DPD window size.
+
+    The policy starts from ``initial_size``.  While no periodicity has been
+    confirmed it grows the window geometrically (factor ``growth_factor``)
+    up to ``max_size`` so that long periods can eventually be captured.
+    Once a period ``p`` is confirmed it shrinks the window to
+    ``periods_to_keep * p`` (clamped to ``[min_size, max_size]``), which is
+    the paper's "once a satisfying periodicity is detected, the window size
+    may be reduced dynamically".
+
+    The policy is purely advisory: it computes the next window size and the
+    caller (usually :class:`repro.core.detector.DynamicPeriodicityDetector`)
+    applies it.
+    """
+
+    initial_size: int = 128
+    min_size: int = 8
+    max_size: int = 1024
+    growth_factor: float = 2.0
+    periods_to_keep: int = 3
+    grow_after_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.initial_size, "initial_size")
+        check_positive_int(self.min_size, "min_size")
+        check_positive_int(self.max_size, "max_size")
+        check_positive_int(self.periods_to_keep, "periods_to_keep")
+        if self.min_size > self.max_size:
+            raise ValueError("min_size must not exceed max_size")
+        if not self.min_size <= self.initial_size <= self.max_size:
+            raise ValueError("initial_size must lie between min_size and max_size")
+        if self.growth_factor < 1.0:
+            raise ValueError("growth_factor must be >= 1.0")
+        if self.grow_after_samples is not None:
+            check_positive_int(self.grow_after_samples, "grow_after_samples")
+
+    # ------------------------------------------------------------------
+    def next_size_without_detection(self, current_size: int, samples_since_growth: int) -> int:
+        """Window size to use when no period has been confirmed yet."""
+        threshold = self.grow_after_samples or current_size
+        if samples_since_growth < threshold:
+            return current_size
+        grown = int(round(current_size * self.growth_factor))
+        return max(self.min_size, min(self.max_size, grown))
+
+    def next_size_with_detection(self, period: int) -> int:
+        """Window size to use once ``period`` has been confirmed."""
+        check_positive_int(period, "period")
+        target = self.periods_to_keep * period
+        return max(self.min_size, min(self.max_size, target))

@@ -1,0 +1,57 @@
+"""Simulated execution substrate.
+
+The paper runs real applications on an SGI Origin 2000 under the NANOS
+runtime; this subpackage provides the simulated equivalent the DPD and the
+SelfAnalyzer are exercised against: a virtual clock, a multiprocessor
+machine, an OpenMP-like fork-join loop model with an Amdahl-style cost
+model, a DITools-like interposition layer, CPU-usage sampling, a small
+message-passing cost model and a discrete-event queue for multi-application
+scheduling experiments.
+"""
+
+from repro.runtime.application import (
+    ApplicationRunner,
+    ExecutionResult,
+    IterativeApplication,
+    LoopCall,
+    RepeatedBlock,
+    SerialSection,
+    application_from_pattern,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ditools import DIToolsInterposer, LoopCallEvent
+from repro.runtime.events import EventQueue, SimulationEvent
+from repro.runtime.machine import Allocation, Machine
+from repro.runtime.mpi import MpiCommunicator, NetworkModel
+from repro.runtime.openmp import LoopInvocation, ParallelLoop
+from repro.runtime.sampler import CpuUsageSampler, change_events
+from repro.runtime.threads import ThreadTeam
+from repro.runtime.timeline import UsageInterval, UsageTimeline
+from repro.runtime.workload import LoopWorkload
+
+__all__ = [
+    "ApplicationRunner",
+    "ExecutionResult",
+    "IterativeApplication",
+    "LoopCall",
+    "RepeatedBlock",
+    "SerialSection",
+    "application_from_pattern",
+    "VirtualClock",
+    "DIToolsInterposer",
+    "LoopCallEvent",
+    "EventQueue",
+    "SimulationEvent",
+    "Allocation",
+    "Machine",
+    "MpiCommunicator",
+    "NetworkModel",
+    "LoopInvocation",
+    "ParallelLoop",
+    "CpuUsageSampler",
+    "change_events",
+    "ThreadTeam",
+    "UsageInterval",
+    "UsageTimeline",
+    "LoopWorkload",
+]

@@ -1,0 +1,365 @@
+"""Iterative parallel applications and their execution.
+
+The applications the paper targets have a characteristic shape: "The main
+time-consuming code of these applications is composed by a set of parallel
+loops inside a main sequential loop.  Iterations of the sequential loop
+have a similar behavior among them." (Section 5).  This module models that
+shape:
+
+* the *body* of the main loop is a tree of :class:`LoopCall`,
+  :class:`SerialSection` and :class:`RepeatedBlock` items (nested blocks
+  give the nested parallelism of hydro2d/turb3d);
+* :class:`IterativeApplication` holds the body, the iteration count and an
+  analytic performance model derived from the loop workloads;
+* :class:`ApplicationRunner` executes the application on a simulated
+  machine, invoking the DITools interposer before every loop call and
+  recording the per-iteration times, the loop-call (address) stream and
+  the CPU-usage timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ditools import DIToolsInterposer
+from repro.runtime.machine import Machine
+from repro.runtime.openmp import LoopInvocation, ParallelLoop
+from repro.runtime.timeline import UsageTimeline
+from repro.runtime.workload import LoopWorkload
+from repro.traces.address_stream import AddressSpace
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = [
+    "LoopCall",
+    "SerialSection",
+    "RepeatedBlock",
+    "IterativeApplication",
+    "ExecutionResult",
+    "ApplicationRunner",
+    "application_from_pattern",
+]
+
+
+# ----------------------------------------------------------------------
+# Body items
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoopCall:
+    """One invocation of a parallel loop inside the main-loop body."""
+
+    loop: ParallelLoop
+
+
+@dataclass(frozen=True)
+class SerialSection:
+    """A purely sequential section of the main-loop body."""
+
+    duration: float
+    name: str = "serial"
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.duration, "duration")
+
+
+@dataclass(frozen=True)
+class RepeatedBlock:
+    """A nested block of items executed several times per outer iteration."""
+
+    items: tuple
+    repetitions: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.repetitions, "repetitions")
+        object.__setattr__(self, "items", tuple(self.items))
+        if not self.items:
+            raise ValidationError("a repeated block must contain at least one item")
+
+
+BodyItem = LoopCall | SerialSection | RepeatedBlock
+
+
+def _flatten(items: Sequence[BodyItem]) -> list[LoopCall | SerialSection]:
+    flat: list[LoopCall | SerialSection] = []
+    for item in items:
+        if isinstance(item, RepeatedBlock):
+            inner = _flatten(item.items)
+            for _ in range(item.repetitions):
+                flat.extend(inner)
+        elif isinstance(item, (LoopCall, SerialSection)):
+            flat.append(item)
+        else:
+            raise ValidationError(f"unsupported body item {item!r}")
+    return flat
+
+
+# ----------------------------------------------------------------------
+# Application
+# ----------------------------------------------------------------------
+class IterativeApplication:
+    """A main sequential loop containing (possibly nested) parallel loops."""
+
+    def __init__(
+        self,
+        name: str,
+        body: Sequence[BodyItem],
+        iterations: int,
+        *,
+        address_space: AddressSpace | None = None,
+    ) -> None:
+        if not name:
+            raise ValidationError("application name must not be empty")
+        check_positive_int(iterations, "iterations")
+        self._name = name
+        self._body = tuple(body)
+        if not self._body:
+            raise ValidationError("the application body must not be empty")
+        self._iterations = int(iterations)
+        self._space = address_space if address_space is not None else AddressSpace()
+        self._flat = _flatten(self._body)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self._name
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations of the main sequential loop."""
+        return self._iterations
+
+    @property
+    def body(self) -> tuple[BodyItem, ...]:
+        """The (nested) body of one iteration."""
+        return self._body
+
+    @property
+    def address_space(self) -> AddressSpace:
+        """The application's loop-address space."""
+        return self._space
+
+    def loop_calls_per_iteration(self) -> list[ParallelLoop]:
+        """Flattened sequence of parallel-loop invocations per iteration."""
+        return [item.loop for item in self._flat if isinstance(item, LoopCall)]
+
+    @property
+    def calls_per_iteration(self) -> int:
+        """Number of parallel-loop invocations per outer iteration."""
+        return len(self.loop_calls_per_iteration())
+
+    def address_pattern(self) -> np.ndarray:
+        """Loop addresses of one iteration, in call order."""
+        return np.array([loop.address for loop in self.loop_calls_per_iteration()], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # analytic performance model (ground truth for the SelfAnalyzer)
+    # ------------------------------------------------------------------
+    def analytic_iteration_time(self, cpus: int) -> float:
+        """Predicted duration of one iteration on ``cpus`` processors."""
+        check_positive_int(cpus, "cpus")
+        total = 0.0
+        for item in self._flat:
+            if isinstance(item, LoopCall):
+                total += item.loop.execution_time(cpus)
+            else:
+                total += item.duration
+        return total
+
+    def analytic_time(self, cpus: int) -> float:
+        """Predicted total execution time on ``cpus`` processors."""
+        return self.analytic_iteration_time(cpus) * self._iterations
+
+    def analytic_speedup(self, cpus: int, baseline: int = 1) -> float:
+        """Predicted speedup on ``cpus`` vs ``baseline`` processors."""
+        return self.analytic_iteration_time(baseline) / self.analytic_iteration_time(cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"IterativeApplication(name={self._name!r}, iterations={self._iterations}, "
+            f"calls_per_iteration={self.calls_per_iteration})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionResult:
+    """Everything recorded while running an application."""
+
+    application: str
+    total_time: float
+    iteration_times: list[float]
+    cpus_per_iteration: list[int]
+    loop_addresses: np.ndarray
+    loop_timestamps: np.ndarray
+    timeline: UsageTimeline
+    invocations: list[LoopInvocation] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.iteration_times)
+
+    def address_trace(self) -> Trace:
+        """The intercepted loop-address stream as an event trace."""
+        metadata = TraceMetadata(
+            name=f"{self.application}_addresses",
+            kind=TraceKind.EVENTS,
+            description=f"Loop-call address stream recorded while running {self.application}",
+            attributes={"iterations": self.iterations},
+        )
+        return Trace(self.loop_addresses, metadata)
+
+    def mean_iteration_time(self) -> float:
+        """Average iteration duration."""
+        return float(np.mean(self.iteration_times)) if self.iteration_times else 0.0
+
+
+#: Called at the start of every iteration with (iteration index, current cpus);
+#: returns the cpus to use for that iteration.
+AllocationPolicy = Callable[[int, int], int]
+
+
+class ApplicationRunner:
+    """Executes an :class:`IterativeApplication` on a simulated machine."""
+
+    def __init__(
+        self,
+        application: IterativeApplication,
+        *,
+        machine: Machine | None = None,
+        interposer: DIToolsInterposer | None = None,
+        cpus: int = 1,
+        allocation_policy: AllocationPolicy | None = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        check_positive_int(cpus, "cpus")
+        self.application = application
+        self.machine = machine or Machine(max(cpus, 1))
+        self.interposer = interposer
+        self.clock = clock or VirtualClock()
+        self._requested_cpus = cpus
+        self._allocation_policy = allocation_policy
+        self._override_cpus: int | None = None
+        self._override_remaining = 0
+
+    # ------------------------------------------------------------------
+    def request_cpus(self, cpus: int) -> None:
+        """Change the processor request for subsequent iterations."""
+        check_positive_int(cpus, "cpus")
+        self._requested_cpus = cpus
+
+    def override_next_iteration(self, cpus: int, iterations: int = 1) -> None:
+        """Force the next ``iterations`` iterations to run on ``cpus`` processors.
+
+        Used by the SelfAnalyzer to take its baseline measurement: a couple
+        of iterations are executed with the baseline processor count and
+        the previous request is restored automatically afterwards.
+        """
+        check_positive_int(cpus, "cpus")
+        check_positive_int(iterations, "iterations")
+        self._override_cpus = cpus
+        self._override_remaining = iterations
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: int | None = None) -> ExecutionResult:
+        """Execute the application and return everything recorded."""
+        app = self.application
+        n_iterations = iterations if iterations is not None else app.iterations
+        check_positive_int(n_iterations, "iterations")
+
+        timeline = UsageTimeline()
+        iteration_times: list[float] = []
+        cpus_history: list[int] = []
+        addresses: list[int] = []
+        timestamps: list[float] = []
+        invocations: list[LoopInvocation] = []
+        flat = _flatten(app.body)
+        start_time = self.clock.now
+
+        for iteration in range(n_iterations):
+            cpus = self._decide_cpus(iteration)
+            granted = self.machine.allocate(app.name, cpus)
+            cpus_history.append(granted)
+            iter_start = self.clock.now
+            for item in flat:
+                if isinstance(item, SerialSection):
+                    if item.duration > 0:
+                        timeline.add(self.clock.now, self.clock.now + item.duration, 1)
+                        self.clock.advance(item.duration)
+                    continue
+                loop = item.loop
+                if self.interposer is not None:
+                    self.interposer.intercept(
+                        loop.address, loop.name, self.clock, granted, iteration
+                    )
+                addresses.append(loop.address)
+                timestamps.append(self.clock.now)
+                invocation = loop.execute(self.clock, granted, timeline)
+                invocations.append(invocation)
+                self.machine.record_busy_time(
+                    app.name, loop.workload.cpu_seconds(granted)
+                )
+            iteration_times.append(self.clock.now - iter_start)
+
+        self.machine.release(app.name)
+        return ExecutionResult(
+            application=app.name,
+            total_time=self.clock.now - start_time,
+            iteration_times=iteration_times,
+            cpus_per_iteration=cpus_history,
+            loop_addresses=np.asarray(addresses, dtype=np.int64),
+            loop_timestamps=np.asarray(timestamps, dtype=np.float64),
+            timeline=timeline,
+            invocations=invocations,
+        )
+
+    # ------------------------------------------------------------------
+    def _decide_cpus(self, iteration: int) -> int:
+        if self._override_remaining > 0 and self._override_cpus is not None:
+            self._override_remaining -= 1
+            return self._override_cpus
+        if self._allocation_policy is not None:
+            return max(1, int(self._allocation_policy(iteration, self._requested_cpus)))
+        return self._requested_cpus
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def application_from_pattern(
+    name: str,
+    loop_names: Sequence[str],
+    *,
+    iterations: int,
+    workload: LoopWorkload | None = None,
+    per_loop_workloads: dict[str, LoopWorkload] | None = None,
+    serial_per_iteration: float = 0.0,
+    address_space: AddressSpace | None = None,
+) -> IterativeApplication:
+    """Build an application whose per-iteration call sequence is ``loop_names``.
+
+    Repeated names map to the same :class:`ParallelLoop` (and hence the
+    same address), so nested patterns such as the hydro2d model translate
+    directly into an executable application.
+    """
+    if not loop_names:
+        raise ValidationError("loop_names must not be empty")
+    space = address_space if address_space is not None else AddressSpace()
+    default_workload = workload or LoopWorkload(parallel_work=1e-3, serial_work=5e-5, fork_join_overhead=1e-5)
+    loops: dict[str, ParallelLoop] = {}
+    body: list[BodyItem] = []
+    if serial_per_iteration > 0:
+        body.append(SerialSection(serial_per_iteration, name=f"{name}_serial"))
+    for loop_name in loop_names:
+        if loop_name not in loops:
+            wl = (per_loop_workloads or {}).get(loop_name, default_workload)
+            loops[loop_name] = ParallelLoop(loop_name, wl, space)
+        body.append(LoopCall(loops[loop_name]))
+    return IterativeApplication(name, body, iterations, address_space=space)

@@ -1,0 +1,49 @@
+"""Virtual time for the simulated runtime.
+
+All durations in the simulator are expressed in seconds of *virtual* time.
+The clock only moves when the simulation advances it, so measurements taken
+by the SelfAnalyzer are exact and reproducible, independent of the speed of
+the host running the simulation.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import ValidationError, check_non_negative
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonically increasing virtual clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        check_non_negative(start, "start")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move the clock forward by ``duration`` seconds; returns the new time."""
+        check_non_negative(duration, "duration")
+        self._now += float(duration)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise ValidationError(
+                f"cannot move the clock backwards (now={self._now}, target={timestamp})"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between independent simulation runs)."""
+        check_non_negative(start, "start")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VirtualClock(now={self._now:.6f})"

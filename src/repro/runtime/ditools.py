@@ -1,0 +1,135 @@
+"""Dynamic interposition of parallel-loop calls (the DITools mechanism).
+
+When the source code of an application is not available, the paper
+intercepts the calls to the encapsulated parallel-loop functions with
+DITools [Serra2000] and feeds the intercepted *addresses* to the DPD
+(Figure 6).  :class:`DIToolsInterposer` reproduces that control flow in the
+simulated runtime:
+
+1. the application runner announces every loop invocation to the
+   interposer *before* executing it;
+2. the interposer forwards the loop address to every registered handler
+   (the DPD/SelfAnalyzer bridge lives in
+   :mod:`repro.selfanalyzer.analyzer`);
+3. the (real) time spent inside the handlers is accounted separately so
+   the overhead of the DPD mechanism can be reported exactly as Table 3
+   does, and an optional *virtual* per-call overhead can be charged to the
+   simulated clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.clock import VirtualClock
+from repro.util.validation import check_non_negative
+
+__all__ = ["LoopCallEvent", "DIToolsInterposer"]
+
+
+@dataclass(frozen=True)
+class LoopCallEvent:
+    """One intercepted call to an encapsulated parallel-loop function."""
+
+    address: int
+    name: str
+    timestamp: float
+    cpus: int
+    iteration: int
+
+
+#: A handler receives the intercepted event; its return value is ignored.
+InterpositionHandler = Callable[[LoopCallEvent], None]
+
+
+class DIToolsInterposer:
+    """Registry of interposition handlers for parallel-loop calls."""
+
+    def __init__(self, *, virtual_overhead_per_call: float = 0.0) -> None:
+        check_non_negative(virtual_overhead_per_call, "virtual_overhead_per_call")
+        self._handlers: list[InterpositionHandler] = []
+        self._virtual_overhead = float(virtual_overhead_per_call)
+        self._events: list[LoopCallEvent] = []
+        self._handler_wall_time = 0.0
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def calls(self) -> int:
+        """Number of intercepted loop invocations."""
+        return self._calls
+
+    @property
+    def events(self) -> list[LoopCallEvent]:
+        """All intercepted events in order."""
+        return list(self._events)
+
+    @property
+    def addresses(self) -> list[int]:
+        """The intercepted address stream (the DPD's input)."""
+        return [e.address for e in self._events]
+
+    @property
+    def handler_wall_time(self) -> float:
+        """Real (host) seconds spent inside handlers — the DPD overhead."""
+        return self._handler_wall_time
+
+    @property
+    def virtual_overhead_per_call(self) -> float:
+        """Virtual seconds charged to the application clock per call."""
+        return self._virtual_overhead
+
+    def mean_cost_per_call(self) -> float:
+        """Average real seconds of handler work per intercepted call."""
+        return self._handler_wall_time / self._calls if self._calls else 0.0
+
+    # ------------------------------------------------------------------
+    def register(self, handler: InterpositionHandler) -> None:
+        """Add an interposition handler (called on every loop invocation)."""
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        self._handlers.append(handler)
+
+    def unregister(self, handler: InterpositionHandler) -> None:
+        """Remove a previously registered handler (no-op when absent)."""
+        try:
+            self._handlers.remove(handler)
+        except ValueError:
+            pass
+
+    def clear(self) -> None:
+        """Remove all handlers and forget intercepted events."""
+        self._handlers.clear()
+        self._events.clear()
+        self._handler_wall_time = 0.0
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    def intercept(
+        self,
+        address: int,
+        name: str,
+        clock: VirtualClock,
+        cpus: int,
+        iteration: int,
+    ) -> LoopCallEvent:
+        """Announce a loop invocation; runs the handlers and accounts costs."""
+        event = LoopCallEvent(
+            address=int(address),
+            name=name,
+            timestamp=clock.now,
+            cpus=int(cpus),
+            iteration=int(iteration),
+        )
+        self._events.append(event)
+        self._calls += 1
+        if self._handlers:
+            started = time.perf_counter()
+            for handler in self._handlers:
+                handler(event)
+            self._handler_wall_time += time.perf_counter() - started
+        if self._virtual_overhead:
+            clock.advance(self._virtual_overhead)
+        return event

@@ -1,0 +1,119 @@
+"""A small discrete-event engine.
+
+The single-application simulations advance time directly, but the
+multi-application scheduling experiments (E8 in DESIGN.md) interleave
+several applications on one machine and re-evaluate the processor
+allocation at discrete points in time.  :class:`EventQueue` provides the
+usual priority-queue-of-timestamped-callbacks abstraction for that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.clock import VirtualClock
+from repro.util.validation import ValidationError, check_non_negative
+
+__all__ = ["SimulationEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class SimulationEvent:
+    """One scheduled callback.
+
+    Events are ordered by timestamp; ties are broken by insertion order so
+    the simulation is deterministic.
+    """
+
+    timestamp: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Priority queue of timestamped callbacks driving a virtual clock."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self._clock = clock or VirtualClock()
+        self._heap: list[SimulationEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> VirtualClock:
+        """The virtual clock advanced by :meth:`run`."""
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-executed events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> SimulationEvent:
+        """Schedule ``callback`` at absolute virtual time ``timestamp``."""
+        check_non_negative(timestamp, "timestamp")
+        if timestamp < self._clock.now:
+            raise ValidationError(
+                f"cannot schedule in the past (now={self._clock.now}, at={timestamp})"
+            )
+        event = SimulationEvent(timestamp, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], Any], label: str = "") -> SimulationEvent:
+        """Schedule ``callback`` ``delay`` seconds from the current time."""
+        check_non_negative(delay, "delay")
+        return self.schedule_at(self._clock.now + delay, callback, label)
+
+    def cancel(self, event: SimulationEvent) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    def step(self) -> SimulationEvent | None:
+        """Run the next pending event; returns it (or ``None`` when empty)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._clock.advance_to(event.timestamp)
+            event.callback()
+            self._processed += 1
+            return event
+        return None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events run."""
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.timestamp > until:
+                break
+            if self.step() is not None:
+                executed += 1
+        if until is not None and self._clock.now < until and not self._heap:
+            self._clock.advance_to(until)
+        return executed

@@ -1,0 +1,119 @@
+"""The simulated shared-memory multiprocessor.
+
+The paper's platform is an SGI Origin 2000 managed by the NANOS runtime;
+applications receive a (possibly changing) number of processors from the
+CPU manager.  :class:`Machine` models exactly the part the experiments
+need: a pool of identical CPUs, per-application allocations, and busy-time
+accounting so that utilisation can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = ["Allocation", "Machine"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Processors granted to one application."""
+
+    owner: str
+    cpus: int
+
+    def __post_init__(self) -> None:
+        if not self.owner:
+            raise ValidationError("owner must not be empty")
+        check_positive_int(self.cpus, "cpus")
+
+
+class Machine:
+    """A pool of identical processors with per-owner allocations."""
+
+    def __init__(self, num_cpus: int, *, name: str = "machine") -> None:
+        check_positive_int(num_cpus, "num_cpus")
+        self._num_cpus = int(num_cpus)
+        self._name = name
+        self._allocations: dict[str, int] = {}
+        self._busy_time: dict[str, float] = {}
+        self._idle_reference = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Machine name (used in reports)."""
+        return self._name
+
+    @property
+    def num_cpus(self) -> int:
+        """Total number of processors."""
+        return self._num_cpus
+
+    @property
+    def allocated_cpus(self) -> int:
+        """Processors currently granted to applications."""
+        return sum(self._allocations.values())
+
+    @property
+    def free_cpus(self) -> int:
+        """Processors currently unallocated."""
+        return self._num_cpus - self.allocated_cpus
+
+    @property
+    def allocations(self) -> Mapping[str, int]:
+        """Read-only view of owner -> granted CPUs."""
+        return dict(self._allocations)
+
+    # ------------------------------------------------------------------
+    def allocate(self, owner: str, cpus: int) -> int:
+        """Grant ``cpus`` processors to ``owner`` (replacing any previous grant).
+
+        The request is clamped to what is available (other owners keep
+        their grants); the number actually granted is returned.  A grant of
+        at least one CPU is always possible as long as the owner releases
+        its previous allocation, mirroring a space-sharing CPU manager.
+        """
+        if not owner:
+            raise ValidationError("owner must not be empty")
+        check_positive_int(cpus, "cpus")
+        previously = self._allocations.get(owner, 0)
+        available = self._num_cpus - (self.allocated_cpus - previously)
+        granted = max(1, min(cpus, available))
+        self._allocations[owner] = granted
+        return granted
+
+    def release(self, owner: str) -> None:
+        """Return all processors held by ``owner`` to the free pool."""
+        self._allocations.pop(owner, None)
+
+    def allocation_of(self, owner: str) -> int:
+        """Processors currently granted to ``owner`` (0 when none)."""
+        return self._allocations.get(owner, 0)
+
+    # ------------------------------------------------------------------
+    def record_busy_time(self, owner: str, cpu_seconds: float) -> None:
+        """Account ``cpu_seconds`` of useful work performed by ``owner``."""
+        check_non_negative(cpu_seconds, "cpu_seconds")
+        self._busy_time[owner] = self._busy_time.get(owner, 0.0) + cpu_seconds
+
+    def busy_time(self, owner: str | None = None) -> float:
+        """Accumulated busy CPU-seconds (of one owner, or of everyone)."""
+        if owner is not None:
+            return self._busy_time.get(owner, 0.0)
+        return sum(self._busy_time.values())
+
+    def utilization(self, elapsed: float) -> float:
+        """Machine utilisation over ``elapsed`` seconds of wall-clock time."""
+        check_non_negative(elapsed, "elapsed")
+        if elapsed == 0:
+            return 0.0
+        return min(1.0, self.busy_time() / (elapsed * self._num_cpus))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Machine(name={self._name!r}, cpus={self._num_cpus}, "
+            f"allocated={self.allocated_cpus})"
+        )

@@ -1,0 +1,102 @@
+"""A minimal message-passing cost model.
+
+The FT application of the paper is a hybrid MPI/OpenMP code: between the
+OpenMP phases the MPI processes exchange data (the all-to-all of the
+distributed transpose), during which the node's CPU usage drops to one CPU
+per process.  We only need the *timing* of these communication phases, so
+this module provides a latency/bandwidth cost model (the standard
+alpha-beta model) rather than actual message passing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive_int
+
+__all__ = ["NetworkModel", "MpiCommunicator"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta model of the interconnect.
+
+    ``time = latency + bytes / bandwidth`` for a point-to-point message.
+    """
+
+    latency: float = 5e-6
+    bandwidth: float = 300e6  # bytes per second
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.latency, "latency")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def point_to_point(self, message_bytes: float) -> float:
+        """Time of a single point-to-point message."""
+        check_non_negative(message_bytes, "message_bytes")
+        return self.latency + message_bytes / self.bandwidth
+
+
+class MpiCommunicator:
+    """Cost model of the collective operations used by the FT-like example."""
+
+    def __init__(self, ranks: int, network: NetworkModel | None = None) -> None:
+        check_positive_int(ranks, "ranks")
+        self._ranks = int(ranks)
+        self._network = network or NetworkModel()
+        self._bytes_sent = 0.0
+        self._collectives = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> int:
+        """Number of MPI processes."""
+        return self._ranks
+
+    @property
+    def network(self) -> NetworkModel:
+        """The interconnect model."""
+        return self._network
+
+    @property
+    def bytes_sent(self) -> float:
+        """Total payload bytes accounted so far."""
+        return self._bytes_sent
+
+    @property
+    def collectives(self) -> int:
+        """Number of collective operations accounted so far."""
+        return self._collectives
+
+    # ------------------------------------------------------------------
+    def send_time(self, message_bytes: float) -> float:
+        """Cost of one point-to-point message."""
+        self._bytes_sent += message_bytes
+        return self._network.point_to_point(message_bytes)
+
+    def alltoall_time(self, bytes_per_pair: float) -> float:
+        """Cost of an all-to-all exchange (pairwise-exchange algorithm).
+
+        Each rank exchanges ``bytes_per_pair`` with every other rank; with
+        the pairwise algorithm this takes ``ranks - 1`` communication steps.
+        """
+        check_non_negative(bytes_per_pair, "bytes_per_pair")
+        self._collectives += 1
+        steps = max(0, self._ranks - 1)
+        self._bytes_sent += bytes_per_pair * steps * self._ranks
+        return steps * self._network.point_to_point(bytes_per_pair)
+
+    def allreduce_time(self, message_bytes: float) -> float:
+        """Cost of an allreduce (recursive doubling: log2(ranks) steps)."""
+        check_non_negative(message_bytes, "message_bytes")
+        self._collectives += 1
+        steps = max(1, (self._ranks - 1).bit_length()) if self._ranks > 1 else 0
+        self._bytes_sent += message_bytes * steps * self._ranks
+        return steps * self._network.point_to_point(message_bytes)
+
+    def barrier_time(self) -> float:
+        """Cost of a barrier (allreduce of an empty payload)."""
+        self._collectives += 1
+        steps = max(1, (self._ranks - 1).bit_length()) if self._ranks > 1 else 0
+        return steps * self._network.latency

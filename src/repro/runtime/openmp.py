@@ -1,0 +1,145 @@
+"""Encapsulated OpenMP-style parallel loops.
+
+OpenMP compilers outline the body of every parallel loop into a function
+(Figure 5 of the paper); the runtime then calls that function from every
+thread of the team.  :class:`ParallelLoop` models one such encapsulated
+function: it has a synthetic *address* (the value the DPD sees), a cost
+model, and an :meth:`ParallelLoop.execute` that advances the virtual clock
+and records the fork-join shape of its CPU usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.workload import LoopWorkload
+from repro.traces.address_stream import AddressSpace
+from repro.util.validation import ValidationError, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.timeline import UsageTimeline
+
+__all__ = ["ParallelLoop", "LoopInvocation"]
+
+
+@dataclass(frozen=True)
+class LoopInvocation:
+    """Record of one execution of a parallel loop."""
+
+    address: int
+    name: str
+    start: float
+    end: float
+    cpus: int
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the invocation."""
+        return self.end - self.start
+
+
+class ParallelLoop:
+    """One encapsulated parallel loop of an application.
+
+    Parameters
+    ----------
+    name:
+        Loop name (e.g. ``"swim_calc1"``); unique within the application.
+    workload:
+        Cost model used to compute execution times.
+    address_space:
+        Shared :class:`AddressSpace` of the application, so every loop gets
+        a stable synthetic function address.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        workload: LoopWorkload,
+        address_space: AddressSpace | None = None,
+    ) -> None:
+        if not name:
+            raise ValidationError("loop name must not be empty")
+        self._name = name
+        self._workload = workload
+        # Note: an empty AddressSpace is falsy (it defines __len__), so an
+        # explicit None test is required to honour a shared, still-empty space.
+        self._space = address_space if address_space is not None else AddressSpace()
+        self._address = self._space.address_of(name)
+        self._invocations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Loop name."""
+        return self._name
+
+    @property
+    def address(self) -> int:
+        """Synthetic address of the encapsulating function."""
+        return self._address
+
+    @property
+    def workload(self) -> LoopWorkload:
+        """The loop's cost model."""
+        return self._workload
+
+    @property
+    def invocations(self) -> int:
+        """Number of times the loop has been executed."""
+        return self._invocations
+
+    # ------------------------------------------------------------------
+    def execution_time(self, cpus: int) -> float:
+        """Predicted wall-clock time of one invocation on ``cpus`` CPUs."""
+        return self._workload.execution_time(cpus)
+
+    def execute(
+        self,
+        clock: VirtualClock,
+        cpus: int,
+        timeline: "UsageTimeline | None" = None,
+    ) -> LoopInvocation:
+        """Run the loop on ``cpus`` processors, advancing the virtual clock.
+
+        The invocation is split into the serial prologue (1 CPU), the
+        parallel section (``cpus`` CPUs) and the fork/join overhead
+        (recorded at the team size), so a CPU-usage sampler observes the
+        characteristic open/close shape of Figure 3.
+        """
+        check_positive_int(cpus, "cpus")
+        self._invocations += 1
+        start = clock.now
+        wl = self._workload
+
+        serial = wl.serial_work
+        overhead = 0.0
+        if cpus > 1 and wl.fork_join_overhead > 0:
+            overhead = wl.fork_join_overhead * (1.0 + wl.spawn_cost_per_thread * (cpus - 1))
+        parallel = wl.execution_time(cpus) - serial - overhead
+
+        if serial > 0:
+            if timeline is not None:
+                timeline.add(clock.now, clock.now + serial, 1)
+            clock.advance(serial)
+        if overhead > 0:
+            if timeline is not None:
+                timeline.add(clock.now, clock.now + overhead, max(1, cpus // 2))
+            clock.advance(overhead)
+        if parallel > 0:
+            if timeline is not None:
+                timeline.add(clock.now, clock.now + parallel, cpus)
+            clock.advance(parallel)
+
+        return LoopInvocation(
+            address=self._address,
+            name=self._name,
+            start=start,
+            end=clock.now,
+            cpus=cpus,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ParallelLoop(name={self._name!r}, address=0x{self._address:x})"

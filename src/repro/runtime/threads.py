@@ -1,0 +1,92 @@
+"""Thread-team model: how parallelism opens and closes over time.
+
+A fork-join runtime does not jump instantaneously from 1 to ``p`` active
+CPUs: threads are woken (or created) one after another and join back one
+after another, which is why the CPU-usage trace of Figure 3 shows ramps
+around every parallel phase.  :class:`ThreadTeam` renders those ramps as
+timeline intervals so sampled traces have a realistic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.timeline import UsageInterval
+from repro.util.validation import check_non_negative, check_positive_int
+
+__all__ = ["ThreadTeam"]
+
+
+@dataclass(frozen=True)
+class ThreadTeam:
+    """A team of ``size`` threads with per-thread spawn/join latency.
+
+    Attributes
+    ----------
+    size:
+        Number of threads in the team (including the master).
+    spawn_latency:
+        Seconds needed to activate each additional thread at fork time.
+    join_latency:
+        Seconds needed to retire each additional thread at join time.
+    """
+
+    size: int
+    spawn_latency: float = 0.0
+    join_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.size, "size")
+        check_non_negative(self.spawn_latency, "spawn_latency")
+        check_non_negative(self.join_latency, "join_latency")
+
+    # ------------------------------------------------------------------
+    @property
+    def fork_duration(self) -> float:
+        """Total time of the fork ramp (0 for a single-thread team)."""
+        return self.spawn_latency * max(0, self.size - 1)
+
+    @property
+    def join_duration(self) -> float:
+        """Total time of the join ramp (0 for a single-thread team)."""
+        return self.join_latency * max(0, self.size - 1)
+
+    def fork_intervals(self, start: float) -> list[UsageInterval]:
+        """Timeline intervals of the fork ramp starting at ``start``.
+
+        While the ``k``-th extra thread is being activated, ``k`` CPUs are
+        already busy; the returned intervals therefore step 1, 2, ...,
+        ``size - 1`` CPUs.
+        """
+        intervals: list[UsageInterval] = []
+        t = start
+        for active in range(1, self.size):
+            if self.spawn_latency > 0:
+                intervals.append(UsageInterval(t, t + self.spawn_latency, active))
+                t += self.spawn_latency
+        return intervals
+
+    def join_intervals(self, start: float) -> list[UsageInterval]:
+        """Timeline intervals of the join ramp starting at ``start``."""
+        intervals: list[UsageInterval] = []
+        t = start
+        for active in range(self.size - 1, 0, -1):
+            if self.join_latency > 0:
+                intervals.append(UsageInterval(t, t + self.join_latency, active))
+                t += self.join_latency
+        return intervals
+
+    def region_intervals(self, start: float, body_duration: float) -> list[UsageInterval]:
+        """Fork ramp + full-width body + join ramp, starting at ``start``."""
+        check_non_negative(body_duration, "body_duration")
+        intervals = self.fork_intervals(start)
+        body_start = start + self.fork_duration
+        if body_duration > 0:
+            intervals.append(UsageInterval(body_start, body_start + body_duration, self.size))
+        intervals.extend(self.join_intervals(body_start + body_duration))
+        return intervals
+
+    @property
+    def total_overhead(self) -> float:
+        """Fork plus join ramp time."""
+        return self.fork_duration + self.join_duration

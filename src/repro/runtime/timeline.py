@@ -1,0 +1,126 @@
+"""CPU-usage timeline of a simulated execution.
+
+The simulator records, for every phase of the execution, the interval of
+virtual time during which a given number of CPUs was active.  The sampler
+(:mod:`repro.runtime.sampler`) turns such a timeline into the sampled data
+series that the paper's Figure 3 plots and that the magnitude DPD analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_non_negative
+
+__all__ = ["UsageInterval", "UsageTimeline"]
+
+
+@dataclass(frozen=True)
+class UsageInterval:
+    """A half-open interval ``[start, end)`` during which ``cpus`` were active."""
+
+    start: float
+    end: float
+    cpus: int
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.start, "start")
+        if self.end < self.start:
+            raise ValidationError("interval end must not precede its start")
+        if self.cpus < 0:
+            raise ValidationError("cpus must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Busy CPU-seconds represented by the interval."""
+        return self.duration * self.cpus
+
+
+class UsageTimeline:
+    """Append-only sequence of CPU-usage intervals."""
+
+    def __init__(self) -> None:
+        self._intervals: list[UsageInterval] = []
+
+    def add(self, start: float, end: float, cpus: int) -> UsageInterval:
+        """Append an interval; zero-length intervals are silently ignored."""
+        interval = UsageInterval(start, end, cpus)
+        if interval.duration > 0:
+            self._intervals.append(interval)
+        return interval
+
+    def extend(self, intervals: Sequence[UsageInterval]) -> None:
+        """Append several intervals."""
+        for interval in intervals:
+            self.add(interval.start, interval.end, interval.cpus)
+
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> list[UsageInterval]:
+        """The recorded intervals in insertion order."""
+        return list(self._intervals)
+
+    @property
+    def start(self) -> float:
+        """Earliest recorded time (0 when empty)."""
+        return min((i.start for i in self._intervals), default=0.0)
+
+    @property
+    def end(self) -> float:
+        """Latest recorded time (0 when empty)."""
+        return max((i.end for i in self._intervals), default=0.0)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Sum of busy CPU-seconds over all intervals."""
+        return sum(i.cpu_seconds for i in self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[UsageInterval]:
+        return iter(self._intervals)
+
+    # ------------------------------------------------------------------
+    def usage_at(self, timestamp: float) -> int:
+        """Number of CPUs active at ``timestamp`` (sum of covering intervals)."""
+        check_non_negative(timestamp, "timestamp")
+        return int(
+            sum(i.cpus for i in self._intervals if i.start <= timestamp < i.end)
+        )
+
+    def sample(self, interval: float, *, end: float | None = None) -> np.ndarray:
+        """Sample the timeline every ``interval`` seconds.
+
+        The value of each sample is the CPU usage at the sample instant,
+        matching a monitoring tool that reads the instantaneous number of
+        active CPUs at a fixed frequency (1 ms in the paper).
+        """
+        if interval <= 0:
+            raise ValidationError("sampling interval must be positive")
+        horizon = end if end is not None else self.end
+        if horizon <= 0:
+            return np.zeros(0)
+        timestamps = np.arange(0.0, horizon, interval)
+        if not self._intervals:
+            return np.zeros(timestamps.size)
+        starts = np.array([i.start for i in self._intervals])
+        ends = np.array([i.end for i in self._intervals])
+        cpus = np.array([i.cpus for i in self._intervals], dtype=np.float64)
+        # Vectorised membership test: sample x interval matrix would be
+        # large for long runs, so process in chunks of timestamps.
+        out = np.zeros(timestamps.size)
+        chunk = 4096
+        for lo in range(0, timestamps.size, chunk):
+            ts = timestamps[lo : lo + chunk, None]
+            covered = (ts >= starts[None, :]) & (ts < ends[None, :])
+            out[lo : lo + chunk] = covered @ cpus
+        return out

@@ -1,0 +1,114 @@
+"""Cost model of parallel-loop executions.
+
+The simulated applications need a model of how long a parallel loop takes
+on ``p`` processors.  :class:`LoopWorkload` uses the classic decomposition
+behind Amdahl's law [Amdahl67] extended with the per-invocation costs that
+dominate fine-grained OpenMP loops:
+
+    T(p) = serial_work
+         + parallel_work / p * (1 + imbalance * (p - 1) / p)
+         + fork_join_overhead * (1 + spawn_cost_per_thread * (p - 1))
+
+* ``serial_work`` — the non-parallelisable part executed by the master;
+* ``parallel_work`` — work that divides over the team, inflated by a load
+  ``imbalance`` factor that grows with the team size;
+* ``fork_join_overhead`` — the cost of opening/closing the parallel region,
+  growing mildly with the number of threads spawned.
+
+The analytic speedup of a loop (and of a whole application) derived from
+this model is the ground truth against which the SelfAnalyzer's
+DPD-segmented measurements are validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive_int
+
+__all__ = ["LoopWorkload"]
+
+
+@dataclass(frozen=True)
+class LoopWorkload:
+    """Execution-cost model of one parallel loop invocation.
+
+    Attributes
+    ----------
+    parallel_work:
+        CPU-seconds of perfectly divisible work per invocation.
+    serial_work:
+        Seconds of per-invocation work that never parallelises.
+    fork_join_overhead:
+        Seconds spent opening and closing the parallel region.
+    imbalance:
+        Load-imbalance coefficient in ``[0, 1]``: 0 is a perfectly balanced
+        loop, larger values penalise wide teams.
+    spawn_cost_per_thread:
+        Additional fraction of the fork/join overhead paid per extra thread.
+    """
+
+    parallel_work: float
+    serial_work: float = 0.0
+    fork_join_overhead: float = 0.0
+    imbalance: float = 0.0
+    spawn_cost_per_thread: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.parallel_work, "parallel_work")
+        check_non_negative(self.serial_work, "serial_work")
+        check_non_negative(self.fork_join_overhead, "fork_join_overhead")
+        check_in_range(self.imbalance, "imbalance", 0.0, 1.0)
+        check_non_negative(self.spawn_cost_per_thread, "spawn_cost_per_thread")
+
+    # ------------------------------------------------------------------
+    def execution_time(self, cpus: int) -> float:
+        """Wall-clock seconds of one invocation on ``cpus`` processors."""
+        check_positive_int(cpus, "cpus")
+        parallel = 0.0
+        if self.parallel_work > 0:
+            balance_penalty = 1.0 + self.imbalance * (cpus - 1) / cpus
+            parallel = self.parallel_work / cpus * balance_penalty
+        overhead = 0.0
+        if cpus > 1 and self.fork_join_overhead > 0:
+            overhead = self.fork_join_overhead * (
+                1.0 + self.spawn_cost_per_thread * (cpus - 1)
+            )
+        return self.serial_work + parallel + overhead
+
+    def cpu_seconds(self, cpus: int) -> float:
+        """Total busy CPU-seconds consumed by one invocation on ``cpus`` CPUs.
+
+        The serial part busies one CPU; the parallel part busies the whole
+        team for its duration (idle threads caused by imbalance are counted
+        as busy, as a CPU manager would observe them spinning).
+        """
+        check_positive_int(cpus, "cpus")
+        total = self.serial_work
+        if self.parallel_work > 0:
+            balance_penalty = 1.0 + self.imbalance * (cpus - 1) / cpus
+            total += self.parallel_work * balance_penalty
+        if cpus > 1 and self.fork_join_overhead > 0:
+            total += self.fork_join_overhead * (
+                1.0 + self.spawn_cost_per_thread * (cpus - 1)
+            ) * cpus
+        return total
+
+    def speedup(self, cpus: int, baseline: int = 1) -> float:
+        """Analytic speedup of this loop on ``cpus`` vs ``baseline`` CPUs."""
+        return self.execution_time(baseline) / self.execution_time(cpus)
+
+    def efficiency(self, cpus: int, baseline: int = 1) -> float:
+        """Analytic parallel efficiency: ``speedup / (cpus / baseline)``."""
+        return self.speedup(cpus, baseline) * baseline / cpus
+
+    def scaled(self, factor: float) -> "LoopWorkload":
+        """Return a copy with all work terms multiplied by ``factor``."""
+        check_non_negative(factor, "factor")
+        return LoopWorkload(
+            parallel_work=self.parallel_work * factor,
+            serial_work=self.serial_work * factor,
+            fork_join_overhead=self.fork_join_overhead,
+            imbalance=self.imbalance,
+            spawn_cost_per_thread=self.spawn_cost_per_thread,
+        )

@@ -1,0 +1,22 @@
+"""Performance-driven processor allocation (the downstream consumer).
+
+The paper's motivation for computing speedup at run time is to feed the
+processor-allocation scheduler [Corbalan2000].  This subpackage provides
+the allocation policies (equipartition vs. performance-driven), the
+allocator that applies them to a simulated machine, and a round-based
+workload simulator used to compare the policies.
+"""
+
+from repro.scheduling.allocator import ProcessorAllocator, WorkloadResult, WorkloadSimulator
+from repro.scheduling.metrics import ApplicationProfile
+from repro.scheduling.policies import AllocationPolicy, EquipartitionPolicy, PerformanceDrivenPolicy
+
+__all__ = [
+    "ProcessorAllocator",
+    "WorkloadResult",
+    "WorkloadSimulator",
+    "ApplicationProfile",
+    "AllocationPolicy",
+    "EquipartitionPolicy",
+    "PerformanceDrivenPolicy",
+]

@@ -1,0 +1,171 @@
+"""Multi-application processor allocation driven by run-time speedup.
+
+:class:`ProcessorAllocator` applies an allocation policy to a set of
+application profiles whenever the workload changes (an application arrives
+or finishes), and :class:`WorkloadSimulator` runs a whole multi-programmed
+workload to completion in rounds, re-allocating at every round — the setup
+used by the scheduling example and bench (E8 in DESIGN.md) to show the
+benefit of the speedup computed by the DPD + SelfAnalyzer pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.runtime.machine import Machine
+from repro.scheduling.metrics import ApplicationProfile
+from repro.scheduling.policies import AllocationPolicy, EquipartitionPolicy
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["ProcessorAllocator", "WorkloadResult", "WorkloadSimulator"]
+
+
+class ProcessorAllocator:
+    """Applies an allocation policy to the current set of applications."""
+
+    def __init__(self, machine: Machine, policy: AllocationPolicy | None = None) -> None:
+        self.machine = machine
+        self.policy = policy or EquipartitionPolicy()
+        self._profiles: dict[str, ApplicationProfile] = {}
+        self._grants: dict[str, int] = {}
+        self._reallocations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def profiles(self) -> list[ApplicationProfile]:
+        """Profiles of the currently registered applications."""
+        return list(self._profiles.values())
+
+    @property
+    def grants(self) -> dict[str, int]:
+        """Most recent allocation decision."""
+        return dict(self._grants)
+
+    @property
+    def reallocations(self) -> int:
+        """Number of allocation decisions taken so far."""
+        return self._reallocations
+
+    # ------------------------------------------------------------------
+    def register(self, profile: ApplicationProfile) -> None:
+        """Add (or replace) an application profile."""
+        self._profiles[profile.name] = profile
+
+    def unregister(self, name: str) -> None:
+        """Remove an application (e.g. when it finishes)."""
+        self._profiles.pop(name, None)
+        self._grants.pop(name, None)
+        self.machine.release(name)
+
+    def update_parallel_fraction(self, name: str, parallel_fraction: float) -> None:
+        """Refresh a profile with a newly measured parallel fraction."""
+        profile = self._profiles.get(name)
+        if profile is None:
+            raise ValidationError(f"unknown application {name!r}")
+        profile.parallel_fraction = float(min(1.0, max(0.0, parallel_fraction)))
+
+    # ------------------------------------------------------------------
+    def reallocate(self) -> dict[str, int]:
+        """Run the policy and apply the grants to the machine."""
+        self._reallocations += 1
+        profiles = self.profiles
+        grants = self.policy.allocate(profiles, self.machine.num_cpus)
+        # Release everything first so the machine-level clamping never
+        # blocks a legitimate re-distribution.
+        for name in list(self.machine.allocations):
+            self.machine.release(name)
+        applied: dict[str, int] = {}
+        for name, cpus in grants.items():
+            applied[name] = self.machine.allocate(name, cpus)
+        self._grants = applied
+        return dict(applied)
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running a multi-programmed workload to completion."""
+
+    policy: str
+    makespan: float
+    finish_times: dict[str, float]
+    allocations_over_time: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def mean_turnaround(self) -> float:
+        """Average finish time over the applications."""
+        if not self.finish_times:
+            return 0.0
+        return sum(self.finish_times.values()) / len(self.finish_times)
+
+
+class WorkloadSimulator:
+    """Round-based simulation of a multi-programmed workload.
+
+    Every round lasts ``quantum`` seconds of virtual time.  At the start of
+    a round the allocator re-distributes the processors among the
+    applications that still have work; during the round each application
+    progresses through its remaining work at the rate given by its speedup
+    on the processors it received.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: AllocationPolicy,
+        *,
+        quantum: float = 1.0,
+        max_rounds: int = 100_000,
+    ) -> None:
+        check_positive(quantum, "quantum")
+        self.machine = machine
+        self.policy = policy
+        self.quantum = float(quantum)
+        self.max_rounds = int(max_rounds)
+
+    def run(self, profiles: Sequence[ApplicationProfile]) -> WorkloadResult:
+        """Run the workload to completion and report the schedule quality."""
+        allocator = ProcessorAllocator(self.machine, self.policy)
+        remaining = {}
+        for profile in profiles:
+            if profile.remaining_work <= 0:
+                raise ValidationError(
+                    f"application {profile.name!r} must declare remaining_work > 0"
+                )
+            allocator.register(profile)
+            remaining[profile.name] = profile.remaining_work
+
+        finish_times: dict[str, float] = {}
+        allocations_log: list[dict[str, int]] = []
+        now = 0.0
+        rounds = 0
+        while remaining and rounds < self.max_rounds:
+            rounds += 1
+            grants = allocator.reallocate()
+            allocations_log.append(dict(grants))
+            # Progress every running application for one quantum (or until
+            # it finishes, whichever comes first for reporting purposes).
+            for name in list(remaining):
+                cpus = grants.get(name, 0)
+                if cpus <= 0:
+                    continue
+                profile = next(p for p in allocator.profiles if p.name == name)
+                rate = profile.speedup(cpus)  # sequential-work seconds per second
+                progress = rate * self.quantum
+                remaining[name] -= progress
+                if remaining[name] <= 1e-12:
+                    overshoot = -remaining[name] / rate if rate > 0 else 0.0
+                    finish_times[name] = now + self.quantum - overshoot
+                    del remaining[name]
+                    allocator.unregister(name)
+                else:
+                    profile.remaining_work = remaining[name]
+            now += self.quantum
+        if remaining:
+            raise ValidationError("workload did not finish within max_rounds")
+        return WorkloadResult(
+            policy=type(self.policy).__name__,
+            makespan=max(finish_times.values()) if finish_times else 0.0,
+            finish_times=finish_times,
+            allocations_over_time=allocations_log,
+        )

@@ -1,0 +1,78 @@
+"""Per-application performance metrics used by the processor allocator.
+
+The paper motivates the DPD + SelfAnalyzer combination with
+performance-driven processor allocation [Corbalan2000]: the scheduler gives
+processors to the applications that use them efficiently.  The metrics here
+describe what the allocator knows about each application: its measured (or
+modelled) speedup curve and its current processor request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.selfanalyzer.speedup import amdahl_speedup, efficiency
+from repro.util.validation import check_in_range, check_positive_int
+
+__all__ = ["ApplicationProfile"]
+
+
+@dataclass
+class ApplicationProfile:
+    """What the allocator knows about one running application.
+
+    Attributes
+    ----------
+    name:
+        Application identifier.
+    requested_cpus:
+        Processors the application asks for (its maximum useful parallelism).
+    parallel_fraction:
+        Parallel fraction of the application, either declared or inferred
+        by the SelfAnalyzer from a speedup measurement
+        (:meth:`repro.selfanalyzer.speedup.SpeedupMeasurement.estimated_parallel_fraction`).
+    remaining_work:
+        Remaining sequential-equivalent work in seconds (used by the
+        workload simulator to decide when the application finishes).
+    """
+
+    name: str
+    requested_cpus: int
+    parallel_fraction: float
+    remaining_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("name must not be empty")
+        check_positive_int(self.requested_cpus, "requested_cpus")
+        check_in_range(self.parallel_fraction, "parallel_fraction", 0.0, 1.0)
+        if self.remaining_work < 0:
+            raise ValueError("remaining_work must be non-negative")
+
+    # ------------------------------------------------------------------
+    def speedup(self, cpus: int) -> float:
+        """Modelled speedup on ``cpus`` processors (Amdahl)."""
+        return amdahl_speedup(self.parallel_fraction, cpus)
+
+    def efficiency(self, cpus: int) -> float:
+        """Modelled efficiency on ``cpus`` processors."""
+        return efficiency(self.speedup(cpus), cpus)
+
+    def marginal_speedup(self, cpus: int) -> float:
+        """Speedup gained by the ``cpus``-th processor (S(p) - S(p-1)).
+
+        The performance-driven policy hands out processors greedily by this
+        marginal benefit; a perfectly parallel application always benefits,
+        a mostly serial one quickly stops benefiting.
+        """
+        check_positive_int(cpus, "cpus")
+        if cpus == 1:
+            return self.speedup(1)
+        return self.speedup(cpus) - self.speedup(cpus - 1)
+
+    def execution_time(self, cpus: int) -> float:
+        """Time to finish the remaining work on ``cpus`` processors."""
+        check_positive_int(cpus, "cpus")
+        if self.remaining_work == 0:
+            return 0.0
+        return self.remaining_work / self.speedup(cpus)

@@ -1,0 +1,130 @@
+"""Processor-allocation policies.
+
+Two policies are provided, matching the comparison the paper's follow-on
+work makes:
+
+* :class:`EquipartitionPolicy` — the classic space-sharing baseline: divide
+  the machine evenly among the runnable applications, capped by each
+  application's request.
+* :class:`PerformanceDrivenPolicy` — use the speedup information computed
+  at run time (by the SelfAnalyzer) to hand processors to the applications
+  that turn them into the largest marginal speedup, subject to a minimum
+  efficiency target.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.scheduling.metrics import ApplicationProfile
+from repro.util.validation import check_in_range, check_positive_int
+
+__all__ = ["AllocationPolicy", "EquipartitionPolicy", "PerformanceDrivenPolicy"]
+
+
+class AllocationPolicy(ABC):
+    """Base class of processor-allocation policies."""
+
+    @abstractmethod
+    def allocate(
+        self, profiles: Sequence[ApplicationProfile], total_cpus: int
+    ) -> dict[str, int]:
+        """Return the processors granted to each application.
+
+        Every runnable application receives at least one processor as long
+        as the machine has that many processors; the sum of the grants
+        never exceeds ``total_cpus``.
+        """
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(profiles: Sequence[ApplicationProfile], total_cpus: int) -> None:
+        check_positive_int(total_cpus, "total_cpus")
+        names = [p.name for p in profiles]
+        if len(names) != len(set(names)):
+            raise ValueError("application names must be unique")
+
+
+class EquipartitionPolicy(AllocationPolicy):
+    """Divide the machine evenly among the applications."""
+
+    def allocate(
+        self, profiles: Sequence[ApplicationProfile], total_cpus: int
+    ) -> dict[str, int]:
+        self._validate(profiles, total_cpus)
+        if not profiles:
+            return {}
+        grants = {p.name: 0 for p in profiles}
+        remaining = total_cpus
+        # Round-robin one processor at a time so the division is even and
+        # requests act as caps.
+        runnable = [p for p in profiles]
+        while remaining > 0 and runnable:
+            progressed = False
+            for profile in list(runnable):
+                if remaining == 0:
+                    break
+                if grants[profile.name] < profile.requested_cpus:
+                    grants[profile.name] += 1
+                    remaining -= 1
+                    progressed = True
+                else:
+                    runnable.remove(profile)
+            if not progressed:
+                break
+        return {name: cpus for name, cpus in grants.items() if cpus > 0}
+
+
+class PerformanceDrivenPolicy(AllocationPolicy):
+    """Greedy marginal-speedup allocation with an efficiency target.
+
+    Processors are granted one at a time to the application whose modelled
+    speedup increases the most by receiving it, but an application stops
+    receiving processors once its modelled efficiency would fall below
+    ``efficiency_target`` — the run-time measured speedup is precisely what
+    makes this policy possible [Corbalan2000].
+    """
+
+    def __init__(self, efficiency_target: float = 0.5) -> None:
+        check_in_range(efficiency_target, "efficiency_target", 0.0, 1.0)
+        self.efficiency_target = float(efficiency_target)
+
+    def allocate(
+        self, profiles: Sequence[ApplicationProfile], total_cpus: int
+    ) -> dict[str, int]:
+        self._validate(profiles, total_cpus)
+        if not profiles:
+            return {}
+        grants = {p.name: 0 for p in profiles}
+        by_name = {p.name: p for p in profiles}
+        remaining = total_cpus
+
+        # Everyone runnable gets one processor first (no starvation).
+        for profile in profiles:
+            if remaining == 0:
+                break
+            grants[profile.name] = 1
+            remaining -= 1
+
+        # Hand out the rest by marginal speedup, respecting requests and
+        # the efficiency target.
+        while remaining > 0:
+            best_name = None
+            best_gain = 0.0
+            for name, cpus in grants.items():
+                profile = by_name[name]
+                if cpus == 0 or cpus >= profile.requested_cpus:
+                    continue
+                next_cpus = cpus + 1
+                if profile.efficiency(next_cpus) < self.efficiency_target:
+                    continue
+                gain = profile.marginal_speedup(next_cpus)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_name = name
+            if best_name is None:
+                break
+            grants[best_name] += 1
+            remaining -= 1
+        return {name: cpus for name, cpus in grants.items() if cpus > 0}

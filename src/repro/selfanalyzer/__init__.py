@@ -1,0 +1,40 @@
+"""The SelfAnalyzer: dynamic speedup computation (Section 5 of the paper).
+
+The analyzer consumes the parallel-region segmentation produced by the DPD
+(through the DITools interposition layer), times one iteration with the
+available processors and one with a baseline processor count, and reports
+the speedup, the parallel efficiency and an estimate of the total execution
+time of the application.
+"""
+
+from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
+from repro.selfanalyzer.estimator import ExecutionEstimate, ExecutionTimeEstimator
+from repro.selfanalyzer.instrumentation import Instrumentation
+from repro.selfanalyzer.regions import ParallelRegion, RegionKey, RegionRegistry, RegionState
+from repro.selfanalyzer.reporting import format_analyzer_report, format_region_table
+from repro.selfanalyzer.speedup import (
+    SpeedupMeasurement,
+    amdahl_parallel_fraction,
+    amdahl_speedup,
+    efficiency,
+    speedup,
+)
+
+__all__ = [
+    "SelfAnalyzer",
+    "SelfAnalyzerConfig",
+    "ExecutionEstimate",
+    "ExecutionTimeEstimator",
+    "Instrumentation",
+    "ParallelRegion",
+    "RegionKey",
+    "RegionRegistry",
+    "RegionState",
+    "format_analyzer_report",
+    "format_region_table",
+    "SpeedupMeasurement",
+    "amdahl_parallel_fraction",
+    "amdahl_speedup",
+    "efficiency",
+    "speedup",
+]

@@ -1,0 +1,252 @@
+"""The SelfAnalyzer: dynamic speedup computation driven by the DPD.
+
+This module ties together the three mechanisms of Figure 6:
+
+1. **DITools** — the runtime interposer announces every call to an
+   encapsulated parallel loop (:class:`repro.runtime.ditools.DIToolsInterposer`);
+2. **DPD** — the intercepted address is pushed into the periodicity
+   detector; a non-zero return marks the start of a period;
+3. **SelfAnalyzer** — a parallel region is identified by the starting
+   address and the period length, the duration of each region instance is
+   measured on the virtual clock, one instance is re-measured with the
+   baseline processor count, and the speedup / efficiency / projected total
+   execution time are computed.
+
+The analyzer works in two modes, exactly as in the paper:
+
+* *dynamic* mode (no source code): attach it to an interposer and,
+  optionally, to an :class:`~repro.runtime.application.ApplicationRunner`
+  so it can request the baseline iteration;
+* *instrumented* mode (source available): the compiler-inserted calls of
+  :mod:`repro.selfanalyzer.instrumentation` feed it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.api import DPDInterface
+from repro.runtime.ditools import DIToolsInterposer, LoopCallEvent
+from repro.selfanalyzer.estimator import ExecutionTimeEstimator
+from repro.selfanalyzer.regions import ParallelRegion, RegionRegistry, RegionState
+from repro.selfanalyzer.speedup import SpeedupMeasurement
+from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.application import ApplicationRunner
+
+__all__ = ["SelfAnalyzerConfig", "SelfAnalyzer"]
+
+
+@dataclass
+class SelfAnalyzerConfig:
+    """Configuration of the :class:`SelfAnalyzer`.
+
+    Attributes
+    ----------
+    baseline_cpus:
+        Processor count of the baseline measurement (1 in the paper, so
+        the computed quantity is the classic speedup over sequential).
+    baseline_iterations:
+        Number of consecutive application iterations requested at the
+        baseline processor count.  The DPD's period starts are in general
+        phase-shifted with respect to the application's own iteration
+        boundaries, so at least two baseline iterations are needed to
+        guarantee one complete, homogeneous baseline period.
+    dpd_window_size:
+        Data window size of the embedded DPD.
+    measure_iterations_before_baseline:
+        Iterations timed with the available processors before the baseline
+        iteration is requested.
+    total_iterations_hint:
+        Known iteration count of the application (improves the total-time
+        estimate; the analyzer works without it).
+    """
+
+    baseline_cpus: int = 1
+    baseline_iterations: int = 2
+    dpd_window_size: int = 1024
+    measure_iterations_before_baseline: int = 1
+    total_iterations_hint: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.baseline_cpus, "baseline_cpus")
+        check_positive_int(self.baseline_iterations, "baseline_iterations")
+        check_positive_int(self.dpd_window_size, "dpd_window_size")
+        check_positive_int(
+            self.measure_iterations_before_baseline,
+            "measure_iterations_before_baseline",
+        )
+        if self.total_iterations_hint is not None:
+            check_positive_int(self.total_iterations_hint, "total_iterations_hint")
+
+
+class SelfAnalyzer:
+    """Run-time library that computes the speedup of iterative parallel regions."""
+
+    def __init__(self, config: SelfAnalyzerConfig | None = None, **kwargs) -> None:
+        if config is None:
+            config = SelfAnalyzerConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a SelfAnalyzerConfig or keyword options, not both")
+        self.config = config
+        self.dpd = DPDInterface(config.dpd_window_size, mode="event")
+        self.regions = RegionRegistry()
+        self.estimator = ExecutionTimeEstimator(config.total_iterations_hint)
+        self._runner: "ApplicationRunner | None" = None
+        self._interposer: DIToolsInterposer | None = None
+        # Per-region phase tracking: timestamp and processor count at the
+        # last period start, plus every processor count observed inside the
+        # currently open instance (a mixed instance is not a valid
+        # measurement because its duration does not correspond to a single
+        # allocation).
+        self._open_instance: dict[tuple[int, int], tuple[float, int, set[int]]] = {}
+        self._baseline_requested: set[tuple[int, int]] = set()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        interposer: DIToolsInterposer,
+        runner: "ApplicationRunner | None" = None,
+    ) -> None:
+        """Hook the analyzer into the interposition mechanism (Figure 6)."""
+        self._interposer = interposer
+        self._runner = runner
+        interposer.register(self.on_loop_call)
+
+    def detach(self) -> None:
+        """Remove the analyzer from the interposer."""
+        if self._interposer is not None:
+            self._interposer.unregister(self.on_loop_call)
+        self._interposer = None
+        self._runner = None
+
+    # ------------------------------------------------------------------
+    # event processing (the DI_event handler of Figure 6)
+    # ------------------------------------------------------------------
+    def on_loop_call(self, event: LoopCallEvent) -> None:
+        """Process one intercepted parallel-loop call."""
+        self._events_processed += 1
+        # Every intercepted call contributes to the processor-count history
+        # of the region instances that are currently open.
+        for key, (start, cpus, seen) in self._open_instance.items():
+            seen.add(int(event.cpus))
+        period = self.dpd.dpd(event.address)
+        if period:
+            self.init_parallel_region(event.address, period, event.timestamp, event.cpus)
+
+    def init_parallel_region(
+        self,
+        address: int,
+        period: int,
+        timestamp: float,
+        cpus: int,
+    ) -> ParallelRegion:
+        """``InitParallelRegion(address, length)`` of Figure 6.
+
+        Called at every period start.  Closes the previous instance of the
+        region (recording its duration at the processor count it ran on)
+        and opens a new one.
+        """
+        check_positive_int(period, "period")
+        check_positive_int(cpus, "cpus")
+        region = self.regions.get_or_create(address, period, detected_at=timestamp)
+        region.note_iteration_start()
+        key = (region.address, region.period)
+
+        previous = self._open_instance.get(key)
+        if previous is not None:
+            prev_time, prev_cpus, seen_cpus = previous
+            duration = timestamp - prev_time
+            if duration > 0:
+                if len(seen_cpus) <= 1:
+                    # Homogeneous instance: a valid measurement at prev_cpus.
+                    region.record_iteration_time(prev_cpus, duration)
+                    self.estimator.record_iteration(duration)
+                    self._after_measurement(region, prev_cpus)
+                else:
+                    # The allocation changed inside the instance (typically
+                    # around the baseline re-measurement); its duration does
+                    # not correspond to any single processor count.
+                    self.estimator.record_non_iterative_time(duration)
+        self._open_instance[key] = (timestamp, cpus, {int(cpus)})
+        return region
+
+    # ------------------------------------------------------------------
+    def _after_measurement(self, region: ParallelRegion, measured_cpus: int) -> None:
+        """Drive the measure -> baseline -> complete protocol."""
+        cfg = self.config
+        key = (region.address, region.period)
+
+        if measured_cpus == cfg.baseline_cpus and key in self._baseline_requested:
+            # The baseline iteration has been timed; the measurement can
+            # complete against any other processor count already observed.
+            other_counts = [c for c in region.observed_cpu_counts() if c != cfg.baseline_cpus]
+            if other_counts:
+                region.try_complete(max(other_counts), cfg.baseline_cpus)
+            self._restore_allocation()
+            return
+
+        if region.state is RegionState.COMPLETE:
+            return
+
+        enough = region.samples(measured_cpus) >= cfg.measure_iterations_before_baseline
+        if not enough:
+            return
+
+        if measured_cpus != cfg.baseline_cpus and key not in self._baseline_requested:
+            if self._runner is not None:
+                self._runner.override_next_iteration(
+                    cfg.baseline_cpus, cfg.baseline_iterations
+                )
+                self._baseline_requested.add(key)
+                region.mark_waiting_for_baseline()
+            elif region.mean_time(cfg.baseline_cpus) is not None:
+                region.try_complete(measured_cpus, cfg.baseline_cpus)
+        elif measured_cpus == cfg.baseline_cpus:
+            # Already running on the baseline count: a speedup of 1 by
+            # definition once another processor count is observed.
+            other = [c for c in region.observed_cpu_counts() if c != cfg.baseline_cpus]
+            if other:
+                region.try_complete(max(other), cfg.baseline_cpus)
+
+    def _restore_allocation(self) -> None:
+        """Nothing to do: the runner restores its request automatically
+        after the single overridden iteration."""
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Number of loop-call events the analyzer has seen."""
+        return self._events_processed
+
+    @property
+    def measurements(self) -> list[SpeedupMeasurement]:
+        """All completed speedup measurements."""
+        return [r.measurement for r in self.regions.completed if r.measurement]
+
+    def main_region(self) -> ParallelRegion | None:
+        """The region with the largest period (the application's main loop)."""
+        regions = self.regions.regions
+        if not regions:
+            return None
+        return max(regions, key=lambda r: r.period)
+
+    def speedup_of_main_region(self) -> float | None:
+        """Speedup of the main region, if its measurement completed."""
+        region = self.main_region()
+        if region is None or region.measurement is None:
+            return None
+        return region.measurement.speedup
+
+    def estimated_total_time(self) -> float | None:
+        """Projected total execution time (``None`` before any measurement)."""
+        if self.estimator.completed_iterations == 0:
+            return None
+        return self.estimator.estimate().estimated_total

@@ -1,0 +1,130 @@
+"""Whole-application execution-time estimation.
+
+"The SelfAnalyzer ... estimates the execution time of the whole
+application" by exploiting the iterative structure: once one iteration has
+been timed, the remaining iterations are predicted to take the same time
+(Section 5).  :class:`ExecutionTimeEstimator` implements that projection
+and the what-if variant used by the processor allocator ("how long would
+the rest take on ``p`` processors?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.selfanalyzer.speedup import amdahl_speedup
+from repro.util.stats import OnlineStats
+from repro.util.validation import ValidationError, check_non_negative, check_positive, check_positive_int
+
+__all__ = ["ExecutionEstimate", "ExecutionTimeEstimator"]
+
+
+@dataclass(frozen=True)
+class ExecutionEstimate:
+    """Projection of the application's total execution time.
+
+    Attributes
+    ----------
+    elapsed:
+        Virtual seconds already spent.
+    completed_iterations:
+        Iterations finished so far.
+    remaining_iterations:
+        Iterations still to run (0 when the total is unknown).
+    mean_iteration_time:
+        Average duration of the measured iterations.
+    estimated_total:
+        ``elapsed + remaining_iterations * mean_iteration_time``.
+    """
+
+    elapsed: float
+    completed_iterations: int
+    remaining_iterations: int
+    mean_iteration_time: float
+    estimated_total: float
+
+
+class ExecutionTimeEstimator:
+    """Accumulates iteration timings and projects the total run time."""
+
+    def __init__(self, total_iterations: int | None = None) -> None:
+        if total_iterations is not None:
+            check_positive_int(total_iterations, "total_iterations")
+        self._total_iterations = total_iterations
+        self._times = OnlineStats()
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_iterations(self) -> int | None:
+        """Declared total number of iterations (``None`` when unknown)."""
+        return self._total_iterations
+
+    @property
+    def completed_iterations(self) -> int:
+        """Iterations recorded so far."""
+        return self._times.count
+
+    @property
+    def elapsed(self) -> float:
+        """Total measured time so far."""
+        return self._elapsed
+
+    def set_total_iterations(self, total: int) -> None:
+        """Declare (or correct) the total number of iterations."""
+        check_positive_int(total, "total")
+        self._total_iterations = total
+
+    # ------------------------------------------------------------------
+    def record_iteration(self, duration: float) -> None:
+        """Record the duration of one completed iteration."""
+        check_positive(duration, "duration")
+        self._times.add(duration)
+        self._elapsed += duration
+
+    def record_non_iterative_time(self, duration: float) -> None:
+        """Account time spent outside the iterative structure (start-up etc.)."""
+        check_non_negative(duration, "duration")
+        self._elapsed += duration
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> ExecutionEstimate:
+        """Project the total execution time from what has been measured."""
+        if self._times.count == 0:
+            raise ValidationError("at least one iteration must be recorded first")
+        mean = self._times.mean
+        if self._total_iterations is None:
+            remaining = 0
+        else:
+            remaining = max(0, self._total_iterations - self._times.count)
+        return ExecutionEstimate(
+            elapsed=self._elapsed,
+            completed_iterations=self._times.count,
+            remaining_iterations=remaining,
+            mean_iteration_time=mean,
+            estimated_total=self._elapsed + remaining * mean,
+        )
+
+    def estimate_with_cpus(
+        self,
+        current_cpus: int,
+        target_cpus: int,
+        *,
+        parallel_fraction: float,
+    ) -> float:
+        """What-if projection: total time if the rest ran on ``target_cpus``.
+
+        The remaining iterations are scaled by the ratio of Amdahl speedups
+        at the two processor counts, using the parallel fraction inferred
+        by the SelfAnalyzer.
+        """
+        check_positive_int(current_cpus, "current_cpus")
+        check_positive_int(target_cpus, "target_cpus")
+        base = self.estimate()
+        if base.remaining_iterations == 0:
+            return base.estimated_total
+        current_speedup = amdahl_speedup(parallel_fraction, current_cpus)
+        target_speedup = amdahl_speedup(parallel_fraction, target_cpus)
+        scale = current_speedup / target_speedup
+        remaining_time = base.remaining_iterations * base.mean_iteration_time * scale
+        return base.elapsed + remaining_time

@@ -1,0 +1,132 @@
+"""Compiler-inserted instrumentation mode of the SelfAnalyzer.
+
+Section 5 of the paper: "if the source code is available, the application
+can be re-compiled and the SelfAnalyzer calls are inserted by the
+compiler."  In that mode no DPD is needed — the instrumentation marks the
+iteration boundaries and the parallel loops explicitly.
+
+:class:`Instrumentation` provides that explicit API for simulated (or even
+real Python) applications: ``iteration()`` and ``parallel_loop(name)``
+context managers record durations on a clock and feed a
+:class:`~repro.selfanalyzer.regions.RegionRegistry` directly, producing the
+same reports as the dynamic mode.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.runtime.clock import VirtualClock
+from repro.selfanalyzer.estimator import ExecutionTimeEstimator
+from repro.selfanalyzer.regions import RegionRegistry
+from repro.traces.address_stream import AddressSpace
+from repro.util.stats import OnlineStats
+from repro.util.validation import check_positive_int
+
+__all__ = ["Instrumentation"]
+
+
+class _RealClock:
+    """Adapter exposing ``now`` backed by the host's monotonic clock."""
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class Instrumentation:
+    """Explicit SelfAnalyzer entry points for recompiled applications.
+
+    Parameters
+    ----------
+    cpus:
+        Processor count the instrumented run uses (recorded with every
+        iteration measurement).
+    clock:
+        A :class:`VirtualClock` for simulated applications; ``None`` selects
+        the host's monotonic clock so real Python code can be instrumented.
+    total_iterations:
+        Optional iteration count for total-time estimation.
+    """
+
+    def __init__(
+        self,
+        cpus: int = 1,
+        *,
+        clock: VirtualClock | None = None,
+        total_iterations: int | None = None,
+    ) -> None:
+        check_positive_int(cpus, "cpus")
+        self._cpus = cpus
+        self._clock = clock if clock is not None else _RealClock()
+        self.regions = RegionRegistry()
+        self.estimator = ExecutionTimeEstimator(total_iterations)
+        self._space = AddressSpace()
+        self._loop_times: dict[str, OnlineStats] = {}
+        self._iterations = 0
+        self._application_start: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cpus(self) -> int:
+        """Processor count associated with the measurements."""
+        return self._cpus
+
+    @property
+    def iterations(self) -> int:
+        """Number of instrumented iterations completed."""
+        return self._iterations
+
+    def set_cpus(self, cpus: int) -> None:
+        """Change the processor count for subsequent measurements."""
+        check_positive_int(cpus, "cpus")
+        self._cpus = cpus
+
+    # ------------------------------------------------------------------
+    def application_start(self) -> None:
+        """Mark the start of the application (first instrumentation point)."""
+        self._application_start = self._clock.now
+
+    @contextmanager
+    def iteration(self) -> Iterator[None]:
+        """Context manager bracketing one iteration of the main loop."""
+        start = self._clock.now
+        yield
+        duration = self._clock.now - start
+        if duration > 0:
+            self.estimator.record_iteration(duration)
+            self._iterations += 1
+
+    @contextmanager
+    def parallel_loop(self, name: str) -> Iterator[None]:
+        """Context manager bracketing one parallel-loop execution."""
+        address = self._space.address_of(name)
+        start = self._clock.now
+        yield
+        duration = self._clock.now - start
+        if duration > 0:
+            stats = self._loop_times.setdefault(name, OnlineStats())
+            stats.add(duration)
+            region = self.regions.get_or_create(address, 1, detected_at=start)
+            region.note_iteration_start()
+            region.record_iteration_time(self._cpus, duration)
+
+    # ------------------------------------------------------------------
+    def loop_statistics(self) -> dict[str, OnlineStats]:
+        """Per-loop duration statistics accumulated so far."""
+        return dict(self._loop_times)
+
+    def record_external_iteration(self, duration: float, cpus: int | None = None) -> None:
+        """Record an iteration timed outside the context managers."""
+        self.estimator.record_iteration(duration)
+        self._iterations += 1
+        if cpus is not None:
+            check_positive_int(cpus, "cpus")
+
+    def estimated_total_time(self) -> float | None:
+        """Projected total execution time (``None`` before any iteration)."""
+        if self.estimator.completed_iterations == 0:
+            return None
+        return self.estimator.estimate().estimated_total

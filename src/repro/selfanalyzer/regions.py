@@ -1,0 +1,196 @@
+"""Parallel-region bookkeeping for the SelfAnalyzer.
+
+"The SelfAnalyzer identifies a parallel region with the address of the
+starting function and the length of the period indicated by the DPD"
+(Section 5.1).  :class:`ParallelRegion` stores everything measured about
+one such region; :class:`RegionRegistry` indexes the regions by their
+(address, period) identity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.selfanalyzer.speedup import SpeedupMeasurement, efficiency, speedup
+from repro.util.stats import OnlineStats
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["RegionState", "RegionKey", "ParallelRegion", "RegionRegistry"]
+
+
+class RegionState(enum.Enum):
+    """Measurement state of a parallel region."""
+
+    DETECTED = "detected"  # the DPD reported the region; nothing measured yet
+    MEASURING = "measuring"  # timing iterations with the available processors
+    BASELINE = "baseline"  # waiting for / timing the baseline iteration
+    COMPLETE = "complete"  # speedup computed; further iterations refine it
+
+
+@dataclass(frozen=True)
+class RegionKey:
+    """Identity of a parallel region: starting address plus period length."""
+
+    address: int
+    period: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.period, "period")
+
+
+class ParallelRegion:
+    """Measurements accumulated for one iterative parallel region."""
+
+    def __init__(self, address: int, period: int, *, detected_at: float = 0.0) -> None:
+        check_positive_int(period, "period")
+        self._key = RegionKey(int(address), int(period))
+        self._detected_at = float(detected_at)
+        self._state = RegionState.DETECTED
+        self._times_by_cpus: dict[int, OnlineStats] = {}
+        self._iteration_starts = 0
+        self._measurement: SpeedupMeasurement | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> RegionKey:
+        """The (address, period) identity of the region."""
+        return self._key
+
+    @property
+    def address(self) -> int:
+        """Address of the loop function that opens the region."""
+        return self._key.address
+
+    @property
+    def period(self) -> int:
+        """Region length in loop calls (the DPD period)."""
+        return self._key.period
+
+    @property
+    def state(self) -> RegionState:
+        """Current measurement state."""
+        return self._state
+
+    @property
+    def detected_at(self) -> float:
+        """Virtual time at which the DPD first reported the region."""
+        return self._detected_at
+
+    @property
+    def iteration_starts(self) -> int:
+        """Number of period-start events observed for this region."""
+        return self._iteration_starts
+
+    @property
+    def measurement(self) -> SpeedupMeasurement | None:
+        """The completed speedup measurement, if any."""
+        return self._measurement
+
+    # ------------------------------------------------------------------
+    def note_iteration_start(self) -> None:
+        """Record that another instance of the region has begun."""
+        self._iteration_starts += 1
+        if self._state == RegionState.DETECTED:
+            self._state = RegionState.MEASURING
+
+    def record_iteration_time(self, cpus: int, duration: float) -> None:
+        """Record the duration of one complete region instance."""
+        check_positive_int(cpus, "cpus")
+        check_positive(duration, "duration")
+        self._times_by_cpus.setdefault(cpus, OnlineStats()).add(duration)
+
+    def mean_time(self, cpus: int) -> float | None:
+        """Mean measured duration on ``cpus`` processors (``None`` if unseen)."""
+        stats = self._times_by_cpus.get(cpus)
+        if stats is None or stats.count == 0:
+            return None
+        return stats.mean
+
+    def observed_cpu_counts(self) -> list[int]:
+        """Processor counts for which at least one duration was recorded."""
+        return sorted(c for c, s in self._times_by_cpus.items() if s.count)
+
+    def samples(self, cpus: int) -> int:
+        """Number of measured iterations on ``cpus`` processors."""
+        stats = self._times_by_cpus.get(cpus)
+        return stats.count if stats else 0
+
+    # ------------------------------------------------------------------
+    def mark_waiting_for_baseline(self) -> None:
+        """Move to the BASELINE state (a baseline iteration was requested)."""
+        self._state = RegionState.BASELINE
+
+    def try_complete(self, cpus: int, baseline_cpus: int) -> SpeedupMeasurement | None:
+        """Build the speedup measurement once both timings are available."""
+        parallel_time = self.mean_time(cpus)
+        baseline_time = self.mean_time(baseline_cpus)
+        if parallel_time is None or baseline_time is None:
+            return None
+        self._measurement = SpeedupMeasurement(
+            region_address=self.address,
+            period=self.period,
+            cpus=cpus,
+            baseline_cpus=baseline_cpus,
+            parallel_time=parallel_time,
+            baseline_time=baseline_time,
+        )
+        self._state = RegionState.COMPLETE
+        return self._measurement
+
+    def speedup_between(self, baseline_cpus: int, cpus: int) -> float | None:
+        """Speedup computed directly from the recorded means (``None`` if missing)."""
+        t_base = self.mean_time(baseline_cpus)
+        t_par = self.mean_time(cpus)
+        if t_base is None or t_par is None:
+            return None
+        return speedup(t_base, t_par)
+
+    def efficiency_between(self, baseline_cpus: int, cpus: int) -> float | None:
+        """Efficiency computed from the recorded means (``None`` if missing)."""
+        s = self.speedup_between(baseline_cpus, cpus)
+        if s is None:
+            return None
+        return efficiency(s, cpus, baseline_cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ParallelRegion(address=0x{self.address:x}, period={self.period}, "
+            f"state={self._state.value}, starts={self._iteration_starts})"
+        )
+
+
+class RegionRegistry:
+    """Index of the parallel regions reported by the DPD."""
+
+    def __init__(self) -> None:
+        self._regions: dict[RegionKey, ParallelRegion] = {}
+
+    def get_or_create(self, address: int, period: int, *, detected_at: float = 0.0) -> ParallelRegion:
+        """Return the region for (address, period), creating it on first use."""
+        key = RegionKey(int(address), int(period))
+        region = self._regions.get(key)
+        if region is None:
+            region = ParallelRegion(address, period, detected_at=detected_at)
+            self._regions[key] = region
+        return region
+
+    def get(self, address: int, period: int) -> ParallelRegion | None:
+        """Return the region for (address, period) or ``None``."""
+        return self._regions.get(RegionKey(int(address), int(period)))
+
+    @property
+    def regions(self) -> list[ParallelRegion]:
+        """All known regions in detection order."""
+        return list(self._regions.values())
+
+    @property
+    def completed(self) -> list[ParallelRegion]:
+        """Regions whose speedup has been computed."""
+        return [r for r in self._regions.values() if r.state is RegionState.COMPLETE]
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self):
+        return iter(self._regions.values())

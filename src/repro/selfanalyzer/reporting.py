@@ -1,0 +1,73 @@
+"""Textual reports of the SelfAnalyzer's measurements."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.selfanalyzer.analyzer import SelfAnalyzer
+from repro.selfanalyzer.regions import ParallelRegion
+
+__all__ = ["format_region_table", "format_analyzer_report"]
+
+
+def format_region_table(regions: Sequence[ParallelRegion]) -> str:
+    """Render the measured regions as a fixed-width text table."""
+    headers = ["region", "period", "starts", "cpus", "t_iter (s)", "t_base (s)", "speedup", "efficiency"]
+    rows: list[list[str]] = []
+    for region in regions:
+        meas = region.measurement
+        if meas is not None:
+            rows.append(
+                [
+                    f"0x{region.address:x}",
+                    str(region.period),
+                    str(region.iteration_starts),
+                    str(meas.cpus),
+                    f"{meas.parallel_time:.6f}",
+                    f"{meas.baseline_time:.6f}",
+                    f"{meas.speedup:.2f}",
+                    f"{meas.efficiency:.2f}",
+                ]
+            )
+        else:
+            cpu_counts = region.observed_cpu_counts()
+            cpus = str(cpu_counts[-1]) if cpu_counts else "-"
+            t_iter = region.mean_time(cpu_counts[-1]) if cpu_counts else None
+            rows.append(
+                [
+                    f"0x{region.address:x}",
+                    str(region.period),
+                    str(region.iteration_starts),
+                    cpus,
+                    f"{t_iter:.6f}" if t_iter is not None else "-",
+                    "-",
+                    "-",
+                    "-",
+                ]
+            )
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h) for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_analyzer_report(analyzer: SelfAnalyzer) -> str:
+    """Render a complete report: regions, main-region speedup, time estimate."""
+    lines = ["SelfAnalyzer report", "===================", ""]
+    lines.append(f"loop-call events processed : {analyzer.events_processed}")
+    lines.append(f"parallel regions detected  : {len(analyzer.regions)}")
+    lines.append("")
+    if analyzer.regions.regions:
+        lines.append(format_region_table(analyzer.regions.regions))
+        lines.append("")
+    main_speedup = analyzer.speedup_of_main_region()
+    if main_speedup is not None:
+        lines.append(f"speedup of the main region : {main_speedup:.2f}")
+    total = analyzer.estimated_total_time()
+    if total is not None:
+        lines.append(f"estimated total time       : {total:.6f} s")
+    return "\n".join(lines)

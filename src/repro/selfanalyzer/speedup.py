@@ -1,0 +1,111 @@
+"""Speedup and efficiency computations.
+
+The SelfAnalyzer calculates "the relationship between the execution time of
+one iteration of the main loop, executed with a baseline number of
+processors, and the execution time of one iteration with the number of
+available processors" (Section 5).  This module holds that definition plus
+the analytic reference models (Amdahl [Amdahl67], efficiency in the sense
+of Eager, Zahorjan and Lazowska [Eager89]) used by the benches and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive, check_positive_int
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "amdahl_speedup",
+    "amdahl_parallel_fraction",
+    "SpeedupMeasurement",
+]
+
+
+def speedup(baseline_time: float, parallel_time: float) -> float:
+    """Measured speedup: time on the baseline processors over time now."""
+    check_positive(baseline_time, "baseline_time")
+    check_positive(parallel_time, "parallel_time")
+    return baseline_time / parallel_time
+
+
+def efficiency(speedup_value: float, cpus: int, baseline_cpus: int = 1) -> float:
+    """Parallel efficiency: achieved speedup over the ideal speedup.
+
+    With a baseline of ``b`` processors the ideal speedup on ``p``
+    processors is ``p / b``, so ``efficiency = S * b / p`` [Eager89].
+    """
+    check_positive(speedup_value, "speedup_value")
+    check_positive_int(cpus, "cpus")
+    check_positive_int(baseline_cpus, "baseline_cpus")
+    return speedup_value * baseline_cpus / cpus
+
+
+def amdahl_speedup(parallel_fraction: float, cpus: int) -> float:
+    """Amdahl's law: speedup of a program with the given parallel fraction."""
+    check_in_range(parallel_fraction, "parallel_fraction", 0.0, 1.0)
+    check_positive_int(cpus, "cpus")
+    serial = 1.0 - parallel_fraction
+    return 1.0 / (serial + parallel_fraction / cpus)
+
+
+def amdahl_parallel_fraction(measured_speedup: float, cpus: int) -> float:
+    """Invert Amdahl's law: parallel fraction explaining a measured speedup.
+
+    The result is clipped to ``[0, 1]``; a speedup of 1 on any processor
+    count maps to fraction 0 and the ideal speedup ``cpus`` maps to 1.
+    """
+    check_positive(measured_speedup, "measured_speedup")
+    check_positive_int(cpus, "cpus")
+    if cpus == 1:
+        return 0.0
+    fraction = (1.0 - 1.0 / measured_speedup) / (1.0 - 1.0 / cpus)
+    return float(min(1.0, max(0.0, fraction)))
+
+
+@dataclass(frozen=True)
+class SpeedupMeasurement:
+    """One completed speedup measurement of a parallel region.
+
+    Attributes
+    ----------
+    region_address:
+        Address of the loop function that opens the region.
+    period:
+        Length of the region in loop calls (the DPD period).
+    cpus:
+        Processors used for the measured iteration.
+    baseline_cpus:
+        Processors used for the baseline iteration.
+    parallel_time:
+        Duration of one iteration on ``cpus`` processors (virtual seconds).
+    baseline_time:
+        Duration of one iteration on ``baseline_cpus`` processors.
+    """
+
+    region_address: int
+    period: int
+    cpus: int
+    baseline_cpus: int
+    parallel_time: float
+    baseline_time: float
+
+    @property
+    def speedup(self) -> float:
+        """Measured speedup of the region."""
+        return speedup(self.baseline_time, self.parallel_time)
+
+    @property
+    def efficiency(self) -> float:
+        """Measured parallel efficiency of the region."""
+        return efficiency(self.speedup, self.cpus, self.baseline_cpus)
+
+    @property
+    def estimated_parallel_fraction(self) -> float:
+        """Parallel fraction implied by the measurement (Amdahl inversion)."""
+        if self.baseline_cpus != 1:
+            # Normalise to a 1-CPU baseline before inverting Amdahl's law.
+            normalised = self.speedup * self.baseline_cpus
+            return amdahl_parallel_fraction(min(normalised, self.cpus), self.cpus)
+        return amdahl_parallel_fraction(min(self.speedup, self.cpus), self.cpus)

@@ -1,0 +1,96 @@
+"""Trace substrate: the data series the DPD analyses.
+
+The paper obtains its data streams from real executions (CPU-usage samples
+of NAS FT, loop-address sequences of five SPECfp95 applications).  This
+subpackage provides synthetic equivalents with the same structure — see the
+substitution table in DESIGN.md — plus generic generators, perturbations
+and on-disk serialisation.
+"""
+
+from repro.traces.address_stream import (
+    AddressSpace,
+    address_stream_from_pattern,
+    loop_address,
+    pattern_from_names,
+)
+from repro.traces.cpu_usage import CpuPhase, cpu_usage_trace, iteration_pattern
+from repro.traces.hwcounters import CounterPhase, counter_deltas, hardware_counter_trace
+from repro.traces.io import load_trace, load_trace_csv, save_trace, save_trace_csv
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.traces.nas_ft import FT_MAX_CPUS, FT_PERIOD, ft_iteration_phases, generate_ft_cpu_trace
+from repro.traces.perturbation import (
+    add_amplitude_noise,
+    add_drift,
+    drop_samples,
+    jitter_period,
+    perturb_trace,
+)
+from repro.traces.spec_apps import (
+    PAPER_TABLE2,
+    SpecApplicationModel,
+    all_spec_models,
+    apsi_model,
+    generate_spec_stream,
+    hydro2d_model,
+    swim_model,
+    tomcatv_model,
+    turb3d_model,
+)
+from repro.traces.synthetic import (
+    aperiodic_signal,
+    make_trace,
+    nested_event_pattern,
+    noisy_periodic_signal,
+    periodic_signal,
+    random_walk,
+    repeat_pattern,
+    sawtooth_wave,
+    square_wave,
+)
+
+__all__ = [
+    "AddressSpace",
+    "address_stream_from_pattern",
+    "loop_address",
+    "pattern_from_names",
+    "CpuPhase",
+    "cpu_usage_trace",
+    "iteration_pattern",
+    "CounterPhase",
+    "counter_deltas",
+    "hardware_counter_trace",
+    "load_trace",
+    "load_trace_csv",
+    "save_trace",
+    "save_trace_csv",
+    "Trace",
+    "TraceKind",
+    "TraceMetadata",
+    "FT_MAX_CPUS",
+    "FT_PERIOD",
+    "ft_iteration_phases",
+    "generate_ft_cpu_trace",
+    "add_amplitude_noise",
+    "add_drift",
+    "drop_samples",
+    "jitter_period",
+    "perturb_trace",
+    "PAPER_TABLE2",
+    "SpecApplicationModel",
+    "all_spec_models",
+    "apsi_model",
+    "generate_spec_stream",
+    "hydro2d_model",
+    "swim_model",
+    "tomcatv_model",
+    "turb3d_model",
+    "aperiodic_signal",
+    "make_trace",
+    "nested_event_pattern",
+    "noisy_periodic_signal",
+    "periodic_signal",
+    "random_walk",
+    "repeat_pattern",
+    "sawtooth_wave",
+    "square_wave",
+]

@@ -1,0 +1,128 @@
+"""Construction of parallel-loop *address* streams.
+
+OpenMP compilers encapsulate each parallel loop in a function (Figure 5 of
+the paper); at run time the sequence of calls to those functions — observed
+through dynamic interposition — forms an event stream whose values are the
+function addresses.  This module assigns stable synthetic addresses to loop
+names and assembles address streams from per-iteration loop call patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = [
+    "loop_address",
+    "AddressSpace",
+    "address_stream_from_pattern",
+    "pattern_from_names",
+]
+
+#: Base of the synthetic text segment where encapsulated loop functions live.
+_TEXT_BASE = 0x0040_0000
+#: Synthetic size of one encapsulated loop function.
+_FUNCTION_STRIDE = 0x140
+
+
+def loop_address(index: int) -> int:
+    """Deterministic synthetic address of the ``index``-th loop function."""
+    if index < 0:
+        raise ValidationError("loop index must be non-negative")
+    return _TEXT_BASE + index * _FUNCTION_STRIDE
+
+
+class AddressSpace:
+    """Assigns and remembers addresses for named parallel loops.
+
+    The mapping is deterministic in the order of first use, so the same
+    application model always produces the same address stream.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, int] = {}
+
+    def address_of(self, name: str) -> int:
+        """Return (allocating on first use) the address of loop ``name``."""
+        if not name:
+            raise ValidationError("loop name must not be empty")
+        if name not in self._by_name:
+            self._by_name[name] = loop_address(len(self._by_name))
+        return self._by_name[name]
+
+    def assign(self, name: str, address: int) -> int:
+        """Force ``name`` to map to ``address`` (e.g. to mirror another space)."""
+        if not name:
+            raise ValidationError("loop name must not be empty")
+        existing = self._by_name.get(name)
+        if existing is not None and existing != address:
+            raise ValidationError(
+                f"loop {name!r} is already mapped to 0x{existing:x}"
+            )
+        self._by_name[name] = int(address)
+        return int(address)
+
+    def name_of(self, address: int) -> str | None:
+        """Reverse lookup (``None`` for unknown addresses)."""
+        for name, addr in self._by_name.items():
+            if addr == address:
+                return name
+        return None
+
+    @property
+    def mapping(self) -> Mapping[str, int]:
+        """Read-only view of the name -> address mapping."""
+        return dict(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def pattern_from_names(names: Sequence[str], space: AddressSpace | None = None) -> np.ndarray:
+    """Translate a sequence of loop names into an address pattern."""
+    # An empty AddressSpace is falsy (it defines __len__): test for None.
+    space = space if space is not None else AddressSpace()
+    return np.array([space.address_of(name) for name in names], dtype=np.int64)
+
+
+def address_stream_from_pattern(
+    pattern: Sequence[int] | np.ndarray,
+    length: int,
+    *,
+    name: str = "address_stream",
+    expected_periods: Iterable[int] = (),
+    description: str = "",
+    **attributes,
+) -> Trace:
+    """Tile a per-iteration address pattern into an event trace.
+
+    Parameters
+    ----------
+    pattern:
+        Addresses of the loop calls of one iteration of the outermost
+        repetitive structure.
+    length:
+        Total number of events in the resulting stream (the trace is
+        truncated mid-iteration when ``length`` is not a multiple of the
+        pattern length — exactly what happens when an execution trace is
+        cut off, and what the paper's stream lengths imply).
+    """
+    arr = np.asarray(pattern, dtype=np.int64)
+    if arr.size == 0:
+        raise ValidationError("pattern must not be empty")
+    check_positive_int(length, "length")
+    reps = int(np.ceil(length / arr.size))
+    values = np.tile(arr, reps)[:length]
+    metadata = TraceMetadata(
+        name=name,
+        kind=TraceKind.EVENTS,
+        sampling_interval=None,
+        description=description,
+        expected_periods=tuple(int(p) for p in expected_periods),
+        attributes={"pattern_length": int(arr.size), **attributes},
+    )
+    return Trace(values, metadata)

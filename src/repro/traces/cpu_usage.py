@@ -1,0 +1,128 @@
+"""Sampled CPU-usage traces of fork-join parallel applications.
+
+The paper's first application of the DPD analyses a trace of the
+*instantaneous number of active CPUs* of an MPI/OpenMP application, sampled
+every millisecond (Figure 3).  This module builds such traces from a
+phase-level description of one iteration of the application: each phase
+specifies how many CPUs are active for how many samples (e.g. a serial
+phase on 1 CPU, a fully parallel loop on 16 CPUs, a ramp while threads are
+spawned or joined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = ["CpuPhase", "iteration_pattern", "cpu_usage_trace"]
+
+
+@dataclass(frozen=True)
+class CpuPhase:
+    """One phase of an iteration of a fork-join application.
+
+    Attributes
+    ----------
+    cpus:
+        Number of CPUs active during the phase (end value when ramping).
+    duration:
+        Phase length in samples.
+    ramp_from:
+        When given, the CPU count ramps linearly from this value to
+        ``cpus`` over the phase (models the gradual opening/closing of
+        parallelism visible in Figure 3).
+    """
+
+    cpus: int
+    duration: int
+    ramp_from: int | None = None
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.cpus, "cpus")
+        check_positive_int(self.duration, "duration")
+        if self.ramp_from is not None:
+            check_non_negative(self.ramp_from, "ramp_from")
+
+    def render(self) -> np.ndarray:
+        """Materialise the phase as an array of CPU counts."""
+        if self.ramp_from is None:
+            return np.full(self.duration, float(self.cpus))
+        return np.round(
+            np.linspace(float(self.ramp_from), float(self.cpus), self.duration)
+        )
+
+
+def iteration_pattern(phases: Sequence[CpuPhase]) -> np.ndarray:
+    """Concatenate phases into the CPU-usage pattern of one iteration."""
+    if not phases:
+        raise ValidationError("at least one phase is required")
+    return np.concatenate([phase.render() for phase in phases])
+
+
+def cpu_usage_trace(
+    phases: Sequence[CpuPhase],
+    iterations: int,
+    *,
+    name: str = "cpu_usage",
+    sampling_interval: float = 1e-3,
+    amplitude_jitter: float = 0.0,
+    max_cpus: int | None = None,
+    warmup: Sequence[CpuPhase] = (),
+    cooldown: Sequence[CpuPhase] = (),
+    seed: int | None = 0,
+    description: str = "",
+) -> Trace:
+    """Build a sampled CPU-usage trace by repeating an iteration pattern.
+
+    Parameters
+    ----------
+    phases:
+        The phases of one iteration of the application's main loop.
+    iterations:
+        Number of repetitions of the pattern.
+    amplitude_jitter:
+        Standard deviation (in CPUs) of Gaussian noise added to each
+        sample, then clipped to ``[0, max_cpus]`` and rounded — the paper
+        notes that "the pattern of CPU use is not exactly the same during
+        the application's execution".
+    warmup / cooldown:
+        Optional non-repeating phases prepended/appended (application
+        start-up and shutdown).
+    """
+    check_positive_int(iterations, "iterations")
+    check_non_negative(amplitude_jitter, "amplitude_jitter")
+    pattern = iteration_pattern(phases)
+    pieces = []
+    if warmup:
+        pieces.append(iteration_pattern(warmup))
+    pieces.append(np.tile(pattern, iterations))
+    if cooldown:
+        pieces.append(iteration_pattern(cooldown))
+    values = np.concatenate(pieces)
+
+    rng = np.random.default_rng(seed)
+    if amplitude_jitter > 0:
+        values = values + rng.normal(0.0, amplitude_jitter, size=values.size)
+    ceiling = max_cpus if max_cpus is not None else float(values.max())
+    values = np.clip(np.round(values), 0, ceiling)
+
+    metadata = TraceMetadata(
+        name=name,
+        kind=TraceKind.SAMPLED,
+        sampling_interval=sampling_interval,
+        description=description or "Synthetic CPU-usage trace of a fork-join application",
+        expected_periods=(int(pattern.size),),
+        attributes={
+            "iterations": int(iterations),
+            "pattern_length": int(pattern.size),
+            "amplitude_jitter": float(amplitude_jitter),
+            "max_cpus": int(ceiling),
+            "seed": seed,
+        },
+    )
+    return Trace(values, metadata)

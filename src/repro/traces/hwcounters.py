@@ -1,0 +1,129 @@
+"""Hardware-counter-like data streams.
+
+The paper's introduction lists the parameters a dynamic measurement tool
+observes: "subroutine calls, hardware counters, or CPU usage".  This module
+generates synthetic hardware-counter streams (instructions retired, cache
+misses, floating-point operations) for an iterative application: each phase
+of an iteration has a characteristic counter *rate*, so the per-sample
+counter deltas form a periodic magnitude stream that the equation (1)
+detector can segment — a third stream family, alongside CPU usage and
+loop-address events, on which the DPD is exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = ["CounterPhase", "hardware_counter_trace", "counter_deltas"]
+
+
+@dataclass(frozen=True)
+class CounterPhase:
+    """One phase of an iteration, characterised by its counter rates.
+
+    Attributes
+    ----------
+    duration:
+        Phase length in samples.
+    instructions_per_sample:
+        Mean retired instructions per sampling interval during the phase.
+    miss_rate:
+        Cache misses per instruction (dimensionless, typically ≪ 1).
+    flops_fraction:
+        Fraction of instructions that are floating-point operations.
+    """
+
+    duration: int
+    instructions_per_sample: float
+    miss_rate: float = 0.01
+    flops_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.duration, "duration")
+        check_non_negative(self.instructions_per_sample, "instructions_per_sample")
+        check_non_negative(self.miss_rate, "miss_rate")
+        if not 0.0 <= self.flops_fraction <= 1.0:
+            raise ValidationError("flops_fraction must be in [0, 1]")
+
+
+_COUNTERS = ("instructions", "cache_misses", "flops")
+
+
+def hardware_counter_trace(
+    phases: Sequence[CounterPhase],
+    iterations: int,
+    *,
+    counter: str = "instructions",
+    sampling_interval: float = 1e-3,
+    relative_noise: float = 0.02,
+    seed: int | None = 0,
+    name: str = "hw_counter",
+) -> Trace:
+    """Build a sampled hardware-counter-delta trace for an iterative app.
+
+    Each sample is the counter increment observed during one sampling
+    interval; the per-phase rates repeat every iteration, so the stream is
+    periodic with the iteration length (in samples).
+    """
+    if not phases:
+        raise ValidationError("at least one phase is required")
+    if counter not in _COUNTERS:
+        raise ValidationError(f"counter must be one of {_COUNTERS}, got {counter!r}")
+    check_positive_int(iterations, "iterations")
+    check_non_negative(relative_noise, "relative_noise")
+
+    per_sample = []
+    for phase in phases:
+        if counter == "instructions":
+            rate = phase.instructions_per_sample
+        elif counter == "cache_misses":
+            rate = phase.instructions_per_sample * phase.miss_rate
+        else:  # flops
+            rate = phase.instructions_per_sample * phase.flops_fraction
+        per_sample.extend([rate] * phase.duration)
+    pattern = np.asarray(per_sample, dtype=np.float64)
+    values = np.tile(pattern, iterations)
+
+    rng = np.random.default_rng(seed)
+    if relative_noise > 0:
+        values = values * (1.0 + rng.normal(0.0, relative_noise, size=values.size))
+        values = np.clip(values, 0.0, None)
+
+    metadata = TraceMetadata(
+        name=name,
+        kind=TraceKind.SAMPLED,
+        sampling_interval=sampling_interval,
+        description=f"Synthetic {counter} deltas of an iterative application",
+        expected_periods=(int(pattern.size),),
+        attributes={
+            "counter": counter,
+            "iterations": int(iterations),
+            "pattern_length": int(pattern.size),
+            "relative_noise": float(relative_noise),
+            "seed": seed,
+        },
+    )
+    return Trace(values, metadata)
+
+
+def counter_deltas(cumulative: np.ndarray) -> np.ndarray:
+    """Convert a cumulative counter series into per-sample increments.
+
+    Real hardware counters are monotonically increasing; the DPD operates
+    on their per-interval deltas.  Counter wrap-arounds (a drop in the
+    cumulative value) are treated as a restart and produce a zero delta.
+    """
+    arr = np.asarray(cumulative, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("cumulative must be a non-empty one-dimensional array")
+    deltas = np.empty_like(arr)
+    deltas[0] = 0.0
+    diff = np.diff(arr)
+    deltas[1:] = np.where(diff >= 0, diff, 0.0)
+    return deltas

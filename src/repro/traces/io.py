@@ -1,0 +1,99 @@
+"""Serialisation of traces to and from disk.
+
+Recorded traces (Section 6.3 uses a "synthetic benchmark that reads a trace
+file") are stored either as compressed NumPy archives (``.npz``, lossless
+and compact) or as CSV/JSON for interoperability with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError
+
+__all__ = ["save_trace", "load_trace", "save_trace_csv", "load_trace_csv"]
+
+
+def _metadata_to_dict(metadata: TraceMetadata) -> dict:
+    return {
+        "name": metadata.name,
+        "kind": metadata.kind,
+        "sampling_interval": metadata.sampling_interval,
+        "description": metadata.description,
+        "expected_periods": list(metadata.expected_periods),
+        "attributes": dict(metadata.attributes),
+    }
+
+
+def _metadata_from_dict(data: dict) -> TraceMetadata:
+    return TraceMetadata(
+        name=data["name"],
+        kind=data["kind"],
+        sampling_interval=data.get("sampling_interval"),
+        description=data.get("description", ""),
+        expected_periods=tuple(data.get("expected_periods", ())),
+        attributes=data.get("attributes", {}),
+    )
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Save a trace as a compressed ``.npz`` archive; returns the path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        values=np.asarray(trace.values),
+        metadata=json.dumps(_metadata_to_dict(trace.metadata)),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace previously saved with :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file {path} does not exist")
+    with np.load(path, allow_pickle=False) as data:
+        values = data["values"]
+        metadata = _metadata_from_dict(json.loads(str(data["metadata"])))
+    return Trace(values, metadata)
+
+
+def save_trace_csv(trace: Trace, path: str | Path) -> Path:
+    """Save a trace as CSV (two columns: index/time and value)."""
+    path = Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    times = trace.time_axis()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["# " + json.dumps(_metadata_to_dict(trace.metadata))])
+        writer.writerow(["time", "value"])
+        for t, v in zip(times, trace.values):
+            writer.writerow([f"{t:.9g}", f"{v:.9g}"])
+    return path
+
+
+def load_trace_csv(path: str | Path) -> Trace:
+    """Load a trace previously saved with :func:`save_trace_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"trace file {path} does not exist")
+    with path.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        metadata = _metadata_from_dict(json.loads(header[0].lstrip("# ")))
+        next(reader)  # column names
+        values = [float(row[1]) for row in reader if row]
+    arr = np.asarray(values)
+    if metadata.kind == TraceKind.EVENTS:
+        arr = np.round(arr).astype(np.int64)
+    return Trace(arr, metadata)

@@ -1,0 +1,147 @@
+"""Trace containers shared by the trace generators and the benches.
+
+A *trace* is the data series the DPD consumes: either a sampled magnitude
+(e.g. the instantaneous number of active CPUs, Figure 3) or a sequence of
+events (the addresses of the parallel-loop functions, Section 5.1).  The
+:class:`Trace` container keeps the raw values together with the metadata
+needed to interpret and reproduce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+__all__ = ["TraceKind", "TraceMetadata", "Trace"]
+
+
+class TraceKind:
+    """Enumeration of the two stream types the paper distinguishes."""
+
+    SAMPLED = "sampled"  # magnitudes sampled at a fixed frequency (eq. 1)
+    EVENTS = "events"  # identifiers registered on change / on call (eq. 2)
+
+    ALL = (SAMPLED, EVENTS)
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Descriptive metadata attached to a trace.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (e.g. ``"nas_ft"``, ``"hydro2d"``).
+    kind:
+        One of :class:`TraceKind`.
+    sampling_interval:
+        Seconds between consecutive samples for sampled traces (the paper
+        uses 1 ms for the FT CPU-usage trace); ``None`` for event traces,
+        whose spacing is data dependent.
+    description:
+        Free-form human description.
+    expected_periods:
+        Ground-truth periodicities of the generator (used by tests and by
+        the Table 2 bench to compare against the paper's values).
+    attributes:
+        Additional generator parameters (processor count, iteration count,
+        random seed, ...), kept for reproducibility.
+    """
+
+    name: str
+    kind: str
+    sampling_interval: float | None = None
+    description: str = ""
+    expected_periods: tuple[int, ...] = ()
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TraceKind.ALL:
+            raise ValidationError(f"kind must be one of {TraceKind.ALL}, got {self.kind!r}")
+        if self.sampling_interval is not None and self.sampling_interval <= 0:
+            raise ValidationError("sampling_interval must be positive")
+        object.__setattr__(self, "expected_periods", tuple(int(p) for p in self.expected_periods))
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+
+class Trace:
+    """A recorded or generated data series plus its metadata."""
+
+    def __init__(self, values: np.ndarray, metadata: TraceMetadata) -> None:
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValidationError("trace values must be one-dimensional")
+        if metadata.kind == TraceKind.EVENTS:
+            arr = arr.astype(np.int64)
+        else:
+            arr = arr.astype(np.float64)
+        self._values = arr
+        self._metadata = metadata
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The raw data series (read-only view)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def metadata(self) -> TraceMetadata:
+        """The metadata attached at construction."""
+        return self._metadata
+
+    @property
+    def name(self) -> str:
+        """Shorthand for ``metadata.name``."""
+        return self._metadata.name
+
+    @property
+    def kind(self) -> str:
+        """Shorthand for ``metadata.kind``."""
+        return self._metadata.kind
+
+    @property
+    def expected_periods(self) -> tuple[int, ...]:
+        """Shorthand for ``metadata.expected_periods``."""
+        return self._metadata.expected_periods
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float | None:
+        """Trace duration in seconds (``None`` for event traces)."""
+        if self._metadata.sampling_interval is None:
+            return None
+        return float(len(self) * self._metadata.sampling_interval)
+
+    def time_axis(self) -> np.ndarray:
+        """Sample timestamps in seconds (indices for event traces)."""
+        if self._metadata.sampling_interval is None:
+            return np.arange(len(self), dtype=np.float64)
+        return np.arange(len(self), dtype=np.float64) * self._metadata.sampling_interval
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a sub-trace covering ``values[start:stop]``."""
+        if start < 0 or stop < start:
+            raise ValidationError("invalid slice bounds")
+        return Trace(self._values[start:stop].copy(), self._metadata)
+
+    def with_values(self, values: np.ndarray) -> "Trace":
+        """Return a new trace with the same metadata but new values."""
+        return Trace(values, self._metadata)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Trace(name={self.name!r}, kind={self.kind!r}, length={len(self)})"

@@ -1,0 +1,123 @@
+"""A NAS-FT-like CPU-usage trace (Figures 3 and 4 of the paper).
+
+The paper applies the DPD to a trace of the instantaneous number of active
+CPUs of the NAS FT benchmark (MPI/OpenMP, NANOS runtime, SGI Origin 2000,
+sampled at 1 ms).  Up to 16 CPUs are used, parallelism is opened and closed
+a few times per iteration, and the DPD reports a periodicity of **m = 44
+samples** (Figure 4).
+
+We cannot rerun that platform; :func:`generate_ft_cpu_trace` synthesises a
+trace with the same qualitative structure — a 44-sample iteration made of a
+serial MPI/transpose phase, ramps while thread teams are created and
+joined, and wide fully-parallel FFT phases — plus per-sample amplitude
+jitter so that, exactly as in the paper, the pattern is *not* identical
+from iteration to iteration and the magnitude metric (equation 1) has to
+find the period through a non-zero local minimum.
+"""
+
+from __future__ import annotations
+
+from repro.traces.cpu_usage import CpuPhase, cpu_usage_trace
+from repro.traces.model import Trace
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = ["FT_PERIOD", "FT_MAX_CPUS", "ft_iteration_phases", "generate_ft_cpu_trace"]
+
+#: Periodicity of the FT CPU-usage trace reported by the paper (samples).
+FT_PERIOD = 44
+#: Maximum number of CPUs used by the application in the paper's trace.
+FT_MAX_CPUS = 16
+
+
+def ft_iteration_phases(period: int = FT_PERIOD, max_cpus: int = FT_MAX_CPUS) -> list[CpuPhase]:
+    """Phase breakdown of one FT iteration totalling ``period`` samples.
+
+    The default 44-sample layout:
+
+    ========================  ========  =========
+    phase                      CPUs      samples
+    ========================  ========  =========
+    serial / MPI exchange      1         6
+    fork ramp                  1 -> 16   4
+    FFT sweep (dimension 1)    16        10
+    partial join               16 -> 6   3
+    transpose (few CPUs)       6         5
+    fork ramp                  6 -> 16   3
+    FFT sweep (dimension 2)    16        9
+    join ramp                  16 -> 1   4
+    ========================  ========  =========
+    """
+    check_positive_int(period, "period")
+    check_positive_int(max_cpus, "max_cpus")
+    if period < 16:
+        raise ValidationError("the FT iteration needs at least 16 samples")
+    mid_cpus = max(1, max_cpus // 3 + 1)
+    base = [
+        CpuPhase(cpus=1, duration=6),
+        CpuPhase(cpus=max_cpus, duration=4, ramp_from=1),
+        CpuPhase(cpus=max_cpus, duration=10),
+        CpuPhase(cpus=mid_cpus, duration=3, ramp_from=max_cpus),
+        CpuPhase(cpus=mid_cpus, duration=5),
+        CpuPhase(cpus=max_cpus, duration=3, ramp_from=mid_cpus),
+        CpuPhase(cpus=max_cpus, duration=9),
+        CpuPhase(cpus=1, duration=4, ramp_from=max_cpus),
+    ]
+    base_total = sum(p.duration for p in base)
+    if period == base_total:
+        return base
+    # Scale the two big FFT sweeps to absorb the difference so any period
+    # can be requested while the qualitative shape is preserved.
+    delta = period - base_total
+    first_extra = delta // 2
+    second_extra = delta - first_extra
+    adjusted = list(base)
+    adjusted[2] = CpuPhase(cpus=max_cpus, duration=max(1, 10 + first_extra))
+    adjusted[6] = CpuPhase(cpus=max_cpus, duration=max(1, 9 + second_extra))
+    total = sum(p.duration for p in adjusted)
+    if total != period:
+        # Final correction on the serial phase (always >= 1 sample).
+        adjusted[0] = CpuPhase(cpus=1, duration=max(1, 6 + (period - total)))
+    return adjusted
+
+
+def generate_ft_cpu_trace(
+    iterations: int = 24,
+    *,
+    period: int = FT_PERIOD,
+    max_cpus: int = FT_MAX_CPUS,
+    sampling_interval: float = 1e-3,
+    amplitude_jitter: float = 0.6,
+    seed: int | None = 7,
+) -> Trace:
+    """Generate the FT-like CPU-usage trace used by Figures 3 and 4.
+
+    Parameters
+    ----------
+    iterations:
+        Number of iterations of the main loop contained in the trace.
+    period:
+        Iteration length in samples (44 in the paper).
+    max_cpus:
+        Peak CPU count (16 in the paper).
+    amplitude_jitter:
+        Per-sample Gaussian jitter (in CPUs) so successive iterations are
+        similar but not identical.
+    """
+    check_positive_int(iterations, "iterations")
+    check_non_negative(amplitude_jitter, "amplitude_jitter")
+    phases = ft_iteration_phases(period, max_cpus)
+    trace = cpu_usage_trace(
+        phases,
+        iterations,
+        name="nas_ft",
+        sampling_interval=sampling_interval,
+        amplitude_jitter=amplitude_jitter,
+        max_cpus=max_cpus,
+        warmup=[CpuPhase(cpus=1, duration=10)],
+        seed=seed,
+        description=(
+            "Synthetic NAS FT CPU-usage trace: number of active CPUs sampled "
+            f"every {sampling_interval * 1e3:g} ms, iteration period {period} samples"
+        ),
+    )
+    return trace

@@ -1,0 +1,116 @@
+"""Perturbations applied to traces for robustness experiments.
+
+The ablation benches and the property-based tests exercise the DPD on
+degraded inputs: amplitude noise, occasional dropped samples, slow drift
+and timing jitter (iterations slightly longer or shorter than nominal).
+Each helper takes and returns a plain NumPy array so it can be composed
+freely; :func:`perturb_trace` applies them to a :class:`Trace` and keeps
+the metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.model import Trace
+from repro.util.validation import check_non_negative, check_probability
+
+__all__ = [
+    "add_amplitude_noise",
+    "add_drift",
+    "drop_samples",
+    "jitter_period",
+    "perturb_trace",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def add_amplitude_noise(values: np.ndarray, std: float, *, seed: int | None = 0) -> np.ndarray:
+    """Add zero-mean Gaussian noise with standard deviation ``std``."""
+    check_non_negative(std, "std")
+    arr = np.asarray(values, dtype=np.float64)
+    if std == 0:
+        return arr.copy()
+    rng = _rng(seed)
+    return arr + rng.normal(0.0, std, size=arr.size)
+
+
+def add_drift(values: np.ndarray, total_drift: float) -> np.ndarray:
+    """Add a linear drift accumulating to ``total_drift`` over the trace."""
+    arr = np.asarray(values, dtype=np.float64)
+    return arr + np.linspace(0.0, float(total_drift), arr.size)
+
+
+def drop_samples(values: np.ndarray, probability: float, *, seed: int | None = 0) -> np.ndarray:
+    """Remove each sample independently with the given probability.
+
+    Dropping samples models a monitoring tool that occasionally misses an
+    event; the stream becomes shorter and the periodic structure is locally
+    broken.
+    """
+    check_probability(probability, "probability")
+    arr = np.asarray(values)
+    if probability == 0:
+        return arr.copy()
+    rng = _rng(seed)
+    keep = rng.random(arr.size) >= probability
+    if not keep.any():
+        keep[0] = True
+    return arr[keep]
+
+
+def jitter_period(
+    pattern: np.ndarray,
+    iterations: int,
+    *,
+    max_shift: int = 1,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Repeat ``pattern`` with each instance stretched/shrunk by a few samples.
+
+    Each iteration is lengthened (by repeating its last sample) or
+    shortened (by dropping trailing samples) by a random amount in
+    ``[-max_shift, +max_shift]``.  This models iterations whose duration
+    varies slightly from one to the next.
+    """
+    check_non_negative(max_shift, "max_shift")
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    rng = _rng(seed)
+    arr = np.asarray(pattern, dtype=np.float64)
+    pieces = []
+    for _ in range(iterations):
+        shift = int(rng.integers(-max_shift, max_shift + 1)) if max_shift else 0
+        if shift >= 0:
+            piece = np.concatenate([arr, np.full(shift, arr[-1])])
+        else:
+            piece = arr[:shift] if shift < 0 else arr
+        pieces.append(piece)
+    return np.concatenate(pieces)
+
+
+def perturb_trace(
+    trace: Trace,
+    *,
+    noise_std: float = 0.0,
+    drift: float = 0.0,
+    drop_probability: float = 0.0,
+    seed: int | None = 0,
+) -> Trace:
+    """Apply noise, drift and sample dropping to a trace, keeping metadata."""
+    values = np.asarray(trace.values, dtype=np.float64)
+    rng = _rng(seed)
+    if noise_std:
+        values = add_amplitude_noise(values, noise_std, seed=rng)
+    if drift:
+        values = add_drift(values, drift)
+    if drop_probability:
+        values = drop_samples(values, drop_probability, seed=rng)
+    if trace.kind == "events":
+        values = np.round(values).astype(np.int64)
+    return trace.with_values(values)

@@ -1,0 +1,222 @@
+"""Synthetic models of the five SPECfp95 applications of Table 2.
+
+The paper evaluates the DPD on tomcatv, swim, apsi, hydro2d and turb3d,
+hand-parallelised with OpenMP.  We do not have those binaries; what the DPD
+actually consumes is the *sequence of parallel-loop function addresses* per
+outer iteration, so each application is modelled by its loop-call pattern:
+
+============  ==============  ==========================  =================
+Application   Stream length   Detected periodicities       Structure
+============  ==============  ==========================  =================
+tomcatv       3750            5                            5 loops / iter
+swim          5402            6                            6 loops / iter
+apsi          5762            6                            6 loops / iter
+hydro2d       53814           1, 24, 269                   nested (run + 24-loop block + tail)
+turb3d        1580            12, 142                      nested (12-loop block + tail)
+============  ==============  ==========================  =================
+
+The stream lengths and the periodicities are taken directly from Table 2 of
+the paper; the loop-call patterns are synthetic but reproduce the nesting
+structure that yields those periodicities (see DESIGN.md, substitution
+table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.traces.address_stream import AddressSpace, address_stream_from_pattern
+from repro.traces.model import Trace
+from repro.traces.synthetic import nested_event_pattern
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "SpecApplicationModel",
+    "tomcatv_model",
+    "swim_model",
+    "apsi_model",
+    "hydro2d_model",
+    "turb3d_model",
+    "all_spec_models",
+    "generate_spec_stream",
+    "PAPER_TABLE2",
+]
+
+#: Table 2 of the paper: application -> (stream length, detected periodicities).
+PAPER_TABLE2: Mapping[str, tuple[int, tuple[int, ...]]] = {
+    "apsi": (5762, (6,)),
+    "hydro2d": (53814, (1, 24, 269)),
+    "swim": (5402, (6,)),
+    "tomcatv": (3750, (5,)),
+    "turb3d": (1580, (12, 142)),
+}
+
+
+@dataclass(frozen=True)
+class SpecApplicationModel:
+    """Synthetic model of one SPECfp95-like application.
+
+    Attributes
+    ----------
+    name:
+        Application name (lower case, as in Table 2).
+    outer_pattern:
+        Addresses of the parallel-loop calls of one outer iteration.
+    stream_length:
+        Number of events in the generated stream (Table 2's
+        "Data stream length").
+    expected_periods:
+        Periodicities the DPD is expected to detect (Table 2's
+        "Detected periodicities").
+    loop_names:
+        Name -> address mapping of the loops appearing in the pattern.
+    """
+
+    name: str
+    outer_pattern: np.ndarray
+    stream_length: int
+    expected_periods: tuple[int, ...]
+    loop_names: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.outer_pattern.size == 0:
+            raise ValidationError("outer_pattern must not be empty")
+        if self.stream_length <= 0:
+            raise ValidationError("stream_length must be positive")
+
+    @property
+    def outer_period(self) -> int:
+        """Length of one outer iteration (the largest expected period)."""
+        return int(self.outer_pattern.size)
+
+    def generate(self, length: int | None = None) -> Trace:
+        """Generate the address stream for this application."""
+        return address_stream_from_pattern(
+            self.outer_pattern,
+            length or self.stream_length,
+            name=self.name,
+            expected_periods=self.expected_periods,
+            description=f"Synthetic loop-call address stream of {self.name} (Table 2 model)",
+            application=self.name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Simple (single-periodicity) applications: one flat sequence of distinct
+# parallel loops per iteration of the main sequential loop.
+# ----------------------------------------------------------------------
+def _flat_model(name: str, loops: int) -> SpecApplicationModel:
+    length, periods = PAPER_TABLE2[name]
+    space = AddressSpace()
+    names = [f"{name}_loop_{i}" for i in range(loops)]
+    pattern = np.array([space.address_of(n) for n in names], dtype=np.int64)
+    return SpecApplicationModel(
+        name=name,
+        outer_pattern=pattern,
+        stream_length=length,
+        expected_periods=periods,
+        loop_names=space.mapping,
+    )
+
+
+def tomcatv_model() -> SpecApplicationModel:
+    """Tomcatv: 5 parallel loops inside the main sequential loop."""
+    return _flat_model("tomcatv", 5)
+
+
+def swim_model() -> SpecApplicationModel:
+    """Swim: 6 parallel loops (calc1, calc2, calc3, ...) per iteration."""
+    return _flat_model("swim", 6)
+
+
+def apsi_model() -> SpecApplicationModel:
+    """Apsi: 6 parallel loops per iteration of the main loop."""
+    return _flat_model("apsi", 6)
+
+
+# ----------------------------------------------------------------------
+# Nested applications.
+# ----------------------------------------------------------------------
+def hydro2d_model() -> SpecApplicationModel:
+    """Hydro2d: nested iterative parallel structure (periods 1, 24, 269).
+
+    One outer iteration (269 loop calls) is composed of:
+
+    * a run of 29 consecutive calls to the same small loop (the inner
+      repetition that yields the reported periodicity 1),
+    * a block of 24 distinct loops repeated 8 times (periodicity 24),
+    * a tail of 48 further distinct loops.
+    """
+    length, periods = PAPER_TABLE2["hydro2d"]
+    space = AddressSpace()
+    run_loop = space.address_of("hydro2d_filter")
+    inner = [space.address_of(f"hydro2d_sweep_{i}") for i in range(24)]
+    tail = [space.address_of(f"hydro2d_update_{i}") for i in range(48)]
+    pattern = nested_event_pattern(
+        run_value=run_loop,
+        run_length=29,
+        inner_pattern=inner,
+        inner_repetitions=8,
+        tail=tail,
+    )
+    assert pattern.size == 269, "hydro2d outer iteration must contain 269 loop calls"
+    return SpecApplicationModel(
+        name="hydro2d",
+        outer_pattern=pattern,
+        stream_length=length,
+        expected_periods=periods,
+        loop_names=space.mapping,
+    )
+
+
+def turb3d_model() -> SpecApplicationModel:
+    """Turb3d: nested iterative parallel structure (periods 12, 142).
+
+    One outer iteration (142 loop calls) is composed of a block of 12
+    distinct loops repeated 8 times (periodicity 12) followed by a tail of
+    46 further distinct loops.
+    """
+    length, periods = PAPER_TABLE2["turb3d"]
+    space = AddressSpace()
+    inner = [space.address_of(f"turb3d_fft_{i}") for i in range(12)]
+    tail = [space.address_of(f"turb3d_nl_{i}") for i in range(46)]
+    pattern = nested_event_pattern(
+        inner_pattern=inner,
+        inner_repetitions=8,
+        tail=tail,
+    )
+    assert pattern.size == 142, "turb3d outer iteration must contain 142 loop calls"
+    return SpecApplicationModel(
+        name="turb3d",
+        outer_pattern=pattern,
+        stream_length=length,
+        expected_periods=periods,
+        loop_names=space.mapping,
+    )
+
+
+_MODEL_FACTORIES: Mapping[str, Callable[[], SpecApplicationModel]] = {
+    "tomcatv": tomcatv_model,
+    "swim": swim_model,
+    "apsi": apsi_model,
+    "hydro2d": hydro2d_model,
+    "turb3d": turb3d_model,
+}
+
+
+def all_spec_models() -> list[SpecApplicationModel]:
+    """Return all five application models, in the order of Table 2."""
+    return [_MODEL_FACTORIES[name]() for name in ("apsi", "hydro2d", "swim", "tomcatv", "turb3d")]
+
+
+def generate_spec_stream(name: str, length: int | None = None) -> Trace:
+    """Generate the address stream of one application by name."""
+    key = name.lower()
+    if key not in _MODEL_FACTORIES:
+        raise ValidationError(
+            f"unknown application {name!r}; choose from {sorted(_MODEL_FACTORIES)}"
+        )
+    return _MODEL_FACTORIES[key]().generate(length)

@@ -1,0 +1,168 @@
+"""Generic synthetic data-series generators.
+
+These generators produce the controlled streams used by the unit tests,
+the property-based tests and the ablation benches (E9/E10 in DESIGN.md):
+exactly periodic patterns, noisy periodic patterns, nested patterns and
+aperiodic streams.  Application-specific generators (NAS FT, the SPECfp95
+models) build on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError, check_non_negative, check_positive_int
+
+__all__ = [
+    "repeat_pattern",
+    "periodic_signal",
+    "noisy_periodic_signal",
+    "nested_event_pattern",
+    "square_wave",
+    "sawtooth_wave",
+    "aperiodic_signal",
+    "random_walk",
+    "make_trace",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def repeat_pattern(pattern: Sequence[float], length: int) -> np.ndarray:
+    """Tile ``pattern`` until exactly ``length`` samples are produced."""
+    arr = np.asarray(pattern)
+    if arr.size == 0:
+        raise ValidationError("pattern must not be empty")
+    check_positive_int(length, "length")
+    reps = int(np.ceil(length / arr.size))
+    return np.tile(arr, reps)[:length]
+
+
+def periodic_signal(period: int, length: int, *, amplitude: float = 1.0, seed: int | None = 0) -> np.ndarray:
+    """An exactly periodic signal with a random (but reproducible) pattern.
+
+    The pattern values are drawn once and then tiled, so the resulting
+    stream is exactly periodic with the requested period (its fundamental
+    may be a divisor only with negligible probability, which the tests
+    guard against by using distinct values).
+    """
+    check_positive_int(period, "period")
+    check_positive_int(length, "length")
+    rng = _rng(seed)
+    # Distinct values guarantee the requested period is the fundamental.
+    pattern = amplitude * (rng.permutation(period) + 1).astype(np.float64)
+    return repeat_pattern(pattern, length)
+
+
+def noisy_periodic_signal(
+    period: int,
+    length: int,
+    *,
+    amplitude: float = 1.0,
+    noise_std: float = 0.05,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """A periodic signal with additive Gaussian noise."""
+    check_non_negative(noise_std, "noise_std")
+    rng = _rng(seed)
+    clean = periodic_signal(period, length, amplitude=amplitude, seed=rng)
+    return clean + rng.normal(0.0, noise_std * amplitude, size=length)
+
+
+def nested_event_pattern(
+    *,
+    run_value: int | None = None,
+    run_length: int = 0,
+    inner_pattern: Sequence[int] = (),
+    inner_repetitions: int = 0,
+    tail: Sequence[int] = (),
+) -> np.ndarray:
+    """Build one outer iteration of a nested event pattern.
+
+    The outer iteration is the concatenation of an optional *run* of a
+    single repeated value (periodicity 1), an optional *inner pattern*
+    repeated several times (the inner periodicity) and a *tail* of
+    arbitrary events.  Repeating the result gives a stream with the nested
+    periodicities of hydro2d/turb3d in Table 2.
+    """
+    parts: list[np.ndarray] = []
+    if run_length:
+        check_positive_int(run_length, "run_length")
+        if run_value is None:
+            raise ValidationError("run_value must be given when run_length > 0")
+        parts.append(np.full(run_length, int(run_value), dtype=np.int64))
+    if inner_repetitions:
+        check_positive_int(inner_repetitions, "inner_repetitions")
+        inner = np.asarray(inner_pattern, dtype=np.int64)
+        if inner.size == 0:
+            raise ValidationError("inner_pattern must not be empty when repeated")
+        parts.append(np.tile(inner, inner_repetitions))
+    tail_arr = np.asarray(tail, dtype=np.int64)
+    if tail_arr.size:
+        parts.append(tail_arr)
+    if not parts:
+        raise ValidationError("the outer pattern must not be empty")
+    return np.concatenate(parts)
+
+
+def square_wave(period: int, length: int, *, low: float = 0.0, high: float = 1.0, duty: float = 0.5) -> np.ndarray:
+    """A square wave with the given period, levels and duty cycle."""
+    check_positive_int(period, "period")
+    check_positive_int(length, "length")
+    if not 0.0 < duty < 1.0:
+        raise ValidationError("duty must be in (0, 1)")
+    high_samples = max(1, int(round(duty * period)))
+    pattern = np.full(period, low, dtype=np.float64)
+    pattern[:high_samples] = high
+    return repeat_pattern(pattern, length)
+
+
+def sawtooth_wave(period: int, length: int, *, amplitude: float = 1.0) -> np.ndarray:
+    """A rising sawtooth with the given period."""
+    check_positive_int(period, "period")
+    check_positive_int(length, "length")
+    pattern = amplitude * np.arange(period, dtype=np.float64) / period
+    return repeat_pattern(pattern, length)
+
+
+def aperiodic_signal(length: int, *, seed: int | None = 0, amplitude: float = 1.0) -> np.ndarray:
+    """White noise: the detector must not report a period for this."""
+    check_positive_int(length, "length")
+    rng = _rng(seed)
+    return amplitude * rng.standard_normal(length)
+
+
+def random_walk(length: int, *, seed: int | None = 0, step: float = 1.0) -> np.ndarray:
+    """A random walk: locally smooth but aperiodic."""
+    check_positive_int(length, "length")
+    rng = _rng(seed)
+    return np.cumsum(rng.normal(0.0, step, size=length))
+
+
+def make_trace(
+    values: np.ndarray,
+    name: str,
+    *,
+    kind: str = TraceKind.SAMPLED,
+    sampling_interval: float | None = None,
+    expected_periods: Sequence[int] = (),
+    description: str = "",
+    **attributes,
+) -> Trace:
+    """Wrap raw values into a :class:`repro.traces.model.Trace`."""
+    metadata = TraceMetadata(
+        name=name,
+        kind=kind,
+        sampling_interval=sampling_interval,
+        description=description,
+        expected_periods=tuple(int(p) for p in expected_periods),
+        attributes=attributes,
+    )
+    return Trace(values, metadata)

@@ -1,0 +1,38 @@
+"""Shared utilities used across the :mod:`repro` package.
+
+The utilities are intentionally dependency-light: only :mod:`numpy` is used.
+They provide the small data structures and numerical helpers that the
+periodicity detector, the trace generators and the simulated runtime share.
+"""
+
+from repro.util.ringbuffer import RingBuffer
+from repro.util.stats import (
+    OnlineStats,
+    coefficient_of_variation,
+    geometric_mean,
+    harmonic_mean,
+    relative_error,
+)
+from repro.util.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RingBuffer",
+    "OnlineStats",
+    "coefficient_of_variation",
+    "geometric_mean",
+    "harmonic_mean",
+    "relative_error",
+    "ValidationError",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,36 @@
+"""Lightweight logging configuration for the :mod:`repro` package.
+
+The library never configures the root logger; callers opt in through
+:func:`configure_logging`, which the examples and the benchmark harness use
+to emit progress information.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_PACKAGE_LOGGER = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger rooted at the ``repro`` namespace."""
+    if name is None or name == _PACKAGE_LOGGER:
+        return logging.getLogger(_PACKAGE_LOGGER)
+    if name.startswith(f"{_PACKAGE_LOGGER}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler with a compact format to the package logger."""
+    logger = logging.getLogger(_PACKAGE_LOGGER)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

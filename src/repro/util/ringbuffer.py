@@ -1,0 +1,148 @@
+"""A fixed-capacity ring buffer backed by a NumPy array.
+
+The dynamic periodicity detector keeps a sliding *data window* of the last
+``N`` samples of the monitored stream (Section 3.1 of the paper).  The
+window is implemented as a ring buffer so that pushing one sample is O(1)
+and reading the window in chronological order is a cheap, vectorised copy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity circular buffer of floating-point samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of samples retained.  Once full, pushing a new
+        sample silently evicts the oldest one.
+    dtype:
+        NumPy dtype of the backing storage.  The detector uses ``float64``
+        for sampled magnitudes and ``int64`` for event identifiers.
+
+    Examples
+    --------
+    >>> rb = RingBuffer(3)
+    >>> for v in [1.0, 2.0, 3.0, 4.0]:
+    ...     rb.push(v)
+    >>> rb.to_array().tolist()
+    [2.0, 3.0, 4.0]
+    """
+
+    __slots__ = ("_data", "_capacity", "_size", "_head")
+
+    def __init__(self, capacity: int, dtype: np.dtype | type = np.float64) -> None:
+        check_positive_int(capacity, "capacity")
+        self._capacity = int(capacity)
+        self._data = np.zeros(self._capacity, dtype=dtype)
+        self._size = 0
+        self._head = 0  # index of the next write position
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of samples the buffer holds."""
+        return self._capacity
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the backing storage."""
+        return self._data.dtype
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer has reached its capacity."""
+        return self._size == self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no samples."""
+        return self._size == 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def push(self, value: float) -> None:
+        """Append ``value``, evicting the oldest sample when full."""
+        self._data[self._head] = value
+        self._head = (self._head + 1) % self._capacity
+        if self._size < self._capacity:
+            self._size += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append every element of ``values`` in order."""
+        for value in values:
+            self.push(value)
+
+    def clear(self) -> None:
+        """Drop all samples (capacity is unchanged)."""
+        self._size = 0
+        self._head = 0
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, keeping the most recent samples.
+
+        This implements the behaviour required by ``DPDWindowSize``: the
+        window can shrink once a satisfying periodicity has been found, or
+        grow when larger periods must be captured.  The newest
+        ``min(len(self), capacity)`` samples are preserved.
+        """
+        check_positive_int(capacity, "capacity")
+        current = self.to_array()
+        kept = current[-capacity:]
+        self._capacity = int(capacity)
+        self._data = np.zeros(self._capacity, dtype=self._data.dtype)
+        self._size = len(kept)
+        self._data[: self._size] = kept
+        self._head = self._size % self._capacity
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Return the samples in chronological order (oldest first)."""
+        if self._size < self._capacity:
+            return self._data[: self._size].copy()
+        return np.concatenate((self._data[self._head :], self._data[: self._head]))
+
+    def newest(self, count: int | None = None) -> np.ndarray:
+        """Return the ``count`` most recent samples (all when ``None``)."""
+        arr = self.to_array()
+        if count is None:
+            return arr
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return arr[-count:] if count else arr[:0]
+
+    def __getitem__(self, index: int) -> float:
+        """Return the ``index``-th sample in chronological order."""
+        if not -self._size <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        if index < 0:
+            index += self._size
+        if self._size < self._capacity:
+            return float(self._data[index])
+        return float(self._data[(self._head + index) % self._capacity])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.to_array())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"RingBuffer(capacity={self._capacity}, size={self._size}, "
+            f"dtype={self._data.dtype})"
+        )

@@ -1,0 +1,154 @@
+"""Small statistical helpers used by the analyzer, scheduler and benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "OnlineStats",
+    "geometric_mean",
+    "harmonic_mean",
+    "coefficient_of_variation",
+    "relative_error",
+]
+
+
+class OnlineStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    The SelfAnalyzer accumulates per-iteration execution times without
+    retaining every observation; this class provides the running mean,
+    variance and extrema it needs.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate a new observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Incorporate every observation in ``values``."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (``nan`` when empty)."""
+        return self._mean if self._count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``nan`` when fewer than two observations)."""
+        if self._count < 2:
+            return math.nan
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (``nan`` when empty)."""
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest observation (``nan`` when empty)."""
+        return self._max if self._count else math.nan
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator equivalent to both inputs combined."""
+        merged = OnlineStats()
+        if self._count == 0:
+            merged._count = other._count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged._min = other._min
+            merged._max = other._max
+            return merged
+        if other._count == 0:
+            merged._count = self._count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._min = self._min
+            merged._max = self._max
+            return merged
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = total
+        merged._mean = self._mean + delta * other._count / total
+        merged._m2 = (
+            self._m2 + other._m2 + delta * delta * self._count * other._count / total
+        )
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"OnlineStats(count={self._count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    if np.any(arr <= 0):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by the mean (``nan`` for empty input)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return math.nan
+    mean = float(np.mean(arr))
+    if mean == 0:
+        return math.nan
+    return float(np.std(arr, ddof=1) / mean) if arr.size > 1 else 0.0
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` (``inf`` when reference is 0)."""
+    if reference == 0:
+        return math.inf if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,80 @@
+"""Argument-validation helpers.
+
+Every public constructor in :mod:`repro` validates its arguments eagerly so
+that configuration mistakes surface at construction time rather than deep
+inside a simulation or a benchmark run.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_positive_int",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when an argument fails validation."""
+
+
+def _fail(message: str) -> None:
+    raise ValidationError(message)
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Ensure ``value`` is a real number strictly greater than zero."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        _fail(f"{name} must be a real number, got {value!r}")
+    if not value > 0:
+        _fail(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Ensure ``value`` is an integer strictly greater than zero."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        _fail(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        _fail(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Ensure ``value`` is a real number greater than or equal to zero."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        _fail(f"{name} must be a real number, got {value!r}")
+    if value < 0:
+        _fail(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: Any,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Ensure ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        _fail(f"{name} must be a real number, got {value!r}")
+    if inclusive:
+        if not (low <= value <= high):
+            _fail(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            _fail(f"{name} must be in ({low}, {high}), got {value!r}")
+    return float(value)
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Ensure ``value`` is a probability in ``[0, 1]``."""
+    return check_in_range(value, name, 0.0, 1.0)

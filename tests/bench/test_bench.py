@@ -1,0 +1,129 @@
+"""Tests for the experiment-harness modules (fast, reduced-size variants)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentReport, format_table
+from repro.bench.figures import ascii_plot, run_figure3, run_figure4, run_figure7
+from repro.bench.table2 import detect_periods_for_model, format_table2, run_table2, table2_report
+from repro.bench.table3 import format_table3, run_table3, table3_report
+from repro.bench.workloads import (
+    PAPER_TABLE3_APEXTIME,
+    ft_like_application,
+    spec_application,
+    spec_applications,
+)
+from repro.traces.spec_apps import PAPER_TABLE2, tomcatv_model, turb3d_model
+
+
+class TestHarness:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        assert "T" in text
+        assert "30" in text
+
+    def test_experiment_report(self):
+        report = ExperimentReport("demo")
+        report.add("q", 1, 1, True)
+        report.add("r", 1, 2, False, note="off by one")
+        assert not report.all_match
+        text = report.to_text()
+        assert "off by one" in text
+        assert "NO" in text
+
+
+class TestTable2:
+    def test_single_level_model_quickly(self):
+        detected = detect_periods_for_model(
+            tomcatv_model(), window_sizes=(16, 64), length=600
+        )
+        assert detected == (5,)
+
+    def test_nested_model_turb3d(self):
+        detected = detect_periods_for_model(
+            turb3d_model(), window_sizes=(16, 64, 512), length=1580
+        )
+        assert detected == (12, 142)
+
+    def test_run_table2_reduced_lengths(self):
+        rows = run_table2(window_sizes=(16, 64), length_override=400)
+        assert len(rows) == 5
+        by_app = {r.application: r for r in rows}
+        # With a short stream and small windows the single-level applications
+        # are still fully detected.
+        assert by_app["tomcatv"].detected_periods == (5,)
+        assert by_app["swim"].detected_periods == (6,)
+        assert by_app["apsi"].detected_periods == (6,)
+        text = format_table2(rows)
+        assert "tomcatv" in text
+
+    def test_table2_report_structure(self):
+        rows = run_table2(window_sizes=(16, 64), length_override=300)
+        report = table2_report(rows)
+        assert len(report.records) == 5
+
+
+class TestTable3:
+    def test_run_table3_reduced(self):
+        rows = run_table3(length_override=500)
+        assert len(rows) == 5
+        for row in rows:
+            assert row.num_elems == 500
+            assert row.time_proc > 0
+            assert row.time_per_elem_ms < 5.0
+        text = format_table3(rows)
+        assert "NumElems" in text
+
+    def test_table3_report_uses_shape_criteria(self):
+        rows = run_table3(length_override=300)
+        report = table3_report(rows)
+        assert len(report.records) == 10
+
+
+class TestFigures:
+    def test_figure3_series(self):
+        fig3 = run_figure3(iterations=8)
+        assert fig3.max_cpus == 16
+        assert fig3.cpus.size == fig3.time.size
+
+    def test_figure4_detects_44(self):
+        fig4 = run_figure4(iterations=12)
+        assert fig4.detected_period == 44
+        assert np.isnan(fig4.distances[0])
+
+    def test_figure7_panels(self):
+        panels = run_figure7(events_per_panel=200, window_sizes=(16, 64))
+        assert len(panels) == 5
+        by_app = {p.application: p for p in panels}
+        assert 5 in by_app["tomcatv"].detected_periods
+        assert len(by_app["tomcatv"].segment_starts) > 10
+
+    def test_ascii_plot(self):
+        plot = ascii_plot(np.sin(np.linspace(0, 10, 50)) + 1, height=5, width=40, marks=(0, 25))
+        assert "#" in plot
+        assert "*" in plot
+        assert ascii_plot(np.array([])) == "(empty series)"
+
+
+class TestWorkloads:
+    def test_spec_application_calibration(self):
+        app = spec_application("tomcatv")
+        sequential = app.analytic_time(1)
+        assert sequential == pytest.approx(PAPER_TABLE3_APEXTIME["tomcatv"], rel=0.15)
+
+    def test_spec_application_pattern_matches_table2_period(self):
+        for name in PAPER_TABLE2:
+            app = spec_application(name, iterations=2)
+            assert app.calls_per_iteration == max(PAPER_TABLE2[name][1])
+
+    def test_spec_applications_listing(self):
+        apps = spec_applications(iterations=1)
+        assert len(apps) == 5
+
+    def test_ft_like_application_speedup_reasonable(self):
+        app = ft_like_application(iterations=4)
+        assert 1.0 < app.analytic_speedup(8) <= 8.0
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(Exception):
+            spec_application("doom")

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import ft_like_application
+from repro.traces.nas_ft import generate_ft_cpu_trace
+from repro.traces.spec_apps import all_spec_models
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def ft_trace():
+    """A short FT-like CPU-usage trace (12 iterations)."""
+    return generate_ft_cpu_trace(iterations=12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def spec_models():
+    """The five SPECfp95-like application models."""
+    return {model.name: model for model in all_spec_models()}
+
+
+@pytest.fixture
+def small_ft_app():
+    """A small FT-like executable application for SelfAnalyzer tests."""
+    return ft_like_application(iterations=20)

@@ -1,0 +1,76 @@
+"""Tests for the C-like DPD interface (Table 1)."""
+
+import pytest
+
+from repro.core import api
+from repro.core.api import DPD, DPDInterface, DPDWindowSize, get_global_dpd, reset_global_dpd
+
+
+class TestDPDInterface:
+    def test_event_mode_returns_period_at_starts(self):
+        dpd = DPDInterface(window_size=32)
+        stream = [0x1000, 0x2000, 0x3000] * 20
+        returns = [dpd.dpd(v) for v in stream]
+        nonzero = {r for r in returns if r}
+        assert nonzero == {3}
+        assert dpd.current_period == 3
+        assert dpd.detected_periods == [3]
+
+    def test_returns_zero_before_detection(self):
+        dpd = DPDInterface(window_size=32)
+        assert dpd.dpd(0x1000) == 0
+        assert dpd.dpd(0x2000) == 0
+
+    def test_magnitude_mode(self):
+        dpd = DPDInterface(window_size=32, mode="magnitude")
+        returns = [dpd.dpd(v) for v in [0.0, 3.0, 7.0, 2.0] * 20]
+        assert {r for r in returns if r} == {4}
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DPDInterface(mode="spectral")
+
+    def test_window_size_adjustment(self):
+        dpd = DPDInterface(window_size=256)
+        dpd.dpd_window_size(16)
+        assert dpd.detector.window_size == 16
+
+    def test_calls_counter_and_reset(self):
+        dpd = DPDInterface(window_size=16)
+        for v in [1, 2] * 10:
+            dpd.dpd(v)
+        assert dpd.calls == 20
+        dpd.reset()
+        assert dpd.calls == 0
+        assert dpd.current_period is None
+
+    def test_period_start_spacing_matches_period(self):
+        dpd = DPDInterface(window_size=64)
+        stream = [10, 20, 30, 40, 50] * 30
+        starts = [i for i, v in enumerate(stream) if dpd.dpd(v)]
+        assert len(starts) > 5
+        assert all(b - a == 5 for a, b in zip(starts, starts[1:]))
+
+
+class TestGlobalApi:
+    def test_global_functions_share_state(self):
+        reset_global_dpd(window_size=32)
+        returns = [DPD(v) for v in [7, 8, 9] * 15]
+        assert {r for r in returns if r} == {3}
+        assert get_global_dpd().current_period == 3
+
+    def test_window_size_function(self):
+        reset_global_dpd(window_size=128)
+        DPDWindowSize(32)
+        assert get_global_dpd().detector.window_size == 32
+
+    def test_reset_replaces_instance(self):
+        first = reset_global_dpd()
+        second = reset_global_dpd()
+        assert first is not second
+        assert get_global_dpd() is second
+
+    def test_lazy_creation(self):
+        api._global_dpd = None
+        instance = get_global_dpd()
+        assert isinstance(instance, DPDInterface)

@@ -1,0 +1,61 @@
+"""Tests for period confidence scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import evaluate_confidence, match_ratio
+from repro.traces.synthetic import noisy_periodic_signal, periodic_signal
+from repro.util.validation import ValidationError
+
+
+class TestMatchRatio:
+    def test_exact_periodic_stream(self):
+        stream = np.tile([1, 2, 3], 10)
+        assert match_ratio(stream, 3) == 1.0
+
+    def test_partial_match(self):
+        stream = np.tile([1, 2, 3], 10)
+        stream[10] = 99
+        ratio = match_ratio(stream, 3)
+        assert 0.8 < ratio < 1.0
+
+    def test_requires_window_longer_than_period(self):
+        with pytest.raises(ValidationError):
+            match_ratio([1, 2, 3], 3)
+
+
+class TestEvaluateConfidence:
+    def test_exact_period_scores_high(self):
+        window = periodic_signal(5, 60, seed=0)
+        conf = evaluate_confidence(window, 5)
+        assert conf.depth == pytest.approx(1.0, abs=1e-6)
+        assert conf.repetitions == 12
+        assert conf.score > 0.8
+
+    def test_wrong_period_scores_low(self):
+        window = periodic_signal(5, 60, seed=0)
+        conf = evaluate_confidence(window, 7)
+        assert conf.score < 0.5
+
+    def test_noise_reduces_but_keeps_confidence(self):
+        clean = evaluate_confidence(periodic_signal(6, 72, seed=1), 6)
+        noisy = evaluate_confidence(noisy_periodic_signal(6, 72, noise_std=0.1, seed=1), 6)
+        assert noisy.score < clean.score
+        assert noisy.score > 0.3
+
+    def test_exact_mode_uses_match_ratio(self):
+        stream = np.tile([10, 20, 30, 40], 10)
+        conf = evaluate_confidence(stream, 4, exact=True)
+        assert conf.depth == 1.0
+        assert conf.coverage == 1.0
+
+    def test_few_repetitions_lower_score(self):
+        window_many = periodic_signal(4, 40, seed=2)
+        window_few = periodic_signal(4, 8, seed=2)
+        many = evaluate_confidence(window_many, 4)
+        few = evaluate_confidence(window_few, 4)
+        assert few.score < many.score
+
+    def test_invalid_period(self):
+        with pytest.raises(ValidationError):
+            evaluate_confidence([1.0, 2.0, 3.0], 3)

@@ -1,0 +1,132 @@
+"""Tests for the streaming magnitude detector (equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult, DetectorConfig, DynamicPeriodicityDetector
+from repro.core.window import AdaptiveWindowPolicy
+from repro.traces.synthetic import noisy_periodic_signal, periodic_signal
+from repro.util.validation import ValidationError
+
+
+class TestDetectorConfig:
+    def test_defaults(self):
+        cfg = DetectorConfig()
+        assert cfg.effective_max_lag == cfg.window_size - 1
+
+    def test_max_lag_must_fit_window(self):
+        with pytest.raises(ValidationError):
+            DetectorConfig(window_size=32, max_lag=32)
+
+    def test_min_depth_range(self):
+        with pytest.raises(ValidationError):
+            DetectorConfig(min_depth=1.5)
+
+    def test_config_and_kwargs_exclusive(self):
+        with pytest.raises(ValidationError):
+            DynamicPeriodicityDetector(DetectorConfig(), window_size=64)
+
+
+class TestBasicDetection:
+    def test_detects_exact_period(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32))
+        stream = np.tile([0.0, 1.0, 2.0, 3.0], 20)
+        det.process(stream)
+        assert det.current_period == 4
+
+    def test_detects_period_with_noise(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=64, min_depth=0.2))
+        stream = noisy_periodic_signal(7, 400, noise_std=0.05, seed=1)
+        det.process(stream)
+        assert det.current_period == 7
+
+    def test_no_detection_on_white_noise(self, rng):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=64, min_depth=0.5))
+        det.process(rng.normal(size=300))
+        assert det.current_period is None
+
+    def test_no_detection_before_enough_samples(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32, min_repetitions=2))
+        pattern = [0.0, 5.0, 1.0, 7.0, 2.0, 9.0]
+        results = [det.update(v) for v in pattern]  # only one period seen
+        assert all(r.period is None for r in results)
+
+    def test_results_carry_increasing_indices(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=16))
+        results = det.process(np.arange(10.0))
+        assert [r.index for r in results] == list(range(10))
+        assert all(isinstance(r, DetectionResult) for r in results)
+
+
+class TestPeriodStartsAndSegmentation:
+    def test_period_starts_are_period_apart(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32))
+        stream = periodic_signal(5, 200, seed=2)
+        results = det.process(stream)
+        starts = [r.index for r in results if r.is_period_start]
+        assert len(starts) > 10
+        diffs = np.diff(starts)
+        assert np.all(diffs == 5)
+
+    def test_new_detection_flag_set_once_per_lock(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32))
+        stream = periodic_signal(4, 120, seed=3)
+        results = det.process(stream)
+        new_flags = [r.index for r in results if r.new_detection]
+        assert len(new_flags) >= 1
+        # A stable stream must not cause repeated re-locks of the same period.
+        assert len(new_flags) <= 3
+
+
+class TestLockLossAndSwitch:
+    def test_lock_dropped_on_aperiodic_tail(self, rng):
+        det = DynamicPeriodicityDetector(
+            DetectorConfig(window_size=32, min_depth=0.4, loss_patience=4)
+        )
+        stream = np.concatenate([periodic_signal(4, 100, seed=1), rng.normal(size=200) * 10])
+        det.process(stream)
+        assert det.current_period is None
+
+    def test_period_switch_is_detected(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=48, min_depth=0.3))
+        first = periodic_signal(4, 200, seed=5)
+        second = periodic_signal(7, 400, seed=6)
+        det.process(np.concatenate([first, second]))
+        assert det.current_period == 7
+        assert 4 in det.detected_periods
+        assert 7 in det.detected_periods
+
+
+class TestWindowManagement:
+    def test_set_window_size_keeps_detection_working(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=128))
+        det.process(periodic_signal(6, 100, seed=7))
+        det.set_window_size(32)
+        assert det.window_size == 32
+        det.process(periodic_signal(6, 100, seed=7))
+        assert det.current_period == 6
+
+    def test_adaptive_window_shrinks_after_lock(self):
+        policy = AdaptiveWindowPolicy(initial_size=128, min_size=8, max_size=128, periods_to_keep=3)
+        det = DynamicPeriodicityDetector(
+            DetectorConfig(window_size=128, adaptive_window=policy)
+        )
+        det.process(periodic_signal(5, 300, seed=8))
+        assert det.current_period == 5
+        assert det.window_size == 15
+
+    def test_incremental_profile_matches_batch(self, rng):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32, refresh_interval=10_000))
+        stream = rng.normal(size=200)
+        det.process(stream)
+        incremental = det._incremental_profile()
+        batch = det.distance_profile()
+        mask = np.isfinite(batch)
+        assert np.allclose(incremental[mask], batch[mask], atol=1e-9)
+
+    def test_reset(self):
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=32))
+        det.process(periodic_signal(4, 100, seed=9))
+        det.reset()
+        assert det.current_period is None
+        assert det.samples_seen == 0

@@ -1,0 +1,128 @@
+"""Tests for the exact-match event-stream detector (equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.util.validation import ValidationError
+
+
+def addresses(*indices):
+    return [0x400000 + 0x140 * i for i in indices]
+
+
+class TestConfig:
+    def test_max_lag_validation(self):
+        with pytest.raises(ValidationError):
+            EventDetectorConfig(window_size=16, max_lag=16)
+
+    def test_min_lag_validation(self):
+        with pytest.raises(ValidationError):
+            EventDetectorConfig(window_size=16, min_lag=16)
+
+    def test_config_kwargs_exclusive(self):
+        with pytest.raises(ValidationError):
+            EventPeriodicityDetector(EventDetectorConfig(), window_size=8)
+
+
+class TestDetection:
+    def test_detects_simple_period(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        for v in addresses(0, 1, 2) * 10:
+            det.update(v)
+        assert det.current_period == 3
+        assert det.detected_periods == [3]
+
+    def test_detects_period_one_for_constant_stream(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=16))
+        for _ in range(20):
+            det.update(0x400000)
+        assert det.current_period == 1
+
+    def test_reports_fundamental_not_harmonic(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=64))
+        for v in addresses(0, 1, 2, 3, 4) * 20:
+            det.update(v)
+        assert det.current_period == 5
+
+    def test_no_detection_on_distinct_values(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=64))
+        for v in addresses(*range(50)):
+            det.update(v)
+        assert det.current_period is None
+
+    def test_min_repetitions_enforced(self):
+        config = EventDetectorConfig(window_size=64, min_repetitions=3)
+        det = EventPeriodicityDetector(config)
+        det.process(addresses(0, 1, 2, 3) * 2)  # only two repetitions
+        assert det.current_period is None
+        det.process(addresses(0, 1, 2, 3))  # third repetition arrives
+        assert det.current_period == 4
+
+    def test_require_full_window(self):
+        config = EventDetectorConfig(window_size=32, require_full_window=True)
+        det = EventPeriodicityDetector(config)
+        det.process(addresses(0, 1, 2) * 5)  # 15 < 32 events
+        assert det.current_period is None
+        det.process(addresses(0, 1, 2) * 10)
+        assert det.current_period == 3
+
+
+class TestPeriodStarts:
+    def test_starts_spaced_by_period(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        results = det.process(addresses(0, 1, 2, 3) * 25)
+        starts = [r.index for r in results if r.is_period_start]
+        assert len(starts) >= 10
+        assert set(np.diff(starts)) == {4}
+
+    def test_start_value_matches_anchor(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        stream = addresses(0, 1, 2, 3) * 25
+        results = det.process(stream)
+        start_values = {stream[r.index] for r in results if r.is_period_start}
+        assert len(start_values) == 1
+
+    def test_incremental_counts_match_recount(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=16))
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 4, size=200)
+        det.process(stream)
+        window = det.window_values()
+        for lag in range(1, min(det.config.effective_max_lag, window.size - 1) + 1):
+            expected = int(np.count_nonzero(window[lag:] != window[:-lag]))
+            assert det._mismatches[lag] == expected
+
+
+class TestLockDynamics:
+    def test_lock_lost_when_pattern_breaks(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=16, loss_patience=3))
+        det.process(addresses(0, 1) * 12)
+        assert det.current_period == 2
+        det.process(addresses(*range(2, 30)))
+        assert det.current_period is None
+
+    def test_nested_stream_switches_to_outer_period(self):
+        # A window that eventually only matches the outer period.
+        inner = addresses(0, 1, 2)
+        outer = inner * 3 + addresses(7, 8, 9)  # outer period 12
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        det.process(outer * 10)
+        assert det.current_period == 12
+        assert 12 in det.detected_periods
+
+    def test_set_window_size_rebuilds_state(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=64))
+        det.process(addresses(0, 1, 2, 3, 4) * 10)
+        det.set_window_size(16)
+        assert det.window_size == 16
+        det.process(addresses(0, 1, 2, 3, 4) * 10)
+        assert det.current_period == 5
+
+    def test_reset(self):
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=16))
+        det.process(addresses(0, 1) * 10)
+        det.reset()
+        assert det.samples_seen == 0
+        assert det.current_period is None
+        assert det.detected_periods == []

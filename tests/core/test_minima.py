@@ -1,0 +1,94 @@
+"""Tests for local-minimum search and harmonic filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import amdf_profile
+from repro.core.minima import PeriodCandidate, filter_harmonics, find_local_minima, select_period
+
+
+def profile_for(pattern, repetitions, max_lag, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    window = np.tile(np.asarray(pattern, dtype=float), repetitions)
+    if noise:
+        window = window + rng.normal(0, noise, size=window.size)
+    return amdf_profile(window, max_lag)
+
+
+class TestFindLocalMinima:
+    def test_finds_period_and_harmonics(self):
+        profile = profile_for([0, 3, 1, 4, 2], 8, 20)
+        lags = {c.lag for c in find_local_minima(profile)}
+        assert {5, 10, 15, 20} <= lags
+
+    def test_depth_is_one_for_exact_match(self):
+        profile = profile_for([0, 3, 1, 4, 2], 8, 12)
+        by_lag = {c.lag: c for c in find_local_minima(profile)}
+        assert by_lag[5].depth == pytest.approx(1.0)
+        assert by_lag[5].distance == 0.0
+
+    def test_empty_profile(self):
+        assert find_local_minima(np.full(10, np.nan)) == []
+
+    def test_min_lag_respected(self):
+        profile = profile_for([0, 1], 10, 10)
+        lags = {c.lag for c in find_local_minima(profile, min_lag=3)}
+        assert 2 not in lags
+
+    def test_candidate_requires_positive_lag(self):
+        with pytest.raises(ValueError):
+            PeriodCandidate(lag=0, distance=0.0, depth=1.0)
+
+
+class TestFilterHarmonics:
+    def test_drops_multiples(self):
+        cands = [
+            PeriodCandidate(5, 0.0, 1.0),
+            PeriodCandidate(10, 0.0, 1.0),
+            PeriodCandidate(15, 0.0, 1.0),
+        ]
+        kept = filter_harmonics(cands)
+        assert [c.lag for c in kept] == [5]
+
+    def test_keeps_unrelated_periods(self):
+        cands = [PeriodCandidate(5, 0.0, 1.0), PeriodCandidate(7, 0.0, 1.0)]
+        kept = filter_harmonics(cands)
+        assert {c.lag for c in kept} == {5, 7}
+
+    def test_keeps_much_deeper_multiple(self):
+        # The lag-10 minimum is far deeper than the shallow lag-5 one, so it
+        # is considered a genuine period rather than a harmonic.
+        cands = [PeriodCandidate(5, 0.5, 0.2), PeriodCandidate(10, 0.0, 0.95)]
+        kept = filter_harmonics(cands, tolerance=0.15)
+        assert 10 in {c.lag for c in kept}
+
+    def test_empty_input(self):
+        assert filter_harmonics([]) == []
+
+
+class TestSelectPeriod:
+    def test_selects_fundamental(self):
+        profile = profile_for([0, 3, 1, 4, 2, 9], 8, 30)
+        choice = select_period(profile)
+        assert choice is not None
+        assert choice.lag == 6
+
+    def test_returns_none_for_aperiodic(self, rng):
+        window = rng.normal(size=128)
+        profile = amdf_profile(window, 60)
+        choice = select_period(profile, min_depth=0.5)
+        assert choice is None
+
+    def test_noisy_periodic_signal(self):
+        profile = profile_for(np.arange(9), 10, 40, noise=0.05, seed=3)
+        choice = select_period(profile, min_depth=0.2)
+        assert choice is not None
+        assert choice.lag == 9
+
+    def test_min_depth_threshold(self):
+        profile = profile_for([0, 3, 1, 4, 2], 8, 20)
+        assert select_period(profile, min_depth=0.99) is not None
+        # A nearly flat profile never qualifies with a strict threshold.
+        flat = np.ones(20)
+        flat[0] = np.nan
+        assert select_period(flat, min_depth=0.5) is None

@@ -1,0 +1,101 @@
+"""Tests for multi-scale and hierarchical periodicity detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiperiod import (
+    MultiScaleConfig,
+    MultiScaleEventDetector,
+    hierarchical_periodicities,
+)
+from repro.traces.synthetic import nested_event_pattern
+from repro.util.validation import ValidationError
+
+
+def nested_stream(run=20, inner_period=6, inner_reps=8, tail=10, outer_reps=12):
+    pattern = nested_event_pattern(
+        run_value=1,
+        run_length=run,
+        inner_pattern=list(range(100, 100 + inner_period)),
+        inner_repetitions=inner_reps,
+        tail=list(range(500, 500 + tail)),
+    )
+    return np.tile(pattern, outer_reps), pattern.size
+
+
+class TestMultiScaleConfig:
+    def test_window_sizes_sorted_and_deduped(self):
+        cfg = MultiScaleConfig(window_sizes=(64, 16, 64))
+        assert cfg.window_sizes == (16, 64)
+
+    def test_empty_window_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiScaleConfig(window_sizes=())
+
+
+class TestMultiScaleDetector:
+    def test_detects_all_nested_periods(self):
+        stream, outer = nested_stream()
+        det = MultiScaleEventDetector(MultiScaleConfig(window_sizes=(16, 32, 256)))
+        det.process(stream)
+        detected = set(det.detected_periods)
+        assert 1 in detected  # the run of identical events
+        assert 6 in detected  # the inner pattern
+        assert outer in detected  # the outer iteration
+
+    def test_current_period_is_largest_scale(self):
+        stream, outer = nested_stream()
+        det = MultiScaleEventDetector(MultiScaleConfig(window_sizes=(16, 32, 256)))
+        det.process(stream)
+        assert det.current_period == outer
+
+    def test_simple_stream_single_period(self):
+        det = MultiScaleEventDetector(MultiScaleConfig(window_sizes=(16, 64)))
+        det.process(np.tile(np.arange(5), 40))
+        assert det.detected_periods == [5]
+
+    def test_segmentation_marks_spaced_by_outer_period(self):
+        stream, outer = nested_stream()
+        det = MultiScaleEventDetector(MultiScaleConfig(window_sizes=(16, 32, 256)))
+        results = det.process(stream)
+        starts = [r.index for r in results if r.is_period_start and r.period == outer]
+        assert len(starts) >= 3
+        assert outer in set(np.diff(starts))
+
+    def test_reset(self):
+        det = MultiScaleEventDetector(MultiScaleConfig(window_sizes=(16, 32)))
+        det.process(np.tile(np.arange(4), 20))
+        det.reset()
+        assert det.samples_seen == 0
+        assert det.detected_periods == []
+
+
+class TestHierarchicalPeriodicities:
+    def test_flat_periodic_stream(self):
+        stream = np.tile(np.arange(7), 30)
+        assert hierarchical_periodicities(stream, max_period=50) == [7]
+
+    def test_nested_stream_reports_all_levels(self):
+        stream, outer = nested_stream()
+        periods = hierarchical_periodicities(stream, max_period=outer + 10)
+        assert periods == [1, 6, outer]
+
+    def test_harmonics_are_not_reported(self):
+        stream = np.tile(np.arange(4), 50)
+        periods = hierarchical_periodicities(stream, max_period=40)
+        assert 8 not in periods
+        assert 12 not in periods
+
+    def test_aperiodic_stream(self):
+        stream = np.arange(200)
+        assert hierarchical_periodicities(stream, max_period=50) == []
+
+    def test_rejects_tiny_streams(self):
+        with pytest.raises(ValidationError):
+            hierarchical_periodicities([1])
+
+    def test_min_region_filters_short_matches(self):
+        # Two occurrences of the same value separated by lag 3 form a tiny
+        # periodic region that a large min_region must filter out.
+        stream = np.array([1, 2, 3, 1, 9, 8, 7, 6, 5, 4])
+        assert hierarchical_periodicities(stream, max_period=5, min_region=6) == []

@@ -1,0 +1,84 @@
+"""Tests for periodic value prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import PeriodicPredictor, extrapolate, predict_next
+from repro.util.validation import ValidationError
+
+
+class TestPredictNext:
+    def test_one_step_ahead(self):
+        history = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        assert predict_next(history, 3, 1) == 1.0
+        assert predict_next(history, 3, 2) == 2.0
+        assert predict_next(history, 3, 3) == 3.0
+        assert predict_next(history, 3, 4) == 1.0
+
+    def test_period_multiple_horizon(self):
+        history = [5.0, 7.0, 9.0]
+        assert predict_next(history, 3, 3) == 9.0
+        assert predict_next(history, 3, 6) == 9.0
+
+    def test_requires_full_period_of_history(self):
+        with pytest.raises(ValidationError):
+            predict_next([1.0, 2.0], 3)
+
+    def test_exact_for_periodic_stream(self):
+        pattern = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        stream = np.tile(pattern, 10)
+        for i in range(pattern.size, stream.size):
+            assert predict_next(stream[:i], pattern.size, 1) == stream[i]
+
+
+class TestExtrapolate:
+    def test_extends_periodically(self):
+        history = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+        out = extrapolate(history, 3, 7)
+        assert out.tolist() == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]
+
+    def test_count_shorter_than_period(self):
+        out = extrapolate([4.0, 5.0, 6.0], 3, 2)
+        assert out.tolist() == [4.0, 5.0]
+
+
+class TestPeriodicPredictor:
+    def test_not_ready_until_one_period(self):
+        p = PeriodicPredictor(4)
+        assert not p.ready
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            assert p.observe(v) is None
+        assert p.ready
+
+    def test_perfect_prediction_on_periodic_stream(self):
+        p = PeriodicPredictor(3)
+        stream = [1.0, 5.0, 9.0] * 20
+        errors = [p.observe(v) for v in stream]
+        scored = [e for e in errors if e is not None]
+        assert scored
+        assert max(scored) == 0.0
+        assert p.exact_hit_rate == 1.0
+        assert p.mean_absolute_error == 0.0
+
+    def test_error_tracked_for_noisy_stream(self, rng):
+        p = PeriodicPredictor(5, history=list(rng.normal(size=5)))
+        for v in rng.normal(size=50):
+            p.observe(v)
+        assert p.observations == 50
+        assert p.mean_absolute_error > 0.0
+
+    def test_predict_requires_history(self):
+        p = PeriodicPredictor(3)
+        with pytest.raises(ValidationError):
+            p.predict()
+
+    def test_history_is_bounded(self):
+        p = PeriodicPredictor(4)
+        for v in range(1000):
+            p.observe(float(v % 4))
+        assert len(p._history) <= 16
+
+    def test_set_period(self):
+        p = PeriodicPredictor(3, history=[1.0, 2.0, 3.0, 1.0, 2.0, 3.0])
+        p.set_period(2)
+        assert p.period == 2

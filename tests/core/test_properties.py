@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import amdf_at_lag, amdf_profile, event_distance_at_lag, matching_lags
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.prediction import extrapolate, predict_next
+from repro.util.ringbuffer import RingBuffer
+
+# Keep hypothesis examples small so the whole suite stays fast.
+COMMON_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestRingBufferProperties:
+    @COMMON_SETTINGS
+    @given(
+        capacity=st.integers(min_value=1, max_value=32),
+        values=st.lists(finite_floats, min_size=0, max_size=200),
+    )
+    def test_ringbuffer_matches_list_suffix(self, capacity, values):
+        """A ring buffer always equals the last `capacity` pushed values."""
+        rb = RingBuffer(capacity)
+        rb.extend(values)
+        expected = values[-capacity:]
+        assert rb.to_array().tolist() == [float(v) for v in expected]
+        assert len(rb) == len(expected)
+
+    @COMMON_SETTINGS
+    @given(
+        capacity=st.integers(min_value=1, max_value=16),
+        values=st.lists(finite_floats, min_size=1, max_size=64),
+        new_capacity=st.integers(min_value=1, max_value=16),
+    )
+    def test_resize_preserves_newest(self, capacity, values, new_capacity):
+        rb = RingBuffer(capacity)
+        rb.extend(values)
+        before = rb.to_array().tolist()
+        rb.resize(new_capacity)
+        assert rb.to_array().tolist() == before[-new_capacity:]
+
+
+class TestDistanceProperties:
+    @COMMON_SETTINGS
+    @given(
+        pattern=st.lists(finite_floats, min_size=1, max_size=12),
+        repetitions=st.integers(min_value=2, max_value=8),
+    )
+    def test_amdf_zero_at_pattern_length(self, pattern, repetitions):
+        """d(m) is exactly zero at the tiling length of any repeated pattern."""
+        window = np.tile(np.asarray(pattern, dtype=float), repetitions)
+        assert amdf_at_lag(window, len(pattern)) == 0.0
+
+    @COMMON_SETTINGS
+    @given(values=st.lists(finite_floats, min_size=4, max_size=64), lag=st.integers(1, 10))
+    def test_amdf_non_negative(self, values, lag):
+        window = np.asarray(values)
+        if lag >= window.size:
+            return
+        assert amdf_at_lag(window, lag) >= 0.0
+
+    @COMMON_SETTINGS
+    @given(values=st.lists(st.integers(0, 5), min_size=6, max_size=80))
+    def test_event_distance_consistent_with_amdf(self, values):
+        """Equation (2) is zero exactly where equation (1) is zero."""
+        window = np.asarray(values, dtype=np.int64)
+        for lag in range(1, min(8, window.size - 1) + 1):
+            ev = event_distance_at_lag(window, lag)
+            am = amdf_at_lag(window.astype(float), lag)
+            assert (ev == 0) == (am == 0.0)
+
+    @COMMON_SETTINGS
+    @given(
+        pattern=st.lists(st.integers(0, 1000), min_size=1, max_size=10),
+        repetitions=st.integers(min_value=3, max_value=10),
+    )
+    def test_matching_lags_includes_pattern_multiples_only(self, pattern, repetitions):
+        window = np.tile(np.asarray(pattern, dtype=np.int64), repetitions)
+        lags = matching_lags(window, min_repetitions=2)
+        assert lags, "a tiled pattern must have at least one matching lag"
+        fundamental = lags[0]
+        assert len(pattern) % fundamental == 0
+        for lag in lags:
+            assert lag % fundamental == 0
+
+
+class TestDetectorProperties:
+    @COMMON_SETTINGS
+    @given(
+        period=st.integers(min_value=2, max_value=10),
+        repetitions=st.integers(min_value=8, max_value=20),
+    )
+    def test_event_detector_reports_divisor_of_true_period(self, period, repetitions):
+        """The detected fundamental always divides the generating period."""
+        rng = np.random.default_rng(period * 101 + repetitions)
+        pattern = rng.integers(0, 1_000_000, size=period)
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=64))
+        det.process(np.tile(pattern, repetitions))
+        assert det.current_period is not None
+        assert period % det.current_period == 0
+
+    @COMMON_SETTINGS
+    @given(period=st.integers(min_value=2, max_value=8))
+    def test_magnitude_detector_on_distinct_valued_pattern(self, period):
+        """With distinct pattern values the detected period is exact."""
+        pattern = np.arange(period, dtype=float) * 3.7 + 1.0
+        det = DynamicPeriodicityDetector(DetectorConfig(window_size=64))
+        det.process(np.tile(pattern, 20))
+        assert det.current_period == period
+
+    @COMMON_SETTINGS
+    @given(
+        period=st.integers(min_value=2, max_value=8),
+        repetitions=st.integers(min_value=6, max_value=15),
+    )
+    def test_period_starts_spaced_by_detected_period(self, period, repetitions):
+        """Within one stable lock, consecutive period starts are one (or a
+        whole number of) locked period(s) apart."""
+        rng = np.random.default_rng(period * 7 + repetitions)
+        pattern = rng.integers(0, 100, size=period)
+        det = EventPeriodicityDetector(EventDetectorConfig(window_size=64))
+        results = det.process(np.tile(pattern, repetitions))
+        last_start = None
+        last_period = None
+        for r in results:
+            if r.new_detection:
+                last_start = None
+            if r.is_period_start and r.period is not None:
+                if last_start is not None and r.period == last_period:
+                    assert (r.index - last_start) % r.period == 0
+                last_start = r.index
+                last_period = r.period
+
+
+class TestPredictionProperties:
+    @COMMON_SETTINGS
+    @given(
+        pattern=st.lists(finite_floats, min_size=1, max_size=8),
+        repetitions=st.integers(min_value=2, max_value=6),
+        horizon=st.integers(min_value=1, max_value=12),
+    )
+    def test_prediction_is_exact_on_periodic_streams(self, pattern, repetitions, horizon):
+        period = len(pattern)
+        history = np.tile(np.asarray(pattern, dtype=float), repetitions)
+        predicted = predict_next(history, period, horizon)
+        true_value = pattern[(history.size + horizon - 1) % period]
+        assert predicted == float(true_value)
+
+    @COMMON_SETTINGS
+    @given(
+        pattern=st.lists(finite_floats, min_size=1, max_size=6),
+        count=st.integers(min_value=1, max_value=20),
+    )
+    def test_extrapolation_is_periodic(self, pattern, count):
+        period = len(pattern)
+        history = np.tile(np.asarray(pattern, dtype=float), 3)
+        out = extrapolate(history, period, count)
+        assert out.size == count
+        for i, value in enumerate(out):
+            assert value == history[history.size - period + (i % period)]

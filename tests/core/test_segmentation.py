@@ -1,0 +1,87 @@
+"""Tests for stream segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.core.segmentation import Segment, SegmentationRecorder, segment_boundaries, segment_stream
+from repro.core.detector import DetectionResult
+
+
+class TestSegment:
+    def test_basic_properties(self):
+        seg = Segment(start=10, length=5, anchor_value=42.0)
+        assert seg.end == 15
+        assert seg.contains(10)
+        assert seg.contains(14)
+        assert not seg.contains(15)
+        assert not seg.contains(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(start=-1, length=5)
+        with pytest.raises(Exception):
+            Segment(start=0, length=0)
+
+
+class TestSegmentationRecorder:
+    def test_segments_closed_at_next_start(self):
+        rec = SegmentationRecorder()
+        rec.on_period_start(0, 4, value=1.0)
+        rec.on_period_start(4, 4, value=1.0)
+        rec.on_period_start(8, 4, value=1.0)
+        rec.finalize(stream_length=12)
+        assert [s.start for s in rec.segments] == [0, 4, 8]
+        assert all(s.length == 4 for s in rec.segments)
+
+    def test_drifting_boundary_produces_contiguous_segments(self):
+        rec = SegmentationRecorder()
+        rec.on_period_start(0, 4)
+        rec.on_period_start(5, 4)  # one sample late
+        rec.finalize(stream_length=9)
+        assert rec.segments[0].length == 5
+        assert rec.segments[1].start == 5
+
+    def test_detected_periods_and_counts(self):
+        rec = SegmentationRecorder()
+        for start in (0, 3, 6):
+            rec.on_period_start(start, 3)
+        rec.on_period_start(9, 7)
+        assert rec.detected_periods == [3, 7]
+        assert rec.period_counts == {3: 3, 7: 1}
+
+    def test_finalize_without_open_segment_is_noop(self):
+        rec = SegmentationRecorder()
+        rec.finalize()
+        assert len(rec) == 0
+
+    def test_boundaries(self):
+        rec = SegmentationRecorder()
+        rec.on_period_start(2, 5)
+        rec.on_period_start(7, 5)
+        rec.finalize(stream_length=12)
+        assert rec.boundaries() == [2, 7]
+
+    def test_invalid_inputs(self):
+        rec = SegmentationRecorder()
+        with pytest.raises(Exception):
+            rec.on_period_start(-1, 3)
+        with pytest.raises(Exception):
+            rec.on_period_start(0, 0)
+
+
+class TestSegmentStream:
+    def test_segment_stream_with_event_detector(self):
+        stream = np.tile([7, 8, 9, 10, 11], 40)
+        detector = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        segments, periods = segment_stream(stream, detector)
+        assert periods == [5]
+        lengths = {s.length for s in segments[:-1]}
+        assert lengths == {5}
+
+    def test_segment_boundaries_helper(self):
+        results = [
+            DetectionResult(index=i, period=3, is_period_start=(i % 3 == 0), new_detection=False, confidence=1.0)
+            for i in range(9)
+        ]
+        assert segment_boundaries(results) == [0, 3, 6]

@@ -1,0 +1,63 @@
+"""Tests for the autocorrelation / periodogram baseline estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.spectral import (
+    autocorrelation,
+    autocorrelation_period,
+    periodogram,
+    periodogram_period,
+)
+from repro.traces.synthetic import noisy_periodic_signal, periodic_signal
+from repro.util.validation import ValidationError
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        signal = rng.normal(size=128)
+        acorr = autocorrelation(signal, 40)
+        assert acorr[0] == pytest.approx(1.0)
+
+    def test_peak_at_period(self):
+        signal = periodic_signal(8, 256, seed=1)
+        acorr = autocorrelation(signal, 64)
+        assert acorr[8] == pytest.approx(acorr[1:40].max(), rel=1e-6)
+
+    def test_requires_minimum_length(self):
+        with pytest.raises(ValidationError):
+            autocorrelation([1.0, 2.0], 1)
+
+
+class TestAutocorrelationPeriod:
+    def test_recovers_period(self):
+        signal = noisy_periodic_signal(11, 600, noise_std=0.05, seed=2)
+        assert autocorrelation_period(signal, max_lag=100) == 11
+
+    def test_returns_none_for_noise(self, rng):
+        signal = rng.normal(size=512)
+        period = autocorrelation_period(signal, max_lag=100, min_correlation=0.5)
+        assert period is None
+
+
+class TestPeriodogram:
+    def test_shapes(self, rng):
+        freqs, power = periodogram(rng.normal(size=100))
+        assert freqs.size == power.size == 51
+
+    def test_dominant_frequency_of_sine(self):
+        n = 512
+        t = np.arange(n)
+        signal = np.sin(2 * np.pi * t / 16)
+        assert periodogram_period(signal) == 16
+
+    def test_periodic_pattern(self):
+        signal = periodic_signal(10, 500, seed=3)
+        period = periodogram_period(signal, max_period=100)
+        assert period is not None
+        # The periodogram peak may land on the fundamental frequency or on a
+        # strong harmonic; the fundamental must divide cleanly into it.
+        assert 10 % period == 0 or period % 10 == 0
+
+    def test_flat_signal_returns_none(self):
+        assert periodogram_period(np.full(64, 3.0)) is None

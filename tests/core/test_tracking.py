@@ -1,0 +1,80 @@
+"""Tests for the period-phase tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectionResult, DetectorConfig, DynamicPeriodicityDetector
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.core.tracking import PeriodPhase, PeriodTracker
+from repro.traces.synthetic import periodic_signal
+
+
+def fake_results(periods):
+    """Build a DetectionResult sequence with the given per-sample periods."""
+    return [
+        DetectionResult(index=i, period=p, is_period_start=False, new_detection=False, confidence=1.0)
+        for i, p in enumerate(periods)
+    ]
+
+
+class TestPeriodTracker:
+    def test_single_phase(self):
+        tracker = PeriodTracker()
+        tracker.observe_all(fake_results([None, None, 4, 4, 4, 4]))
+        phases = tracker.finalize()
+        assert [p.period for p in phases] == [None, 4]
+        assert phases[0].length == 2
+        assert phases[1].length == 4
+
+    def test_phase_switch(self):
+        tracker = PeriodTracker()
+        tracker.observe_all(fake_results([3] * 5 + [7] * 5))
+        phases = tracker.finalize()
+        assert [(p.period, p.length) for p in phases] == [(3, 5), (7, 5)]
+
+    def test_out_of_order_rejected(self):
+        tracker = PeriodTracker()
+        tracker.observe(fake_results([3])[0])
+        with pytest.raises(ValueError):
+            tracker.observe(DetectionResult(index=5, period=3, is_period_start=False, new_detection=False, confidence=1.0))
+
+    def test_stability_and_dominant_period(self):
+        tracker = PeriodTracker()
+        tracker.observe_all(fake_results([None] * 5 + [4] * 10 + [9] * 5))
+        tracker.finalize()
+        assert tracker.stability() == pytest.approx(15 / 20)
+        assert tracker.dominant_period() == 4
+        assert len(tracker.periodic_phases()) == 2
+
+    def test_empty_tracker(self):
+        tracker = PeriodTracker()
+        assert tracker.finalize() == []
+        assert tracker.stability() == 0.0
+        assert tracker.dominant_period() is None
+
+    def test_phase_iterations(self):
+        phase = PeriodPhase(period=5, start=0, end=50, period_starts=10)
+        assert phase.iterations == pytest.approx(10.0)
+        searching = PeriodPhase(period=None, start=0, end=10, period_starts=0)
+        assert searching.iterations == 0.0
+
+
+class TestTrackerWithRealDetectors:
+    def test_tracks_magnitude_detector_phases(self):
+        stream = np.concatenate([periodic_signal(4, 200, seed=1), periodic_signal(9, 300, seed=2)])
+        detector = DynamicPeriodicityDetector(DetectorConfig(window_size=64, min_depth=0.3))
+        tracker = PeriodTracker().observe_all(detector.process(stream))
+        phases = tracker.finalize()
+        locked_periods = {p.period for p in phases if p.period}
+        assert 4 in locked_periods
+        assert 9 in locked_periods
+        assert tracker.dominant_period() in (4, 9)
+
+    def test_tracks_event_detector_period_starts(self):
+        detector = EventPeriodicityDetector(EventDetectorConfig(window_size=32))
+        results = detector.process(np.tile([1, 2, 3, 4, 5], 30))
+        tracker = PeriodTracker().observe_all(results)
+        phases = tracker.finalize()
+        locked = [p for p in phases if p.period == 5]
+        assert locked
+        assert locked[-1].period_starts >= 20

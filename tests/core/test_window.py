@@ -1,0 +1,79 @@
+"""Tests for the DPD data window and the adaptive sizing policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.window import AdaptiveWindowPolicy, DataWindow
+from repro.util.validation import ValidationError
+
+
+class TestDataWindow:
+    def test_initial_state(self):
+        w = DataWindow(16)
+        assert w.size == 16
+        assert w.fill == 0
+        assert not w.is_full
+        assert w.total_pushed == 0
+
+    def test_push_and_values(self):
+        w = DataWindow(4)
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            w.push(v)
+        assert w.is_full
+        assert w.values().tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert w.total_pushed == 5
+
+    def test_integral_window_uses_int_dtype(self):
+        w = DataWindow(4, integral=True)
+        w.push(0x400000)
+        assert w.integral
+        assert w.values().dtype == np.int64
+        assert w.values()[0] == 0x400000
+
+    def test_resize_keeps_newest(self):
+        w = DataWindow(8)
+        for v in range(8):
+            w.push(float(v))
+        w.resize(3)
+        assert w.size == 3
+        assert w.values().tolist() == [5.0, 6.0, 7.0]
+
+    def test_clear(self):
+        w = DataWindow(4)
+        w.push(1.0)
+        w.clear()
+        assert w.fill == 0
+        assert w.size == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            DataWindow(0)
+
+
+class TestAdaptiveWindowPolicy:
+    def test_defaults_are_valid(self):
+        policy = AdaptiveWindowPolicy()
+        assert policy.min_size <= policy.initial_size <= policy.max_size
+
+    def test_growth_without_detection(self):
+        policy = AdaptiveWindowPolicy(initial_size=64, max_size=512, growth_factor=2.0)
+        assert policy.next_size_without_detection(64, samples_since_growth=10) == 64
+        assert policy.next_size_without_detection(64, samples_since_growth=64) == 128
+
+    def test_growth_caps_at_max(self):
+        policy = AdaptiveWindowPolicy(initial_size=512, max_size=600, growth_factor=2.0)
+        assert policy.next_size_without_detection(512, 512) == 600
+
+    def test_shrink_after_detection(self):
+        policy = AdaptiveWindowPolicy(initial_size=512, min_size=16, max_size=1024, periods_to_keep=3)
+        assert policy.next_size_with_detection(10) == 30
+        assert policy.next_size_with_detection(2) == 16  # clamped to min_size
+        assert policy.next_size_with_detection(500) == 1024  # clamped to max_size
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindowPolicy(min_size=100, max_size=50)
+        with pytest.raises(ValueError):
+            AdaptiveWindowPolicy(initial_size=4, min_size=8, max_size=64)
+        with pytest.raises(ValueError):
+            AdaptiveWindowPolicy(growth_factor=0.5)

@@ -1,0 +1,161 @@
+"""Tests for iterative applications and their execution."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.application import (
+    ApplicationRunner,
+    IterativeApplication,
+    LoopCall,
+    RepeatedBlock,
+    SerialSection,
+    application_from_pattern,
+)
+from repro.runtime.ditools import DIToolsInterposer
+from repro.runtime.machine import Machine
+from repro.runtime.openmp import ParallelLoop
+from repro.runtime.workload import LoopWorkload
+from repro.traces.address_stream import AddressSpace
+from repro.util.validation import ValidationError
+
+
+def simple_app(iterations=5, loops=3, work=0.01):
+    space = AddressSpace()
+    wl = LoopWorkload(parallel_work=work * 0.9, serial_work=work * 0.1)
+    body = [LoopCall(ParallelLoop(f"loop_{i}", wl, space)) for i in range(loops)]
+    return IterativeApplication("simple", body, iterations, address_space=space)
+
+
+class TestApplicationStructure:
+    def test_flat_body(self):
+        app = simple_app(loops=4)
+        assert app.calls_per_iteration == 4
+        assert app.address_pattern().size == 4
+        assert len(set(app.address_pattern().tolist())) == 4
+
+    def test_nested_body_flattening(self):
+        space = AddressSpace()
+        wl = LoopWorkload(parallel_work=1e-3)
+        inner = [LoopCall(ParallelLoop(f"in_{i}", wl, space)) for i in range(3)]
+        body = [
+            LoopCall(ParallelLoop("pre", wl, space)),
+            RepeatedBlock(items=tuple(inner), repetitions=4),
+            SerialSection(1e-4),
+        ]
+        app = IterativeApplication("nested", body, 2, address_space=space)
+        assert app.calls_per_iteration == 1 + 3 * 4
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValidationError):
+            IterativeApplication("x", [], 3)
+
+    def test_repeated_block_validation(self):
+        with pytest.raises(ValidationError):
+            RepeatedBlock(items=(), repetitions=2)
+
+    def test_analytic_model_monotone_in_cpus(self):
+        app = simple_app()
+        t1 = app.analytic_iteration_time(1)
+        t4 = app.analytic_iteration_time(4)
+        t16 = app.analytic_iteration_time(16)
+        assert t1 > t4 > t16
+        assert app.analytic_speedup(4) == pytest.approx(t1 / t4)
+        assert app.analytic_time(1) == pytest.approx(t1 * app.iterations)
+
+
+class TestApplicationRunner:
+    def test_execution_matches_analytic_time(self):
+        app = simple_app(iterations=6)
+        runner = ApplicationRunner(app, machine=Machine(8), cpus=4)
+        result = runner.run()
+        assert result.iterations == 6
+        assert result.total_time == pytest.approx(app.analytic_time(4))
+        assert all(c == 4 for c in result.cpus_per_iteration)
+
+    def test_loop_address_stream_matches_pattern(self):
+        app = simple_app(iterations=3, loops=4)
+        runner = ApplicationRunner(app, machine=Machine(4), cpus=2)
+        result = runner.run()
+        expected = np.tile(app.address_pattern(), 3)
+        assert np.array_equal(result.loop_addresses, expected)
+        assert result.loop_timestamps.size == expected.size
+        assert np.all(np.diff(result.loop_timestamps) >= 0)
+
+    def test_interposer_sees_every_call(self):
+        app = simple_app(iterations=4, loops=3)
+        interposer = DIToolsInterposer()
+        runner = ApplicationRunner(app, machine=Machine(4), interposer=interposer, cpus=2)
+        runner.run()
+        assert interposer.calls == 12
+        assert interposer.addresses == list(np.tile(app.address_pattern(), 4))
+
+    def test_override_next_iteration(self):
+        app = simple_app(iterations=5)
+        runner = ApplicationRunner(app, machine=Machine(8), cpus=8)
+        runner.override_next_iteration(1, iterations=2)
+        result = runner.run()
+        assert result.cpus_per_iteration[:2] == [1, 1]
+        assert set(result.cpus_per_iteration[2:]) == {8}
+
+    def test_allocation_policy_callback(self):
+        app = simple_app(iterations=6)
+        policy_calls = []
+
+        def policy(iteration, requested):
+            policy_calls.append(iteration)
+            return 1 if iteration % 2 == 0 else requested
+
+        runner = ApplicationRunner(app, machine=Machine(8), cpus=4, allocation_policy=policy)
+        result = runner.run()
+        assert policy_calls == list(range(6))
+        assert result.cpus_per_iteration == [1, 4, 1, 4, 1, 4]
+
+    def test_machine_clamps_grant(self):
+        app = simple_app(iterations=2)
+        runner = ApplicationRunner(app, machine=Machine(2), cpus=16)
+        result = runner.run()
+        assert set(result.cpus_per_iteration) == {2}
+
+    def test_address_trace_export(self):
+        app = simple_app(iterations=2, loops=3)
+        runner = ApplicationRunner(app, machine=Machine(2), cpus=1)
+        result = runner.run()
+        trace = result.address_trace()
+        assert trace.kind == "events"
+        assert len(trace) == 6
+
+    def test_serial_sections_run_on_one_cpu(self):
+        space = AddressSpace()
+        wl = LoopWorkload(parallel_work=0.01)
+        body = [SerialSection(0.02), LoopCall(ParallelLoop("l", wl, space))]
+        app = IterativeApplication("with_serial", body, 2, address_space=space)
+        runner = ApplicationRunner(app, machine=Machine(4), cpus=4)
+        result = runner.run()
+        assert result.total_time == pytest.approx(2 * (0.02 + wl.execution_time(4)))
+        assert any(i.cpus == 1 and i.duration == pytest.approx(0.02) for i in result.timeline)
+
+
+class TestApplicationFromPattern:
+    def test_repeated_names_reuse_loops(self):
+        app = application_from_pattern(
+            "demo", ["a", "b", "a", "c"], iterations=2,
+            workload=LoopWorkload(parallel_work=1e-3),
+        )
+        pattern = app.address_pattern()
+        assert pattern[0] == pattern[2]
+        assert len(set(pattern.tolist())) == 3
+
+    def test_per_loop_workloads(self):
+        heavy = LoopWorkload(parallel_work=1.0)
+        light = LoopWorkload(parallel_work=0.1)
+        app = application_from_pattern(
+            "demo", ["big", "small"], iterations=1,
+            workload=light, per_loop_workloads={"big": heavy},
+        )
+        loops = {l.name: l for l in app.loop_calls_per_iteration()}
+        assert loops["big"].workload.parallel_work == 1.0
+        assert loops["small"].workload.parallel_work == 0.1
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ValidationError):
+            application_from_pattern("demo", [], iterations=1)

@@ -1,0 +1,110 @@
+"""Tests for the virtual clock and the discrete-event queue."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import EventQueue
+from repro.util.validation import ValidationError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_to(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_cannot_go_backwards(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValidationError):
+            clock.advance_to(4.0)
+        with pytest.raises(Exception):
+            clock.advance(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock(2.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule_at(2.0, lambda: order.append("b"))
+        queue.schedule_at(1.0, lambda: order.append("a"))
+        queue.schedule_at(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+        assert queue.now == 3.0
+        assert queue.processed == 3
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule_at(1.0, lambda: order.append(1))
+        queue.schedule_at(1.0, lambda: order.append(2))
+        queue.run()
+        assert order == [1, 2]
+
+    def test_schedule_in_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule_in(0.5, lambda: times.append(queue.now))
+        queue.run()
+        assert times == [0.5]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValidationError):
+            queue.schedule_at(0.5, lambda: None)
+
+    def test_cancel(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_at(1.0, lambda: fired.append(1))
+        queue.cancel(event)
+        queue.run()
+        assert fired == []
+        assert queue.pending == 0
+
+    def test_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(1.0, lambda: fired.append(1))
+        queue.schedule_at(5.0, lambda: fired.append(5))
+        queue.run(until=2.0)
+        assert fired == [1]
+        assert queue.pending == 1
+
+    def test_events_can_schedule_more_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                queue.schedule_in(1.0, lambda: chain(n + 1))
+
+        queue.schedule_at(0.0, lambda: chain(0))
+        queue.run()
+        assert fired == [0, 1, 2, 3]
+        assert queue.now == 3.0
+
+    def test_max_events(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.schedule_at(float(i), lambda: None)
+        executed = queue.run(max_events=4)
+        assert executed == 4
+        assert queue.pending == 6

@@ -1,0 +1,76 @@
+"""Tests for the DITools-like interposition layer."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ditools import DIToolsInterposer, LoopCallEvent
+
+
+class TestInterposer:
+    def test_handlers_receive_events(self):
+        interposer = DIToolsInterposer()
+        received = []
+        interposer.register(received.append)
+        clock = VirtualClock()
+        interposer.intercept(0x400000, "loop_a", clock, cpus=4, iteration=0)
+        interposer.intercept(0x400140, "loop_b", clock, cpus=4, iteration=0)
+        assert [e.address for e in received] == [0x400000, 0x400140]
+        assert all(isinstance(e, LoopCallEvent) for e in received)
+        assert interposer.calls == 2
+        assert interposer.addresses == [0x400000, 0x400140]
+
+    def test_event_timestamp_is_virtual_time(self):
+        interposer = DIToolsInterposer()
+        clock = VirtualClock()
+        clock.advance(1.5)
+        event = interposer.intercept(0x1, "x", clock, 1, 3)
+        assert event.timestamp == pytest.approx(1.5)
+        assert event.iteration == 3
+
+    def test_handler_wall_time_accounted(self):
+        interposer = DIToolsInterposer()
+
+        def slowish_handler(event):
+            total = 0
+            for i in range(2000):
+                total += i
+
+        interposer.register(slowish_handler)
+        clock = VirtualClock()
+        for _ in range(10):
+            interposer.intercept(0x1, "x", clock, 1, 0)
+        assert interposer.handler_wall_time > 0.0
+        assert interposer.mean_cost_per_call() > 0.0
+
+    def test_virtual_overhead_advances_clock(self):
+        interposer = DIToolsInterposer(virtual_overhead_per_call=1e-3)
+        clock = VirtualClock()
+        interposer.intercept(0x1, "x", clock, 1, 0)
+        interposer.intercept(0x2, "y", clock, 1, 0)
+        assert clock.now == pytest.approx(2e-3)
+
+    def test_unregister_and_clear(self):
+        interposer = DIToolsInterposer()
+        received = []
+        interposer.register(received.append)
+        interposer.unregister(received.append)
+        interposer.intercept(0x1, "x", VirtualClock(), 1, 0)
+        assert received == []
+        interposer.clear()
+        assert interposer.calls == 0
+        assert interposer.events == []
+
+    def test_unregister_unknown_handler_is_noop(self):
+        interposer = DIToolsInterposer()
+        interposer.unregister(lambda e: None)
+
+    def test_non_callable_handler_rejected(self):
+        interposer = DIToolsInterposer()
+        with pytest.raises(TypeError):
+            interposer.register("not callable")
+
+    def test_zero_cost_without_handlers(self):
+        interposer = DIToolsInterposer()
+        interposer.intercept(0x1, "x", VirtualClock(), 1, 0)
+        assert interposer.handler_wall_time == 0.0
+        assert interposer.mean_cost_per_call() == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the simulated machine and the loop cost model."""
+
+import pytest
+
+from repro.runtime.machine import Allocation, Machine
+from repro.runtime.workload import LoopWorkload
+from repro.util.validation import ValidationError
+
+
+class TestMachine:
+    def test_initial_state(self):
+        m = Machine(16)
+        assert m.num_cpus == 16
+        assert m.free_cpus == 16
+        assert m.allocated_cpus == 0
+
+    def test_allocate_and_release(self):
+        m = Machine(8)
+        granted = m.allocate("app", 4)
+        assert granted == 4
+        assert m.allocation_of("app") == 4
+        assert m.free_cpus == 4
+        m.release("app")
+        assert m.free_cpus == 8
+
+    def test_allocation_clamped_to_available(self):
+        m = Machine(8)
+        m.allocate("a", 6)
+        granted = m.allocate("b", 6)
+        assert granted == 2
+        assert m.allocated_cpus == 8
+
+    def test_reallocation_replaces_previous_grant(self):
+        m = Machine(8)
+        m.allocate("a", 6)
+        granted = m.allocate("a", 2)
+        assert granted == 2
+        assert m.free_cpus == 6
+
+    def test_minimum_one_cpu_granted(self):
+        m = Machine(2)
+        m.allocate("a", 2)
+        assert m.allocate("b", 4) == 1
+
+    def test_busy_time_and_utilization(self):
+        m = Machine(4)
+        m.record_busy_time("a", 10.0)
+        m.record_busy_time("b", 2.0)
+        assert m.busy_time("a") == 10.0
+        assert m.busy_time() == 12.0
+        assert m.utilization(5.0) == pytest.approx(12.0 / 20.0)
+        assert m.utilization(0.0) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            Machine(0)
+        m = Machine(2)
+        with pytest.raises(ValidationError):
+            m.allocate("", 1)
+        with pytest.raises(ValidationError):
+            Allocation(owner="x", cpus=0)
+
+
+class TestLoopWorkload:
+    def test_perfectly_parallel_loop(self):
+        wl = LoopWorkload(parallel_work=8.0)
+        assert wl.execution_time(1) == pytest.approx(8.0)
+        assert wl.execution_time(8) == pytest.approx(1.0)
+        assert wl.speedup(8) == pytest.approx(8.0)
+        assert wl.efficiency(8) == pytest.approx(1.0)
+
+    def test_serial_work_limits_speedup(self):
+        wl = LoopWorkload(parallel_work=9.0, serial_work=1.0)
+        assert wl.execution_time(1) == pytest.approx(10.0)
+        # Amdahl with 90 % parallel fraction: S(9) = 1/(0.1 + 0.9/9) = 5
+        assert wl.speedup(9) == pytest.approx(5.0)
+
+    def test_overhead_grows_with_team(self):
+        wl = LoopWorkload(parallel_work=1.0, fork_join_overhead=0.1, spawn_cost_per_thread=0.5)
+        assert wl.execution_time(1) == pytest.approx(1.0)  # no overhead on one CPU
+        t2 = wl.execution_time(2)
+        t4 = wl.execution_time(4)
+        assert t2 > 0.5
+        overhead2 = t2 - 0.5
+        overhead4 = t4 - 0.25
+        assert overhead4 > overhead2
+
+    def test_imbalance_penalty(self):
+        balanced = LoopWorkload(parallel_work=4.0, imbalance=0.0)
+        imbalanced = LoopWorkload(parallel_work=4.0, imbalance=0.5)
+        assert imbalanced.execution_time(4) > balanced.execution_time(4)
+        assert imbalanced.execution_time(1) == balanced.execution_time(1)
+
+    def test_cpu_seconds_at_least_wall_time(self):
+        wl = LoopWorkload(parallel_work=2.0, serial_work=0.5, fork_join_overhead=0.01)
+        for cpus in (1, 2, 8):
+            assert wl.cpu_seconds(cpus) >= wl.execution_time(cpus) - 1e-12
+
+    def test_scaled(self):
+        wl = LoopWorkload(parallel_work=2.0, serial_work=1.0)
+        scaled = wl.scaled(0.5)
+        assert scaled.parallel_work == pytest.approx(1.0)
+        assert scaled.serial_work == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LoopWorkload(parallel_work=-1.0)
+        with pytest.raises(ValidationError):
+            LoopWorkload(parallel_work=1.0, imbalance=1.5)
+        wl = LoopWorkload(parallel_work=1.0)
+        with pytest.raises(ValidationError):
+            wl.execution_time(0)

@@ -1,0 +1,44 @@
+"""Tests for the message-passing cost model."""
+
+import pytest
+
+from repro.runtime.mpi import MpiCommunicator, NetworkModel
+
+
+class TestNetworkModel:
+    def test_point_to_point_cost(self):
+        net = NetworkModel(latency=1e-5, bandwidth=1e8)
+        assert net.point_to_point(0) == pytest.approx(1e-5)
+        assert net.point_to_point(1e8) == pytest.approx(1.0 + 1e-5)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+
+
+class TestMpiCommunicator:
+    def test_alltoall_scales_with_ranks(self):
+        small = MpiCommunicator(4)
+        large = MpiCommunicator(16)
+        assert large.alltoall_time(1024) > small.alltoall_time(1024)
+
+    def test_single_rank_collectives_are_free(self):
+        comm = MpiCommunicator(1)
+        assert comm.alltoall_time(1024) == 0.0
+        assert comm.allreduce_time(8) == 0.0
+        assert comm.barrier_time() == 0.0
+
+    def test_allreduce_uses_log_steps(self):
+        net = NetworkModel(latency=1e-6, bandwidth=1e9)
+        comm8 = MpiCommunicator(8, net)
+        comm16 = MpiCommunicator(16, net)
+        t8 = comm8.allreduce_time(8)
+        t16 = comm16.allreduce_time(8)
+        assert t16 / t8 == pytest.approx(4 / 3, rel=1e-6)
+
+    def test_accounting(self):
+        comm = MpiCommunicator(4)
+        comm.send_time(100)
+        comm.alltoall_time(10)
+        assert comm.collectives == 1
+        assert comm.bytes_sent > 100

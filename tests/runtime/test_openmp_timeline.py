@@ -1,0 +1,139 @@
+"""Tests for parallel loops, the usage timeline, the sampler and thread teams."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.openmp import ParallelLoop
+from repro.runtime.sampler import CpuUsageSampler, change_events
+from repro.runtime.threads import ThreadTeam
+from repro.runtime.timeline import UsageInterval, UsageTimeline
+from repro.runtime.workload import LoopWorkload
+from repro.traces.address_stream import AddressSpace
+from repro.util.validation import ValidationError
+
+
+class TestUsageTimeline:
+    def test_add_and_totals(self):
+        tl = UsageTimeline()
+        tl.add(0.0, 1.0, 4)
+        tl.add(1.0, 2.0, 1)
+        assert len(tl) == 2
+        assert tl.total_cpu_seconds == pytest.approx(5.0)
+        assert tl.end == 2.0
+
+    def test_zero_length_intervals_ignored(self):
+        tl = UsageTimeline()
+        tl.add(1.0, 1.0, 4)
+        assert len(tl) == 0
+
+    def test_usage_at(self):
+        tl = UsageTimeline()
+        tl.add(0.0, 2.0, 3)
+        tl.add(1.0, 3.0, 2)
+        assert tl.usage_at(0.5) == 3
+        assert tl.usage_at(1.5) == 5
+        assert tl.usage_at(2.5) == 2
+        assert tl.usage_at(3.5) == 0
+
+    def test_sample(self):
+        tl = UsageTimeline()
+        tl.add(0.0, 0.010, 2)
+        tl.add(0.010, 0.020, 8)
+        samples = tl.sample(0.001)
+        assert samples.size == 20
+        assert samples[0] == 2
+        assert samples[15] == 8
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValidationError):
+            UsageInterval(1.0, 0.5, 2)
+        with pytest.raises(ValidationError):
+            UsageTimeline().sample(0.0)
+
+
+class TestParallelLoop:
+    def make_loop(self):
+        wl = LoopWorkload(parallel_work=0.08, serial_work=0.01, fork_join_overhead=0.005)
+        return ParallelLoop("loop_x", wl, AddressSpace())
+
+    def test_execute_advances_clock_by_model_time(self):
+        loop = self.make_loop()
+        clock = VirtualClock()
+        invocation = loop.execute(clock, 4)
+        assert clock.now == pytest.approx(loop.execution_time(4))
+        assert invocation.duration == pytest.approx(loop.execution_time(4))
+        assert invocation.cpus == 4
+        assert loop.invocations == 1
+
+    def test_execute_records_fork_join_shape(self):
+        loop = self.make_loop()
+        clock = VirtualClock()
+        tl = UsageTimeline()
+        loop.execute(clock, 8, tl)
+        cpus_seq = [i.cpus for i in tl.intervals]
+        assert cpus_seq[0] == 1  # serial prologue
+        assert cpus_seq[-1] == 8  # parallel body at full width
+        assert tl.end == pytest.approx(clock.now)
+
+    def test_single_cpu_has_no_overhead_interval(self):
+        loop = self.make_loop()
+        clock = VirtualClock()
+        tl = UsageTimeline()
+        loop.execute(clock, 1, tl)
+        assert all(i.cpus == 1 for i in tl.intervals)
+
+    def test_addresses_are_per_name(self):
+        space = AddressSpace()
+        wl = LoopWorkload(parallel_work=1e-3)
+        a = ParallelLoop("a", wl, space)
+        b = ParallelLoop("b", wl, space)
+        assert a.address != b.address
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ParallelLoop("", LoopWorkload(parallel_work=1e-3))
+
+
+class TestSampler:
+    def test_sampler_produces_trace(self):
+        tl = UsageTimeline()
+        tl.add(0.0, 0.02, 4)
+        sampler = CpuUsageSampler(1e-3)
+        trace = sampler.sample(tl, name="demo")
+        assert trace.name == "demo"
+        assert len(trace) == 20
+        assert set(np.unique(trace.values)) == {4.0}
+
+    def test_change_events(self):
+        values = np.array([1, 1, 2, 2, 2, 3, 1])
+        indices, changed = change_events(values)
+        assert indices.tolist() == [0, 2, 5, 6]
+        assert changed.tolist() == [1, 2, 3, 1]
+
+    def test_change_events_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            change_events(np.array([]))
+
+
+class TestThreadTeam:
+    def test_no_ramps_for_single_thread(self):
+        team = ThreadTeam(1, spawn_latency=1e-3, join_latency=1e-3)
+        assert team.fork_duration == 0.0
+        assert team.region_intervals(0.0, 1.0)[0].cpus == 1
+
+    def test_ramp_shapes(self):
+        team = ThreadTeam(4, spawn_latency=0.001, join_latency=0.002)
+        fork = team.fork_intervals(0.0)
+        assert [i.cpus for i in fork] == [1, 2, 3]
+        join = team.join_intervals(10.0)
+        assert [i.cpus for i in join] == [3, 2, 1]
+        assert team.total_overhead == pytest.approx(3 * 0.001 + 3 * 0.002)
+
+    def test_region_intervals_cover_body(self):
+        team = ThreadTeam(3, spawn_latency=0.001, join_latency=0.001)
+        intervals = team.region_intervals(0.0, 0.5)
+        widths = [i.cpus for i in intervals]
+        assert 3 in widths
+        total = sum(i.duration for i in intervals)
+        assert total == pytest.approx(0.5 + team.total_overhead)

@@ -1,0 +1,89 @@
+"""Tests for the processor allocator and the workload simulator."""
+
+import pytest
+
+from repro.runtime.machine import Machine
+from repro.scheduling.allocator import ProcessorAllocator, WorkloadSimulator
+from repro.scheduling.metrics import ApplicationProfile
+from repro.scheduling.policies import EquipartitionPolicy, PerformanceDrivenPolicy
+from repro.util.validation import ValidationError
+
+
+def profile(name, requested, fraction, work):
+    return ApplicationProfile(
+        name=name, requested_cpus=requested, parallel_fraction=fraction, remaining_work=work
+    )
+
+
+class TestProcessorAllocator:
+    def test_reallocate_applies_grants_to_machine(self):
+        machine = Machine(16)
+        allocator = ProcessorAllocator(machine, EquipartitionPolicy())
+        allocator.register(profile("a", 16, 1.0, 10))
+        allocator.register(profile("b", 16, 1.0, 10))
+        grants = allocator.reallocate()
+        assert grants == {"a": 8, "b": 8}
+        assert machine.allocation_of("a") == 8
+        assert allocator.reallocations == 1
+
+    def test_unregister_releases_cpus(self):
+        machine = Machine(8)
+        allocator = ProcessorAllocator(machine, EquipartitionPolicy())
+        allocator.register(profile("a", 8, 1.0, 10))
+        allocator.reallocate()
+        allocator.unregister("a")
+        assert machine.allocated_cpus == 0
+        assert allocator.reallocate() == {}
+
+    def test_update_parallel_fraction(self):
+        allocator = ProcessorAllocator(Machine(4), PerformanceDrivenPolicy())
+        allocator.register(profile("a", 4, 0.2, 10))
+        allocator.update_parallel_fraction("a", 0.95)
+        assert allocator.profiles[0].parallel_fraction == pytest.approx(0.95)
+        with pytest.raises(ValidationError):
+            allocator.update_parallel_fraction("unknown", 0.5)
+
+
+class TestWorkloadSimulator:
+    def workload(self):
+        return [
+            profile("scalable", 16, 0.98, 120.0),
+            profile("medium", 16, 0.80, 60.0),
+            profile("serial", 16, 0.20, 30.0),
+        ]
+
+    def test_all_applications_finish(self):
+        sim = WorkloadSimulator(Machine(16), EquipartitionPolicy(), quantum=0.5)
+        result = sim.run(self.workload())
+        assert set(result.finish_times) == {"scalable", "medium", "serial"}
+        assert result.makespan > 0
+        assert result.mean_turnaround <= result.makespan
+
+    def test_performance_driven_helps_the_scalable_application(self):
+        eq = WorkloadSimulator(Machine(16), EquipartitionPolicy(), quantum=0.5)
+        pd = WorkloadSimulator(Machine(16), PerformanceDrivenPolicy(efficiency_target=0.5), quantum=0.5)
+        eq_result = eq.run(self.workload())
+        pd_result = pd.run(self.workload())
+        # The performance-driven policy redirects processors from the mostly
+        # serial application (which cannot use them efficiently) to the
+        # scalable one, so the scalable application finishes earlier — the
+        # benefit the run-time speedup measurement is meant to enable.
+        assert pd_result.finish_times["scalable"] < eq_result.finish_times["scalable"]
+        # And it never starves anyone: every application still completes.
+        assert set(pd_result.finish_times) == set(eq_result.finish_times)
+
+    def test_allocations_logged_every_round(self):
+        sim = WorkloadSimulator(Machine(8), EquipartitionPolicy(), quantum=1.0)
+        result = sim.run([profile("a", 8, 1.0, 16.0)])
+        assert len(result.allocations_over_time) >= 2
+        assert all("a" in grants for grants in result.allocations_over_time)
+
+    def test_zero_work_rejected(self):
+        sim = WorkloadSimulator(Machine(4), EquipartitionPolicy())
+        with pytest.raises(ValidationError):
+            sim.run([profile("a", 4, 1.0, 0.0)])
+
+    def test_max_rounds_guard(self):
+        sim = WorkloadSimulator(Machine(4), EquipartitionPolicy(), quantum=0.001, max_rounds=3)
+        with pytest.raises(ValidationError):
+            sim.run([profile("a", 4, 0.5, 1000.0)])

@@ -1,0 +1,100 @@
+"""Tests for processor-allocation metrics and policies."""
+
+import pytest
+
+from repro.scheduling.metrics import ApplicationProfile
+from repro.scheduling.policies import EquipartitionPolicy, PerformanceDrivenPolicy
+
+
+def profile(name, requested, fraction, work=100.0):
+    return ApplicationProfile(
+        name=name, requested_cpus=requested, parallel_fraction=fraction, remaining_work=work
+    )
+
+
+class TestApplicationProfile:
+    def test_speedup_and_efficiency(self):
+        p = profile("a", 16, 1.0)
+        assert p.speedup(8) == pytest.approx(8.0)
+        assert p.efficiency(8) == pytest.approx(1.0)
+
+    def test_marginal_speedup_decreases(self):
+        p = profile("a", 32, 0.9)
+        assert p.marginal_speedup(2) > p.marginal_speedup(8) > p.marginal_speedup(32)
+
+    def test_execution_time(self):
+        p = profile("a", 8, 1.0, work=40.0)
+        assert p.execution_time(4) == pytest.approx(10.0)
+        assert p.execution_time(1) == pytest.approx(40.0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ApplicationProfile(name="", requested_cpus=4, parallel_fraction=0.5)
+        with pytest.raises(Exception):
+            ApplicationProfile(name="x", requested_cpus=4, parallel_fraction=1.5)
+
+
+class TestEquipartition:
+    def test_even_division(self):
+        policy = EquipartitionPolicy()
+        grants = policy.allocate([profile("a", 16, 1.0), profile("b", 16, 1.0)], 16)
+        assert grants == {"a": 8, "b": 8}
+
+    def test_requests_act_as_caps(self):
+        policy = EquipartitionPolicy()
+        grants = policy.allocate([profile("a", 2, 1.0), profile("b", 16, 1.0)], 16)
+        assert grants["a"] == 2
+        assert grants["b"] == 14
+
+    def test_more_apps_than_cpus(self):
+        policy = EquipartitionPolicy()
+        profiles = [profile(f"app{i}", 4, 1.0) for i in range(6)]
+        grants = policy.allocate(profiles, 4)
+        assert sum(grants.values()) == 4
+        assert all(c == 1 for c in grants.values())
+
+    def test_empty_workload(self):
+        assert EquipartitionPolicy().allocate([], 8) == {}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            EquipartitionPolicy().allocate([profile("a", 2, 1.0), profile("a", 2, 1.0)], 4)
+
+
+class TestPerformanceDriven:
+    def test_efficient_app_gets_more_cpus(self):
+        policy = PerformanceDrivenPolicy(efficiency_target=0.5)
+        scalable = profile("scalable", 16, 0.99)
+        serial = profile("serial", 16, 0.30)
+        grants = policy.allocate([scalable, serial], 16)
+        assert grants["scalable"] > grants["serial"]
+        assert sum(grants.values()) <= 16
+
+    def test_efficiency_target_limits_grants(self):
+        strict = PerformanceDrivenPolicy(efficiency_target=0.95)
+        relaxed = PerformanceDrivenPolicy(efficiency_target=0.2)
+        app = profile("a", 32, 0.9)
+        strict_grant = strict.allocate([app], 32)["a"]
+        relaxed_grant = relaxed.allocate([profile("a", 32, 0.9)], 32)["a"]
+        assert strict_grant < relaxed_grant
+
+    def test_everyone_gets_at_least_one_cpu(self):
+        policy = PerformanceDrivenPolicy()
+        profiles = [profile(f"app{i}", 8, 0.1 + 0.1 * i) for i in range(4)]
+        grants = policy.allocate(profiles, 8)
+        assert all(grants[p.name] >= 1 for p in profiles)
+
+    def test_never_exceeds_total(self):
+        policy = PerformanceDrivenPolicy(efficiency_target=0.0)
+        profiles = [profile(f"app{i}", 64, 0.99) for i in range(3)]
+        grants = policy.allocate(profiles, 32)
+        assert sum(grants.values()) <= 32
+
+    def test_requested_cpus_cap(self):
+        policy = PerformanceDrivenPolicy(efficiency_target=0.0)
+        grants = policy.allocate([profile("a", 3, 1.0)], 32)
+        assert grants["a"] == 3
+
+    def test_invalid_target(self):
+        with pytest.raises(Exception):
+            PerformanceDrivenPolicy(efficiency_target=1.5)

@@ -1,0 +1,142 @@
+"""Integration-style tests for the SelfAnalyzer (Figure 6 control flow)."""
+
+import pytest
+
+from repro.bench.workloads import ft_like_application, spec_application
+from repro.runtime.application import ApplicationRunner
+from repro.runtime.ditools import DIToolsInterposer
+from repro.runtime.machine import Machine
+from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
+from repro.selfanalyzer.reporting import format_analyzer_report, format_region_table
+
+
+def run_with_analyzer(app, cpus, machine_cpus=16, **config_kwargs):
+    interposer = DIToolsInterposer()
+    runner = ApplicationRunner(app, machine=Machine(machine_cpus), interposer=interposer, cpus=cpus)
+    config = SelfAnalyzerConfig(
+        baseline_cpus=1,
+        dpd_window_size=64,
+        total_iterations_hint=app.iterations,
+        **config_kwargs,
+    )
+    analyzer = SelfAnalyzer(config)
+    analyzer.attach(interposer, runner)
+    result = runner.run()
+    return analyzer, result
+
+
+class TestSpeedupMeasurement:
+    @pytest.mark.parametrize("cpus", [2, 4, 8, 16])
+    def test_measured_speedup_matches_analytic(self, cpus):
+        app = ft_like_application(iterations=25)
+        analyzer, _ = run_with_analyzer(app, cpus)
+        measured = analyzer.speedup_of_main_region()
+        assert measured is not None
+        assert measured == pytest.approx(app.analytic_speedup(cpus), rel=0.05)
+
+    def test_region_identified_by_period_length(self):
+        app = ft_like_application(iterations=25, loops_per_iteration=8)
+        analyzer, _ = run_with_analyzer(app, 4)
+        region = analyzer.main_region()
+        assert region is not None
+        assert region.period == 8
+
+    def test_efficiency_below_one_for_imperfect_app(self):
+        app = ft_like_application(iterations=25)
+        analyzer, _ = run_with_analyzer(app, 16)
+        measurement = analyzer.main_region().measurement
+        assert measurement is not None
+        assert 0.0 < measurement.efficiency < 1.0
+
+    def test_baseline_iterations_are_requested(self):
+        app = ft_like_application(iterations=25)
+        analyzer, result = run_with_analyzer(app, 8)
+        assert 1 in result.cpus_per_iteration
+        assert result.cpus_per_iteration.count(1) == analyzer.config.baseline_iterations
+
+    def test_no_runner_means_no_baseline_request(self):
+        app = ft_like_application(iterations=15)
+        interposer = DIToolsInterposer()
+        runner = ApplicationRunner(app, machine=Machine(8), interposer=interposer, cpus=4)
+        analyzer = SelfAnalyzer(SelfAnalyzerConfig(dpd_window_size=64))
+        analyzer.attach(interposer, runner=None)  # observe only
+        result = runner.run()
+        assert set(result.cpus_per_iteration) == {4}
+        assert analyzer.speedup_of_main_region() is None
+        region = analyzer.main_region()
+        assert region is not None
+        assert region.mean_time(4) is not None
+
+
+class TestEstimation:
+    def test_total_time_estimate_close_to_actual(self):
+        app = ft_like_application(iterations=30)
+        analyzer, result = run_with_analyzer(app, 8)
+        estimate = analyzer.estimated_total_time()
+        assert estimate is not None
+        # The estimate includes the slow baseline iterations in its history,
+        # so allow a generous envelope; the shape criterion is "same order,
+        # within tens of percent".
+        assert estimate == pytest.approx(result.total_time, rel=0.35)
+
+    def test_events_processed_counts_all_calls(self):
+        app = ft_like_application(iterations=10, loops_per_iteration=6)
+        analyzer, _ = run_with_analyzer(app, 4)
+        assert analyzer.events_processed == 60
+
+
+class TestNestedApplication:
+    def test_hydro2d_like_app_reports_outer_region(self):
+        app = spec_application("turb3d", iterations=9)
+        interposer = DIToolsInterposer()
+        runner = ApplicationRunner(app, machine=Machine(8), interposer=interposer, cpus=4)
+        analyzer = SelfAnalyzer(SelfAnalyzerConfig(dpd_window_size=512, total_iterations_hint=9))
+        analyzer.attach(interposer, runner)
+        runner.run()
+        region = analyzer.main_region()
+        assert region is not None
+        assert region.period == 142
+
+
+class TestReporting:
+    def test_report_contains_key_figures(self):
+        app = ft_like_application(iterations=20)
+        analyzer, _ = run_with_analyzer(app, 8)
+        text = format_analyzer_report(analyzer)
+        assert "SelfAnalyzer report" in text
+        assert "speedup of the main region" in text
+        assert "estimated total time" in text
+
+    def test_region_table_handles_incomplete_regions(self):
+        table = format_region_table([])
+        assert "region" in table
+        app = ft_like_application(iterations=6)
+        interposer = DIToolsInterposer()
+        runner = ApplicationRunner(app, machine=Machine(4), interposer=interposer, cpus=4)
+        analyzer = SelfAnalyzer(SelfAnalyzerConfig(dpd_window_size=64))
+        analyzer.attach(interposer, runner=None)
+        runner.run()
+        table = format_region_table(analyzer.regions.regions)
+        assert "0x" in table
+
+
+class TestConfigValidation:
+    def test_invalid_config(self):
+        with pytest.raises(Exception):
+            SelfAnalyzerConfig(baseline_cpus=0)
+        with pytest.raises(Exception):
+            SelfAnalyzerConfig(baseline_iterations=0)
+
+    def test_config_kwargs_exclusive(self):
+        with pytest.raises(ValueError):
+            SelfAnalyzer(SelfAnalyzerConfig(), baseline_cpus=2)
+
+    def test_detach(self):
+        app = ft_like_application(iterations=5)
+        interposer = DIToolsInterposer()
+        analyzer = SelfAnalyzer(SelfAnalyzerConfig(dpd_window_size=32))
+        analyzer.attach(interposer)
+        analyzer.detach()
+        runner = ApplicationRunner(app, machine=Machine(4), interposer=interposer, cpus=2)
+        runner.run()
+        assert analyzer.events_processed == 0

@@ -1,0 +1,74 @@
+"""Tests for execution-time estimation."""
+
+import pytest
+
+from repro.selfanalyzer.estimator import ExecutionTimeEstimator
+from repro.util.validation import ValidationError
+
+
+class TestExecutionTimeEstimator:
+    def test_estimate_requires_one_iteration(self):
+        est = ExecutionTimeEstimator(10)
+        with pytest.raises(ValidationError):
+            est.estimate()
+
+    def test_projection_with_known_total(self):
+        est = ExecutionTimeEstimator(total_iterations=10)
+        for _ in range(3):
+            est.record_iteration(2.0)
+        estimate = est.estimate()
+        assert estimate.completed_iterations == 3
+        assert estimate.remaining_iterations == 7
+        assert estimate.mean_iteration_time == pytest.approx(2.0)
+        assert estimate.estimated_total == pytest.approx(20.0)
+
+    def test_projection_without_total(self):
+        est = ExecutionTimeEstimator()
+        est.record_iteration(1.5)
+        estimate = est.estimate()
+        assert estimate.remaining_iterations == 0
+        assert estimate.estimated_total == pytest.approx(1.5)
+
+    def test_non_iterative_time_counts_toward_elapsed(self):
+        est = ExecutionTimeEstimator(total_iterations=4)
+        est.record_non_iterative_time(5.0)
+        est.record_iteration(1.0)
+        estimate = est.estimate()
+        assert estimate.elapsed == pytest.approx(6.0)
+        assert estimate.estimated_total == pytest.approx(6.0 + 3 * 1.0)
+
+    def test_set_total_iterations(self):
+        est = ExecutionTimeEstimator()
+        est.record_iteration(1.0)
+        est.set_total_iterations(5)
+        assert est.estimate().remaining_iterations == 4
+
+    def test_exact_for_constant_iterations(self):
+        est = ExecutionTimeEstimator(total_iterations=20)
+        for _ in range(20):
+            est.record_iteration(0.5)
+        assert est.estimate().estimated_total == pytest.approx(10.0)
+
+    def test_what_if_estimate_scales_remaining_work(self):
+        est = ExecutionTimeEstimator(total_iterations=10)
+        for _ in range(5):
+            est.record_iteration(4.0)
+        # Perfectly parallel remaining work: twice the processors, half the time.
+        total_same = est.estimate_with_cpus(4, 4, parallel_fraction=1.0)
+        total_double = est.estimate_with_cpus(4, 8, parallel_fraction=1.0)
+        assert total_same == pytest.approx(est.estimate().estimated_total)
+        assert total_double == pytest.approx(20.0 + 5 * 4.0 / 2.0)
+
+    def test_what_if_with_serial_fraction_changes_little(self):
+        est = ExecutionTimeEstimator(total_iterations=10)
+        for _ in range(5):
+            est.record_iteration(4.0)
+        mostly_serial = est.estimate_with_cpus(4, 8, parallel_fraction=0.05)
+        assert mostly_serial == pytest.approx(est.estimate().estimated_total, rel=0.05)
+
+    def test_invalid_durations(self):
+        est = ExecutionTimeEstimator()
+        with pytest.raises(ValidationError):
+            est.record_iteration(0.0)
+        with pytest.raises(ValidationError):
+            est.record_non_iterative_time(-1.0)

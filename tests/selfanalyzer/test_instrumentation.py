@@ -1,0 +1,69 @@
+"""Tests for the compiler-inserted instrumentation mode."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.selfanalyzer.instrumentation import Instrumentation
+
+
+class TestInstrumentationWithVirtualClock:
+    def test_iteration_timing(self):
+        clock = VirtualClock()
+        inst = Instrumentation(cpus=4, clock=clock, total_iterations=5)
+        inst.application_start()
+        for _ in range(3):
+            with inst.iteration():
+                clock.advance(2.0)
+        assert inst.iterations == 3
+        assert inst.estimator.estimate().mean_iteration_time == pytest.approx(2.0)
+        assert inst.estimated_total_time() == pytest.approx(3 * 2.0 + 2 * 2.0)
+
+    def test_parallel_loop_timing_feeds_regions(self):
+        clock = VirtualClock()
+        inst = Instrumentation(cpus=8, clock=clock)
+        for _ in range(4):
+            with inst.parallel_loop("calc1"):
+                clock.advance(0.5)
+            with inst.parallel_loop("calc2"):
+                clock.advance(0.25)
+        stats = inst.loop_statistics()
+        assert stats["calc1"].count == 4
+        assert stats["calc1"].mean == pytest.approx(0.5)
+        assert len(inst.regions) == 2
+        region = next(iter(inst.regions))
+        assert region.mean_time(8) is not None
+
+    def test_zero_duration_blocks_are_ignored(self):
+        clock = VirtualClock()
+        inst = Instrumentation(clock=clock)
+        with inst.iteration():
+            pass
+        assert inst.iterations == 0
+
+    def test_set_cpus(self):
+        clock = VirtualClock()
+        inst = Instrumentation(cpus=2, clock=clock)
+        inst.set_cpus(8)
+        with inst.parallel_loop("x"):
+            clock.advance(1.0)
+        region = next(iter(inst.regions))
+        assert region.mean_time(8) == pytest.approx(1.0)
+
+    def test_record_external_iteration(self):
+        inst = Instrumentation(clock=VirtualClock(), total_iterations=4)
+        inst.record_external_iteration(1.5)
+        assert inst.iterations == 1
+        assert inst.estimated_total_time() == pytest.approx(1.5 * 4)
+
+
+class TestInstrumentationWithRealClock:
+    def test_real_clock_measures_positive_durations(self):
+        inst = Instrumentation(cpus=1)
+        with inst.iteration():
+            sum(range(10_000))
+        assert inst.iterations == 1
+        assert inst.estimator.estimate().mean_iteration_time > 0.0
+
+    def test_estimated_total_none_before_iterations(self):
+        inst = Instrumentation()
+        assert inst.estimated_total_time() is None

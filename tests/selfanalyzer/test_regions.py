@@ -1,0 +1,88 @@
+"""Tests for parallel-region bookkeeping."""
+
+import pytest
+
+from repro.selfanalyzer.regions import ParallelRegion, RegionKey, RegionRegistry, RegionState
+
+
+class TestParallelRegion:
+    def test_initial_state(self):
+        region = ParallelRegion(0x400000, 6, detected_at=1.5)
+        assert region.state is RegionState.DETECTED
+        assert region.period == 6
+        assert region.detected_at == 1.5
+        assert region.iteration_starts == 0
+        assert region.measurement is None
+
+    def test_state_moves_to_measuring_on_first_start(self):
+        region = ParallelRegion(0x1, 4)
+        region.note_iteration_start()
+        assert region.state is RegionState.MEASURING
+
+    def test_record_and_mean_time(self):
+        region = ParallelRegion(0x1, 4)
+        region.record_iteration_time(8, 1.0)
+        region.record_iteration_time(8, 3.0)
+        assert region.mean_time(8) == pytest.approx(2.0)
+        assert region.mean_time(1) is None
+        assert region.samples(8) == 2
+        assert region.observed_cpu_counts() == [8]
+
+    def test_try_complete_requires_both_timings(self):
+        region = ParallelRegion(0x1, 4)
+        region.record_iteration_time(8, 1.0)
+        assert region.try_complete(8, 1) is None
+        region.record_iteration_time(1, 6.0)
+        measurement = region.try_complete(8, 1)
+        assert measurement is not None
+        assert measurement.speedup == pytest.approx(6.0)
+        assert region.state is RegionState.COMPLETE
+
+    def test_speedup_and_efficiency_between(self):
+        region = ParallelRegion(0x1, 4)
+        region.record_iteration_time(1, 8.0)
+        region.record_iteration_time(4, 2.0)
+        assert region.speedup_between(1, 4) == pytest.approx(4.0)
+        assert region.efficiency_between(1, 4) == pytest.approx(1.0)
+        assert region.speedup_between(1, 16) is None
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ParallelRegion(0x1, 0)
+        region = ParallelRegion(0x1, 4)
+        with pytest.raises(Exception):
+            region.record_iteration_time(0, 1.0)
+        with pytest.raises(Exception):
+            region.record_iteration_time(2, 0.0)
+
+
+class TestRegionRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = RegionRegistry()
+        a = reg.get_or_create(0x1, 5)
+        b = reg.get_or_create(0x1, 5)
+        assert a is b
+        assert len(reg) == 1
+
+    def test_different_period_is_different_region(self):
+        reg = RegionRegistry()
+        reg.get_or_create(0x1, 5)
+        reg.get_or_create(0x1, 10)
+        assert len(reg) == 2
+
+    def test_get_returns_none_for_unknown(self):
+        reg = RegionRegistry()
+        assert reg.get(0x2, 3) is None
+
+    def test_completed_listing(self):
+        reg = RegionRegistry()
+        region = reg.get_or_create(0x1, 5)
+        assert reg.completed == []
+        region.record_iteration_time(4, 1.0)
+        region.record_iteration_time(1, 3.0)
+        region.try_complete(4, 1)
+        assert reg.completed == [region]
+
+    def test_region_key_validation(self):
+        with pytest.raises(Exception):
+            RegionKey(0x1, 0)

@@ -1,0 +1,79 @@
+"""Tests for speedup/efficiency computations."""
+
+import pytest
+
+from repro.selfanalyzer.speedup import (
+    SpeedupMeasurement,
+    amdahl_parallel_fraction,
+    amdahl_speedup,
+    efficiency,
+    speedup,
+)
+from repro.util.validation import ValidationError
+
+
+class TestSpeedup:
+    def test_definition(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(ValidationError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            speedup(1.0, -1.0)
+
+
+class TestEfficiency:
+    def test_ideal_speedup_gives_unit_efficiency(self):
+        assert efficiency(8.0, 8) == pytest.approx(1.0)
+
+    def test_baseline_other_than_one(self):
+        # Speedup 2 going from 4 to 8 CPUs is perfectly efficient.
+        assert efficiency(2.0, 8, baseline_cpus=4) == pytest.approx(1.0)
+
+    def test_sub_linear(self):
+        assert efficiency(4.0, 8) == pytest.approx(0.5)
+
+
+class TestAmdahl:
+    def test_fully_parallel(self):
+        assert amdahl_speedup(1.0, 16) == pytest.approx(16.0)
+
+    def test_fully_serial(self):
+        assert amdahl_speedup(0.0, 16) == pytest.approx(1.0)
+
+    def test_classic_value(self):
+        assert amdahl_speedup(0.9, 10) == pytest.approx(1.0 / (0.1 + 0.09))
+
+    def test_inversion_round_trip(self):
+        for fraction in (0.3, 0.7, 0.95):
+            s = amdahl_speedup(fraction, 12)
+            assert amdahl_parallel_fraction(s, 12) == pytest.approx(fraction, rel=1e-9)
+
+    def test_inversion_clipped(self):
+        assert amdahl_parallel_fraction(1.0, 8) == 0.0
+        assert amdahl_parallel_fraction(8.0, 8) == 1.0
+        assert amdahl_parallel_fraction(5.0, 1) == 0.0
+
+
+class TestSpeedupMeasurement:
+    def test_derived_quantities(self):
+        m = SpeedupMeasurement(
+            region_address=0x400000,
+            period=6,
+            cpus=8,
+            baseline_cpus=1,
+            parallel_time=1.0,
+            baseline_time=6.0,
+        )
+        assert m.speedup == pytest.approx(6.0)
+        assert m.efficiency == pytest.approx(0.75)
+        assert 0.0 < m.estimated_parallel_fraction <= 1.0
+
+    def test_parallel_fraction_consistent_with_amdahl(self):
+        cpus = 16
+        fraction = 0.9
+        s = amdahl_speedup(fraction, cpus)
+        m = SpeedupMeasurement(0x1, 5, cpus, 1, parallel_time=1.0, baseline_time=s)
+        assert m.estimated_parallel_fraction == pytest.approx(fraction, rel=1e-9)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.io import save_trace, save_trace_csv
+from repro.traces.synthetic import make_trace
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["table2"], ["table3"], ["fig3"], ["fig4"], ["fig7"], ["speedup"], ["detect", "x.npz"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--iterations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "peak_cpus=16" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--iterations", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "detected period m = 44" in out
+
+    def test_table3_reduced(self, capsys):
+        assert main(["table3", "--length", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "hydro2d" in out
+
+    def test_speedup(self, capsys):
+        assert main(["speedup", "--cpus", "4", "--iterations", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "SelfAnalyzer report" in out
+        assert "analytic speedup" in out
+
+    def test_detect_event_trace(self, tmp_path, capsys):
+        trace = make_trace(np.tile([10, 20, 30, 40], 40), "ev", kind="events")
+        path = save_trace(trace, tmp_path / "ev.npz")
+        assert main(["detect", str(path), "--window", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "detected periodicities: [4]" in out
+
+    def test_detect_magnitude_csv(self, tmp_path, capsys):
+        values = np.tile([0.0, 2.0, 5.0, 1.0, 7.0], 40)
+        trace = make_trace(values, "mag", sampling_interval=1e-3)
+        path = save_trace_csv(trace, tmp_path / "mag.csv")
+        assert main(["detect", str(path), "--window", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=magnitude" in out
+        assert "[5]" in out
+
+    def test_detect_aperiodic_event_trace_returns_2(self, tmp_path, capsys):
+        # A stream of all-distinct event identifiers has no exact repetition,
+        # so the event-mode DPD must report nothing (exit code 2).
+        trace = make_trace(np.arange(200), "distinct", kind="events")
+        path = save_trace(trace, tmp_path / "distinct.npz")
+        assert main(["detect", str(path), "--window", "64"]) == 2

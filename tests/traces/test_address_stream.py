@@ -1,0 +1,89 @@
+"""Tests for loop-address assignment and address-stream construction."""
+
+import numpy as np
+import pytest
+
+from repro.traces.address_stream import (
+    AddressSpace,
+    address_stream_from_pattern,
+    loop_address,
+    pattern_from_names,
+)
+from repro.util.validation import ValidationError
+
+
+class TestLoopAddress:
+    def test_addresses_are_distinct_and_ordered(self):
+        addrs = [loop_address(i) for i in range(10)]
+        assert len(set(addrs)) == 10
+        assert addrs == sorted(addrs)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            loop_address(-1)
+
+
+class TestAddressSpace:
+    def test_address_of_is_stable(self):
+        space = AddressSpace()
+        a = space.address_of("loop_a")
+        b = space.address_of("loop_b")
+        assert a != b
+        assert space.address_of("loop_a") == a
+        assert len(space) == 2
+
+    def test_empty_space_is_falsy_but_usable(self):
+        # Regression guard: an empty AddressSpace must still be usable when
+        # passed explicitly (it is falsy because it defines __len__).
+        space = AddressSpace()
+        assert not space
+        assert space.address_of("x") == loop_address(0)
+        assert len(space) == 1
+
+    def test_name_of(self):
+        space = AddressSpace()
+        addr = space.address_of("foo")
+        assert space.name_of(addr) == "foo"
+        assert space.name_of(0xDEAD) is None
+
+    def test_assign_and_conflict(self):
+        space = AddressSpace()
+        space.assign("foo", 0x1234)
+        assert space.address_of("foo") == 0x1234
+        with pytest.raises(ValidationError):
+            space.assign("foo", 0x9999)
+
+    def test_empty_name_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValidationError):
+            space.address_of("")
+
+
+class TestPatternFromNames:
+    def test_repeated_names_share_address(self):
+        pattern = pattern_from_names(["a", "b", "a"])
+        assert pattern[0] == pattern[2]
+        assert pattern[0] != pattern[1]
+
+    def test_shared_space(self):
+        space = AddressSpace()
+        first = pattern_from_names(["a"], space)
+        second = pattern_from_names(["a", "b"], space)
+        assert first[0] == second[0]
+
+
+class TestAddressStreamFromPattern:
+    def test_length_and_truncation(self):
+        trace = address_stream_from_pattern([1, 2, 3], 8, name="x")
+        assert len(trace) == 8
+        assert trace.values.tolist() == [1, 2, 3, 1, 2, 3, 1, 2]
+        assert trace.kind == "events"
+
+    def test_metadata_carries_expected_periods(self):
+        trace = address_stream_from_pattern([1, 2, 3], 9, expected_periods=(3,))
+        assert trace.expected_periods == (3,)
+        assert trace.metadata.attributes["pattern_length"] == 3
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            address_stream_from_pattern([], 5)

@@ -1,0 +1,72 @@
+"""Tests for CPU-usage trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.cpu_usage import CpuPhase, cpu_usage_trace, iteration_pattern
+from repro.util.validation import ValidationError
+
+
+class TestCpuPhase:
+    def test_constant_phase(self):
+        phase = CpuPhase(cpus=4, duration=5)
+        assert phase.render().tolist() == [4.0] * 5
+
+    def test_ramp_phase(self):
+        phase = CpuPhase(cpus=8, duration=4, ramp_from=1)
+        rendered = phase.render()
+        assert rendered[0] == 1.0
+        assert rendered[-1] == 8.0
+        assert np.all(np.diff(rendered) >= 0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(Exception):
+            CpuPhase(cpus=2, duration=0)
+
+
+class TestIterationPattern:
+    def test_concatenation(self):
+        pattern = iteration_pattern([CpuPhase(1, 2), CpuPhase(4, 3)])
+        assert pattern.tolist() == [1.0, 1.0, 4.0, 4.0, 4.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            iteration_pattern([])
+
+
+class TestCpuUsageTrace:
+    def phases(self):
+        return [CpuPhase(1, 3), CpuPhase(8, 5), CpuPhase(1, 2)]
+
+    def test_length_and_period_metadata(self):
+        trace = cpu_usage_trace(self.phases(), iterations=6, amplitude_jitter=0.0)
+        assert len(trace) == 10 * 6
+        assert trace.expected_periods == (10,)
+        assert trace.metadata.sampling_interval == 1e-3
+
+    def test_exact_periodicity_without_jitter(self):
+        trace = cpu_usage_trace(self.phases(), iterations=4, amplitude_jitter=0.0)
+        values = np.asarray(trace.values)
+        assert np.array_equal(values[:10], values[10:20])
+
+    def test_jitter_changes_values_but_not_structure(self):
+        trace = cpu_usage_trace(self.phases(), iterations=4, amplitude_jitter=0.5, max_cpus=8, seed=1)
+        values = np.asarray(trace.values)
+        assert values.min() >= 0
+        assert values.max() <= 8
+        assert not np.array_equal(values[:10], values[10:20])
+
+    def test_warmup_and_cooldown(self):
+        trace = cpu_usage_trace(
+            self.phases(),
+            iterations=2,
+            warmup=[CpuPhase(1, 4)],
+            cooldown=[CpuPhase(1, 3)],
+            amplitude_jitter=0.0,
+        )
+        assert len(trace) == 4 + 20 + 3
+
+    def test_values_are_integral_cpu_counts(self):
+        trace = cpu_usage_trace(self.phases(), iterations=3, amplitude_jitter=0.7, max_cpus=8, seed=2)
+        values = np.asarray(trace.values)
+        assert np.array_equal(values, np.round(values))

@@ -1,0 +1,74 @@
+"""Tests for the hardware-counter trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.traces.hwcounters import CounterPhase, counter_deltas, hardware_counter_trace
+from repro.util.validation import ValidationError
+
+
+def phases():
+    return [
+        CounterPhase(duration=8, instructions_per_sample=1e6, miss_rate=0.02, flops_fraction=0.5),
+        CounterPhase(duration=4, instructions_per_sample=2e5, miss_rate=0.10, flops_fraction=0.1),
+        CounterPhase(duration=6, instructions_per_sample=8e5, miss_rate=0.01, flops_fraction=0.7),
+    ]
+
+
+class TestCounterPhase:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            CounterPhase(duration=0, instructions_per_sample=1e6)
+        with pytest.raises(ValidationError):
+            CounterPhase(duration=2, instructions_per_sample=1e6, flops_fraction=1.5)
+
+
+class TestHardwareCounterTrace:
+    def test_length_and_metadata(self):
+        trace = hardware_counter_trace(phases(), iterations=5, relative_noise=0.0)
+        assert len(trace) == 18 * 5
+        assert trace.expected_periods == (18,)
+        assert trace.metadata.attributes["counter"] == "instructions"
+
+    def test_exactly_periodic_without_noise(self):
+        trace = hardware_counter_trace(phases(), iterations=4, relative_noise=0.0)
+        values = np.asarray(trace.values)
+        assert np.array_equal(values[:18], values[18:36])
+
+    def test_counter_selection_changes_rates(self):
+        instr = hardware_counter_trace(phases(), 2, counter="instructions", relative_noise=0.0)
+        misses = hardware_counter_trace(phases(), 2, counter="cache_misses", relative_noise=0.0)
+        flops = hardware_counter_trace(phases(), 2, counter="flops", relative_noise=0.0)
+        assert misses.values[0] == pytest.approx(instr.values[0] * 0.02)
+        assert flops.values[0] == pytest.approx(instr.values[0] * 0.5)
+
+    def test_invalid_counter(self):
+        with pytest.raises(ValidationError):
+            hardware_counter_trace(phases(), 2, counter="branches")
+
+    def test_noise_keeps_values_non_negative(self):
+        trace = hardware_counter_trace(phases(), 10, relative_noise=0.5, seed=3)
+        assert np.all(np.asarray(trace.values) >= 0.0)
+
+    def test_dpd_detects_iteration_period(self):
+        trace = hardware_counter_trace(phases(), iterations=20, relative_noise=0.03, seed=1)
+        detector = DynamicPeriodicityDetector(DetectorConfig(window_size=64, min_depth=0.2))
+        detector.process(trace.values)
+        assert detector.current_period == 18
+
+
+class TestCounterDeltas:
+    def test_simple_deltas(self):
+        cumulative = np.array([0.0, 10.0, 25.0, 25.0, 40.0])
+        deltas = counter_deltas(cumulative)
+        assert deltas.tolist() == [0.0, 10.0, 15.0, 0.0, 15.0]
+
+    def test_wraparound_treated_as_zero(self):
+        cumulative = np.array([100.0, 150.0, 5.0, 30.0])
+        deltas = counter_deltas(cumulative)
+        assert deltas.tolist() == [0.0, 50.0, 0.0, 25.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            counter_deltas(np.array([]))

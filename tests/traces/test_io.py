@@ -1,0 +1,65 @@
+"""Tests for trace serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import load_trace, load_trace_csv, save_trace, save_trace_csv
+from repro.traces.synthetic import make_trace, periodic_signal
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def sampled_trace():
+    return make_trace(
+        periodic_signal(6, 60, seed=1),
+        "roundtrip",
+        sampling_interval=1e-3,
+        expected_periods=(6,),
+        description="a test trace",
+        seed=1,
+    )
+
+
+@pytest.fixture
+def event_trace():
+    return make_trace(np.array([10, 20, 30] * 5), "events", kind="events", expected_periods=(3,))
+
+
+class TestNpzRoundTrip:
+    def test_values_and_metadata_preserved(self, tmp_path, sampled_trace):
+        path = save_trace(sampled_trace, tmp_path / "trace")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.values, sampled_trace.values)
+        assert loaded.name == "roundtrip"
+        assert loaded.metadata.sampling_interval == pytest.approx(1e-3)
+        assert loaded.expected_periods == (6,)
+        assert loaded.metadata.attributes["seed"] == 1
+
+    def test_event_trace_round_trip(self, tmp_path, event_trace):
+        path = save_trace(event_trace, tmp_path / "events.npz")
+        loaded = load_trace(path)
+        assert loaded.values.dtype == np.int64
+        assert np.array_equal(loaded.values, event_trace.values)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace(tmp_path / "nope.npz")
+
+
+class TestCsvRoundTrip:
+    def test_values_preserved(self, tmp_path, sampled_trace):
+        path = save_trace_csv(sampled_trace, tmp_path / "trace.csv")
+        loaded = load_trace_csv(path)
+        assert np.allclose(loaded.values, sampled_trace.values)
+        assert loaded.name == "roundtrip"
+
+    def test_event_trace_round_trip(self, tmp_path, event_trace):
+        path = save_trace_csv(event_trace, tmp_path / "events")
+        loaded = load_trace_csv(path)
+        assert loaded.values.dtype == np.int64
+        assert np.array_equal(loaded.values, event_trace.values)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace_csv(tmp_path / "nope.csv")

@@ -1,0 +1,82 @@
+"""Tests for the Trace container and metadata."""
+
+import numpy as np
+import pytest
+
+from repro.traces.model import Trace, TraceKind, TraceMetadata
+from repro.util.validation import ValidationError
+
+
+def sampled_metadata(**kwargs):
+    defaults = dict(name="t", kind=TraceKind.SAMPLED, sampling_interval=1e-3)
+    defaults.update(kwargs)
+    return TraceMetadata(**defaults)
+
+
+class TestTraceMetadata:
+    def test_valid_kinds(self):
+        TraceMetadata(name="a", kind=TraceKind.SAMPLED)
+        TraceMetadata(name="b", kind=TraceKind.EVENTS)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceMetadata(name="a", kind="weird")
+
+    def test_invalid_sampling_interval(self):
+        with pytest.raises(ValidationError):
+            TraceMetadata(name="a", kind=TraceKind.SAMPLED, sampling_interval=0.0)
+
+    def test_expected_periods_normalised_to_ints(self):
+        md = TraceMetadata(name="a", kind=TraceKind.EVENTS, expected_periods=(5.0, 7))
+        assert md.expected_periods == (5, 7)
+
+
+class TestTrace:
+    def test_sampled_values_are_float(self):
+        trace = Trace(np.array([1, 2, 3]), sampled_metadata())
+        assert trace.values.dtype == np.float64
+        assert len(trace) == 3
+
+    def test_event_values_are_int(self):
+        md = TraceMetadata(name="e", kind=TraceKind.EVENTS)
+        trace = Trace(np.array([1.0, 2.0]), md)
+        assert trace.values.dtype == np.int64
+
+    def test_values_are_read_only(self):
+        trace = Trace(np.arange(5), sampled_metadata())
+        with pytest.raises(ValueError):
+            trace.values[0] = 99
+
+    def test_duration_and_time_axis(self):
+        trace = Trace(np.arange(10), sampled_metadata(sampling_interval=0.5))
+        assert trace.duration == pytest.approx(5.0)
+        assert trace.time_axis()[1] == pytest.approx(0.5)
+
+    def test_event_trace_has_no_duration(self):
+        md = TraceMetadata(name="e", kind=TraceKind.EVENTS)
+        trace = Trace(np.arange(4), md)
+        assert trace.duration is None
+        assert trace.time_axis().tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_slice(self):
+        trace = Trace(np.arange(10), sampled_metadata())
+        sub = trace.slice(2, 5)
+        assert sub.values.tolist() == [2.0, 3.0, 4.0]
+        assert sub.name == trace.name
+
+    def test_slice_invalid_bounds(self):
+        trace = Trace(np.arange(5), sampled_metadata())
+        with pytest.raises(ValidationError):
+            trace.slice(-1, 3)
+        with pytest.raises(ValidationError):
+            trace.slice(4, 2)
+
+    def test_with_values(self):
+        trace = Trace(np.arange(5), sampled_metadata())
+        other = trace.with_values(np.ones(3))
+        assert other.values.tolist() == [1.0, 1.0, 1.0]
+        assert other.metadata is trace.metadata
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValidationError):
+            Trace(np.zeros((2, 2)), sampled_metadata())

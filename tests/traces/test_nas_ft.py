@@ -1,0 +1,73 @@
+"""Tests for the NAS-FT-like CPU-usage trace (Figures 3/4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.distance import amdf_profile
+from repro.core.minima import select_period
+from repro.traces.nas_ft import FT_MAX_CPUS, FT_PERIOD, ft_iteration_phases, generate_ft_cpu_trace
+from repro.util.validation import ValidationError
+
+
+class TestIterationPhases:
+    def test_default_phases_total_44_samples(self):
+        phases = ft_iteration_phases()
+        assert sum(p.duration for p in phases) == FT_PERIOD
+
+    @pytest.mark.parametrize("period", [30, 44, 60, 100])
+    def test_custom_period_totals_match(self, period):
+        phases = ft_iteration_phases(period)
+        assert sum(p.duration for p in phases) == period
+
+    def test_peak_cpus(self):
+        phases = ft_iteration_phases()
+        assert max(p.cpus for p in phases) == FT_MAX_CPUS
+
+    def test_too_small_period_rejected(self):
+        with pytest.raises(ValidationError):
+            ft_iteration_phases(8)
+
+
+class TestGeneratedTrace:
+    def test_length_and_metadata(self, ft_trace):
+        assert len(ft_trace) == 10 + 12 * FT_PERIOD
+        assert ft_trace.metadata.sampling_interval == pytest.approx(1e-3)
+        assert FT_PERIOD in ft_trace.expected_periods
+
+    def test_cpu_bounds(self, ft_trace):
+        values = np.asarray(ft_trace.values)
+        assert values.min() >= 0
+        assert values.max() == FT_MAX_CPUS
+
+    def test_iterations_similar_but_not_identical(self, ft_trace):
+        values = np.asarray(ft_trace.values)[10:]
+        first = values[:FT_PERIOD]
+        second = values[FT_PERIOD : 2 * FT_PERIOD]
+        # Same overall shape (high correlation) but not an exact repetition,
+        # as the paper observes for the real trace.
+        corr = np.corrcoef(first, second)[0, 1]
+        assert corr > 0.8
+        assert not np.array_equal(first, second)
+
+    def test_offline_profile_minimum_at_44(self, ft_trace):
+        values = np.asarray(ft_trace.values, dtype=float)
+        profile = amdf_profile(values[-256:], 100)
+        candidate = select_period(profile, min_depth=0.2)
+        assert candidate is not None
+        assert candidate.lag == FT_PERIOD
+
+    def test_streaming_detector_finds_44(self, ft_trace):
+        detector = DynamicPeriodicityDetector(
+            DetectorConfig(window_size=256, max_lag=128, min_depth=0.2)
+        )
+        detector.process(ft_trace.values)
+        assert detector.current_period == FT_PERIOD
+
+    def test_custom_period_is_detected(self):
+        trace = generate_ft_cpu_trace(iterations=12, period=30, seed=3)
+        detector = DynamicPeriodicityDetector(
+            DetectorConfig(window_size=128, max_lag=64, min_depth=0.2)
+        )
+        detector.process(trace.values)
+        assert detector.current_period == 30

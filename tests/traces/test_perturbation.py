@@ -1,0 +1,84 @@
+"""Tests for trace perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.traces.perturbation import (
+    add_amplitude_noise,
+    add_drift,
+    drop_samples,
+    jitter_period,
+    perturb_trace,
+)
+from repro.traces.synthetic import make_trace, periodic_signal
+
+
+class TestAmplitudeNoise:
+    def test_zero_std_is_identity(self):
+        values = np.arange(10.0)
+        assert np.array_equal(add_amplitude_noise(values, 0.0), values)
+
+    def test_noise_changes_values(self):
+        values = np.zeros(100)
+        noisy = add_amplitude_noise(values, 1.0, seed=1)
+        assert not np.array_equal(noisy, values)
+        assert abs(noisy.mean()) < 0.5
+
+
+class TestDrift:
+    def test_linear_drift(self):
+        values = np.zeros(11)
+        drifted = add_drift(values, 10.0)
+        assert drifted[0] == 0.0
+        assert drifted[-1] == pytest.approx(10.0)
+
+
+class TestDropSamples:
+    def test_zero_probability_keeps_everything(self):
+        values = np.arange(20)
+        assert np.array_equal(drop_samples(values, 0.0), values)
+
+    def test_drops_roughly_expected_fraction(self):
+        values = np.arange(10_000)
+        kept = drop_samples(values, 0.3, seed=2)
+        assert 0.6 < kept.size / values.size < 0.8
+
+    def test_never_returns_empty(self):
+        values = np.arange(5)
+        kept = drop_samples(values, 1.0, seed=3)
+        assert kept.size >= 1
+
+
+class TestJitterPeriod:
+    def test_zero_jitter_is_exact_tiling(self):
+        pattern = np.array([1.0, 2.0, 3.0])
+        out = jitter_period(pattern, 4, max_shift=0)
+        assert out.tolist() == [1.0, 2.0, 3.0] * 4
+
+    def test_jitter_changes_total_length_slightly(self):
+        pattern = np.arange(10.0)
+        out = jitter_period(pattern, 20, max_shift=2, seed=1)
+        assert abs(out.size - 200) <= 40
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            jitter_period(np.arange(3.0), 0)
+
+
+class TestPerturbTrace:
+    def test_keeps_metadata(self):
+        trace = make_trace(periodic_signal(5, 50, seed=1), "p", expected_periods=(5,))
+        out = perturb_trace(trace, noise_std=0.1, seed=4)
+        assert out.name == "p"
+        assert out.expected_periods == (5,)
+        assert len(out) == len(trace)
+
+    def test_event_trace_stays_integral(self):
+        trace = make_trace(np.arange(10), "ev", kind="events")
+        out = perturb_trace(trace, noise_std=0.2, seed=5)
+        assert out.values.dtype == np.int64
+
+    def test_dropping_shortens_trace(self):
+        trace = make_trace(np.arange(1000.0), "d")
+        out = perturb_trace(trace, drop_probability=0.5, seed=6)
+        assert len(out) < len(trace)

@@ -1,0 +1,94 @@
+"""Tests for the five SPECfp95-like application models (Table 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiperiod import hierarchical_periodicities
+from repro.traces.spec_apps import (
+    PAPER_TABLE2,
+    all_spec_models,
+    apsi_model,
+    generate_spec_stream,
+    hydro2d_model,
+    swim_model,
+    tomcatv_model,
+    turb3d_model,
+)
+from repro.util.validation import ValidationError
+
+
+class TestModelStructure:
+    def test_all_models_present(self):
+        names = {m.name for m in all_spec_models()}
+        assert names == set(PAPER_TABLE2)
+
+    @pytest.mark.parametrize(
+        "factory,loops",
+        [(tomcatv_model, 5), (swim_model, 6), (apsi_model, 6)],
+    )
+    def test_flat_models_have_expected_pattern_length(self, factory, loops):
+        model = factory()
+        assert model.outer_period == loops
+        assert len(set(model.outer_pattern.tolist())) == loops
+
+    def test_hydro2d_structure(self):
+        model = hydro2d_model()
+        assert model.outer_period == 269
+        assert model.expected_periods == (1, 24, 269)
+        # The run of identical calls yields the periodicity-1 region.
+        pattern = model.outer_pattern
+        assert np.all(pattern[:29] == pattern[0])
+
+    def test_turb3d_structure(self):
+        model = turb3d_model()
+        assert model.outer_period == 142
+        assert model.expected_periods == (12, 142)
+        # No consecutive repeats: periodicity 1 must NOT be present.
+        pattern = model.outer_pattern
+        assert np.all(pattern[1:] != pattern[:-1])
+
+    def test_stream_lengths_match_paper(self):
+        for model in all_spec_models():
+            length, _ = PAPER_TABLE2[model.name]
+            assert model.stream_length == length
+            assert len(model.generate()) == length
+
+
+class TestGroundTruthPeriodicities:
+    @pytest.mark.parametrize("name", ["tomcatv", "swim", "apsi"])
+    def test_flat_models_ground_truth(self, name):
+        model = next(m for m in all_spec_models() if m.name == name)
+        stream = model.generate(model.outer_period * 50)
+        periods = hierarchical_periodicities(stream.values, max_period=30)
+        assert periods == list(model.expected_periods)
+
+    def test_hydro2d_ground_truth(self):
+        model = hydro2d_model()
+        stream = model.generate(269 * 8)
+        periods = hierarchical_periodicities(stream.values, max_period=300)
+        assert periods == [1, 24, 269]
+
+    def test_turb3d_ground_truth(self):
+        model = turb3d_model()
+        stream = model.generate(142 * 8)
+        periods = hierarchical_periodicities(stream.values, max_period=160)
+        assert periods == [12, 142]
+
+
+class TestGenerateSpecStream:
+    def test_by_name(self):
+        trace = generate_spec_stream("tomcatv", 100)
+        assert len(trace) == 100
+        assert trace.name == "tomcatv"
+
+    def test_case_insensitive(self):
+        trace = generate_spec_stream("SWIM", 60)
+        assert trace.name == "swim"
+
+    def test_unknown_application(self):
+        with pytest.raises(ValidationError):
+            generate_spec_stream("linpack")
+
+    def test_generate_respects_default_length(self):
+        trace = generate_spec_stream("turb3d")
+        assert len(trace) == PAPER_TABLE2["turb3d"][0]

@@ -1,0 +1,97 @@
+"""Tests for the generic synthetic signal generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    aperiodic_signal,
+    make_trace,
+    nested_event_pattern,
+    noisy_periodic_signal,
+    periodic_signal,
+    random_walk,
+    repeat_pattern,
+    sawtooth_wave,
+    square_wave,
+)
+from repro.util.validation import ValidationError
+
+
+class TestRepeatPattern:
+    def test_exact_length(self):
+        out = repeat_pattern([1, 2, 3], 8)
+        assert out.tolist() == [1, 2, 3, 1, 2, 3, 1, 2]
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            repeat_pattern([], 5)
+
+
+class TestPeriodicGenerators:
+    def test_periodic_signal_is_periodic(self):
+        signal = periodic_signal(7, 70, seed=1)
+        assert np.array_equal(signal[:7], signal[7:14])
+        assert signal.size == 70
+
+    def test_periodic_signal_reproducible(self):
+        assert np.array_equal(periodic_signal(5, 50, seed=3), periodic_signal(5, 50, seed=3))
+
+    def test_periodic_signal_distinct_values(self):
+        signal = periodic_signal(10, 10, seed=2)
+        assert len(set(signal.tolist())) == 10
+
+    def test_noisy_signal_close_to_clean(self):
+        clean = periodic_signal(6, 60, seed=4)
+        noisy = noisy_periodic_signal(6, 60, noise_std=0.01, seed=4)
+        assert np.max(np.abs(clean - noisy)) < 0.1
+
+    def test_square_wave_levels_and_period(self):
+        wave = square_wave(8, 64, low=0.0, high=4.0, duty=0.25)
+        assert set(np.unique(wave)) == {0.0, 4.0}
+        assert np.array_equal(wave[:8], wave[8:16])
+        assert np.count_nonzero(wave[:8] == 4.0) == 2
+
+    def test_square_wave_invalid_duty(self):
+        with pytest.raises(ValidationError):
+            square_wave(8, 16, duty=1.5)
+
+    def test_sawtooth_rises_within_period(self):
+        wave = sawtooth_wave(5, 20, amplitude=5.0)
+        assert wave[0] == 0.0
+        assert np.all(np.diff(wave[:5]) > 0)
+
+
+class TestNestedPattern:
+    def test_composition(self):
+        pattern = nested_event_pattern(
+            run_value=9, run_length=3, inner_pattern=[1, 2], inner_repetitions=2, tail=[7]
+        )
+        assert pattern.tolist() == [9, 9, 9, 1, 2, 1, 2, 7]
+
+    def test_requires_run_value_with_run_length(self):
+        with pytest.raises(ValidationError):
+            nested_event_pattern(run_length=3)
+
+    def test_requires_nonempty_result(self):
+        with pytest.raises(ValidationError):
+            nested_event_pattern()
+
+    def test_inner_pattern_required_when_repeated(self):
+        with pytest.raises(ValidationError):
+            nested_event_pattern(inner_pattern=[], inner_repetitions=2)
+
+
+class TestAperiodicGenerators:
+    def test_aperiodic_reproducible(self):
+        assert np.array_equal(aperiodic_signal(50, seed=1), aperiodic_signal(50, seed=1))
+
+    def test_random_walk_length(self):
+        assert random_walk(100, seed=2).size == 100
+
+
+class TestMakeTrace:
+    def test_wraps_metadata(self):
+        trace = make_trace(np.arange(5), "demo", expected_periods=(5,), foo="bar")
+        assert trace.name == "demo"
+        assert trace.expected_periods == (5,)
+        assert trace.metadata.attributes["foo"] == "bar"

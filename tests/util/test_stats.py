@@ -1,0 +1,100 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    OnlineStats,
+    coefficient_of_variation,
+    geometric_mean,
+    harmonic_mean,
+    relative_error,
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert math.isnan(s.min)
+        assert math.isnan(s.max)
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(3.5)
+        assert s.count == 1
+        assert s.mean == 3.5
+        assert math.isnan(s.variance)
+        assert s.min == 3.5 and s.max == 3.5
+
+    def test_matches_numpy(self, rng):
+        values = rng.normal(10.0, 2.0, size=500)
+        s = OnlineStats()
+        s.extend(values)
+        assert s.count == 500
+        assert s.mean == pytest.approx(np.mean(values))
+        assert s.variance == pytest.approx(np.var(values, ddof=1))
+        assert s.std == pytest.approx(np.std(values, ddof=1))
+        assert s.min == pytest.approx(values.min())
+        assert s.max == pytest.approx(values.max())
+
+    def test_merge_equivalent_to_combined(self, rng):
+        a_vals = rng.normal(size=100)
+        b_vals = rng.normal(loc=5, size=60)
+        a, b, both = OnlineStats(), OnlineStats(), OnlineStats()
+        a.extend(a_vals)
+        b.extend(b_vals)
+        both.extend(np.concatenate([a_vals, b_vals]))
+        merged = a.merge(b)
+        assert merged.count == both.count
+        assert merged.mean == pytest.approx(both.mean)
+        assert merged.variance == pytest.approx(both.variance)
+        assert merged.min == both.min
+        assert merged.max == both.max
+
+    def test_merge_with_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.extend([1.0, 2.0, 3.0])
+        assert a.merge(b).mean == pytest.approx(2.0)
+        assert b.merge(a).mean == pytest.approx(2.0)
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_empty(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6, 6]) == pytest.approx(3 / (0.5 + 1 / 6 + 1 / 6))
+
+    def test_harmonic_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+        values = [1.0, 2.0, 3.0]
+        expected = np.std(values, ddof=1) / np.mean(values)
+        assert coefficient_of_variation(values) == pytest.approx(expected)
+
+    def test_coefficient_of_variation_degenerate(self):
+        assert math.isnan(coefficient_of_variation([]))
+        assert math.isnan(coefficient_of_variation([0.0, 0.0]))
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_error(1.0, 0.0))

@@ -1,0 +1,78 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+        assert check_positive(3, "x") == 3.0
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+    @pytest.mark.parametrize("value", ["a", None, True])
+    def test_rejects_non_numeric(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive_int(self):
+        assert check_positive_int(7, "x") == 7
+
+    @pytest.mark.parametrize("value", [0, -2, 1.5, "3", True])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero_and_positive(self):
+        assert check_non_negative(0, "x") == 0.0
+        assert check_non_negative(2.5, "x") == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        assert check_in_range(0.5, "x", 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+    def test_error_message_mentions_name(self):
+        with pytest.raises(ValidationError, match="threshold"):
+            check_in_range(2.0, "threshold", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_probabilities(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
