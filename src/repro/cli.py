@@ -10,6 +10,15 @@ writing any Python::
     python -m repro fig7                # Figure 7 (segmentation marks)
     python -m repro speedup --cpus 8    # Section 5 case study
     python -m repro detect trace.csv    # run the DPD over a recorded trace
+    python -m repro pool --streams 1000 # multi-stream detection service
+
+``repro pool`` exercises the multi-stream service layer
+(:mod:`repro.service`): it generates N synthetic periodic traces with
+known per-stream periods, runs them concurrently through one
+:class:`~repro.service.pool.DetectorPool` (round-robin chunked ingestion,
+or the vectorised structure-of-arrays lockstep path with ``--lockstep``),
+prints the aggregate throughput in samples/second, and exits non-zero
+when any stream fails to lock its ground-truth period.
 
 Every command prints a plain-text table/plot and exits non-zero when the
 reproduction does not match the paper's qualitative claim, so the CLI can
@@ -20,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -31,13 +41,16 @@ from repro.bench.table2 import format_table2, run_table2
 from repro.bench.table3 import format_table3, run_table3
 from repro.bench.workloads import ft_like_application
 from repro.core.api import DPDInterface
+from repro.core.detector import DetectorConfig
 from repro.runtime.application import ApplicationRunner
 from repro.runtime.ditools import DIToolsInterposer
 from repro.runtime.machine import Machine
 from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
 from repro.selfanalyzer.reporting import format_analyzer_report
+from repro.service.pool import DetectorPool, PoolConfig
 from repro.traces.io import load_trace, load_trace_csv
 from repro.traces.nas_ft import FT_PERIOD
+from repro.traces.synthetic import periodic_signal, repeat_pattern
 
 __all__ = ["build_parser", "main"]
 
@@ -74,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--mode", choices=("event", "magnitude"), default=None,
                      help="detector mode (default: inferred from the trace kind)")
     det.add_argument("--window", type=int, default=256, help="data window size N")
+
+    pl = sub.add_parser("pool", help="run N synthetic streams through the multi-stream detection service")
+    pl.add_argument("--streams", type=int, default=64, help="number of concurrent streams")
+    pl.add_argument("--samples", type=int, default=1024, help="samples per stream")
+    pl.add_argument("--mode", choices=("magnitude", "event"), default="magnitude")
+    pl.add_argument("--window", type=int, default=128, help="data window size N per stream")
+    pl.add_argument("--chunk", type=int, default=128,
+                    help="samples per ingest call in round-robin mode")
+    pl.add_argument("--lockstep", action="store_true",
+                    help="use the vectorised structure-of-arrays lockstep path (magnitude only)")
+    pl.add_argument("--max-streams", type=int, default=None,
+                    help="LRU capacity of the pool (default: unbounded)")
+    pl.add_argument("--eval-interval", type=int, default=4,
+                    help="evaluate the profile every this many samples (magnitude only)")
     return parser
 
 
@@ -162,6 +189,62 @@ def _cmd_detect(args) -> int:
     return 0 if dpd.detected_periods else 2
 
 
+def _cmd_pool(args) -> int:
+    if args.streams <= 0 or args.samples <= 0:
+        print("--streams and --samples must be positive", file=sys.stderr)
+        return 2
+    periods = [4 + (i % 29) for i in range(args.streams)]
+    if args.mode == "magnitude":
+        traces = {
+            f"stream-{i:04d}": periodic_signal(periods[i], args.samples, seed=i)
+            for i in range(args.streams)
+        }
+        pool = DetectorPool(PoolConfig(
+            mode="magnitude",
+            max_streams=args.max_streams,
+            detector_config=DetectorConfig(
+                window_size=args.window, evaluation_interval=max(args.eval_interval, 1)
+            ),
+        ))
+    else:
+        traces = {
+            f"stream-{i:04d}": repeat_pattern(
+                1000 * (i + 1) + np.arange(periods[i]), args.samples
+            )
+            for i in range(args.streams)
+        }
+        pool = DetectorPool(PoolConfig(
+            mode="event", window_size=args.window, max_streams=args.max_streams,
+        ))
+
+    started = time.perf_counter()
+    events = []
+    if args.lockstep:
+        events = pool.ingest_lockstep(traces)
+    else:
+        chunk = max(args.chunk, 1)
+        for offset in range(0, args.samples, chunk):
+            for sid, values in traces.items():
+                events.extend(pool.ingest(sid, values[offset : offset + chunk]))
+    elapsed = time.perf_counter() - started
+
+    total = args.streams * args.samples
+    stats = pool.stats()
+    locked_ok = sum(
+        1 for i, sid in enumerate(traces) if pool.current_period(sid) == periods[i]
+    )
+    print(f"pool: {args.streams} streams x {args.samples} samples "
+          f"(mode={args.mode}, window={args.window}, "
+          f"{'lockstep/SoA' if args.lockstep else f'round-robin chunk={args.chunk}'})")
+    print(f"ingested {total} samples in {elapsed:.3f} s "
+          f"-> {total / elapsed:,.0f} samples/s")
+    print(f"period-start events: {len(events)}, locked streams: {stats.locked_streams}, "
+          f"correct period locks: {locked_ok}/{args.streams}")
+    print(f"pool stats: created={stats.created} evicted={stats.evicted} "
+          f"resident={stats.streams} total_samples={stats.total_samples}")
+    return 0 if locked_ok == args.streams else 1
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -170,6 +253,7 @@ _COMMANDS = {
     "fig7": _cmd_fig7,
     "speedup": _cmd_speedup,
     "detect": _cmd_detect,
+    "pool": _cmd_pool,
 }
 
 

@@ -23,12 +23,15 @@ from repro.core.confidence import PeriodConfidence, evaluate_confidence, match_r
 from repro.core.detector import DetectionResult, DetectorConfig, DynamicPeriodicityDetector
 from repro.core.distance import (
     amdf_at_lag,
+    amdf_pair_sums,
     amdf_profile,
     event_distance_at_lag,
     event_distance_profile,
+    event_mismatch_counts,
     matching_lags,
     normalized_amdf_profile,
 )
+from repro.core.engine import DetectorEngine, LockTracker, make_engine
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
 from repro.core.minima import PeriodCandidate, filter_harmonics, find_local_minima, select_period
 from repro.core.multiperiod import (
@@ -63,9 +66,14 @@ __all__ = [
     "match_ratio",
     "DetectionResult",
     "DetectorConfig",
+    "DetectorEngine",
     "DynamicPeriodicityDetector",
+    "LockTracker",
+    "make_engine",
     "amdf_at_lag",
+    "amdf_pair_sums",
     "amdf_profile",
+    "event_mismatch_counts",
     "event_distance_at_lag",
     "event_distance_profile",
     "matching_lags",

@@ -12,17 +12,36 @@ otherwise.  :class:`DPDInterface` reproduces these semantics in Python —
 otherwise — and module-level :func:`DPD` / :func:`DPDWindowSize` functions
 mirror the exact global-state C API for drop-in use by the runtime layer
 (:mod:`repro.runtime.ditools`).
+
+Since the multi-stream service layer was introduced the global functions
+are a *one-stream view of a process-wide* :class:`~repro.service.pool.DetectorPool`
+(stream ``"global"``): the same pool can simultaneously watch any number
+of other applications, and :func:`get_global_pool` hands it out.  A
+:class:`DPDInterface` constructed with an explicit ``pool=`` routes its
+samples through that pool's ingestion path, so per-stream statistics and
+LRU bookkeeping stay accurate.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
 from repro.util.validation import check_positive_int
 
-__all__ = ["DPDInterface", "DPD", "DPDWindowSize", "reset_global_dpd", "get_global_dpd"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.pool import DetectorPool
+
+__all__ = [
+    "DPDInterface",
+    "DPD",
+    "DPDWindowSize",
+    "reset_global_dpd",
+    "get_global_dpd",
+    "get_global_pool",
+]
 
 
 class DPDInterface:
@@ -39,6 +58,11 @@ class DPDInterface:
         values such as the number of active CPUs.
     min_repetitions, min_depth:
         Forwarded to the underlying detector configuration.
+    pool, stream_id:
+        When a :class:`~repro.service.pool.DetectorPool` is given, the
+        interface registers its detector as the pool stream ``stream_id``
+        and feeds samples through the pool's ingestion path, so this
+        interface becomes a one-stream view of the shared pool.
 
     Examples
     --------
@@ -55,6 +79,8 @@ class DPDInterface:
         mode: str = "event",
         min_repetitions: int = 2,
         min_depth: float = 0.25,
+        pool: "DetectorPool | None" = None,
+        stream_id: str | None = None,
     ) -> None:
         check_positive_int(window_size, "window_size")
         if mode not in ("event", "magnitude"):
@@ -74,6 +100,10 @@ class DPDInterface:
                     min_depth=min_depth,
                 )
             )
+        self._pool = pool
+        self._stream_id = stream_id if stream_id is not None else "dpd"
+        if pool is not None:
+            pool.add_stream(self._stream_id, self._detector)
         self._calls = 0
 
     # ------------------------------------------------------------------
@@ -86,6 +116,16 @@ class DPDInterface:
     def detector(self):
         """The underlying streaming detector instance."""
         return self._detector
+
+    @property
+    def pool(self):
+        """The detector pool this interface is a view of (or ``None``)."""
+        return self._pool
+
+    @property
+    def stream_id(self) -> str:
+        """Name of the pool stream this interface feeds."""
+        return self._stream_id
 
     @property
     def calls(self) -> int:
@@ -111,6 +151,12 @@ class DPDInterface:
         return value here).
         """
         self._calls += 1
+        if self._pool is not None:
+            # ingest_one re-registers self._detector if the stream was
+            # LRU-evicted, so the interface never decouples from its
+            # configured engine.
+            event = self._pool.ingest_one(self._stream_id, sample, self._detector)
+            return int(event.period) if event is not None else 0
         result = self._detector.update(sample)
         if result.is_period_start and result.period is not None:
             return int(result.period)
@@ -130,10 +176,33 @@ class DPDInterface:
 # ----------------------------------------------------------------------
 # Global C-like API.  The paper's interface is a pair of free functions
 # operating on hidden state; we reproduce that (guarded by a lock so the
-# simulated runtime may call it from several "threads").
+# simulated runtime may call it from several "threads").  The hidden
+# state is one stream of a process-wide DetectorPool.
 # ----------------------------------------------------------------------
 _global_lock = threading.Lock()
+_global_pool: "DetectorPool | None" = None
 _global_dpd: DPDInterface | None = None
+
+
+def _make_global(window_size: int, mode: str) -> DPDInterface:
+    # Imported lazily: repro.service imports the detector modules, which
+    # sit next to this one in the package.
+    from repro.service.pool import DetectorPool, PoolConfig
+
+    global _global_pool
+    if _global_pool is None:
+        _global_pool = DetectorPool(PoolConfig(mode=mode, window_size=window_size))
+    return DPDInterface(window_size, mode=mode, pool=_global_pool, stream_id="global")
+
+
+def get_global_pool() -> "DetectorPool":
+    """Return the process-wide detector pool behind the C-like API."""
+    with _global_lock:
+        global _global_dpd
+        if _global_dpd is None:
+            _global_dpd = _make_global(256, "event")
+        assert _global_pool is not None
+        return _global_pool
 
 
 def get_global_dpd() -> DPDInterface:
@@ -141,15 +210,16 @@ def get_global_dpd() -> DPDInterface:
     global _global_dpd
     with _global_lock:
         if _global_dpd is None:
-            _global_dpd = DPDInterface()
+            _global_dpd = _make_global(256, "event")
         return _global_dpd
 
 
 def reset_global_dpd(window_size: int = 256, *, mode: str = "event") -> DPDInterface:
     """Replace the process-wide DPD instance (used by tests and benches)."""
-    global _global_dpd
+    global _global_dpd, _global_pool
     with _global_lock:
-        _global_dpd = DPDInterface(window_size, mode=mode)
+        _global_pool = None
+        _global_dpd = _make_global(window_size, mode=mode)
         return _global_dpd
 
 

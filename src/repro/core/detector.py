@@ -10,53 +10,34 @@ maintains:
   the detector can report the start of every period instance (the
   segmentation used by the SelfAnalyzer).
 
-The incremental profile update costs O(M) per sample (one vectorised NumPy
-pass over the lags), which is what makes the detector cheap enough to run
-inside a live application (Table 3 of the paper measures exactly this
-per-sample cost).
+The incremental profile update costs O(M) per sample (a handful of
+vectorised NumPy operations over contiguous slices of the ring buffer —
+the steady-state path never materialises the full data window), which is
+what makes the detector cheap enough to run inside a live application
+(Table 3 of the paper measures exactly this per-sample cost).  The only
+full-window pass is the exact recompute every ``refresh_interval`` samples
+that cancels floating-point drift.
+
+The detector implements the :class:`~repro.core.engine.DetectorEngine`
+protocol (``update`` / ``update_batch`` / ``profile`` / ``snapshot`` /
+``restore``), which is what the multi-stream service layer of
+:mod:`repro.service` builds on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.distance import amdf_profile
+from repro.core.distance import amdf_pair_sums, amdf_profile
+from repro.core.engine import DetectionResult, LockTracker
 from repro.core.minima import PeriodCandidate, select_period
 from repro.core.window import AdaptiveWindowPolicy
 from repro.util.validation import ValidationError, check_in_range, check_positive_int
 
 __all__ = ["DetectionResult", "DetectorConfig", "DynamicPeriodicityDetector"]
-
-
-@dataclass(frozen=True)
-class DetectionResult:
-    """Outcome of feeding one sample to a detector.
-
-    Attributes
-    ----------
-    index:
-        Zero-based index of the sample in the stream.
-    period:
-        Currently locked period, or ``None`` while searching.
-    is_period_start:
-        True when this sample begins a new period instance.  This is the
-        non-zero return value of the C-like ``DPD()`` call in the paper.
-    new_detection:
-        True when the locked period changed (first lock or period switch)
-        at this sample.
-    confidence:
-        Relative depth of the distance minimum backing the current lock,
-        in ``[0, 1]``; 0 while searching.
-    """
-
-    index: int
-    period: int | None
-    is_period_start: bool
-    new_detection: bool
-    confidence: float
 
 
 @dataclass
@@ -79,7 +60,8 @@ class DetectorConfig:
     min_fill:
         Number of samples that must have been observed before the profile
         is evaluated at all; avoids locking onto spurious tiny periods
-        while the window is nearly empty.
+        while the window is nearly empty.  Must not exceed
+        ``window_size``.
     evaluation_interval:
         Evaluate the profile for a (new) period only every this many
         samples; period-start bookkeeping still happens on every sample.
@@ -121,8 +103,16 @@ class DetectorConfig:
             check_positive_int(self.max_lag, "max_lag")
             if self.max_lag >= self.window_size:
                 raise ValidationError("max_lag must be smaller than window_size")
+            if self.max_lag < self.min_lag:
+                raise ValidationError(
+                    f"max_lag {self.max_lag} must not be smaller than min_lag {self.min_lag}"
+                )
         if self.min_lag >= self.window_size:
             raise ValidationError("min_lag must be smaller than window_size")
+        if self.min_fill > self.window_size:
+            raise ValidationError(
+                f"min_fill {self.min_fill} must not exceed window_size {self.window_size}"
+            )
 
     @property
     def effective_max_lag(self) -> int:
@@ -159,13 +149,8 @@ class DynamicPeriodicityDetector:
         # over the pairs currently inside the window.
         self._sums = np.zeros(self._max_lag + 1, dtype=np.float64)
         self._since_refresh = 0
-        # Lock state
-        self._locked_period: int | None = None
-        self._locked_confidence = 0.0
-        self._anchor: int | None = None
-        self._misses = 0
+        self._lock = LockTracker(config.loss_patience)
         self._samples_since_growth = 0
-        self._detected_periods: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # public properties
@@ -183,12 +168,12 @@ class DynamicPeriodicityDetector:
     @property
     def current_period(self) -> int | None:
         """Currently locked period (``None`` while searching)."""
-        return self._locked_period
+        return self._lock.period
 
     @property
     def detected_periods(self) -> list[int]:
         """Distinct periods locked at any point during the stream."""
-        return sorted(self._detected_periods)
+        return sorted(self._lock.detected)
 
     # ------------------------------------------------------------------
     # window management (Table 1: DPDWindowSize)
@@ -215,7 +200,7 @@ class DynamicPeriodicityDetector:
     # profile access
     # ------------------------------------------------------------------
     def distance_profile(self) -> np.ndarray:
-        """Current ``d(m)`` profile (lag-indexed, ``nan`` below ``min_lag``)."""
+        """Exact ``d(m)`` profile recomputed from the full window."""
         window = self.window_values()
         if window.size < 2:
             return np.full(self._max_lag + 1, np.nan)
@@ -224,6 +209,15 @@ class DynamicPeriodicityDetector:
             min(self._max_lag, window.size - 1),
             min_lag=self.config.min_lag,
         )
+
+    def profile(self) -> np.ndarray:
+        """Current ``d(m)`` profile (lag-indexed, ``nan`` below ``min_lag``).
+
+        Derived from the incrementally maintained sums — no full-window
+        recomputation (the :class:`~repro.core.engine.DetectorEngine`
+        profile accessor).
+        """
+        return self._incremental_profile()
 
     def _incremental_profile(self) -> np.ndarray:
         """``d(m)`` derived from the incrementally maintained sums."""
@@ -237,11 +231,12 @@ class DynamicPeriodicityDetector:
         return profile
 
     def _rebuild_sums(self) -> None:
+        """Exact recompute of the AMDF sums (the only full-window pass)."""
         window = self.window_values()
-        self._sums.fill(0.0)
         self._sums = np.zeros(self._max_lag + 1, dtype=np.float64)
-        for lag in range(1, min(self._max_lag, window.size - 1) + 1):
-            self._sums[lag] = float(np.abs(window[lag:] - window[:-lag]).sum())
+        top = min(self._max_lag, window.size - 1)
+        if top >= 1:
+            self._sums[: top + 1] = amdf_pair_sums(window, top)
         self._since_refresh = 0
 
     # ------------------------------------------------------------------
@@ -254,28 +249,38 @@ class DynamicPeriodicityDetector:
         self._samples_since_growth += 1
 
         # --- maintain the incremental AMDF sums -------------------------
-        window_before = self.window_values()
-        evicted: float | None = None
-        if self._fill == self._window_size:
-            evicted = float(self._buffer[self._head])
-
-        if window_before.size:
-            m = min(self._max_lag, window_before.size)
-            recent = window_before[::-1][:m]  # x[i-1], x[i-2], ... x[i-m]
-            lags = np.arange(1, m + 1)
-            self._sums[lags] += np.abs(sample - recent)
-        if evicted is not None and window_before.size:
-            m = min(self._max_lag, window_before.size - 1)
-            if m >= 1:
-                oldest_next = window_before[1 : m + 1]  # x[old+1] ... x[old+m]
-                lags = np.arange(1, m + 1)
-                self._sums[lags] -= np.abs(oldest_next - evicted)
+        # All reads below are contiguous slices of the ring buffer (views,
+        # no full-window copy).  The last ``m`` samples in reverse
+        # chronological order occupy slots head-1, head-2, ... head-m
+        # (mod N); the pairs evicted with the oldest sample pair it with
+        # slots head+1 ... head+m (mod N).
+        buf = self._buffer
+        head = self._head
+        fill = self._fill
+        sums = self._sums
+        if fill:
+            m = min(self._max_lag, fill)
+            if m <= head:
+                sums[1 : m + 1] += np.abs(sample - buf[head - m : head][::-1])
+            else:
+                if head:
+                    sums[1 : head + 1] += np.abs(sample - buf[head - 1 :: -1])
+                tail = m - head
+                sums[head + 1 : m + 1] += np.abs(sample - buf[-1 : -tail - 1 : -1])
+        if fill == self._window_size:
+            evicted = buf[head]
+            m = min(self._max_lag, fill - 1)
+            first = min(m, fill - 1 - head)
+            if first:
+                sums[1 : first + 1] -= np.abs(buf[head + 1 : head + 1 + first] - evicted)
+            if m > first:
+                sums[first + 1 : m + 1] -= np.abs(buf[: m - first] - evicted)
 
         # --- store the sample -------------------------------------------
-        self._buffer[self._head] = sample
-        self._head = (self._head + 1) % self._window_size
-        if self._fill < self._window_size:
-            self._fill += 1
+        buf[head] = sample
+        self._head = (head + 1) % self._window_size
+        if fill < self._window_size:
+            self._fill = fill + 1
 
         self._since_refresh += 1
         if self._since_refresh >= self.config.refresh_interval:
@@ -288,16 +293,28 @@ class DynamicPeriodicityDetector:
         )
         if (self._index % self.config.evaluation_interval) == 0 and ready:
             candidate = self._evaluate()
-            new_detection = self._apply_candidate(candidate)
+            new_detection = self._lock.apply(candidate, self._index)
+            if new_detection:
+                self._maybe_shrink_window(self._lock.period)
 
-        is_start = self._is_period_start()
+        is_start = self._lock.is_period_start(self._index)
         return DetectionResult(
             index=self._index,
-            period=self._locked_period,
+            period=self._lock.period,
             is_period_start=is_start,
             new_detection=new_detection,
-            confidence=self._locked_confidence,
+            confidence=self._lock.confidence,
         )
+
+    def update_batch(self, samples: Sequence[float] | np.ndarray) -> list[DetectionResult]:
+        """Consume a batch of samples; one :class:`DetectionResult` each.
+
+        Exactly equivalent to calling :meth:`update` in a loop (the batch
+        ingestion path of the service layer).
+        """
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        update = self.update
+        return [update(sample) for sample in arr]
 
     # ------------------------------------------------------------------
     def _evaluate(self) -> PeriodCandidate | None:
@@ -314,33 +331,6 @@ class DynamicPeriodicityDetector:
             return None
         return candidate
 
-    def _apply_candidate(self, candidate: PeriodCandidate | None) -> bool:
-        """Update the lock state; return True when the lock changed."""
-        if candidate is None:
-            if self._locked_period is not None:
-                self._misses += 1
-                if self._misses >= self.config.loss_patience:
-                    self._locked_period = None
-                    self._locked_confidence = 0.0
-                    self._anchor = None
-                    self._misses = 0
-            return False
-
-        self._misses = 0
-        if candidate.lag == self._locked_period:
-            self._locked_confidence = candidate.depth
-            return False
-
-        # New lock or period switch.
-        self._locked_period = candidate.lag
-        self._locked_confidence = candidate.depth
-        self._anchor = self._index
-        self._detected_periods[candidate.lag] = (
-            self._detected_periods.get(candidate.lag, 0) + 1
-        )
-        self._maybe_shrink_window(candidate.lag)
-        return True
-
     def _maybe_shrink_window(self, period: int) -> None:
         policy = self.config.adaptive_window
         if policy is None:
@@ -349,15 +339,46 @@ class DynamicPeriodicityDetector:
         if new_size != self._window_size:
             self.set_window_size(new_size)
 
-    def _is_period_start(self) -> bool:
-        if self._locked_period is None or self._anchor is None:
-            return False
-        return (self._index - self._anchor) % self._locked_period == 0
+    # ------------------------------------------------------------------
+    # state serialisation (DetectorEngine protocol)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Complete detector state; reinstate with :meth:`restore`."""
+        return {
+            "kind": "magnitude",
+            "window_size": self._window_size,
+            "max_lag": self._max_lag,
+            "buffer": self._buffer.copy(),
+            "fill": self._fill,
+            "head": self._head,
+            "index": self._index,
+            "sums": self._sums.copy(),
+            "since_refresh": self._since_refresh,
+            "samples_since_growth": self._samples_since_growth,
+            "lock": self._lock.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a state produced by :meth:`snapshot`."""
+        if state.get("kind") != "magnitude":
+            raise ValidationError(
+                f"cannot restore a {state.get('kind')!r} snapshot into a magnitude detector"
+            )
+        self._window_size = int(state["window_size"])
+        self._max_lag = int(state["max_lag"])
+        self._buffer = np.array(state["buffer"], dtype=np.float64, copy=True)
+        self._fill = int(state["fill"])
+        self._head = int(state["head"])
+        self._index = int(state["index"])
+        self._sums = np.array(state["sums"], dtype=np.float64, copy=True)
+        self._since_refresh = int(state["since_refresh"])
+        self._samples_since_growth = int(state["samples_since_growth"])
+        self._lock.restore(state["lock"])
 
     # ------------------------------------------------------------------
     def process(self, stream: Sequence[float] | np.ndarray) -> list[DetectionResult]:
         """Convenience: feed every sample of ``stream`` and collect results."""
-        return [self.update(sample) for sample in np.asarray(stream, dtype=np.float64)]
+        return self.update_batch(stream)
 
     def reset(self) -> None:
         """Forget all samples and detections; keep the configuration."""

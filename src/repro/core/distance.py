@@ -19,9 +19,12 @@ window shifted by a lag ``m``:
 
   ``d(m)`` is 0 only for an exact periodic repetition and 1 otherwise.
 
-Both metrics are provided in a batch (whole profile, vectorised with NumPy)
-and a single-lag form.  The profiles are the quantities plotted in Figure 4
-of the paper.
+Both metrics are provided in a batch (whole profile) and a single-lag form.
+The profiles are the quantities plotted in Figure 4 of the paper.
+
+All whole-profile evaluations are single-pass: a lag-shifted matrix built
+with :func:`numpy.lib.stride_tricks.sliding_window_view` yields every
+``|x[k+m] - x[k]|`` pair at once, so no Python loop over lags is executed.
 """
 
 from __future__ import annotations
@@ -29,14 +32,17 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.util.validation import ValidationError, check_positive_int
 
 __all__ = [
     "amdf_at_lag",
     "amdf_profile",
+    "amdf_pair_sums",
     "event_distance_at_lag",
     "event_distance_profile",
+    "event_mismatch_counts",
     "normalized_amdf_profile",
     "matching_lags",
 ]
@@ -49,6 +55,71 @@ def _as_window(window: Sequence[float] | np.ndarray) -> np.ndarray:
     if arr.size == 0:
         raise ValidationError("data window must not be empty")
     return arr
+
+
+def _as_event_window(window: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Like :func:`_as_window` but preserves integer dtypes.
+
+    Event streams carry identifiers (function addresses); converting them
+    to float64 would make equality tests unreliable above 2**53, so exact
+    comparisons run on the original integer values.
+    """
+    arr = np.asarray(window)
+    if arr.ndim != 1:
+        raise ValidationError("data window must be one-dimensional")
+    if arr.size == 0:
+        raise ValidationError("data window must not be empty")
+    return arr
+
+
+def _lagged_matrix(arr: np.ndarray, max_lag: int, pad_value) -> np.ndarray:
+    """Matrix ``L`` with ``L[k, m] = x[k + m]`` (``pad_value`` past the end).
+
+    Built as a zero-copy strided view over a single padded buffer; shape is
+    ``(n, max_lag + 1)``.
+    """
+    padded = np.concatenate([arr, np.full(max_lag, pad_value, dtype=arr.dtype)])
+    return sliding_window_view(padded, max_lag + 1)
+
+
+#: Upper bound on the number of matrix entries materialised per vectorised
+#: block of a whole-profile evaluation; keeps the working set cache-sized
+#: for large windows without a Python loop over individual lags.
+_MAX_BLOCK_ELEMENTS = 1 << 21
+
+
+def _lag_block_width(n: int, max_lag: int) -> int:
+    return max(1, min(max_lag + 1, _MAX_BLOCK_ELEMENTS // max(n, 1)))
+
+
+def amdf_pair_sums(
+    window: Sequence[float] | np.ndarray, max_lag: int | None = None
+) -> np.ndarray:
+    """Un-normalised AMDF sums ``S[m] = sum_k |x[k+m] - x[k]|`` for all lags.
+
+    Returns an array of length ``max_lag + 1`` (``S[0]`` is 0).  This is the
+    quantity the streaming detectors maintain incrementally; the exact
+    recompute at refresh boundaries and the vectorised
+    :func:`amdf_profile` both derive from it in a single NumPy pass.
+    """
+    arr = _as_window(window)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    max_lag = min(max_lag, n - 1)
+    # lagged[k, m] = x[k+m], with NaN past the end of the window; the NaN
+    # pairs are exactly the (k, m) with k + m >= n, which nansum drops.
+    # Evaluated in lag blocks so the materialised difference matrix stays
+    # cache-sized for large windows.
+    lagged = _lagged_matrix(arr, max_lag, np.nan)
+    col = arr[:, None]
+    sums = np.empty(max_lag + 1, dtype=np.float64)
+    width = _lag_block_width(n, max_lag)
+    for start in range(0, max_lag + 1, width):
+        stop = min(start + width, max_lag + 1)
+        sums[start:stop] = np.nansum(np.abs(lagged[:, start:stop] - col), axis=0)
+    return sums
 
 
 def amdf_at_lag(window: Sequence[float] | np.ndarray, lag: int) -> float:
@@ -103,10 +174,10 @@ def amdf_profile(
         raise ValidationError(
             f"min_lag {min_lag} must not exceed max_lag {max_lag}"
         )
+    sums = amdf_pair_sums(arr, max_lag)
+    lags = np.arange(min_lag, max_lag + 1)
     profile = np.full(max_lag + 1, np.nan, dtype=np.float64)
-    for lag in range(min_lag, max_lag + 1):
-        diffs = np.abs(arr[lag:] - arr[:-lag])
-        profile[lag] = diffs.mean()
+    profile[lags] = sums[lags] / (n - lags)
     return profile
 
 
@@ -135,13 +206,44 @@ def normalized_amdf_profile(
     return profile / mean
 
 
+def event_mismatch_counts(
+    window: Sequence[int] | np.ndarray, max_lag: int | None = None
+) -> np.ndarray:
+    """Number of mismatching pairs ``C[m] = #{k : x[k+m] != x[k]}`` per lag.
+
+    Returns an array of length ``max_lag + 1`` (``C[0]`` is 0).  This is
+    the quantity :class:`~repro.core.events.EventPeriodicityDetector`
+    maintains incrementally; equation (2) is ``sign(C[m])``.
+    """
+    arr = _as_event_window(window)
+    n = arr.size
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    max_lag = min(max_lag, n - 1)
+    lagged = _lagged_matrix(arr, max_lag, 0)
+    col = arr[:, None]
+    raw = np.empty(max_lag + 1, dtype=np.int64)
+    width = _lag_block_width(n, max_lag)
+    for start in range(0, max_lag + 1, width):
+        stop = min(start + width, max_lag + 1)
+        raw[start:stop] = np.count_nonzero(lagged[:, start:stop] != col, axis=0)
+    # Column m compared x[k] against the zero padding for k >= n - m; those
+    # spurious mismatches are exactly the non-zero entries in the last m
+    # window elements, which a reversed cumulative count removes.
+    suffix_nonzero = np.concatenate(
+        ([0], np.cumsum(arr[::-1] != 0))
+    )[: max_lag + 1]
+    return raw - suffix_nonzero
+
+
 def event_distance_at_lag(window: Sequence[float] | np.ndarray, lag: int) -> int:
     """Evaluate equation (2) for a single lag.
 
     Returns 0 when the window repeats *exactly* with period ``lag`` and 1
     otherwise.
     """
-    arr = _as_window(window)
+    arr = _as_event_window(window)
     check_positive_int(lag, "lag")
     if lag >= arr.size:
         raise ValidationError(
@@ -160,7 +262,7 @@ def event_distance_profile(
 
     Entries below ``min_lag`` are set to ``-1`` (meaning "not evaluated").
     """
-    arr = _as_window(window)
+    arr = _as_event_window(window)
     n = arr.size
     if max_lag is None:
         max_lag = n - 1
@@ -172,9 +274,10 @@ def event_distance_profile(
         raise ValidationError(
             f"min_lag {min_lag} must not exceed max_lag {max_lag}"
         )
+    counts = event_mismatch_counts(arr, max_lag)
+    lags = np.arange(min_lag, max_lag + 1)
     profile = np.full(max_lag + 1, -1, dtype=np.int64)
-    for lag in range(min_lag, max_lag + 1):
-        profile[lag] = int(np.any(arr[lag:] != arr[:-lag]))
+    profile[lags] = (counts[lags] > 0).astype(np.int64)
     return profile
 
 
@@ -196,16 +299,15 @@ def matching_lags(
         of periodicity; the detector uses this to avoid declaring a period
         from a single partial match at large lags.
     """
-    arr = _as_window(window)
+    arr = _as_event_window(window)
     n = arr.size
     if max_lag is None:
         max_lag = n - 1
     max_lag = min(max_lag, n - 1)
     check_positive_int(min_repetitions, "min_repetitions")
-    lags: list[int] = []
-    for lag in range(min_lag, max_lag + 1):
-        if n < min_repetitions * lag:
-            break
-        if not np.any(arr[lag:] != arr[:-lag]):
-            lags.append(lag)
-    return lags
+    if n < 2 or max_lag < min_lag:
+        return []
+    counts = event_mismatch_counts(arr, max_lag)
+    lags = np.arange(min_lag, max_lag + 1)
+    ok = (counts[lags] == 0) & (n >= min_repetitions * lags)
+    return [int(lag) for lag in lags[ok]]

@@ -1,0 +1,210 @@
+"""The common engine abstraction behind every streaming detector.
+
+The repository grows two streaming detectors out of the paper —
+:class:`~repro.core.detector.DynamicPeriodicityDetector` for magnitude
+streams (equation 1) and :class:`~repro.core.events.EventPeriodicityDetector`
+for event/identifier streams (equation 2).  Higher layers (the C-like API,
+the runtime interposer, the SelfAnalyzer and the multi-stream service of
+:mod:`repro.service`) must not care which one they are driving, so this
+module defines the :class:`DetectorEngine` protocol they all speak:
+
+``update(sample)``
+    consume one sample, return a :class:`DetectionResult`;
+``update_batch(samples)``
+    consume a batch, return one result per sample (the service layer's
+    ingestion path);
+``profile()``
+    the current lag-indexed distance profile derived from the engine's
+    incremental state (no full-window recomputation);
+``snapshot()`` / ``restore(state)``
+    serialise / reinstate the complete detector state, which is how the
+    structure-of-arrays service backend hands a stream over to a
+    per-stream engine and how checkpointing works.
+
+The module also hosts :class:`LockTracker`, the small period-lock state
+machine shared verbatim between the single-stream magnitude detector and
+the vectorised multi-stream bank so that both produce bit-identical
+detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.minima import PeriodCandidate
+
+__all__ = [
+    "DetectionResult",
+    "DetectorEngine",
+    "LockTracker",
+    "make_engine",
+]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of feeding one sample to a detector.
+
+    Attributes
+    ----------
+    index:
+        Zero-based index of the sample in the stream.
+    period:
+        Currently locked period, or ``None`` while searching.
+    is_period_start:
+        True when this sample begins a new period instance.  This is the
+        non-zero return value of the C-like ``DPD()`` call in the paper.
+    new_detection:
+        True when the locked period changed (first lock or period switch)
+        at this sample.
+    confidence:
+        Relative depth of the distance minimum backing the current lock,
+        in ``[0, 1]``; 0 while searching.
+    """
+
+    index: int
+    period: int | None
+    is_period_start: bool
+    new_detection: bool
+    confidence: float
+
+
+@runtime_checkable
+class DetectorEngine(Protocol):
+    """Protocol implemented by every streaming periodicity detector.
+
+    The protocol is structural (duck-typed): any object with these
+    attributes satisfies ``isinstance(obj, DetectorEngine)``.
+    """
+
+    config: Any
+
+    @property
+    def window_size(self) -> int: ...
+
+    @property
+    def samples_seen(self) -> int: ...
+
+    @property
+    def current_period(self) -> int | None: ...
+
+    @property
+    def detected_periods(self) -> list[int]: ...
+
+    def update(self, sample) -> DetectionResult: ...
+
+    def update_batch(self, samples) -> list[DetectionResult]: ...
+
+    def profile(self) -> np.ndarray: ...
+
+    def snapshot(self) -> dict: ...
+
+    def restore(self, state: dict) -> None: ...
+
+    def set_window_size(self, size: int) -> None: ...
+
+    def reset(self) -> None: ...
+
+
+class LockTracker:
+    """Period-lock state machine of the magnitude detector.
+
+    Tracks the locked period, its confidence, the phase anchor used for
+    segmentation and the consecutive-miss counter that eventually drops a
+    stale lock.  Factored out of the detector so the structure-of-arrays
+    service backend (:class:`repro.service.soa.MagnitudeSoABank`) can run
+    the *same* transition logic per stream and stay exactly equivalent to
+    a standalone detector.
+    """
+
+    __slots__ = ("loss_patience", "period", "confidence", "anchor", "misses", "detected")
+
+    def __init__(self, loss_patience: int) -> None:
+        self.loss_patience = int(loss_patience)
+        self.period: int | None = None
+        self.confidence: float = 0.0
+        self.anchor: int | None = None
+        self.misses: int = 0
+        #: period -> number of times it was (re-)locked
+        self.detected: dict[int, int] = {}
+
+    def apply(self, candidate: PeriodCandidate | None, index: int) -> bool:
+        """Advance the lock state with one evaluation outcome.
+
+        Returns True when the locked period changed (first lock or period
+        switch) at this sample.
+        """
+        if candidate is None:
+            if self.period is not None:
+                self.misses += 1
+                if self.misses >= self.loss_patience:
+                    self.period = None
+                    self.confidence = 0.0
+                    self.anchor = None
+                    self.misses = 0
+            return False
+
+        self.misses = 0
+        if candidate.lag == self.period:
+            self.confidence = candidate.depth
+            return False
+
+        self.period = candidate.lag
+        self.confidence = candidate.depth
+        self.anchor = index
+        self.detected[candidate.lag] = self.detected.get(candidate.lag, 0) + 1
+        return True
+
+    def is_period_start(self, index: int) -> bool:
+        """True when ``index`` falls on a period boundary of the lock."""
+        if self.period is None or self.anchor is None:
+            return False
+        return (index - self.anchor) % self.period == 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialisable copy of the lock state."""
+        return {
+            "loss_patience": self.loss_patience,
+            "period": self.period,
+            "confidence": self.confidence,
+            "anchor": self.anchor,
+            "misses": self.misses,
+            "detected": dict(self.detected),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a state produced by :meth:`snapshot`."""
+        self.loss_patience = int(state["loss_patience"])
+        self.period = state["period"]
+        self.confidence = float(state["confidence"])
+        self.anchor = state["anchor"]
+        self.misses = int(state["misses"])
+        self.detected = dict(state["detected"])
+
+
+def make_engine(mode: str, **options) -> "DetectorEngine":
+    """Build a detector engine for ``mode`` (``"event"`` or ``"magnitude"``).
+
+    ``options`` are forwarded to the corresponding configuration dataclass.
+
+    Examples
+    --------
+    >>> engine = make_engine("event", window_size=32)
+    >>> engine.window_size
+    32
+    """
+    # Imported lazily: the detector modules import LockTracker/DetectionResult
+    # from this module, so a top-level import would be circular.
+    if mode == "event":
+        from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+
+        return EventPeriodicityDetector(EventDetectorConfig(**options))
+    if mode == "magnitude":
+        from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+
+        return DynamicPeriodicityDetector(DetectorConfig(**options))
+    raise ValueError(f"mode must be 'event' or 'magnitude', got {mode!r}")

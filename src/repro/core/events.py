@@ -8,10 +8,16 @@ DPD uses equation (2): a lag ``m`` is a period only when the window repeats
 
 :class:`EventPeriodicityDetector` maintains, for every candidate lag, the
 number of mismatching sample pairs inside the current window.  Both the
-pair added by a new sample and the pair dropped by the eviction of the
-oldest sample are updated with a single vectorised comparison, so the cost
-per event is O(M) with a very small constant — this is the per-element cost
-measured in Table 3.
+pair added by a new event and the pair dropped by the eviction of the
+oldest event are updated with vectorised comparisons against contiguous
+ring-buffer slices — the steady-state path never materialises the full
+data window — so the cost per event is O(M) with a very small constant;
+this is the per-element cost measured in Table 3.
+
+The detector implements the :class:`~repro.core.engine.DetectorEngine`
+protocol (``update`` / ``update_batch`` / ``profile`` / ``snapshot`` /
+``restore``) used by the multi-stream service layer of
+:mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.detector import DetectionResult
+from repro.core.distance import event_mismatch_counts
+from repro.core.engine import DetectionResult
 from repro.util.validation import ValidationError, check_positive_int
 
 __all__ = ["EventDetectorConfig", "EventPeriodicityDetector"]
@@ -65,6 +72,10 @@ class EventDetectorConfig:
             check_positive_int(self.max_lag, "max_lag")
             if self.max_lag >= self.window_size:
                 raise ValidationError("max_lag must be smaller than window_size")
+            if self.max_lag < self.min_lag:
+                raise ValidationError(
+                    f"max_lag {self.max_lag} must not be smaller than min_lag {self.min_lag}"
+                )
         if self.min_lag >= self.window_size:
             raise ValidationError("min_lag must be smaller than window_size")
 
@@ -151,12 +162,28 @@ class EventPeriodicityDetector:
         self._rebuild_mismatches()
 
     def _rebuild_mismatches(self) -> None:
+        """Exact recount of the per-lag mismatches (full-window pass)."""
         window = self.window_values()
         self._mismatches = np.zeros(self._max_lag + 1, dtype=np.int64)
-        for lag in range(1, min(self._max_lag, window.size - 1) + 1):
-            self._mismatches[lag] = int(np.count_nonzero(window[lag:] != window[:-lag]))
+        top = min(self._max_lag, window.size - 1)
+        if top >= 1:
+            self._mismatches[: top + 1] = event_mismatch_counts(window, top)
 
     # ------------------------------------------------------------------
+    def profile(self) -> np.ndarray:
+        """Equation (2) profile from the incremental state (lag-indexed).
+
+        ``profile[m]`` is 0 for an exact repetition with lag ``m``, 1
+        otherwise, and -1 below ``min_lag`` (not evaluated) — the same
+        convention as :func:`~repro.core.distance.event_distance_profile`.
+        """
+        profile = np.full(self._max_lag + 1, -1, dtype=np.int64)
+        hi = min(self._max_lag, self._fill - 1)
+        lags = np.arange(self.config.min_lag, hi + 1)
+        if lags.size:
+            profile[lags] = (self._mismatches[lags] > 0).astype(np.int64)
+        return profile
+
     def matched_lags(self) -> np.ndarray:
         """Lags currently matching exactly, subject to the repetition rule."""
         fill = self._fill
@@ -178,26 +205,37 @@ class EventPeriodicityDetector:
         value = int(event)
         self._index += 1
 
-        window_before = self.window_values()
-        evicted: int | None = None
-        if self._fill == self._window_size:
-            evicted = int(self._buffer[self._head])
+        # Maintain the incremental mismatch counts on contiguous ring
+        # buffer slices (no full-window copy): the last m events in
+        # reverse chronological order occupy slots head-1 ... head-m
+        # (mod N); the pairs evicted with the oldest event pair it with
+        # slots head+1 ... head+m (mod N).
+        buf = self._buffer
+        head = self._head
+        fill = self._fill
+        mism = self._mismatches
+        if fill:
+            m = min(self._max_lag, fill)
+            if m <= head:
+                mism[1 : m + 1] += buf[head - m : head][::-1] != value
+            else:
+                if head:
+                    mism[1 : head + 1] += buf[head - 1 :: -1] != value
+                tail = m - head
+                mism[head + 1 : m + 1] += buf[-1 : -tail - 1 : -1] != value
+        if fill == self._window_size and fill > 1:
+            evicted = buf[head]
+            m = min(self._max_lag, fill - 1)
+            first = min(m, fill - 1 - head)
+            if first:
+                mism[1 : first + 1] -= buf[head + 1 : head + 1 + first] != evicted
+            if m > first:
+                mism[first + 1 : m + 1] -= buf[: m - first] != evicted
 
-        if window_before.size:
-            m = min(self._max_lag, window_before.size)
-            recent = window_before[::-1][:m]
-            lags = np.arange(1, m + 1)
-            self._mismatches[lags] += (recent != value).astype(np.int64)
-        if evicted is not None and window_before.size > 1:
-            m = min(self._max_lag, window_before.size - 1)
-            oldest_next = window_before[1 : m + 1]
-            lags = np.arange(1, m + 1)
-            self._mismatches[lags] -= (oldest_next != evicted).astype(np.int64)
-
-        self._buffer[self._head] = value
-        self._head = (self._head + 1) % self._window_size
-        if self._fill < self._window_size:
-            self._fill += 1
+        buf[head] = value
+        self._head = (head + 1) % self._window_size
+        if fill < self._window_size:
+            self._fill = fill + 1
 
         new_detection = self._update_lock()
         is_start = self._is_period_start(value)
@@ -209,6 +247,15 @@ class EventPeriodicityDetector:
             new_detection=new_detection,
             confidence=confidence,
         )
+
+    def update_batch(self, samples: Sequence[int] | np.ndarray) -> list[DetectionResult]:
+        """Consume a batch of events; one :class:`DetectionResult` each.
+
+        Exactly equivalent to calling :meth:`update` in a loop (the batch
+        ingestion path of the service layer).
+        """
+        update = self.update
+        return [update(int(v)) for v in np.asarray(samples)]
 
     # ------------------------------------------------------------------
     def _update_lock(self) -> bool:
@@ -246,9 +293,49 @@ class EventPeriodicityDetector:
         return value == self._anchor_value or offset == 0
 
     # ------------------------------------------------------------------
+    # state serialisation (DetectorEngine protocol)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Complete detector state; reinstate with :meth:`restore`."""
+        return {
+            "kind": "event",
+            "window_size": self._window_size,
+            "max_lag": self._max_lag,
+            "buffer": self._buffer.copy(),
+            "fill": self._fill,
+            "head": self._head,
+            "index": self._index,
+            "mismatches": self._mismatches.copy(),
+            "locked_period": self._locked_period,
+            "anchor": self._anchor,
+            "anchor_value": self._anchor_value,
+            "misses": self._misses,
+            "detected_periods": dict(self._detected_periods),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a state produced by :meth:`snapshot`."""
+        if state.get("kind") != "event":
+            raise ValidationError(
+                f"cannot restore a {state.get('kind')!r} snapshot into an event detector"
+            )
+        self._window_size = int(state["window_size"])
+        self._max_lag = int(state["max_lag"])
+        self._buffer = np.array(state["buffer"], dtype=np.int64, copy=True)
+        self._fill = int(state["fill"])
+        self._head = int(state["head"])
+        self._index = int(state["index"])
+        self._mismatches = np.array(state["mismatches"], dtype=np.int64, copy=True)
+        self._locked_period = state["locked_period"]
+        self._anchor = state["anchor"]
+        self._anchor_value = int(state["anchor_value"])
+        self._misses = int(state["misses"])
+        self._detected_periods = dict(state["detected_periods"])
+
+    # ------------------------------------------------------------------
     def process(self, stream: Sequence[int] | np.ndarray) -> list[DetectionResult]:
         """Feed every event of ``stream`` and collect results."""
-        return [self.update(int(v)) for v in np.asarray(stream)]
+        return self.update_batch(stream)
 
     def reset(self) -> None:
         """Forget all events and detections; keep the configuration."""

@@ -48,6 +48,54 @@ class PeriodCandidate:
             raise ValueError("lag must be positive")
 
 
+def _minima_arrays(
+    profile: np.ndarray, min_lag: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised local-minimum search; returns (lags, distances, depths).
+
+    This runs on the per-sample hot path of the magnitude detector, so no
+    Python loop over lags is allowed and no candidate objects are built.
+    """
+    profile = np.asarray(profile, dtype=float)
+    n = profile.size
+    empty = (np.empty(0, dtype=np.int64), np.empty(0), np.empty(0))
+    finite_mask = np.isfinite(profile)
+    if not np.any(finite_mask):
+        return empty
+    mean = float(profile[finite_mask].mean())
+    eligible = finite_mask.copy()
+    eligible[: min(max(min_lag, 0), n)] = False
+    if not np.any(eligible):
+        return empty
+    values = profile
+    # Neighbour values, with +inf standing in for neighbours outside the
+    # eligible lag set (so endpoints qualify when below their one
+    # neighbour).
+    left = np.full(n, np.inf)
+    left[1:] = np.where(eligible[:-1], values[:-1], np.inf)
+    right = np.full(n, np.inf)
+    right[:-1] = np.where(eligible[1:], values[1:], np.inf)
+    with np.errstate(invalid="ignore"):
+        is_min = eligible & (values <= left) & (values <= right)
+        # Plateau handling: skip a lag when the previous lag had the same
+        # value and was itself a minimum (keep only the first of a
+        # plateau).
+        plateau = np.zeros(n, dtype=bool)
+        plateau[1:] = eligible[:-1] & (values[:-1] == values[1:]) & (
+            left[1:] <= right[1:]
+        )
+    is_min &= ~plateau
+    lags = np.nonzero(is_min)[0]
+    if lags.size == 0:
+        return empty
+    found = values[lags]
+    if mean > 0:
+        depths = 1.0 - found / mean
+    else:
+        depths = np.where(found == 0, 1.0, 0.0)
+    return lags, found, depths
+
+
 def find_local_minima(profile: np.ndarray, *, min_lag: int = 1) -> list[PeriodCandidate]:
     """Return every local minimum of ``profile`` as a candidate period.
 
@@ -57,30 +105,11 @@ def find_local_minima(profile: np.ndarray, *, min_lag: int = 1) -> list[PeriodCa
     below their single neighbour, so that a monotonically decreasing
     profile still yields its final lag as a candidate.
     """
-    profile = np.asarray(profile, dtype=float)
-    finite_mask = np.isfinite(profile)
-    if not np.any(finite_mask):
-        return []
-    finite_values = profile[finite_mask]
-    mean = float(finite_values.mean())
-    candidates: list[PeriodCandidate] = []
-    lags = np.nonzero(finite_mask)[0]
-    lags = lags[lags >= min_lag]
-    if lags.size == 0:
-        return []
-    lag_set = set(int(l) for l in lags)
-    for lag in lags:
-        value = profile[lag]
-        left = profile[lag - 1] if (lag - 1) in lag_set else np.inf
-        right = profile[lag + 1] if (lag + 1) in lag_set else np.inf
-        if value <= left and value <= right:
-            # Plateau handling: skip if the previous lag had the same value
-            # and was itself a minimum (keep only the first of a plateau).
-            if (lag - 1) in lag_set and profile[lag - 1] == value and left <= right:
-                continue
-            depth = 1.0 - (value / mean) if mean > 0 else (1.0 if value == 0 else 0.0)
-            candidates.append(PeriodCandidate(lag=int(lag), distance=float(value), depth=float(depth)))
-    return candidates
+    lags, found, depths = _minima_arrays(profile, min_lag)
+    return [
+        PeriodCandidate(lag=int(lag), distance=float(value), depth=float(depth))
+        for lag, value, depth in zip(lags, found, depths)
+    ]
 
 
 def filter_harmonics(
@@ -127,10 +156,14 @@ def select_period(
     ``min_depth`` is returned; ``None`` when no minimum qualifies (the
     stream is considered aperiodic over the current window).
     """
-    candidates = find_local_minima(profile, min_lag=min_lag)
-    candidates = [c for c in candidates if c.depth >= min_depth]
-    if not candidates:
+    lags, found, depths = _minima_arrays(profile, min_lag)
+    keep = depths >= min_depth
+    if not np.any(keep):
         return None
+    candidates = [
+        PeriodCandidate(lag=int(lag), distance=float(value), depth=float(depth))
+        for lag, value, depth in zip(lags[keep], found[keep], depths[keep])
+    ]
     candidates = filter_harmonics(candidates, tolerance=harmonic_tolerance)
     if not candidates:
         return None

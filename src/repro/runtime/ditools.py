@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.runtime.clock import VirtualClock
 from repro.util.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.events import PeriodStartEvent
+    from repro.service.pool import DetectorPool
 
 __all__ = ["LoopCallEvent", "DIToolsInterposer"]
 
@@ -45,15 +49,39 @@ InterpositionHandler = Callable[[LoopCallEvent], None]
 
 
 class DIToolsInterposer:
-    """Registry of interposition handlers for parallel-loop calls."""
+    """Registry of interposition handlers for parallel-loop calls.
 
-    def __init__(self, *, virtual_overhead_per_call: float = 0.0) -> None:
+    Parameters
+    ----------
+    virtual_overhead_per_call:
+        Virtual seconds charged to the application clock per intercepted
+        call.
+    pool, stream_id:
+        When a :class:`~repro.service.pool.DetectorPool` is given, the
+        interposed application is registered as the pool stream
+        ``stream_id`` and every intercepted loop address is fed into it,
+        so one pool can watch many interposed applications at once; the
+        resulting period boundaries are collected in
+        :attr:`period_events`.  The time spent in the pool counts toward
+        :attr:`handler_wall_time` (it *is* DPD work, Table 3).
+    """
+
+    def __init__(
+        self,
+        *,
+        virtual_overhead_per_call: float = 0.0,
+        pool: "DetectorPool | None" = None,
+        stream_id: str = "app",
+    ) -> None:
         check_non_negative(virtual_overhead_per_call, "virtual_overhead_per_call")
         self._handlers: list[InterpositionHandler] = []
         self._virtual_overhead = float(virtual_overhead_per_call)
         self._events: list[LoopCallEvent] = []
         self._handler_wall_time = 0.0
         self._calls = 0
+        self._pool = pool
+        self._stream_id = stream_id
+        self._period_events: "list[PeriodStartEvent]" = []
 
     # ------------------------------------------------------------------
     @property
@@ -85,6 +113,27 @@ class DIToolsInterposer:
         """Average real seconds of handler work per intercepted call."""
         return self._handler_wall_time / self._calls if self._calls else 0.0
 
+    @property
+    def pool(self):
+        """The detector pool this application streams into (or ``None``)."""
+        return self._pool
+
+    @property
+    def stream_id(self) -> str:
+        """Name of this application's pool stream."""
+        return self._stream_id
+
+    @property
+    def period_events(self) -> "list[PeriodStartEvent]":
+        """Period boundaries the pool detected on this application's stream."""
+        return list(self._period_events)
+
+    def attach_pool(self, pool: "DetectorPool", stream_id: str | None = None) -> None:
+        """Register this application as a stream of ``pool``."""
+        self._pool = pool
+        if stream_id is not None:
+            self._stream_id = stream_id
+
     # ------------------------------------------------------------------
     def register(self, handler: InterpositionHandler) -> None:
         """Add an interposition handler (called on every loop invocation)."""
@@ -103,6 +152,7 @@ class DIToolsInterposer:
         """Remove all handlers and forget intercepted events."""
         self._handlers.clear()
         self._events.clear()
+        self._period_events.clear()
         self._handler_wall_time = 0.0
         self._calls = 0
 
@@ -125,10 +175,14 @@ class DIToolsInterposer:
         )
         self._events.append(event)
         self._calls += 1
-        if self._handlers:
+        if self._handlers or self._pool is not None:
             started = time.perf_counter()
             for handler in self._handlers:
                 handler(event)
+            if self._pool is not None:
+                self._period_events.extend(
+                    self._pool.ingest(self._stream_id, [event.address])
+                )
             self._handler_wall_time += time.perf_counter() - started
         if self._virtual_overhead:
             clock.advance(self._virtual_overhead)

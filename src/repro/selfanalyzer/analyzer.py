@@ -83,15 +83,31 @@ class SelfAnalyzerConfig:
 
 
 class SelfAnalyzer:
-    """Run-time library that computes the speedup of iterative parallel regions."""
+    """Run-time library that computes the speedup of iterative parallel regions.
 
-    def __init__(self, config: SelfAnalyzerConfig | None = None, **kwargs) -> None:
+    The embedded DPD may optionally be backed by a shared
+    :class:`~repro.service.pool.DetectorPool` (``pool=`` / ``stream_id=``):
+    the analyzer then consumes the pool stream's period events exactly as
+    it would its private detector's, while the pool tracks the stream
+    alongside every other monitored application.
+    """
+
+    def __init__(
+        self,
+        config: SelfAnalyzerConfig | None = None,
+        *,
+        pool=None,
+        stream_id: str = "selfanalyzer",
+        **kwargs,
+    ) -> None:
         if config is None:
             config = SelfAnalyzerConfig(**kwargs)
         elif kwargs:
             raise ValueError("pass either a SelfAnalyzerConfig or keyword options, not both")
         self.config = config
-        self.dpd = DPDInterface(config.dpd_window_size, mode="event")
+        self.dpd = DPDInterface(
+            config.dpd_window_size, mode="event", pool=pool, stream_id=stream_id
+        )
         self.regions = RegionRegistry()
         self.estimator = ExecutionTimeEstimator(config.total_iterations_hint)
         self._runner: "ApplicationRunner | None" = None

@@ -1,0 +1,31 @@
+"""The multi-stream detection service layer.
+
+The paper runs one Dynamic Periodicity Detector inside one application.
+The service layer scales that design point up: a single
+:class:`~repro.service.pool.DetectorPool` multiplexes thousands of named
+streams — one per monitored application — behind the batch
+``ingest(stream_id, samples)`` API, evicting idle streams LRU-style and
+reporting pool-level statistics.  Homogeneous magnitude workloads that
+advance in lockstep can be stepped through the vectorised
+structure-of-arrays backend (:class:`~repro.service.soa.MagnitudeSoABank`),
+which maintains every stream's AMDF state in shared 2-D arrays and hands
+individual streams back to per-stream engines via the
+:class:`~repro.core.engine.DetectorEngine` snapshot protocol.
+
+Layering (see ARCHITECTURE.md)::
+
+    core (detectors)  ->  engine protocol  ->  service (pool)  ->  runtime / CLI
+"""
+
+from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.soa import MagnitudeSoABank
+
+__all__ = [
+    "DetectorPool",
+    "MagnitudeSoABank",
+    "PeriodStartEvent",
+    "PoolConfig",
+    "PoolStats",
+    "StreamStats",
+]

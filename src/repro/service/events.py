@@ -1,0 +1,68 @@
+"""Event and statistics records of the multi-stream detection service.
+
+The service layer communicates with its consumers through small frozen
+records: :class:`PeriodStartEvent` is the pool-level analogue of a
+non-zero ``DPD()`` return (one per detected period boundary, tagged with
+the stream that produced it), while :class:`StreamStats` /
+:class:`PoolStats` summarise per-stream and pool-wide activity for
+monitoring and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PeriodStartEvent", "PoolStats", "StreamStats"]
+
+
+@dataclass(frozen=True)
+class PeriodStartEvent:
+    """One detected period boundary on one pool stream.
+
+    Attributes
+    ----------
+    stream_id:
+        Name of the stream that produced the boundary.
+    index:
+        Zero-based per-stream sample index of the boundary.
+    period:
+        Locked period length at the boundary (the paper's ``*period``
+        output argument).
+    confidence:
+        Confidence of the backing lock in ``[0, 1]``.
+    new_detection:
+        True when this boundary coincides with a first lock or a period
+        switch on the stream.
+    """
+
+    stream_id: str
+    index: int
+    period: int
+    confidence: float
+    new_detection: bool
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Activity summary of one pool stream."""
+
+    stream_id: str
+    samples: int
+    events: int
+    current_period: int | None
+    detected_periods: tuple[int, ...]
+    last_active: int
+    """Value of the pool's ingest counter at the stream's last use."""
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Pool-wide activity summary."""
+
+    streams: int
+    created: int
+    evicted: int
+    total_samples: int
+    total_events: int
+    locked_streams: int
+    mode: str

@@ -1,0 +1,366 @@
+"""The :class:`DetectorPool`: one process monitoring many streams.
+
+The paper embeds one DPD inside one application.  A production monitor
+must watch *many* applications at once, so the pool multiplexes any
+number of named streams over :class:`~repro.core.engine.DetectorEngine`
+instances:
+
+* ``ingest(stream_id, samples)`` feeds a batch into one stream (created
+  on first use) and returns the period-start events it produced — the
+  pool-level analogue of a non-zero ``DPD()`` return;
+* ``ingest_lockstep(traces)`` feeds equally long traces into many
+  streams at once; homogeneous magnitude workloads take the vectorised
+  structure-of-arrays fast path (:class:`~repro.service.soa.MagnitudeSoABank`)
+  and are handed back to per-stream engines afterwards, everything else
+  falls back to per-stream ingestion;
+* idle streams are evicted LRU-style once ``max_streams`` is exceeded,
+  which bounds the memory of a long-running service;
+* ``stats()`` / ``stream_stats()`` expose pool-level and per-stream
+  activity counters.
+
+Every stream behaves exactly like a standalone detector: the pool adds
+multiplexing, not new detection semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.engine import DetectorEngine
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
+from repro.service.soa import MagnitudeSoABank
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = ["DetectorPool", "PoolConfig"]
+
+
+@dataclass
+class PoolConfig:
+    """Configuration of :class:`DetectorPool`.
+
+    Attributes
+    ----------
+    mode:
+        ``"event"`` (equation 2, identifier streams) or ``"magnitude"``
+        (equation 1, sampled value streams) — the metric every stream of
+        the pool uses.
+    window_size:
+        Data window size of newly created streams.
+    max_streams:
+        Upper bound on resident streams; the least recently used stream
+        is evicted when a new one would exceed it.  ``None`` means
+        unbounded.
+    min_repetitions, min_depth:
+        Forwarded to the per-stream detector configuration.
+    detector_config:
+        Full magnitude configuration; overrides the shorthand knobs above
+        when given (``mode`` must be ``"magnitude"``).
+    event_config:
+        Full event configuration; overrides the shorthand knobs above
+        when given (``mode`` must be ``"event"``).
+    """
+
+    mode: str = "event"
+    window_size: int = 256
+    max_streams: int | None = None
+    min_repetitions: int = 2
+    min_depth: float = 0.25
+    detector_config: DetectorConfig | None = None
+    event_config: EventDetectorConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("event", "magnitude"):
+            raise ValidationError(f"mode must be 'event' or 'magnitude', got {self.mode!r}")
+        check_positive_int(self.window_size, "window_size")
+        if self.max_streams is not None:
+            check_positive_int(self.max_streams, "max_streams")
+        if self.detector_config is not None and self.mode != "magnitude":
+            raise ValidationError("detector_config requires mode='magnitude'")
+        if self.event_config is not None and self.mode != "event":
+            raise ValidationError("event_config requires mode='event'")
+
+    def resolved_config(self) -> DetectorConfig | EventDetectorConfig:
+        """The per-stream detector configuration the pool will use."""
+        if self.mode == "magnitude":
+            if self.detector_config is not None:
+                return self.detector_config
+            return DetectorConfig(
+                window_size=self.window_size,
+                min_repetitions=self.min_repetitions,
+                min_depth=self.min_depth,
+            )
+        if self.event_config is not None:
+            return self.event_config
+        return EventDetectorConfig(
+            window_size=self.window_size,
+            min_repetitions=self.min_repetitions,
+        )
+
+
+@dataclass
+class _PoolStream:
+    """Internal per-stream bookkeeping record."""
+
+    engine: DetectorEngine
+    samples: int = 0
+    events: int = 0
+    last_active: int = 0
+
+
+class DetectorPool:
+    """Multiplexes many named detection streams over detector engines.
+
+    Examples
+    --------
+    >>> pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+    >>> events = pool.ingest("app-0", [7, 8, 9] * 8)
+    >>> pool.current_period("app-0")
+    3
+    """
+
+    def __init__(self, config: PoolConfig | None = None, **kwargs) -> None:
+        if config is None:
+            config = PoolConfig(**kwargs)
+        elif kwargs:
+            raise ValidationError("pass either a PoolConfig or keyword options, not both")
+        self.config = config
+        self._streams: "OrderedDict[str, _PoolStream]" = OrderedDict()
+        self._clock = 0  # monotonically increasing ingest counter
+        self._created = 0
+        self._evicted = 0
+        self._total_samples = 0
+        self._total_events = 0
+
+    # ------------------------------------------------------------------
+    # stream management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    @property
+    def stream_ids(self) -> list[str]:
+        """Resident stream names, least recently used first."""
+        return list(self._streams)
+
+    def _make_engine(self) -> DetectorEngine:
+        cfg = self.config.resolved_config()
+        if self.config.mode == "magnitude":
+            return DynamicPeriodicityDetector(cfg)
+        return EventPeriodicityDetector(cfg)
+
+    def add_stream(self, stream_id: str, engine: DetectorEngine | None = None) -> DetectorEngine:
+        """Register ``stream_id`` (replacing any previous stream of that name).
+
+        ``engine`` lets a caller supply a pre-configured or pre-loaded
+        engine (the C-like API and the lockstep hand-off use this);
+        omitted, the pool builds one from its configuration.
+        """
+        if engine is None:
+            engine = self._make_engine()
+        self._streams.pop(stream_id, None)
+        self._streams[stream_id] = _PoolStream(engine=engine, last_active=self._clock)
+        self._created += 1
+        self._evict_over_capacity()
+        return engine
+
+    def engine(self, stream_id: str) -> DetectorEngine:
+        """The engine behind ``stream_id`` (KeyError when absent)."""
+        return self._streams[stream_id].engine
+
+    def remove_stream(self, stream_id: str) -> bool:
+        """Drop a stream; returns True when it was resident."""
+        return self._streams.pop(stream_id, None) is not None
+
+    def _touch(self, stream_id: str) -> _PoolStream:
+        state = self._streams.get(stream_id)
+        if state is None:
+            self.add_stream(stream_id)
+            state = self._streams[stream_id]
+        else:
+            self._streams.move_to_end(stream_id)
+        self._clock += 1
+        state.last_active = self._clock
+        return state
+
+    def _evict_over_capacity(self) -> None:
+        limit = self.config.max_streams
+        if limit is None:
+            return
+        while len(self._streams) > limit:
+            self._streams.popitem(last=False)
+            self._evicted += 1
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self, stream_id: str, samples: Sequence[float] | np.ndarray
+    ) -> list[PeriodStartEvent]:
+        """Feed a batch of samples into one stream.
+
+        Returns one :class:`PeriodStartEvent` per sample that starts a
+        period instance, in stream order.  The stream is created on first
+        use and marked most recently used.
+        """
+        state = self._touch(stream_id)
+        results = state.engine.update_batch(samples)
+        events = [
+            PeriodStartEvent(
+                stream_id=stream_id,
+                index=r.index,
+                period=int(r.period),
+                confidence=r.confidence,
+                new_detection=r.new_detection,
+            )
+            for r in results
+            if r.is_period_start and r.period
+        ]
+        state.samples += len(results)
+        state.events += len(events)
+        self._total_samples += len(results)
+        self._total_events += len(events)
+        return events
+
+    def ingest_one(
+        self, stream_id: str, sample: float, engine: DetectorEngine | None = None
+    ) -> PeriodStartEvent | None:
+        """Feed a single sample into one stream (the per-call hot path).
+
+        Semantically ``ingest(stream_id, [sample])[0:1]`` without the batch
+        bookkeeping — this is what the C-like per-sample ``DPD()`` facade
+        and the interposition layer call on every sample.  ``engine``
+        re-registers the caller's detector when the stream is not resident
+        (first use, or after an LRU eviction), keeping a pool-backed
+        interface coupled to its own engine.
+        """
+        state = self._streams.get(stream_id)
+        if state is None:
+            self.add_stream(stream_id, engine)
+            state = self._streams[stream_id]
+        else:
+            self._streams.move_to_end(stream_id)
+        self._clock += 1
+        state.last_active = self._clock
+        result = state.engine.update(sample)
+        state.samples += 1
+        self._total_samples += 1
+        if result.is_period_start and result.period:
+            state.events += 1
+            self._total_events += 1
+            return PeriodStartEvent(
+                stream_id=stream_id,
+                index=result.index,
+                period=int(result.period),
+                confidence=result.confidence,
+                new_detection=result.new_detection,
+            )
+        return None
+
+    def ingest_lockstep(
+        self, traces: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed equally long traces into many streams "concurrently".
+
+        Homogeneous magnitude pools (shared configuration, no adaptive
+        window) with only fresh target streams run on the vectorised
+        structure-of-arrays bank and are handed back to per-stream
+        engines afterwards; any other combination falls back to
+        per-stream :meth:`ingest` (streams are independent, so the
+        results are identical either way — only the wall-clock cost
+        differs).
+        """
+        ids = list(traces)
+        if not ids:
+            return []
+        # Dtype-preserving: event streams carry integer identifiers that a
+        # float64 round-trip would corrupt above 2**53.
+        arrays = [np.asarray(traces[sid]).ravel() for sid in ids]
+        lengths = {arr.size for arr in arrays}
+        if len(lengths) != 1:
+            raise ValidationError("lockstep ingestion requires equally long traces")
+
+        cfg = self.config.resolved_config()
+        profitable = (
+            self.config.mode == "magnitude"
+            and isinstance(cfg, DetectorConfig)
+            and cfg.adaptive_window is None
+            and all(sid not in self._streams for sid in ids)
+        )
+        if not profitable:
+            events: list[PeriodStartEvent] = []
+            for sid, arr in zip(ids, arrays):
+                events.extend(self.ingest(sid, arr))
+            return events
+
+        bank = MagnitudeSoABank(ids, cfg)
+        raw = bank.process(np.stack(arrays).astype(np.float64, copy=False))
+        events = [
+            PeriodStartEvent(
+                stream_id=ids[pos],
+                index=index,
+                period=period,
+                confidence=confidence,
+                new_detection=new,
+            )
+            for pos, index, period, confidence, new in raw
+        ]
+        per_stream_events = {sid: 0 for sid in ids}
+        for event in events:
+            per_stream_events[event.stream_id] += 1
+        length = lengths.pop()
+        for pos, sid in enumerate(ids):
+            engine = bank.to_engine(pos)
+            self.add_stream(sid, engine)
+            state = self._streams.get(sid)
+            if state is not None:  # may already be evicted by max_streams
+                self._clock += 1
+                state.last_active = self._clock
+                state.samples = length
+                state.events = per_stream_events[sid]
+        self._total_samples += length * len(ids)
+        self._total_events += len(events)
+        return events
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def current_period(self, stream_id: str) -> int | None:
+        """Locked period of a stream (None while searching or absent)."""
+        state = self._streams.get(stream_id)
+        return state.engine.current_period if state is not None else None
+
+    def stream_stats(self, stream_id: str) -> StreamStats:
+        """Activity summary of one resident stream (KeyError when absent)."""
+        state = self._streams[stream_id]
+        return StreamStats(
+            stream_id=stream_id,
+            samples=state.samples,
+            events=state.events,
+            current_period=state.engine.current_period,
+            detected_periods=tuple(state.engine.detected_periods),
+            last_active=state.last_active,
+        )
+
+    def stats(self) -> PoolStats:
+        """Pool-wide activity summary."""
+        locked = sum(
+            1 for s in self._streams.values() if s.engine.current_period is not None
+        )
+        return PoolStats(
+            streams=len(self._streams),
+            created=self._created,
+            evicted=self._evicted,
+            total_samples=self._total_samples,
+            total_events=self._total_events,
+            locked_streams=locked,
+            mode=self.config.mode,
+        )

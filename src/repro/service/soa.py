@@ -1,0 +1,275 @@
+"""Structure-of-arrays backend for homogeneous lockstep magnitude streams.
+
+Feeding one sample into one :class:`DynamicPeriodicityDetector` costs a
+handful of small NumPy calls; with thousands of concurrent streams the
+Python dispatch overhead of those calls dominates.  When every stream
+shares one :class:`~repro.core.detector.DetectorConfig` and the streams
+advance in lockstep (one sample each per step — the paper's scenario of
+many identical applications monitored together), the per-sample AMDF
+bookkeeping of *all* streams collapses into the same contiguous slice
+arithmetic on 2-D arrays: ``buffers`` is ``(streams, window)`` and
+``sums`` is ``(streams, max_lag + 1)``, so one vectorised operation
+advances every stream at once.
+
+Equivalence with the per-stream engine is exact by construction: the
+slice arithmetic mirrors :meth:`DynamicPeriodicityDetector.update` line
+by line, the candidate evaluation calls the same
+:func:`~repro.core.minima.select_period`, and each stream's lock runs the
+shared :class:`~repro.core.engine.LockTracker` state machine.
+:meth:`MagnitudeSoABank.snapshot_stream` emits a snapshot in the
+engine format, so a stream can be handed back to a standalone
+:class:`DynamicPeriodicityDetector` at any point (the pool does exactly
+that after a lockstep run).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.distance import amdf_pair_sums
+from repro.core.engine import LockTracker
+from repro.core.minima import select_period
+from repro.util.validation import ValidationError
+
+__all__ = ["MagnitudeSoABank"]
+
+
+class MagnitudeSoABank:
+    """Vectorised bank of lockstep magnitude detectors (one per stream).
+
+    Parameters
+    ----------
+    stream_ids:
+        Names of the streams, in row order.  All streams start empty and
+        receive exactly one sample per :meth:`step` call.
+    config:
+        Shared detector configuration.  Adaptive windows are per-stream
+        by nature and therefore not supported here — the pool falls back
+        to per-stream engines for such configurations.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> bank = MagnitudeSoABank(["a", "b"], DetectorConfig(window_size=32))
+    >>> for _ in range(16):
+    ...     _ = bank.step([1.0, 5.0]); _ = bank.step([2.0, 5.0])
+    >>> bank.current_period(0)
+    2
+    """
+
+    def __init__(self, stream_ids: Sequence[str], config: DetectorConfig) -> None:
+        ids = list(stream_ids)
+        if not ids:
+            raise ValidationError("stream_ids must not be empty")
+        if len(set(ids)) != len(ids):
+            raise ValidationError("stream_ids must be unique")
+        if config.adaptive_window is not None:
+            raise ValidationError(
+                "MagnitudeSoABank does not support adaptive windows; "
+                "use per-stream engines instead"
+            )
+        self.stream_ids = ids
+        self.config = config
+        streams = len(ids)
+        self._window_size = config.window_size
+        self._max_lag = config.effective_max_lag
+        self._buffers = np.zeros((streams, self._window_size), dtype=np.float64)
+        self._sums = np.zeros((streams, self._max_lag + 1), dtype=np.float64)
+        self._fill = 0
+        self._head = 0
+        self._index = -1
+        self._since_refresh = 0
+        self._locks = [LockTracker(config.loss_patience) for _ in ids]
+        # Mirrors of the lock state as arrays, refreshed at evaluation
+        # steps, so the per-step period-start test is one vectorised pass.
+        self._periods = np.zeros(streams, dtype=np.int64)
+        self._anchors = np.zeros(streams, dtype=np.int64)
+        self._confidences = np.zeros(streams, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def streams(self) -> int:
+        """Number of streams in the bank."""
+        return len(self.stream_ids)
+
+    @property
+    def samples_seen(self) -> int:
+        """Samples consumed per stream so far."""
+        return self._index + 1
+
+    def current_period(self, pos: int) -> int | None:
+        """Locked period of the stream at row ``pos`` (None while searching)."""
+        return self._locks[pos].period
+
+    def detected_periods(self, pos: int) -> list[int]:
+        """Distinct periods locked on the stream at row ``pos``."""
+        return sorted(self._locks[pos].detected)
+
+    # ------------------------------------------------------------------
+    def step(self, values: Sequence[float] | np.ndarray) -> list[tuple[int, int, float, bool]]:
+        """Feed one sample to every stream (lockstep).
+
+        Parameters
+        ----------
+        values:
+            One sample per stream, in row order.
+
+        Returns
+        -------
+        list of (stream_pos, period, confidence, new_detection)
+            One entry per stream whose new sample starts a period
+            instance — the same boundaries a standalone detector would
+            report via ``DetectionResult.is_period_start``.
+        """
+        col = np.asarray(values, dtype=np.float64).ravel()
+        if col.size != self.streams:
+            raise ValidationError(
+                f"expected {self.streams} samples (one per stream), got {col.size}"
+            )
+        self._index += 1
+
+        # --- incremental AMDF sums, all streams at once -----------------
+        # Identical slice arithmetic to DynamicPeriodicityDetector.update,
+        # lifted to 2-D: every stream shares head/fill because the bank
+        # advances in lockstep.
+        bufs = self._buffers
+        sums = self._sums
+        head = self._head
+        fill = self._fill
+        sample = col[:, None]
+        if fill:
+            m = min(self._max_lag, fill)
+            if m <= head:
+                sums[:, 1 : m + 1] += np.abs(sample - bufs[:, head - m : head][:, ::-1])
+            else:
+                if head:
+                    sums[:, 1 : head + 1] += np.abs(sample - bufs[:, head - 1 :: -1])
+                tail = m - head
+                sums[:, head + 1 : m + 1] += np.abs(sample - bufs[:, -1 : -tail - 1 : -1])
+        if fill == self._window_size:
+            evicted = bufs[:, head].copy()[:, None]
+            m = min(self._max_lag, fill - 1)
+            first = min(m, fill - 1 - head)
+            if first:
+                sums[:, 1 : first + 1] -= np.abs(bufs[:, head + 1 : head + 1 + first] - evicted)
+            if m > first:
+                sums[:, first + 1 : m + 1] -= np.abs(bufs[:, : m - first] - evicted)
+
+        bufs[:, head] = col
+        self._head = (head + 1) % self._window_size
+        if fill < self._window_size:
+            self._fill = fill + 1
+
+        self._since_refresh += 1
+        if self._since_refresh >= self.config.refresh_interval:
+            self._rebuild_sums()
+
+        # --- evaluate, stream by stream, on the shared profile matrix ---
+        cfg = self.config
+        ready = self._fill >= max(2 * cfg.min_lag, min(cfg.min_fill, self._window_size))
+        if (self._index % cfg.evaluation_interval) == 0 and ready:
+            profiles = self.profiles()
+            fill_now = self._fill
+            for pos, lock in enumerate(self._locks):
+                candidate = select_period(
+                    profiles[pos],
+                    min_lag=cfg.min_lag,
+                    min_depth=cfg.min_depth,
+                    harmonic_tolerance=cfg.harmonic_tolerance,
+                )
+                if candidate is not None and fill_now < cfg.min_repetitions * candidate.lag:
+                    candidate = None
+                lock.apply(candidate, self._index)
+                self._periods[pos] = lock.period or 0
+                self._anchors[pos] = lock.anchor if lock.anchor is not None else 0
+                self._confidences[pos] = lock.confidence
+
+        # --- period starts, one vectorised pass --------------------------
+        locked = np.flatnonzero(self._periods)
+        if locked.size == 0:
+            return []
+        offsets = self._index - self._anchors[locked]
+        starting = locked[offsets % self._periods[locked] == 0]
+        new_marks = {
+            pos for pos in starting if self._locks[pos].anchor == self._index
+        }
+        return [
+            (
+                int(pos),
+                int(self._periods[pos]),
+                float(self._confidences[pos]),
+                int(pos) in new_marks,
+            )
+            for pos in starting
+        ]
+
+    def process(self, matrix: np.ndarray) -> list[tuple[int, int, int, float, bool]]:
+        """Feed a ``(streams, samples)`` matrix column by column.
+
+        Returns one ``(stream_pos, index, period, confidence,
+        new_detection)`` tuple per detected period start.
+        """
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] != self.streams:
+            raise ValidationError(
+                f"matrix must have shape (streams={self.streams}, samples)"
+            )
+        out: list[tuple[int, int, int, float, bool]] = []
+        for t in range(arr.shape[1]):
+            index = self._index + 1
+            for pos, period, confidence, new in self.step(arr[:, t]):
+                out.append((pos, index, period, confidence, new))
+        return out
+
+    # ------------------------------------------------------------------
+    def profiles(self) -> np.ndarray:
+        """Incremental ``d(m)`` profiles, shape ``(streams, max_lag + 1)``."""
+        profiles = np.full((self.streams, self._max_lag + 1), np.nan, dtype=np.float64)
+        fill = self._fill
+        lags = np.arange(self.config.min_lag, min(self._max_lag, fill - 1) + 1)
+        if lags.size:
+            profiles[:, lags] = self._sums[:, lags] / (fill - lags)
+        return profiles
+
+    def _rebuild_sums(self) -> None:
+        """Exact per-stream recompute (the refresh-interval drift guard)."""
+        fill = self._fill
+        head = self._head
+        if fill < self._window_size:
+            windows = self._buffers[:, :fill]
+        else:
+            windows = np.concatenate(
+                (self._buffers[:, head:], self._buffers[:, :head]), axis=1
+            )
+        self._sums = np.zeros_like(self._sums)
+        top = min(self._max_lag, fill - 1)
+        if top >= 1:
+            for pos in range(self.streams):
+                self._sums[pos, : top + 1] = amdf_pair_sums(windows[pos], top)
+        self._since_refresh = 0
+
+    # ------------------------------------------------------------------
+    def snapshot_stream(self, pos: int) -> dict:
+        """Engine-format snapshot of one stream (see ``DetectorEngine``)."""
+        return {
+            "kind": "magnitude",
+            "window_size": self._window_size,
+            "max_lag": self._max_lag,
+            "buffer": self._buffers[pos].copy(),
+            "fill": self._fill,
+            "head": self._head,
+            "index": self._index,
+            "sums": self._sums[pos].copy(),
+            "since_refresh": self._since_refresh,
+            "samples_since_growth": self._index + 1,
+            "lock": self._locks[pos].snapshot(),
+        }
+
+    def to_engine(self, pos: int) -> DynamicPeriodicityDetector:
+        """Materialise the stream at row ``pos`` as a standalone engine."""
+        engine = DynamicPeriodicityDetector(self.config)
+        engine.restore(self.snapshot_stream(pos))
+        return engine

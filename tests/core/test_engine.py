@@ -1,0 +1,170 @@
+"""Tests for the DetectorEngine protocol, LockTracker and engine state.
+
+Covers the protocol conformance of both detectors, batch-vs-loop
+equivalence of ``update_batch``, snapshot/restore round-trips and the
+configuration validations added with the engine layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
+from repro.core.engine import DetectionResult, DetectorEngine, LockTracker, make_engine
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.core.minima import PeriodCandidate
+from repro.traces.synthetic import noisy_periodic_signal, periodic_signal
+from repro.util.validation import ValidationError
+
+
+def magnitude_engine(**overrides):
+    options = dict(window_size=48, refresh_interval=19, evaluation_interval=3)
+    options.update(overrides)
+    return DynamicPeriodicityDetector(DetectorConfig(**options))
+
+
+def event_engine(**overrides):
+    options = dict(window_size=48)
+    options.update(overrides)
+    return EventPeriodicityDetector(EventDetectorConfig(**options))
+
+
+def result_tuples(results):
+    return [(r.index, r.period, r.is_period_start, r.new_detection, r.confidence) for r in results]
+
+
+class TestProtocol:
+    def test_both_detectors_satisfy_the_protocol(self):
+        assert isinstance(magnitude_engine(), DetectorEngine)
+        assert isinstance(event_engine(), DetectorEngine)
+
+    def test_make_engine_builds_the_right_detector(self):
+        assert isinstance(make_engine("event", window_size=32), EventPeriodicityDetector)
+        assert isinstance(
+            make_engine("magnitude", window_size=32), DynamicPeriodicityDetector
+        )
+
+    def test_make_engine_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_engine("spectral")
+
+    def test_profile_accessor_matches_incremental_state(self):
+        det = magnitude_engine()
+        det.update_batch(periodic_signal(6, 120, seed=3))
+        np.testing.assert_allclose(
+            det.profile(), det._incremental_profile(), equal_nan=True
+        )
+
+    def test_event_profile_accessor_matches_distance_profile(self):
+        from repro.core.distance import event_distance_profile
+
+        det = event_engine(window_size=16)
+        det.update_batch([5, 6, 7, 5, 6, 7, 5, 6, 7, 5])
+        window = det.window_values()
+        expected = event_distance_profile(window, det._max_lag)
+        np.testing.assert_array_equal(det.profile()[: expected.size], expected)
+
+
+class TestUpdateBatch:
+    @pytest.mark.parametrize("mode", ["magnitude", "event"])
+    def test_batch_equals_loop(self, mode):
+        rng = np.random.default_rng(7)
+        if mode == "magnitude":
+            stream = noisy_periodic_signal(9, 300, noise_std=0.05, seed=1)
+            a, b = magnitude_engine(), magnitude_engine()
+        else:
+            stream = rng.integers(0, 4, size=300)
+            a, b = event_engine(), event_engine()
+        batched = a.update_batch(stream)
+        looped = [b.update(v) for v in stream]
+        assert result_tuples(batched) == result_tuples(looped)
+        assert all(isinstance(r, DetectionResult) for r in batched)
+
+    def test_process_is_an_alias_for_update_batch(self):
+        stream = periodic_signal(4, 100, seed=0)
+        a, b = magnitude_engine(), magnitude_engine()
+        assert result_tuples(a.process(stream)) == result_tuples(b.update_batch(stream))
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("mode", ["magnitude", "event"])
+    def test_restore_resumes_identically(self, mode):
+        rng = np.random.default_rng(11)
+        if mode == "magnitude":
+            head = noisy_periodic_signal(7, 150, noise_std=0.1, seed=2)
+            tail = noisy_periodic_signal(5, 150, noise_std=0.1, seed=3)
+            det = magnitude_engine()
+        else:
+            head = rng.integers(0, 3, size=150)
+            tail = rng.integers(0, 3, size=150)
+            det = event_engine()
+        det.update_batch(head)
+        state = det.snapshot()
+        expected = result_tuples(det.update_batch(tail))
+
+        fresh = magnitude_engine() if mode == "magnitude" else event_engine()
+        fresh.restore(state)
+        assert result_tuples(fresh.update_batch(tail)) == expected
+
+    def test_snapshot_is_a_copy(self):
+        det = magnitude_engine()
+        det.update_batch(periodic_signal(4, 60, seed=5))
+        state = det.snapshot()
+        det.update_batch(periodic_signal(4, 60, seed=6))
+        assert state["index"] == 59  # unchanged by later updates
+
+    def test_kind_mismatch_is_rejected(self):
+        magnitude = magnitude_engine()
+        magnitude.update(1.0)
+        with pytest.raises(ValidationError):
+            event_engine().restore(magnitude.snapshot())
+        event = event_engine()
+        event.update(1)
+        with pytest.raises(ValidationError):
+            magnitude_engine().restore(event.snapshot())
+
+
+class TestLockTracker:
+    def test_lock_and_period_starts(self):
+        lock = LockTracker(loss_patience=2)
+        assert lock.apply(PeriodCandidate(lag=4, distance=0.1, depth=0.9), index=10) is True
+        assert lock.period == 4
+        assert lock.is_period_start(10)
+        assert not lock.is_period_start(11)
+        assert lock.is_period_start(14)
+
+    def test_patience_drops_the_lock(self):
+        lock = LockTracker(loss_patience=2)
+        lock.apply(PeriodCandidate(lag=4, distance=0.1, depth=0.9), index=0)
+        lock.apply(None, index=1)
+        assert lock.period == 4
+        lock.apply(None, index=2)
+        assert lock.period is None
+        assert lock.confidence == 0.0
+
+    def test_snapshot_round_trip(self):
+        lock = LockTracker(loss_patience=3)
+        lock.apply(PeriodCandidate(lag=6, distance=0.1, depth=0.5), index=7)
+        copy = LockTracker(loss_patience=1)
+        copy.restore(lock.snapshot())
+        assert copy.period == 6 and copy.anchor == 7 and copy.loss_patience == 3
+        # The snapshot must be decoupled from the original.
+        copy.detected[99] = 1
+        assert 99 not in lock.detected
+
+
+class TestConfigValidation:
+    def test_max_lag_below_min_lag_rejected(self):
+        with pytest.raises(ValidationError):
+            DetectorConfig(window_size=64, min_lag=8, max_lag=4)
+
+    def test_event_max_lag_below_min_lag_rejected(self):
+        with pytest.raises(ValidationError):
+            EventDetectorConfig(window_size=64, min_lag=8, max_lag=4)
+
+    def test_min_fill_above_window_rejected(self):
+        with pytest.raises(ValidationError):
+            DetectorConfig(window_size=16, min_fill=17)
+
+    def test_boundary_values_accepted(self):
+        DetectorConfig(window_size=16, min_lag=4, max_lag=4, min_fill=16)
+        EventDetectorConfig(window_size=16, min_lag=4, max_lag=4)

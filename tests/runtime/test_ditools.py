@@ -74,3 +74,62 @@ class TestInterposer:
         interposer.intercept(0x1, "x", VirtualClock(), 1, 0)
         assert interposer.handler_wall_time == 0.0
         assert interposer.mean_cost_per_call() == 0.0
+
+
+class TestPoolIntegration:
+    def test_interposed_application_streams_into_a_pool(self):
+        from repro.service.pool import DetectorPool, PoolConfig
+
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        interposer = DIToolsInterposer(pool=pool, stream_id="app-1")
+        clock = VirtualClock()
+        addresses = [0x100, 0x200, 0x300] * 10
+        for i, address in enumerate(addresses):
+            interposer.intercept(address, f"loop_{address:x}", clock, cpus=4, iteration=i)
+
+        assert "app-1" in pool
+        assert pool.current_period("app-1") == 3
+        assert pool.stream_stats("app-1").samples == len(addresses)
+        events = interposer.period_events
+        assert events and all(e.stream_id == "app-1" for e in events)
+        assert {e.period for e in events} == {3}
+        # Pool work is DPD work: it must show up in the overhead account.
+        assert interposer.handler_wall_time > 0.0
+
+    def test_attach_pool_after_construction(self):
+        from repro.service.pool import DetectorPool, PoolConfig
+
+        interposer = DIToolsInterposer()
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        interposer.attach_pool(pool, "late")
+        clock = VirtualClock()
+        for i in range(12):
+            interposer.intercept(0x10 + (i % 2), "loop", clock, cpus=1, iteration=i)
+        assert pool.current_period("late") == 2
+        assert interposer.stream_id == "late"
+
+    def test_two_applications_share_one_pool(self):
+        from repro.service.pool import DetectorPool, PoolConfig
+
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        a = DIToolsInterposer(pool=pool, stream_id="app-a")
+        b = DIToolsInterposer(pool=pool, stream_id="app-b")
+        clock = VirtualClock()
+        for i in range(24):
+            a.intercept(0x1 + (i % 2), "loop", clock, cpus=1, iteration=i)
+            b.intercept(0x9 + (i % 4), "loop", clock, cpus=1, iteration=i)
+        assert pool.current_period("app-a") == 2
+        assert pool.current_period("app-b") == 4
+        assert len(pool) == 2
+
+    def test_clear_forgets_period_events(self):
+        from repro.service.pool import DetectorPool, PoolConfig
+
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        interposer = DIToolsInterposer(pool=pool)
+        clock = VirtualClock()
+        for i in range(18):
+            interposer.intercept(i % 3, "loop", clock, cpus=1, iteration=i)
+        assert interposer.period_events
+        interposer.clear()
+        assert interposer.period_events == []

@@ -140,3 +140,33 @@ class TestConfigValidation:
         runner = ApplicationRunner(app, machine=Machine(4), interposer=interposer, cpus=2)
         runner.run()
         assert analyzer.events_processed == 0
+
+
+class TestPoolBackedAnalyzer:
+    def test_pool_backed_dpd_produces_identical_measurements(self):
+        from repro.bench.workloads import ft_like_application
+        from repro.runtime.application import ApplicationRunner
+        from repro.runtime.ditools import DIToolsInterposer
+        from repro.runtime.machine import Machine
+        from repro.service.pool import DetectorPool, PoolConfig
+
+        def run(analyzer):
+            app = ft_like_application(iterations=20)
+            interposer = DIToolsInterposer()
+            runner = ApplicationRunner(
+                app, machine=Machine(8), interposer=interposer, cpus=8
+            )
+            analyzer.attach(interposer, runner)
+            runner.run()
+            return analyzer.speedup_of_main_region()
+
+        config = SelfAnalyzerConfig(
+            baseline_cpus=1, dpd_window_size=64, total_iterations_hint=20
+        )
+        private = run(SelfAnalyzer(config))
+        pool = DetectorPool(PoolConfig(mode="event", window_size=64))
+        pooled = run(SelfAnalyzer(config, pool=pool, stream_id="ft"))
+        assert pooled == private
+        # The analyzer's samples are visible as pool stream activity.
+        assert pool.stream_stats("ft").samples > 0
+        assert pool.stream_stats("ft").events > 0

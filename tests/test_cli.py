@@ -66,3 +66,26 @@ class TestCommands:
         trace = make_trace(np.arange(200), "distinct", kind="events")
         path = save_trace(trace, tmp_path / "distinct.npz")
         assert main(["detect", str(path), "--window", "64"]) == 2
+
+
+class TestPoolCommand:
+    def test_pool_round_robin(self, capsys):
+        assert main(["pool", "--streams", "6", "--samples", "256", "--window", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "correct period locks: 6/6" in out
+        assert "samples/s" in out
+
+    def test_pool_lockstep(self, capsys):
+        assert main([
+            "pool", "--streams", "6", "--samples", "256", "--window", "64", "--lockstep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lockstep/SoA" in out
+        assert "correct period locks: 6/6" in out
+
+    def test_pool_event_mode(self, capsys):
+        assert main([
+            "pool", "--streams", "5", "--samples", "200", "--mode", "event",
+            "--window", "64",
+        ]) == 0
+        assert "correct period locks: 5/5" in capsys.readouterr().out
