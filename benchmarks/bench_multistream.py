@@ -12,8 +12,18 @@ future PRs can track the performance trajectory:
 
 2. **Pool throughput** — samples/second of one
    :class:`~repro.service.pool.DetectorPool` ingesting 1/100/1000
-   concurrent synthetic streams, on both the per-stream engine path and
-   the vectorised structure-of-arrays lockstep path.
+   concurrent synthetic streams, in both modes (magnitude and event), on
+   both the per-stream engine path and the vectorised
+   structure-of-arrays lockstep paths (``MagnitudeSoABank`` /
+   ``EventSoABank``).  The lockstep rows force the bank via
+   ``soa_min_streams=1`` so the crossover (which would route tiny fleets
+   to per-stream engines) does not silently relabel what is measured.
+
+3. **Sharded throughput** — the same workload through a
+   :class:`~repro.service.sharding.ShardedDetectorPool` at several
+   worker counts, with the machine's CPU count recorded alongside: the
+   sharding speedup is only meaningful relative to the cores available
+   (a 1-core container measures pure sharding overhead).
 
 Run as a script::
 
@@ -25,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -32,7 +43,8 @@ import numpy as np
 
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.service.pool import DetectorPool, PoolConfig
-from repro.traces.synthetic import noisy_periodic_signal, periodic_signal
+from repro.service.sharding import ShardedDetectorPool, ShardingConfig
+from repro.traces.synthetic import noisy_periodic_signal, periodic_signal, repeat_pattern
 
 
 def _seed_find_local_minima(profile, *, min_lag=1):
@@ -210,33 +222,110 @@ def bench_single_stream(samples: int = 2048, window: int = 1024) -> dict:
     return {"samples": samples, "window": window, "scenarios": scenarios}
 
 
-def bench_pool(streams: int, samples: int, window: int = 128, lockstep: bool = False) -> dict:
-    """Pool throughput ingesting ``streams`` concurrent synthetic streams."""
-    config = DetectorConfig(window_size=window, evaluation_interval=8)
+def _pool_workload(mode: str, streams: int, samples: int, window: int):
+    """Synthetic traces with known periods plus the pool configuration."""
     periods = [4 + (i % 29) for i in range(streams)]
-    traces = {
-        f"s{i:04d}": periodic_signal(periods[i], samples, seed=i)
-        for i in range(streams)
-    }
-    pool = DetectorPool(PoolConfig(mode="magnitude", detector_config=config))
+    if mode == "magnitude":
+        traces = {
+            f"s{i:04d}": periodic_signal(periods[i], samples, seed=i)
+            for i in range(streams)
+        }
+        config = PoolConfig(
+            mode="magnitude",
+            soa_min_streams=1,
+            detector_config=DetectorConfig(window_size=window, evaluation_interval=8),
+        )
+    else:
+        traces = {
+            f"s{i:04d}": repeat_pattern(1000 * (i + 1) + np.arange(periods[i]), samples)
+            for i in range(streams)
+        }
+        config = PoolConfig(mode="event", window_size=window, soa_min_streams=1)
+    return traces, periods, config
+
+
+#: Samples per ingest call in the chunked round-robin measurements.
+_BENCH_CHUNK = 128
+
+
+def _timed_run(pool, traces, periods, samples, lockstep: bool, sharded: bool):
+    """Shared measurement loop: returns ``(elapsed_s, correct_locks)``.
+
+    Single source of truth for what a pool row measures, so the sharded
+    ``workers=1`` baseline is guaranteed to run the exact same loop as
+    the single-process rows it is compared against.
+    """
     started = time.perf_counter()
     if lockstep:
         pool.ingest_lockstep(traces)
+    elif sharded:
+        for offset in range(0, samples, _BENCH_CHUNK):
+            pool.ingest_many(
+                {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+            )
     else:
-        chunk = 128
-        for offset in range(0, samples, chunk):
+        for offset in range(0, samples, _BENCH_CHUNK):
             for sid, values in traces.items():
-                pool.ingest(sid, values[offset : offset + chunk])
+                pool.ingest(sid, values[offset : offset + _BENCH_CHUNK])
     elapsed = time.perf_counter() - started
     correct = sum(
         1 for i, sid in enumerate(traces) if pool.current_period(sid) == periods[i]
     )
+    return elapsed, correct
+
+
+def bench_pool(
+    streams: int, samples: int, window: int = 128, lockstep: bool = False,
+    mode: str = "magnitude",
+) -> dict:
+    """Pool throughput ingesting ``streams`` concurrent synthetic streams."""
+    traces, periods, config = _pool_workload(mode, streams, samples, window)
+    pool = DetectorPool(config)
+    elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, False)
+    total = streams * samples
+    if lockstep:
+        backend = f"{pool.stats().lockstep_backend}-lockstep"
+    else:
+        backend = "per-stream-engines"
+    return {
+        "streams": streams,
+        "samples_per_stream": samples,
+        "window": window,
+        "mode": mode,
+        "backend": backend,
+        "elapsed_s": round(elapsed, 3),
+        "samples_per_s": round(total / elapsed),
+        "correct_locks": correct,
+    }
+
+
+def bench_sharded(
+    streams: int, samples: int, workers: int, window: int = 128,
+    mode: str = "magnitude", lockstep: bool = False,
+) -> dict:
+    """Sharded-pool throughput on the :func:`bench_pool` workload.
+
+    ``workers=1`` measures the single-process pool as the baseline the
+    sharding acceptance criterion compares against.
+    """
+    traces, periods, config = _pool_workload(mode, streams, samples, window)
+    if workers == 1:
+        pool = DetectorPool(config)
+        elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, False)
+    else:
+        pool = ShardedDetectorPool(config, ShardingConfig(workers=workers))
+        try:
+            elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, True)
+        finally:
+            pool.close()
     total = streams * samples
     return {
         "streams": streams,
         "samples_per_stream": samples,
         "window": window,
-        "backend": "soa-lockstep" if lockstep else "per-stream-engines",
+        "mode": mode,
+        "workers": workers,
+        "ingest": "lockstep" if lockstep else "round-robin",
         "elapsed_s": round(elapsed, 3),
         "samples_per_s": round(total / elapsed),
         "correct_locks": correct,
@@ -254,8 +343,20 @@ def main(argv=None) -> int:
     single_samples = 1024 if args.quick else 2048
     pool_samples = 256 if args.quick else 512
     pool_sizes = [1, 100] if args.quick else [1, 100, 1000]
+    sharded_streams = 100 if args.quick else 1000
+    sharded_samples = 256 if args.quick else 512
+    worker_counts = [1, 2] if args.quick else [1, 2, 4]
 
-    results = {"single_stream": bench_single_stream(samples=single_samples)}
+    results = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "sched_affinity": (
+                len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
+            ),
+        },
+        "single_stream": bench_single_stream(samples=single_samples),
+    }
+    print(f"machine: {results['machine']['cpu_count']} CPUs")
     print("single-stream per-sample latency (window "
           f"{results['single_stream']['window']}):")
     for name, row in results["single_stream"]["scenarios"].items():
@@ -265,14 +366,29 @@ def main(argv=None) -> int:
               f"speedup {row['speedup']:6.2f} x")
 
     results["pool"] = []
-    print("\npool throughput (magnitude, window 128, eval interval 8):")
-    for streams in pool_sizes:
-        for lockstep in (False, True):
-            row = bench_pool(streams, pool_samples, lockstep=lockstep)
-            results["pool"].append(row)
-            print(f"  {row['streams']:5d} streams  {row['backend']:19s} "
-                  f"{row['samples_per_s']:>12,} samples/s  "
-                  f"(locks {row['correct_locks']}/{row['streams']})")
+    for mode in ("magnitude", "event"):
+        print(f"\npool throughput ({mode}, window 128):")
+        for streams in pool_sizes:
+            for lockstep in (False, True):
+                row = bench_pool(streams, pool_samples, lockstep=lockstep, mode=mode)
+                results["pool"].append(row)
+                print(f"  {row['streams']:5d} streams  {row['backend']:21s} "
+                      f"{row['samples_per_s']:>12,} samples/s  "
+                      f"(locks {row['correct_locks']}/{row['streams']})")
+
+    results["sharded"] = []
+    print(f"\nsharded pool throughput (magnitude, {sharded_streams} streams, "
+          f"round-robin; workers=1 is the single-process baseline):")
+    baseline = None
+    for workers in worker_counts:
+        row = bench_sharded(sharded_streams, sharded_samples, workers)
+        results["sharded"].append(row)
+        if workers == 1:
+            baseline = row["samples_per_s"]
+        speedup = row["samples_per_s"] / baseline if baseline else float("nan")
+        row["speedup_vs_single"] = round(speedup, 2)
+        print(f"  workers={workers}  {row['samples_per_s']:>12,} samples/s  "
+              f"({speedup:4.2f}x vs single, locks {row['correct_locks']}/{row['streams']})")
 
     if args.json:
         payload = json.dumps(results, indent=2)

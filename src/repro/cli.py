@@ -18,7 +18,11 @@ known per-stream periods, runs them concurrently through one
 :class:`~repro.service.pool.DetectorPool` (round-robin chunked ingestion,
 or the vectorised structure-of-arrays lockstep path with ``--lockstep``),
 prints the aggregate throughput in samples/second, and exits non-zero
-when any stream fails to lock its ground-truth period.
+when any stream fails to lock its ground-truth period.  With
+``--workers N`` (N >= 2) the same workload runs through the sharded
+multi-process service (:class:`~repro.service.sharding.ShardedDetectorPool`),
+which partitions the streams across N worker processes with zero-copy
+shared-memory ingest.
 
 Every command prints a plain-text table/plot and exits non-zero when the
 reproduction does not match the paper's qualitative claim, so the CLI can
@@ -48,6 +52,7 @@ from repro.runtime.machine import Machine
 from repro.selfanalyzer.analyzer import SelfAnalyzer, SelfAnalyzerConfig
 from repro.selfanalyzer.reporting import format_analyzer_report
 from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.sharding import ShardedDetectorPool, ShardingConfig
 from repro.traces.io import load_trace, load_trace_csv
 from repro.traces.nas_ft import FT_PERIOD
 from repro.traces.synthetic import periodic_signal, repeat_pattern
@@ -98,9 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--lockstep", action="store_true",
                     help="use the vectorised structure-of-arrays lockstep path (magnitude only)")
     pl.add_argument("--max-streams", type=int, default=None,
-                    help="LRU capacity of the pool (default: unbounded)")
+                    help="LRU capacity of the pool (default: unbounded; per shard with --workers)")
     pl.add_argument("--eval-interval", type=int, default=4,
                     help="evaluate the profile every this many samples (magnitude only)")
+    pl.add_argument("--workers", type=int, default=1,
+                    help="shard the pool across this many worker processes (>= 2 enables sharding)")
+    pl.add_argument("--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+                    help="multiprocessing start method for --workers (default: fork where available)")
     return parser
 
 
@@ -193,19 +202,22 @@ def _cmd_pool(args) -> int:
     if args.streams <= 0 or args.samples <= 0:
         print("--streams and --samples must be positive", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     periods = [4 + (i % 29) for i in range(args.streams)]
     if args.mode == "magnitude":
         traces = {
             f"stream-{i:04d}": periodic_signal(periods[i], args.samples, seed=i)
             for i in range(args.streams)
         }
-        pool = DetectorPool(PoolConfig(
+        config = PoolConfig(
             mode="magnitude",
             max_streams=args.max_streams,
             detector_config=DetectorConfig(
                 window_size=args.window, evaluation_interval=max(args.eval_interval, 1)
             ),
-        ))
+        )
     else:
         traces = {
             f"stream-{i:04d}": repeat_pattern(
@@ -213,28 +225,53 @@ def _cmd_pool(args) -> int:
             )
             for i in range(args.streams)
         }
-        pool = DetectorPool(PoolConfig(
+        config = PoolConfig(
             mode="event", window_size=args.window, max_streams=args.max_streams,
-        ))
+        )
 
-    started = time.perf_counter()
-    events = []
-    if args.lockstep:
-        events = pool.ingest_lockstep(traces)
+    sharded = args.workers >= 2
+    if sharded:
+        pool = ShardedDetectorPool(
+            config,
+            ShardingConfig(workers=args.workers, start_method=args.start_method),
+        )
     else:
-        chunk = max(args.chunk, 1)
-        for offset in range(0, args.samples, chunk):
-            for sid, values in traces.items():
-                events.extend(pool.ingest(sid, values[offset : offset + chunk]))
-    elapsed = time.perf_counter() - started
+        pool = DetectorPool(config)
+    try:
+        started = time.perf_counter()
+        events = []
+        if args.lockstep:
+            events = pool.ingest_lockstep(traces)
+        elif sharded:
+            chunk = max(args.chunk, 1)
+            for offset in range(0, args.samples, chunk):
+                events.extend(pool.ingest_many(
+                    {sid: values[offset : offset + chunk] for sid, values in traces.items()}
+                ))
+        else:
+            chunk = max(args.chunk, 1)
+            for offset in range(0, args.samples, chunk):
+                for sid, values in traces.items():
+                    events.extend(pool.ingest(sid, values[offset : offset + chunk]))
+        elapsed = time.perf_counter() - started
 
-    total = args.streams * args.samples
-    stats = pool.stats()
-    locked_ok = sum(
-        1 for i, sid in enumerate(traces) if pool.current_period(sid) == periods[i]
-    )
+        total = args.streams * args.samples
+        stats = pool.stats()
+        locked_ok = sum(
+            1 for i, sid in enumerate(traces) if pool.current_period(sid) == periods[i]
+        )
+    except RuntimeError as exc:
+        # Worker crashes surface as RuntimeError with a recovery note; keep
+        # the CLI's non-zero-exit-with-message contract instead of a bare
+        # traceback.
+        print(f"pool service error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if sharded:
+            pool.close()
+    layout = f"sharded x{args.workers} workers, " if sharded else ""
     print(f"pool: {args.streams} streams x {args.samples} samples "
-          f"(mode={args.mode}, window={args.window}, "
+          f"(mode={args.mode}, window={args.window}, {layout}"
           f"{'lockstep/SoA' if args.lockstep else f'round-robin chunk={args.chunk}'})")
     print(f"ingested {total} samples in {elapsed:.3f} s "
           f"-> {total / elapsed:,.0f} samples/s")

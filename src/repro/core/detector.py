@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.distance import amdf_pair_sums, amdf_profile
-from repro.core.engine import DetectionResult, LockTracker
+from repro.core.engine import DetectionResult, LockTracker, tag_snapshot, validate_snapshot
 from repro.core.minima import PeriodCandidate, select_period
 from repro.core.window import AdaptiveWindowPolicy
 from repro.util.validation import ValidationError, check_in_range, check_positive_int
@@ -344,7 +344,7 @@ class DynamicPeriodicityDetector:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Complete detector state; reinstate with :meth:`restore`."""
-        return {
+        return tag_snapshot({
             "kind": "magnitude",
             "window_size": self._window_size,
             "max_lag": self._max_lag,
@@ -356,14 +356,11 @@ class DynamicPeriodicityDetector:
             "since_refresh": self._since_refresh,
             "samples_since_growth": self._samples_since_growth,
             "lock": self._lock.snapshot(),
-        }
+        })
 
     def restore(self, state: dict) -> None:
         """Reinstate a state produced by :meth:`snapshot`."""
-        if state.get("kind") != "magnitude":
-            raise ValidationError(
-                f"cannot restore a {state.get('kind')!r} snapshot into a magnitude detector"
-            )
+        validate_snapshot(state, expected_kind="magnitude")
         self._window_size = int(state["window_size"])
         self._max_lag = int(state["max_lag"])
         self._buffer = np.array(state["buffer"], dtype=np.float64, copy=True)

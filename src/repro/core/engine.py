@@ -35,13 +35,56 @@ from typing import Any, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.core.minima import PeriodCandidate
+from repro.util.validation import ValidationError
 
 __all__ = [
     "DetectionResult",
     "DetectorEngine",
     "LockTracker",
+    "SNAPSHOT_VERSION",
     "make_engine",
+    "tag_snapshot",
+    "validate_snapshot",
 ]
+
+#: Version of the engine snapshot format.  Snapshots cross process
+#: boundaries in the sharded service (worker hand-off, rebalancing, crash
+#: recovery), where producer and consumer may run different library
+#: builds; the version field lets a consumer reject a snapshot whose
+#: layout it does not understand instead of mis-restoring it.
+#:
+#: History: version 1 — the PR-1 field layout (unversioned snapshots are
+#: treated as version 1, which is identical).
+SNAPSHOT_VERSION = 1
+
+
+def tag_snapshot(state: dict) -> dict:
+    """Stamp ``state`` with the current snapshot format version."""
+    state["version"] = SNAPSHOT_VERSION
+    return state
+
+
+def validate_snapshot(state: dict, *, expected_kind: str | None = None) -> dict:
+    """Check that ``state`` is a restorable snapshot; return it unchanged.
+
+    Raises :class:`~repro.util.validation.ValidationError` when the
+    snapshot was produced by a *newer* format version than this build
+    understands, or when ``expected_kind`` is given and does not match the
+    snapshot's ``kind``.  Unversioned snapshots (pre-versioning builds)
+    are accepted as version 1.
+    """
+    version = int(state.get("version", 1))
+    if version > SNAPSHOT_VERSION:
+        raise ValidationError(
+            f"snapshot format version {version} is newer than the supported "
+            f"version {SNAPSHOT_VERSION}; upgrade the consumer before restoring"
+        )
+    if expected_kind is not None and state.get("kind") != expected_kind:
+        raise ValidationError(
+            f"cannot restore a {state.get('kind')!r} snapshot into a "
+            f"{expected_kind} detector"
+        )
+    return state
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.distance import event_mismatch_counts
-from repro.core.engine import DetectionResult
+from repro.core.engine import DetectionResult, tag_snapshot, validate_snapshot
 from repro.util.validation import ValidationError, check_positive_int
 
 __all__ = ["EventDetectorConfig", "EventPeriodicityDetector"]
@@ -297,7 +297,7 @@ class EventPeriodicityDetector:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Complete detector state; reinstate with :meth:`restore`."""
-        return {
+        return tag_snapshot({
             "kind": "event",
             "window_size": self._window_size,
             "max_lag": self._max_lag,
@@ -311,14 +311,11 @@ class EventPeriodicityDetector:
             "anchor_value": self._anchor_value,
             "misses": self._misses,
             "detected_periods": dict(self._detected_periods),
-        }
+        })
 
     def restore(self, state: dict) -> None:
         """Reinstate a state produced by :meth:`snapshot`."""
-        if state.get("kind") != "event":
-            raise ValidationError(
-                f"cannot restore a {state.get('kind')!r} snapshot into an event detector"
-            )
+        validate_snapshot(state, expected_kind="event")
         self._window_size = int(state["window_size"])
         self._max_lag = int(state["max_lag"])
         self._buffer = np.array(state["buffer"], dtype=np.int64, copy=True)

@@ -123,24 +123,33 @@ def filter_harmonics(
     ``m`` whose distance is not worse than the multiple's distance by more
     than ``tolerance`` (relative to the profile scale encoded in ``depth``).
     The fundamental period therefore survives and its harmonics do not.
+
+    Only a *kept* candidate can explain away its multiples: a lag that was
+    itself dropped as a harmonic never suppresses a deeper minimum further
+    up the lag axis.  The pairwise divisibility/depth comparisons run as
+    one broadcast matrix; the remaining forward pass over candidates (in
+    lag order) only resolves that kept-set dependency and is skipped
+    entirely when no candidate pair is harmonic-related.
     """
     check_positive(tolerance + 1e-12, "tolerance")
     if not candidates:
         return []
     by_lag = sorted(candidates, key=lambda c: c.lag)
-    kept: list[PeriodCandidate] = []
-    for cand in by_lag:
-        is_harmonic = False
-        for base in kept:
-            if cand.lag % base.lag == 0 and cand.lag != base.lag:
-                # The base explains this lag unless the multiple is clearly
-                # a *better* match (deeper minimum by more than tolerance).
-                if cand.depth <= base.depth + tolerance:
-                    is_harmonic = True
-                    break
-        if not is_harmonic:
-            kept.append(cand)
-    return kept
+    lags = np.array([c.lag for c in by_lag], dtype=np.int64)
+    depths = np.array([c.depth for c in by_lag])
+    # suppresses[i, j]: candidate i, *if kept*, drops candidate j.
+    ratio_exact = (lags[None, :] % lags[:, None]) == 0
+    suppresses = (
+        ratio_exact
+        & (lags[:, None] < lags[None, :])
+        & (depths[None, :] <= depths[:, None] + tolerance)
+    )
+    if not suppresses.any():
+        return by_lag
+    kept_mask = np.zeros(lags.size, dtype=bool)
+    for j in range(lags.size):
+        kept_mask[j] = not np.any(kept_mask[:j] & suppresses[:j, j])
+    return [c for c, keep in zip(by_lag, kept_mask) if keep]
 
 
 def select_period(

@@ -1,31 +1,42 @@
 """The multi-stream detection service layer.
 
 The paper runs one Dynamic Periodicity Detector inside one application.
-The service layer scales that design point up: a single
-:class:`~repro.service.pool.DetectorPool` multiplexes thousands of named
-streams — one per monitored application — behind the batch
-``ingest(stream_id, samples)`` API, evicting idle streams LRU-style and
-reporting pool-level statistics.  Homogeneous magnitude workloads that
-advance in lockstep can be stepped through the vectorised
-structure-of-arrays backend (:class:`~repro.service.soa.MagnitudeSoABank`),
-which maintains every stream's AMDF state in shared 2-D arrays and hands
-individual streams back to per-stream engines via the
-:class:`~repro.core.engine.DetectorEngine` snapshot protocol.
+The service layer scales that design point up twice over:
+
+* a single :class:`~repro.service.pool.DetectorPool` multiplexes
+  thousands of named streams — one per monitored application — behind
+  the batch ``ingest(stream_id, samples)`` API, evicting idle streams
+  LRU-style and reporting pool-level statistics.  Homogeneous fleets
+  that advance in lockstep are stepped through the vectorised
+  structure-of-arrays banks (:class:`~repro.service.soa.MagnitudeSoABank`
+  and :class:`~repro.service.event_soa.EventSoABank`) when the fleet is
+  large enough to amortise them (the measured crossover), and handed
+  back to per-stream engines via the
+  :class:`~repro.core.engine.DetectorEngine` snapshot protocol;
+* :class:`~repro.service.sharding.ShardedDetectorPool` partitions
+  streams by stable hash across N worker processes (private pool each,
+  zero-copy shared-memory ingest), which is how the service scales past
+  one core — the GIL makes threads useless here.
 
 Layering (see ARCHITECTURE.md)::
 
-    core (detectors)  ->  engine protocol  ->  service (pool)  ->  runtime / CLI
+    core (detectors) -> engine protocol -> service (pool -> sharding) -> runtime / CLI
 """
 
+from repro.service.event_soa import EventSoABank
 from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
 from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.sharding import ShardedDetectorPool, ShardingConfig
 from repro.service.soa import MagnitudeSoABank
 
 __all__ = [
     "DetectorPool",
+    "EventSoABank",
     "MagnitudeSoABank",
     "PeriodStartEvent",
     "PoolConfig",
     "PoolStats",
+    "ShardedDetectorPool",
+    "ShardingConfig",
     "StreamStats",
 ]

@@ -1,0 +1,311 @@
+"""Structure-of-arrays backend for homogeneous lockstep *event* streams.
+
+Event mode is the paper's primary metric (equation 2, identifier streams)
+and the pool's default mode, yet until this module only magnitude fleets
+had a vectorised lockstep path.  :class:`EventSoABank` closes that gap:
+when every stream shares one
+:class:`~repro.core.events.EventDetectorConfig` and the streams advance
+in lockstep, the per-event mismatch bookkeeping of *all* streams
+collapses into the same contiguous slice arithmetic on 2-D arrays —
+``buffers`` is ``(streams, window)`` int64 and ``mismatches`` is
+``(streams, max_lag + 1)`` int64 — so one vectorised comparison advances
+every stream at once.
+
+Equivalence with the per-stream engine is exact by construction: the
+slice arithmetic mirrors :meth:`EventPeriodicityDetector.update` line by
+line, and the lock state machine (``matched_lags`` -> smallest matching
+lag -> miss counting -> anchor-value phase check) runs as whole-bank
+array transitions that reproduce ``_update_lock`` / ``_is_period_start``
+bit for bit.  :meth:`EventSoABank.snapshot_stream` emits a snapshot in
+the engine format, so a stream can be handed back to a standalone
+:class:`EventPeriodicityDetector` at any point (the pool does exactly
+that after a lockstep run).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.engine import tag_snapshot, validate_snapshot
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.util.validation import ValidationError
+
+__all__ = ["EventSoABank"]
+
+
+class EventSoABank:
+    """Vectorised bank of lockstep event detectors (one per stream).
+
+    Parameters
+    ----------
+    stream_ids:
+        Names of the streams, in row order.  All streams start empty and
+        receive exactly one event per :meth:`step` call.
+    config:
+        Shared event detector configuration.
+
+    Examples
+    --------
+    >>> bank = EventSoABank(["a", "b"], EventDetectorConfig(window_size=32))
+    >>> for _ in range(10):
+    ...     _ = bank.step([1, 7]); _ = bank.step([2, 7]); _ = bank.step([3, 7])
+    >>> bank.current_period(0)
+    3
+    >>> bank.current_period(1)
+    1
+    """
+
+    def __init__(self, stream_ids: Sequence[str], config: EventDetectorConfig) -> None:
+        ids = list(stream_ids)
+        if not ids:
+            raise ValidationError("stream_ids must not be empty")
+        if len(set(ids)) != len(ids):
+            raise ValidationError("stream_ids must be unique")
+        self.stream_ids = ids
+        self.config = config
+        streams = len(ids)
+        self._window_size = config.window_size
+        self._max_lag = config.effective_max_lag
+        self._buffers = np.zeros((streams, self._window_size), dtype=np.int64)
+        self._mismatches = np.zeros((streams, self._max_lag + 1), dtype=np.int64)
+        self._fill = 0
+        self._head = 0
+        self._index = -1
+        # Whole-bank lock state: 0 in _periods / -1 in _anchors mean "no
+        # lock"; these arrays replace the per-stream Python attributes of
+        # EventPeriodicityDetector so transitions run vectorised.
+        self._periods = np.zeros(streams, dtype=np.int64)
+        self._anchors = np.full(streams, -1, dtype=np.int64)
+        self._anchor_values = np.zeros(streams, dtype=np.int64)
+        self._misses = np.zeros(streams, dtype=np.int64)
+        #: per stream: period -> number of times it was (re-)locked
+        self._detected: list[dict[int, int]] = [{} for _ in ids]
+
+    # ------------------------------------------------------------------
+    @property
+    def streams(self) -> int:
+        """Number of streams in the bank."""
+        return len(self.stream_ids)
+
+    @property
+    def samples_seen(self) -> int:
+        """Events consumed per stream so far."""
+        return self._index + 1
+
+    def current_period(self, pos: int) -> int | None:
+        """Locked period of the stream at row ``pos`` (None while searching)."""
+        period = int(self._periods[pos])
+        return period if period else None
+
+    def detected_periods(self, pos: int) -> list[int]:
+        """Distinct periods locked on the stream at row ``pos``."""
+        return sorted(self._detected[pos])
+
+    # ------------------------------------------------------------------
+    def step(self, values: Sequence[int] | np.ndarray) -> list[tuple[int, int, float, bool]]:
+        """Feed one event to every stream (lockstep).
+
+        Returns one ``(stream_pos, period, confidence, new_detection)``
+        tuple per stream whose new event starts a period instance — the
+        same boundaries a standalone detector would report via
+        ``DetectionResult.is_period_start``.
+        """
+        col = np.asarray(values)
+        if col.size != self.streams:
+            raise ValidationError(
+                f"expected {self.streams} events (one per stream), got {col.size}"
+            )
+        col = col.astype(np.int64, copy=False).ravel()
+        self._index += 1
+
+        # --- incremental mismatch counts, all streams at once -----------
+        # Identical slice arithmetic to EventPeriodicityDetector.update,
+        # lifted to 2-D: every stream shares head/fill because the bank
+        # advances in lockstep.
+        bufs = self._buffers
+        mism = self._mismatches
+        head = self._head
+        fill = self._fill
+        sample = col[:, None]
+        if fill:
+            m = min(self._max_lag, fill)
+            if m <= head:
+                mism[:, 1 : m + 1] += bufs[:, head - m : head][:, ::-1] != sample
+            else:
+                if head:
+                    mism[:, 1 : head + 1] += bufs[:, head - 1 :: -1] != sample
+                tail = m - head
+                mism[:, head + 1 : m + 1] += bufs[:, -1 : -tail - 1 : -1] != sample
+        if fill == self._window_size and fill > 1:
+            evicted = bufs[:, head].copy()[:, None]
+            m = min(self._max_lag, fill - 1)
+            first = min(m, fill - 1 - head)
+            if first:
+                mism[:, 1 : first + 1] -= bufs[:, head + 1 : head + 1 + first] != evicted
+            if m > first:
+                mism[:, first + 1 : m + 1] -= bufs[:, : m - first] != evicted
+
+        bufs[:, head] = col
+        self._head = (head + 1) % self._window_size
+        if fill < self._window_size:
+            self._fill = fill + 1
+
+        # --- lock transitions, whole bank at once ------------------------
+        new_detection = self._update_locks(col)
+
+        # --- period starts, one vectorised pass --------------------------
+        locked = self._periods > 0
+        if not locked.any():
+            return []
+        offsets = self._index - self._anchors
+        on_boundary = locked & (offsets % np.where(locked, self._periods, 1) == 0)
+        phase_ok = (col == self._anchor_values) | (offsets == 0)
+        starting = np.flatnonzero(on_boundary & phase_ok)
+        return [
+            (int(pos), int(self._periods[pos]), 1.0, bool(new_detection[pos]))
+            for pos in starting
+        ]
+
+    def _fundamentals(self) -> np.ndarray:
+        """Smallest exactly-matching lag per stream (0 when none matches).
+
+        The vectorised equivalent of ``EventPeriodicityDetector.matched_lags``
+        followed by ``matched[0]``.
+        """
+        fundamentals = np.zeros(self.streams, dtype=np.int64)
+        fill = self._fill
+        if fill < 2:
+            return fundamentals
+        if self.config.require_full_window and fill < self._window_size:
+            return fundamentals
+        top = min(self._max_lag, fill - 1)
+        lags = np.arange(self.config.min_lag, top + 1)
+        if lags.size == 0:
+            return fundamentals
+        ok = self._mismatches[:, lags] == 0
+        ok &= fill >= self.config.min_repetitions * lags
+        has_match = ok.any(axis=1)
+        first = ok.argmax(axis=1)
+        return np.where(has_match, lags[first], 0)
+
+    def _update_locks(self, col: np.ndarray) -> np.ndarray:
+        """Advance every stream's lock; returns the new-detection mask.
+
+        Vectorised transcription of ``EventPeriodicityDetector._update_lock``:
+        miss counting and lock loss for unmatched locked streams, miss
+        reset plus (re-)anchoring for streams whose fundamental changed.
+        """
+        fundamentals = self._fundamentals()
+        matched = fundamentals > 0
+
+        unmatched_locked = ~matched & (self._periods > 0)
+        self._misses[unmatched_locked] += 1
+        dropped = unmatched_locked & (self._misses >= self.config.loss_patience)
+        self._periods[dropped] = 0
+        self._anchors[dropped] = -1
+        self._misses[dropped] = 0
+
+        self._misses[matched] = 0
+        changed = matched & (fundamentals != self._periods)
+        if changed.any():
+            self._periods[changed] = fundamentals[changed]
+            self._anchors[changed] = self._index
+            self._anchor_values[changed] = col[changed]
+            for pos in np.flatnonzero(changed):
+                period = int(fundamentals[pos])
+                counts = self._detected[pos]
+                counts[period] = counts.get(period, 0) + 1
+        return changed
+
+    def process(self, matrix: np.ndarray) -> list[tuple[int, int, int, float, bool]]:
+        """Feed a ``(streams, events)`` matrix column by column.
+
+        Returns one ``(stream_pos, index, period, confidence,
+        new_detection)`` tuple per detected period start.
+        """
+        arr = np.asarray(matrix)
+        if arr.ndim != 2 or arr.shape[0] != self.streams:
+            raise ValidationError(
+                f"matrix must have shape (streams={self.streams}, events)"
+            )
+        arr = arr.astype(np.int64, copy=False)
+        out: list[tuple[int, int, int, float, bool]] = []
+        for t in range(arr.shape[1]):
+            index = self._index + 1
+            for pos, period, confidence, new in self.step(arr[:, t]):
+                out.append((pos, index, period, confidence, new))
+        return out
+
+    # ------------------------------------------------------------------
+    def profiles(self) -> np.ndarray:
+        """Equation (2) profiles, shape ``(streams, max_lag + 1)``.
+
+        Same convention as :meth:`EventPeriodicityDetector.profile`:
+        0 for an exact repetition, 1 otherwise, -1 below ``min_lag`` or
+        beyond the filled window (not evaluated).
+        """
+        profiles = np.full((self.streams, self._max_lag + 1), -1, dtype=np.int64)
+        hi = min(self._max_lag, self._fill - 1)
+        lags = np.arange(self.config.min_lag, hi + 1)
+        if lags.size:
+            profiles[:, lags] = (self._mismatches[:, lags] > 0).astype(np.int64)
+        return profiles
+
+    # ------------------------------------------------------------------
+    def snapshot_stream(self, pos: int) -> dict:
+        """Engine-format snapshot of one stream (see ``DetectorEngine``)."""
+        period = int(self._periods[pos])
+        anchor = int(self._anchors[pos])
+        return tag_snapshot({
+            "kind": "event",
+            "window_size": self._window_size,
+            "max_lag": self._max_lag,
+            "buffer": self._buffers[pos].copy(),
+            "fill": self._fill,
+            "head": self._head,
+            "index": self._index,
+            "mismatches": self._mismatches[pos].copy(),
+            "locked_period": period if period else None,
+            "anchor": anchor if anchor >= 0 else None,
+            "anchor_value": int(self._anchor_values[pos]),
+            "misses": int(self._misses[pos]),
+            "detected_periods": dict(self._detected[pos]),
+        })
+
+    def restore_stream(self, pos: int, state: dict) -> None:
+        """Reinstate one stream's row from an engine-format snapshot.
+
+        The bank shares ``head``/``fill``/``index`` across all rows, so the
+        snapshot must come from an engine in lockstep with the bank (same
+        event count and window geometry) — e.g. the round trip
+        ``snapshot_stream`` -> standalone engine -> ``snapshot`` -> back.
+        """
+        validate_snapshot(state, expected_kind="event")
+        if (
+            int(state["window_size"]) != self._window_size
+            or int(state["max_lag"]) != self._max_lag
+            or int(state["fill"]) != self._fill
+            or int(state["head"]) != self._head
+            or int(state["index"]) != self._index
+        ):
+            raise ValidationError(
+                "snapshot is not in lockstep with the bank "
+                "(window/fill/head/index mismatch)"
+            )
+        self._buffers[pos] = np.asarray(state["buffer"], dtype=np.int64)
+        self._mismatches[pos] = np.asarray(state["mismatches"], dtype=np.int64)
+        period = state["locked_period"]
+        anchor = state["anchor"]
+        self._periods[pos] = period if period is not None else 0
+        self._anchors[pos] = anchor if anchor is not None else -1
+        self._anchor_values[pos] = int(state["anchor_value"])
+        self._misses[pos] = int(state["misses"])
+        self._detected[pos] = dict(state["detected_periods"])
+
+    def to_engine(self, pos: int) -> EventPeriodicityDetector:
+        """Materialise the stream at row ``pos`` as a standalone engine."""
+        engine = EventPeriodicityDetector(self.config)
+        engine.restore(self.snapshot_stream(pos))
+        return engine

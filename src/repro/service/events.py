@@ -66,3 +66,6 @@ class PoolStats:
     total_events: int
     locked_streams: int
     mode: str
+    lockstep_backend: str | None = None
+    """Backend chosen by the last ``ingest_lockstep`` call (``"soa"`` or
+    ``"per-stream"``); ``None`` when lockstep ingestion was never used."""

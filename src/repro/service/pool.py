@@ -9,10 +9,14 @@ instances:
   on first use) and returns the period-start events it produced — the
   pool-level analogue of a non-zero ``DPD()`` return;
 * ``ingest_lockstep(traces)`` feeds equally long traces into many
-  streams at once; homogeneous magnitude workloads take the vectorised
-  structure-of-arrays fast path (:class:`~repro.service.soa.MagnitudeSoABank`)
-  and are handed back to per-stream engines afterwards, everything else
-  falls back to per-stream ingestion;
+  streams at once; homogeneous fleets large enough to amortise the
+  2-D bookkeeping take the vectorised structure-of-arrays fast path
+  (:class:`~repro.service.soa.MagnitudeSoABank` for magnitude mode,
+  :class:`~repro.service.event_soa.EventSoABank` for event mode) and are
+  handed back to per-stream engines afterwards; small fleets and
+  heterogeneous combinations run per-stream.  The backend actually
+  chosen is recorded in :class:`~repro.service.events.PoolStats` and
+  logged once, so benchmark regressions are diagnosable;
 * idle streams are evicted LRU-style once ``max_streams`` is exceeded,
   which bounds the memory of a long-running service;
 * ``stats()`` / ``stream_stats()`` expose pool-level and per-stream
@@ -33,11 +37,43 @@ import numpy as np
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.engine import DetectorEngine
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.service.event_soa import EventSoABank
 from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
 from repro.service.soa import MagnitudeSoABank
+from repro.util.logging import get_logger
 from repro.util.validation import ValidationError, check_positive_int
 
-__all__ = ["DetectorPool", "PoolConfig"]
+__all__ = ["DetectorPool", "PoolConfig", "SOA_MIN_STREAMS"]
+
+_logger = get_logger(__name__)
+
+#: Default lockstep crossover: below this many streams the per-stream
+#: engines beat the structure-of-arrays banks (the 2-D bookkeeping has a
+#: higher constant than a single detector's 1-D slices), above it the
+#: banks win and keep widening their lead.  Measured on the
+#: `bench_multistream` workload at window 128: per-stream wins at 1-2
+#: streams in both modes, the banks win from ~4 streams on (see the
+#: "Scaling" section of ROADMAP.md).
+SOA_MIN_STREAMS = 4
+
+
+def _exact_int64_matrix(arrays: list[np.ndarray]) -> np.ndarray | None:
+    """Stack event traces into an int64 matrix, or ``None`` when lossy.
+
+    The event bank stores identifiers as int64; traces whose values do
+    not round-trip exactly (huge Python ints in object arrays, non-atomic
+    floats, NaN) must keep the dtype-preserving per-stream path.
+    """
+    casted = []
+    for arr in arrays:
+        if not np.issubdtype(arr.dtype, np.number) or np.issubdtype(arr.dtype, np.complexfloating):
+            return None
+        with np.errstate(invalid="ignore"):
+            as_int = arr.astype(np.int64, casting="unsafe")
+        if not np.array_equal(as_int, arr):
+            return None
+        casted.append(as_int)
+    return np.stack(casted)
 
 
 @dataclass
@@ -64,6 +100,11 @@ class PoolConfig:
     event_config:
         Full event configuration; overrides the shorthand knobs above
         when given (``mode`` must be ``"event"``).
+    soa_min_streams:
+        Minimum lockstep fleet size at which ``ingest_lockstep`` switches
+        from per-stream engines to the structure-of-arrays bank.  ``None``
+        uses the measured default (:data:`SOA_MIN_STREAMS`); ``1`` forces
+        the bank whenever it is applicable.
     """
 
     mode: str = "event"
@@ -73,6 +114,7 @@ class PoolConfig:
     min_depth: float = 0.25
     detector_config: DetectorConfig | None = None
     event_config: EventDetectorConfig | None = None
+    soa_min_streams: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("event", "magnitude"):
@@ -80,6 +122,8 @@ class PoolConfig:
         check_positive_int(self.window_size, "window_size")
         if self.max_streams is not None:
             check_positive_int(self.max_streams, "max_streams")
+        if self.soa_min_streams is not None:
+            check_positive_int(self.soa_min_streams, "soa_min_streams")
         if self.detector_config is not None and self.mode != "magnitude":
             raise ValidationError("detector_config requires mode='magnitude'")
         if self.event_config is not None and self.mode != "event":
@@ -136,6 +180,7 @@ class DetectorPool:
         self._evicted = 0
         self._total_samples = 0
         self._total_events = 0
+        self._lockstep_backend: str | None = None
 
     # ------------------------------------------------------------------
     # stream management
@@ -175,6 +220,32 @@ class DetectorPool:
     def engine(self, stream_id: str) -> DetectorEngine:
         """The engine behind ``stream_id`` (KeyError when absent)."""
         return self._streams[stream_id].engine
+
+    def restore_stream(
+        self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
+    ) -> DetectorEngine:
+        """Reinstate a stream from an engine snapshot (see ``DetectorEngine``).
+
+        Builds an engine from the pool configuration, restores ``state``
+        into it and registers it under ``stream_id``; ``samples`` /
+        ``events`` reinstate the stream's activity counters.  This is the
+        receiving half of stream migration: the sharded service moves
+        streams between worker processes as ``(snapshot, counters)``
+        pairs, and crash recovery replays the last checkpoint through
+        this method.
+        """
+        engine = self._make_engine()
+        engine.restore(state)
+        self.add_stream(stream_id, engine)
+        stream = self._streams.get(stream_id)
+        if stream is not None:  # may already be evicted by max_streams
+            stream.samples = int(samples)
+            stream.events = int(events)
+        # The restored activity happened, just not in this pool instance;
+        # keep the aggregate counters consistent with the per-stream ones.
+        self._total_samples += int(samples)
+        self._total_events += int(events)
+        return engine
 
     def remove_stream(self, stream_id: str) -> bool:
         """Drop a stream; returns True when it was resident."""
@@ -265,18 +336,58 @@ class DetectorPool:
             )
         return None
 
+    def _record_lockstep_backend(self, backend: str, streams: int, reason: str) -> None:
+        """Remember (and log, once per change) the lockstep backend used."""
+        if backend != self._lockstep_backend:
+            _logger.info(
+                "lockstep backend: %s for %d streams (%s)", backend, streams, reason
+            )
+            self._lockstep_backend = backend
+
+    def _choose_lockstep_backend(
+        self, ids: list[str], arrays: list[np.ndarray]
+    ) -> tuple[MagnitudeSoABank | EventSoABank | None, np.ndarray | None, str]:
+        """Pick the lockstep backend; returns ``(bank, matrix, reason)``.
+
+        ``bank`` is ``None`` when per-stream engines are the right choice —
+        either because the fleet is too small to amortise the 2-D
+        bookkeeping (the measured crossover, see :data:`SOA_MIN_STREAMS`)
+        or because the bank cannot represent the workload.
+        """
+        threshold = (
+            self.config.soa_min_streams
+            if self.config.soa_min_streams is not None
+            else SOA_MIN_STREAMS
+        )
+        if len(ids) < threshold:
+            return None, None, f"{len(ids)} streams below the SoA crossover ({threshold})"
+        if any(sid in self._streams for sid in ids):
+            return None, None, "target streams already resident"
+        cfg = self.config.resolved_config()
+        if self.config.mode == "magnitude":
+            if cfg.adaptive_window is not None:
+                return None, None, "adaptive windows are per-stream"
+            matrix = np.stack(arrays).astype(np.float64, copy=False)
+            return MagnitudeSoABank(ids, cfg), matrix, "homogeneous magnitude fleet"
+        matrix = _exact_int64_matrix(arrays)
+        if matrix is None:
+            return None, None, "identifiers do not round-trip through int64"
+        return EventSoABank(ids, cfg), matrix, "homogeneous event fleet"
+
     def ingest_lockstep(
         self, traces: Mapping[str, Sequence[float] | np.ndarray]
     ) -> list[PeriodStartEvent]:
         """Feed equally long traces into many streams "concurrently".
 
-        Homogeneous magnitude pools (shared configuration, no adaptive
-        window) with only fresh target streams run on the vectorised
-        structure-of-arrays bank and are handed back to per-stream
-        engines afterwards; any other combination falls back to
-        per-stream :meth:`ingest` (streams are independent, so the
-        results are identical either way — only the wall-clock cost
-        differs).
+        Homogeneous fleets of fresh target streams run on the vectorised
+        structure-of-arrays bank of the pool's mode when the fleet is
+        large enough to amortise the bank's 2-D bookkeeping (the measured
+        crossover is a handful of streams; below it the bank *loses* to
+        per-stream engines) and are handed back to per-stream engines
+        afterwards; any other combination runs per-stream
+        :meth:`ingest`.  Streams are independent, so the results are
+        identical either way — only the wall-clock cost differs.  The
+        chosen backend is reported by :meth:`stats` and logged on change.
         """
         ids = list(traces)
         if not ids:
@@ -288,21 +399,16 @@ class DetectorPool:
         if len(lengths) != 1:
             raise ValidationError("lockstep ingestion requires equally long traces")
 
-        cfg = self.config.resolved_config()
-        profitable = (
-            self.config.mode == "magnitude"
-            and isinstance(cfg, DetectorConfig)
-            and cfg.adaptive_window is None
-            and all(sid not in self._streams for sid in ids)
-        )
-        if not profitable:
+        bank, matrix, reason = self._choose_lockstep_backend(ids, arrays)
+        if bank is None:
+            self._record_lockstep_backend("per-stream", len(ids), reason)
             events: list[PeriodStartEvent] = []
             for sid, arr in zip(ids, arrays):
                 events.extend(self.ingest(sid, arr))
             return events
 
-        bank = MagnitudeSoABank(ids, cfg)
-        raw = bank.process(np.stack(arrays).astype(np.float64, copy=False))
+        self._record_lockstep_backend("soa", len(ids), reason)
+        raw = bank.process(matrix)
         events = [
             PeriodStartEvent(
                 stream_id=ids[pos],
@@ -363,4 +469,5 @@ class DetectorPool:
             total_events=self._total_events,
             locked_streams=locked,
             mode=self.config.mode,
+            lockstep_backend=self._lockstep_backend,
         )

@@ -1,0 +1,734 @@
+"""Sharded multi-process detection service: scale the pool across cores.
+
+One :class:`~repro.service.pool.DetectorPool` is single-threaded, and
+under the GIL threads cannot help, so :class:`ShardedDetectorPool`
+partitions streams by a *stable* hash of their name across N worker
+processes, each owning a private pool.  The partition is pure routing —
+streams are independent, so a sharded run is stream-for-stream identical
+to a single-process pool ingesting the same traces.
+
+Data path (see :mod:`repro.service.shm_ring`): sample batches cross the
+process boundary through a preallocated shared-memory ring per shard
+(one copy into the ring in the parent, a zero-copy NumPy view in the
+worker); detected period starts come back over the control pipe as one
+compact structured array per request — never as pickled per-event
+object lists.  Batches larger than the ring are chunked transparently.
+
+State management reuses the engine ``snapshot`` / ``restore`` protocol
+verbatim — the exact mechanism the SoA banks already use to hand streams
+to standalone engines — for three jobs:
+
+* ``checkpoint()`` pulls every stream's snapshot into the parent;
+* a worker that dies is respawned and its streams are restored from the
+  last checkpoint (crash recovery loses at most the samples since then);
+* ``rebalance(workers)`` re-partitions all streams onto a different
+  worker count by draining snapshots and restoring each stream on its
+  new home shard.
+
+No new detection semantics live here: a shard worker runs an unmodified
+``DetectorPool``.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.shm_ring import ShmSpanWriter, attach_shared_memory, map_span
+from repro.util.logging import get_logger
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = ["ShardedDetectorPool", "ShardingConfig", "shard_of"]
+
+_logger = get_logger(__name__)
+
+#: Cap on unacknowledged requests per shard; bounds both the control-pipe
+#: backlog (so neither side ever blocks on a full OS pipe buffer) and the
+#: number of live spans in the ring.
+_MAX_OUTSTANDING = 32
+
+
+class _WorkerCrash(Exception):
+    """A shard worker died while a request was in flight."""
+
+    def __init__(self, index: int) -> None:
+        super().__init__(f"shard worker {index} died mid-operation")
+        self.index = index
+
+
+def shard_of(stream_id: str, shards: int) -> int:
+    """Home shard of ``stream_id`` — a stable hash, identical across
+    processes and interpreter runs (unlike builtin ``hash``, which is
+    salted per process and would route the same stream to different
+    shards after a restart)."""
+    return zlib.crc32(stream_id.encode("utf-8")) % shards
+
+
+@dataclass
+class ShardingConfig:
+    """Configuration of :class:`ShardedDetectorPool`.
+
+    Attributes
+    ----------
+    workers:
+        Number of worker processes (defaults to the CPU count).
+    ring_bytes:
+        Capacity of each shard's shared-memory ingest ring.  Batches
+        larger than this are chunked, so it bounds memory, not batch
+        size.
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` where
+        available (cheap, no re-import) and ``spawn`` elsewhere.
+    restore_on_crash:
+        When True (default), an operation that finds a dead worker
+        respawns it and restores its streams from the last checkpoint
+        instead of raising.
+    """
+
+    workers: int | None = None
+    ring_bytes: int = 1 << 22
+    start_method: str | None = None
+    restore_on_crash: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            check_positive_int(self.workers, "workers")
+        check_positive_int(self.ring_bytes, "ring_bytes")
+        if self.start_method is not None and self.start_method not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ValidationError(
+                f"start_method must be fork/spawn/forkserver, got {self.start_method!r}"
+            )
+
+    def resolved_workers(self) -> int:
+        """Worker count, defaulting to the machine's CPU count."""
+        return self.workers if self.workers is not None else max(os.cpu_count() or 1, 1)
+
+    def resolved_start_method(self) -> str:
+        """Start method, preferring ``fork`` for its cheap startup."""
+        if self.start_method is not None:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_EVENT_FIELDS = np.dtype(
+    [
+        ("stream", np.int32),  # position in the request's stream-id list
+        ("index", np.int64),
+        ("period", np.int64),
+        ("confidence", np.float64),
+        ("new_detection", np.bool_),
+    ]
+)
+
+
+def _events_to_array(events: list[PeriodStartEvent], positions: Mapping[str, int]) -> np.ndarray:
+    """Pack pool events into one compact structured array for the pipe."""
+    out = np.empty(len(events), dtype=_EVENT_FIELDS)
+    for row, event in enumerate(events):
+        out[row] = (
+            positions[event.stream_id],
+            event.index,
+            event.period,
+            event.confidence,
+            event.new_detection,
+        )
+    return out
+
+
+def _shard_worker_main(conn, shm_name: str, config: PoolConfig) -> None:
+    """Entry point of one shard worker process.
+
+    Owns a private :class:`DetectorPool`; serves requests from the
+    control pipe until ``close``.  Sample batches are read as zero-copy
+    views into the shared-memory ring; every request is answered with
+    exactly one ``("ok", payload)`` / ``("err", message)`` reply, in
+    order, which is what lets the parent do FIFO span accounting.
+    """
+    shm = attach_shared_memory(shm_name)
+    pool = DetectorPool(config)
+    try:
+        while True:
+            try:
+                op, payload = conn.recv()
+            except EOFError:
+                break
+            try:
+                if op == "ingest":
+                    stream_id, offset, shape, dtype = payload
+                    batch = map_span(shm, offset, shape, dtype)
+                    events = pool.ingest(stream_id, batch)
+                    reply = _events_to_array(events, {stream_id: 0})
+                elif op == "lockstep":
+                    ids, offset, shape, dtype = payload
+                    matrix = map_span(shm, offset, shape, dtype)
+                    traces = {sid: matrix[row] for row, sid in enumerate(ids)}
+                    events = pool.ingest_lockstep(traces)
+                    positions = {sid: row for row, sid in enumerate(ids)}
+                    reply = _events_to_array(events, positions)
+                elif op == "checkpoint":
+                    reply = {
+                        sid: {
+                            "state": pool.engine(sid).snapshot(),
+                            "samples": pool.stream_stats(sid).samples,
+                            "events": pool.stream_stats(sid).events,
+                        }
+                        for sid in pool.stream_ids
+                    }
+                elif op == "restore":
+                    stream_id, state, samples, events_count = payload
+                    pool.restore_stream(
+                        stream_id, state, samples=samples, events=events_count
+                    )
+                    reply = None
+                elif op == "remove":
+                    reply = pool.remove_stream(payload)
+                elif op == "current_period":
+                    reply = pool.current_period(payload)
+                elif op == "stream_stats":
+                    reply = pool.stream_stats(payload)
+                elif op == "stream_ids":
+                    reply = pool.stream_ids
+                elif op == "stats":
+                    reply = pool.stats()
+                elif op == "close":
+                    conn.send(("ok", None))
+                    break
+                else:
+                    raise ValidationError(f"unknown shard op {op!r}")
+            except Exception as exc:  # surface worker errors in the parent
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            else:
+                conn.send(("ok", reply))
+    finally:
+        shm.close()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class _ShardClient:
+    """Parent-side handle of one worker: process, pipe, ring, bookkeeping."""
+
+    def __init__(self, ctx, index: int, config: PoolConfig, ring_bytes: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.index = index
+        self.shm = shared_memory.SharedMemory(create=True, size=ring_bytes)
+        try:
+            self.writer = ShmSpanWriter(self.shm)
+            self.conn, child_conn = ctx.Pipe()
+            self.process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, self.shm.name, config),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            self.process.start()
+        except Exception:
+            # A partially built client is never registered anywhere, so
+            # its segment must be freed here or it leaks until exit.
+            self.shm.close()
+            self.shm.unlink()
+            raise
+        child_conn.close()
+        # Requests awaiting a reply, FIFO.  Each entry: (kind, context)
+        # where kind "data" means a ring span must be released on reply.
+        self.pending: list[tuple[str, object]] = []
+        self.events: list[PeriodStartEvent] = []
+
+    # -- request/reply plumbing ---------------------------------------
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, op: str, payload, *, holds_span: bool = False, context=None) -> None:
+        try:
+            self.conn.send((op, payload))
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise _WorkerCrash(self.index) from exc
+        self.pending.append(("data" if holds_span else "ctl", context))
+
+    def recv_one(self):
+        """Receive exactly one in-order reply; returns its payload."""
+        try:
+            status, payload = self.conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise _WorkerCrash(self.index) from exc
+        kind, context = self.pending.pop(0)
+        if kind == "data":
+            self.writer.release()
+        if status == "err":
+            raise RuntimeError(f"shard {self.index} failed: {payload}")
+        if isinstance(payload, np.ndarray) and payload.dtype == _EVENT_FIELDS:
+            ids: Sequence[str] = context  # stream ids of the request
+            self.events.extend(
+                PeriodStartEvent(
+                    stream_id=ids[int(row["stream"])],
+                    index=int(row["index"]),
+                    period=int(row["period"]),
+                    confidence=float(row["confidence"]),
+                    new_detection=bool(row["new_detection"]),
+                )
+                for row in payload
+            )
+            return None
+        return payload
+
+    def drain(self) -> None:
+        """Collect every outstanding reply."""
+        while self.pending:
+            self.recv_one()
+
+    def drain_ready(self) -> None:
+        """Collect replies that are already waiting, without blocking."""
+        while self.pending and self.conn.poll():
+            self.recv_one()
+
+    def call(self, op: str, payload=None):
+        """Synchronous control call (drains data replies first)."""
+        self.drain()
+        self.send(op, payload)
+        return self.recv_one()
+
+    def take_events(self) -> list[PeriodStartEvent]:
+        events, self.events = self.events, []
+        return events
+
+    def write_span(self, array: np.ndarray) -> tuple[int, tuple[int, ...], str]:
+        """Reserve + fill a ring span, draining acknowledgements as needed."""
+        while True:
+            self.drain_ready()
+            if len(self.pending) >= _MAX_OUTSTANDING:
+                self.recv_one()  # blocking: bound the backlog
+                continue
+            try:
+                return self.writer.write(array)
+            except BlockingIOError:
+                if not self.pending:  # cannot free anything: misuse
+                    raise
+                self.recv_one()
+
+    def shutdown(self) -> None:
+        try:
+            if self.alive():
+                self.drain()
+                self.send("close", None)
+                self.recv_one()
+        except (BrokenPipeError, EOFError, OSError, RuntimeError):
+            pass
+        finally:
+            self.conn.close()
+            self.process.join(timeout=5)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+                self.process.join(timeout=5)
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _recovering(method):
+    """Turn a mid-operation worker crash into recovery plus a clean error.
+
+    A worker that dies *while a request is in flight* surfaces as
+    :class:`_WorkerCrash` from the pipe plumbing.  The wrapper discards
+    the aborted operation's partial results, immediately respawns the
+    worker from the last checkpoint (when ``restore_on_crash`` is set —
+    recovery must not wait for the next call), and raises a
+    ``RuntimeError`` describing what was lost.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return method(self, *args, **kwargs)
+        except _WorkerCrash as exc:
+            raise self._handle_worker_crash(exc) from exc
+
+    return wrapper
+
+
+class ShardedDetectorPool:
+    """A :class:`DetectorPool` sharded across worker processes.
+
+    Streams are routed to ``shard_of(stream_id) = crc32(stream_id) %
+    workers``; each worker owns a private pool, so all detection
+    semantics — including per-shard LRU eviction when ``max_streams`` is
+    set — are exactly those of ``DetectorPool``.
+
+    Examples
+    --------
+    ::
+
+        pool = ShardedDetectorPool(PoolConfig(mode="magnitude"), workers=4)
+        try:
+            events = pool.ingest_many({"app-0": batch0, "app-1": batch1})
+        finally:
+            pool.close()
+    """
+
+    def __init__(
+        self,
+        config: PoolConfig | None = None,
+        sharding: ShardingConfig | None = None,
+        **kwargs,
+    ) -> None:
+        shard_keys = {"workers", "ring_bytes", "start_method", "restore_on_crash"}
+        shard_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in shard_keys}
+        if config is None:
+            config = PoolConfig(**kwargs)
+        elif kwargs:
+            raise ValidationError("pass either a PoolConfig or keyword options, not both")
+        if sharding is None:
+            sharding = ShardingConfig(**shard_kwargs)
+        elif shard_kwargs:
+            raise ValidationError(
+                "pass either a ShardingConfig or keyword options, not both"
+            )
+        self.config = config
+        self.sharding = sharding
+        self._ctx = multiprocessing.get_context(sharding.resolved_start_method())
+        self._workers = sharding.resolved_workers()
+        self._shards: list[_ShardClient] = []
+        self._checkpoint: dict[str, dict] = {}
+        self._closed = False
+        try:
+            for index in range(self._workers):
+                self._shards.append(
+                    _ShardClient(self._ctx, index, config, sharding.ring_bytes)
+                )
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (= shards)."""
+        return self._workers
+
+    def shard_of(self, stream_id: str) -> int:
+        """Home shard of ``stream_id`` (stable across processes/runs)."""
+        return shard_of(stream_id, self._workers)
+
+    def __enter__(self) -> "ShardedDetectorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down every worker and free the shared-memory rings."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown()
+        self._shards = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def _shard(self, stream_id: str) -> _ShardClient:
+        return self._shards[self.shard_of(stream_id)]
+
+    def _handle_worker_crash(self, exc: "_WorkerCrash") -> RuntimeError:
+        """Clean up after a mid-operation crash; returns the error to raise."""
+        # Discard the aborted operation's partial results everywhere:
+        # live shards may still owe replies whose events would otherwise
+        # leak into the next call's return value.
+        for shard in self._shards:
+            if shard.alive():
+                try:
+                    shard.drain()
+                except _WorkerCrash:  # pragma: no cover - second crash
+                    pass
+            shard.pending.clear()
+            shard.events.clear()
+        message = (
+            f"shard worker {exc.index} died mid-operation; the aborted call's "
+            f"events were discarded and its batches may be partially applied "
+            f"on surviving shards"
+        )
+        if self.sharding.restore_on_crash and not self._closed:
+            self._ensure_alive()  # respawn + restore from the last checkpoint
+            message += (
+                "; the crashed shard was respawned and restored to the last "
+                "checkpoint (samples since then on that shard are lost)"
+            )
+        return RuntimeError(message)
+
+    def _ensure_alive(self) -> None:
+        """Respawn dead workers and replay the last checkpoint to them."""
+        if self._closed:
+            raise ValidationError("pool is closed")
+        for index, shard in enumerate(self._shards):
+            if shard.alive():
+                continue
+            if not self.sharding.restore_on_crash:
+                raise RuntimeError(f"shard worker {index} died")
+            _logger.warning(
+                "shard worker %d died; respawning from last checkpoint", index
+            )
+            try:
+                shard.shutdown()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            replacement = _ShardClient(
+                self._ctx, index, self.config, self.sharding.ring_bytes
+            )
+            self._shards[index] = replacement
+            for sid, entry in self._checkpoint.items():
+                if shard_of(sid, self._workers) == index:
+                    replacement.call(
+                        "restore",
+                        (sid, entry["state"], entry["samples"], entry["events"]),
+                    )
+
+    def _send_batch(
+        self, shard: _ShardClient, stream_id: str, batch: np.ndarray
+    ) -> None:
+        """Route one stream batch into a shard's ring (chunking as needed)."""
+        arr = np.ascontiguousarray(batch)
+        if arr.dtype not in (np.float64, np.int64):
+            arr = arr.astype(
+                np.float64 if self.config.mode == "magnitude" else np.int64
+            )
+        if not shard.writer.fits(arr.nbytes):
+            items = max(1, shard.writer.capacity // max(arr.itemsize, 1) // 2)
+            for start in range(0, arr.size, items):
+                self._send_batch(shard, stream_id, arr[start : start + items])
+            return
+        offset, shape, dtype = shard.write_span(arr)
+        shard.send(
+            "ingest",
+            (stream_id, offset, shape, dtype),
+            holds_span=True,
+            context=(stream_id,),
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @_recovering
+    def ingest(
+        self, stream_id: str, samples: Sequence[float] | np.ndarray
+    ) -> list[PeriodStartEvent]:
+        """Feed a batch into one stream; returns its period-start events.
+
+        Synchronous (waits for the owning shard).  For cross-shard
+        parallelism feed many streams at once with :meth:`ingest_many`.
+        """
+        self._ensure_alive()
+        shard = self._shard(stream_id)
+        self._send_batch(shard, stream_id, np.asarray(samples).ravel())
+        shard.drain()
+        return shard.take_events()
+
+    @_recovering
+    def ingest_many(
+        self, batches: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed one batch per stream, all shards working concurrently.
+
+        The parent writes every batch into the rings before collecting
+        any reply, so the N workers overlap their detector work — this
+        (and :meth:`ingest_lockstep`) is the multi-core scaling path.
+        """
+        self._ensure_alive()
+        for stream_id, samples in batches.items():
+            self._send_batch(
+                self._shard(stream_id), stream_id, np.asarray(samples).ravel()
+            )
+        events: list[PeriodStartEvent] = []
+        for shard in self._shards:
+            shard.drain()
+            events.extend(shard.take_events())
+        return events
+
+    @_recovering
+    def ingest_lockstep(
+        self, traces: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Sharded lockstep ingestion: each worker runs its partition.
+
+        The stream partition of ``traces`` is routed shard by shard; each
+        worker then applies its own SoA-vs-per-stream crossover on its
+        partition (identical results either way).
+        """
+        self._ensure_alive()
+        ids = list(traces)
+        if not ids:
+            return []
+        arrays = [np.asarray(traces[sid]).ravel() for sid in ids]
+        if len({arr.size for arr in arrays}) != 1:
+            raise ValidationError("lockstep ingestion requires equally long traces")
+        partitions: list[list[int]] = [[] for _ in self._shards]
+        for pos, sid in enumerate(ids):
+            partitions[self.shard_of(sid)].append(pos)
+        for shard, members in zip(self._shards, partitions):
+            if not members:
+                continue
+            matrix = np.stack([arrays[pos] for pos in members])
+            if matrix.dtype not in (np.float64, np.int64):
+                matrix = matrix.astype(
+                    np.float64 if self.config.mode == "magnitude" else np.int64
+                )
+            member_ids = [ids[pos] for pos in members]
+            if shard.writer.fits(matrix.nbytes):
+                cols = matrix.shape[1]
+            else:
+                # Chunk along time; lockstep semantics are preserved
+                # because each worker still sees whole columns in order.
+                cols = max(
+                    1,
+                    shard.writer.capacity // matrix.itemsize // len(members) // 2,
+                )
+            for start in range(0, matrix.shape[1], cols):
+                offset, shape, dtype = shard.write_span(matrix[:, start : start + cols])
+                shard.send(
+                    "lockstep",
+                    (member_ids, offset, shape, dtype),
+                    holds_span=True,
+                    context=member_ids,
+                )
+        events: list[PeriodStartEvent] = []
+        for shard in self._shards:
+            shard.drain()
+            events.extend(shard.take_events())
+        return events
+
+    # ------------------------------------------------------------------
+    # state management: checkpoint / crash recovery / rebalancing
+    # ------------------------------------------------------------------
+    @_recovering
+    def checkpoint(self) -> dict[str, dict]:
+        """Pull every stream's engine snapshot into the parent.
+
+        The returned mapping (``stream_id`` -> ``{"state", "samples",
+        "events"}``) is also retained as the crash-recovery baseline: a
+        worker found dead later is respawned and its streams restored
+        from this checkpoint.
+        """
+        self._ensure_alive()
+        merged: dict[str, dict] = {}
+        for shard in self._shards:
+            merged.update(shard.call("checkpoint"))
+        self._checkpoint = merged
+        return merged
+
+    @_recovering
+    def restore_stream(
+        self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
+    ) -> None:
+        """Restore one stream onto its home shard from an engine snapshot."""
+        self._ensure_alive()
+        self._shard(stream_id).call("restore", (stream_id, state, samples, events))
+
+    @_recovering
+    def rebalance(self, workers: int) -> None:
+        """Re-partition all streams onto ``workers`` worker processes.
+
+        Drains a fresh checkpoint, shuts the old workers down, spawns the
+        new fleet and restores every stream on its new home shard — the
+        engine snapshot/restore protocol end to end, no detector state is
+        recomputed.
+        """
+        check_positive_int(workers, "workers")
+        snapshot = self.checkpoint()
+        for shard in self._shards:
+            shard.shutdown()
+        self._workers = workers
+        self._shards = [
+            _ShardClient(self._ctx, index, self.config, self.sharding.ring_bytes)
+            for index in range(workers)
+        ]
+        for sid, entry in snapshot.items():
+            self._shard(sid).call(
+                "restore", (sid, entry["state"], entry["samples"], entry["events"])
+            )
+
+    @_recovering
+    def drain_to_pool(self) -> DetectorPool:
+        """Materialise the whole sharded state as one local ``DetectorPool``."""
+        snapshot = self.checkpoint()
+        pool = DetectorPool(self.config)
+        for sid, entry in snapshot.items():
+            pool.restore_stream(
+                sid, entry["state"], samples=entry["samples"], events=entry["events"]
+            )
+        return pool
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @_recovering
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self.stream_ids
+
+    @_recovering
+    def __len__(self) -> int:
+        return sum(int(shard.call("stats").streams) for shard in self._shards)
+
+    @property
+    @_recovering
+    def stream_ids(self) -> list[str]:
+        """Resident stream names across all shards."""
+        self._ensure_alive()
+        ids: list[str] = []
+        for shard in self._shards:
+            ids.extend(shard.call("stream_ids"))
+        return ids
+
+    @_recovering
+    def current_period(self, stream_id: str) -> int | None:
+        """Locked period of a stream (None while searching or absent)."""
+        self._ensure_alive()
+        return self._shard(stream_id).call("current_period", stream_id)
+
+    @_recovering
+    def stream_stats(self, stream_id: str) -> StreamStats:
+        """Activity summary of one stream (its shard's local counters)."""
+        self._ensure_alive()
+        return self._shard(stream_id).call("stream_stats", stream_id)
+
+    @_recovering
+    def stats(self) -> PoolStats:
+        """Aggregated pool statistics across all shards."""
+        self._ensure_alive()
+        parts: list[PoolStats] = [shard.call("stats") for shard in self._shards]
+        backends = {p.lockstep_backend for p in parts} - {None}
+        return PoolStats(
+            streams=sum(p.streams for p in parts),
+            created=sum(p.created for p in parts),
+            evicted=sum(p.evicted for p in parts),
+            total_samples=sum(p.total_samples for p in parts),
+            total_events=sum(p.total_events for p in parts),
+            locked_streams=sum(p.locked_streams for p in parts),
+            mode=self.config.mode,
+            lockstep_backend=(
+                backends.pop() if len(backends) == 1 else ("mixed" if backends else None)
+            ),
+        )

@@ -1,0 +1,147 @@
+"""A single-producer shared-memory byte ring for zero-copy batch transport.
+
+The sharded detection service moves sample batches from the parent
+process into its worker processes.  Pickling a ``float64`` batch through
+a pipe copies it at least twice (serialise + deserialise); instead each
+shard owns one preallocated :class:`multiprocessing.shared_memory.SharedMemory`
+segment managed as a byte ring:
+
+* the parent (single producer) reserves a contiguous span, copies the
+  batch into it once — the only copy on the whole ingest path — and
+  sends the ``(offset, length, dtype)`` coordinates through the control
+  pipe;
+* the worker (single consumer) maps the span as a NumPy array view
+  (``np.ndarray(..., buffer=shm.buf, offset=...)`` — zero-copy) and
+  feeds it straight into its :class:`~repro.service.pool.DetectorPool`;
+* spans are released in FIFO order when the worker acknowledges the
+  batch, which keeps the free-space arithmetic trivial: the live spans
+  always form one (possibly wrapped) contiguous region.
+
+The ring carries only fixed-dtype numeric payloads (``float64`` samples,
+``int64`` event identifiers); control messages and the compact event
+arrays coming back stay on the pipe, which is fine because they are
+orders of magnitude smaller than the sample data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+__all__ = ["ShmSpanWriter", "attach_shared_memory", "map_span"]
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach a worker to the parent's segment.
+
+    On POSIX Pythons before 3.13, attaching registers the segment with
+    the resource tracker a second time.  Shard workers are always
+    children of the segment's owner and therefore share its tracker
+    process, whose per-name cache is a set — the duplicate registration
+    is harmless, and the owner's ``unlink()`` unregisters exactly once.
+    (Explicitly unregistering here instead would make that final
+    unregister fail.)  The worker must only ``close()``, never
+    ``unlink()``.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def map_span(
+    shm: shared_memory.SharedMemory, offset: int, shape: tuple[int, ...], dtype: str
+) -> np.ndarray:
+    """Zero-copy NumPy view of a span previously written by the producer."""
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+
+
+class ShmSpanWriter:
+    """Producer-side span allocator over one shared-memory segment.
+
+    ``write(array)`` reserves a span, copies ``array`` into it and
+    returns ``(offset, shape, dtype_str)`` for the control message;
+    ``release()`` frees the oldest outstanding span (call it when the
+    consumer acknowledges the batch).  ``fits(nbytes)`` tells the caller
+    whether a reservation could ever succeed (a batch larger than the
+    whole segment must be chunked by the caller).
+
+    The allocator is deliberately conservative: when neither the tail
+    nor the wrapped head has room, ``write`` raises ``BlockingIOError``
+    and the caller is expected to drain acknowledgements first.  With
+    FIFO release this cannot livelock.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self._shm = shm
+        self._capacity = shm.size
+        self._head = 0  # next write offset
+        self._spans: deque[tuple[int, int]] = deque()  # (offset, nbytes), FIFO
+
+    @property
+    def capacity(self) -> int:
+        """Total bytes in the segment."""
+        return self._capacity
+
+    @property
+    def outstanding(self) -> int:
+        """Number of unreleased spans."""
+        return len(self._spans)
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a span of ``nbytes`` can ever be reserved."""
+        return nbytes <= self._capacity
+
+    def _reserve(self, nbytes: int) -> int | None:
+        if not self._spans:
+            # Ring empty: restart from 0 so large batches always fit.
+            self._head = 0
+            return 0 if nbytes <= self._capacity else None
+        # Reservations that advance toward ``tail`` are strict (< not <=):
+        # ``head == tail`` with live spans would be indistinguishable from
+        # an empty gap, and the next reservation would overwrite the
+        # oldest span.
+        tail = self._spans[0][0]
+        if self._head >= tail:
+            # Live region wraps (or abuts): free space is [head, capacity)
+            # then [0, tail).
+            if nbytes <= self._capacity - self._head:
+                return self._head
+            if nbytes < tail:
+                return 0
+            return None
+        # Live region is [tail, ...) ahead of head: free space is [head, tail).
+        if nbytes < tail - self._head:
+            return self._head
+        return None
+
+    def write(self, array: np.ndarray) -> tuple[int, tuple[int, ...], str]:
+        """Copy ``array`` into a reserved span; returns its coordinates.
+
+        Raises ``BlockingIOError`` when no span is free (drain consumer
+        acknowledgements and retry) and ``ValidationError`` when the
+        array can never fit.
+        """
+        arr = np.ascontiguousarray(array)
+        nbytes = arr.nbytes
+        if not self.fits(nbytes):
+            raise ValidationError(
+                f"batch of {nbytes} bytes exceeds the ring capacity "
+                f"{self._capacity}; chunk the batch"
+            )
+        offset = self._reserve(nbytes)
+        if offset is None:
+            raise BlockingIOError("ring full; release acknowledged spans first")
+        if nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=offset)
+            view[...] = arr
+        self._head = offset + nbytes
+        self._spans.append((offset, nbytes))
+        return offset, arr.shape, arr.dtype.str
+
+    def release(self) -> None:
+        """Free the oldest outstanding span (FIFO acknowledgement)."""
+        if not self._spans:
+            raise ValidationError("no outstanding span to release")
+        self._spans.popleft()

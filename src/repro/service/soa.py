@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.distance import amdf_pair_sums
-from repro.core.engine import LockTracker
+from repro.core.engine import LockTracker, tag_snapshot, validate_snapshot
 from repro.core.minima import select_period
 from repro.util.validation import ValidationError
 
@@ -254,7 +254,7 @@ class MagnitudeSoABank:
     # ------------------------------------------------------------------
     def snapshot_stream(self, pos: int) -> dict:
         """Engine-format snapshot of one stream (see ``DetectorEngine``)."""
-        return {
+        return tag_snapshot({
             "kind": "magnitude",
             "window_size": self._window_size,
             "max_lag": self._max_lag,
@@ -266,7 +266,35 @@ class MagnitudeSoABank:
             "since_refresh": self._since_refresh,
             "samples_since_growth": self._index + 1,
             "lock": self._locks[pos].snapshot(),
-        }
+        })
+
+    def restore_stream(self, pos: int, state: dict) -> None:
+        """Reinstate one stream's row from an engine-format snapshot.
+
+        The bank shares ``head``/``fill``/``index`` across all rows, so the
+        snapshot must come from an engine in lockstep with the bank (same
+        sample count and window geometry) — e.g. the round trip
+        ``snapshot_stream`` -> standalone engine -> ``snapshot`` -> back.
+        """
+        validate_snapshot(state, expected_kind="magnitude")
+        if (
+            int(state["window_size"]) != self._window_size
+            or int(state["max_lag"]) != self._max_lag
+            or int(state["fill"]) != self._fill
+            or int(state["head"]) != self._head
+            or int(state["index"]) != self._index
+        ):
+            raise ValidationError(
+                "snapshot is not in lockstep with the bank "
+                "(window/fill/head/index mismatch)"
+            )
+        self._buffers[pos] = np.asarray(state["buffer"], dtype=np.float64)
+        self._sums[pos] = np.asarray(state["sums"], dtype=np.float64)
+        lock = self._locks[pos]
+        lock.restore(state["lock"])
+        self._periods[pos] = lock.period or 0
+        self._anchors[pos] = lock.anchor if lock.anchor is not None else 0
+        self._confidences[pos] = lock.confidence
 
     def to_engine(self, pos: int) -> DynamicPeriodicityDetector:
         """Materialise the stream at row ``pos`` as a standalone engine."""

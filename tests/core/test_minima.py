@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.distance import amdf_profile
 from repro.core.minima import PeriodCandidate, filter_harmonics, find_local_minima, select_period
@@ -64,6 +66,71 @@ class TestFilterHarmonics:
 
     def test_empty_input(self):
         assert filter_harmonics([]) == []
+
+
+def _filter_harmonics_loop(candidates, *, tolerance=0.15):
+    """The pre-vectorisation O(k^2) Python loop, kept as the test oracle."""
+    by_lag = sorted(candidates, key=lambda c: c.lag)
+    kept = []
+    for cand in by_lag:
+        is_harmonic = False
+        for base in kept:
+            if cand.lag % base.lag == 0 and cand.lag != base.lag:
+                if cand.depth <= base.depth + tolerance:
+                    is_harmonic = True
+                    break
+        if not is_harmonic:
+            kept.append(cand)
+    return kept
+
+
+class TestFilterHarmonicsMatchesLoop:
+    """Property: the broadcast implementation equals the loop oracle."""
+
+    @given(
+        lag_depths=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=60),
+                st.floats(min_value=-0.5, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=24,
+            unique_by=lambda t: t[0],
+        ),
+        tolerance=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_loop_on_random_candidates(self, lag_depths, tolerance):
+        cands = [
+            PeriodCandidate(lag=lag, distance=abs(1.0 - depth), depth=depth)
+            for lag, depth in lag_depths
+        ]
+        got = filter_harmonics(cands, tolerance=tolerance)
+        expected = _filter_harmonics_loop(cands, tolerance=tolerance)
+        assert [(c.lag, c.depth) for c in got] == [(c.lag, c.depth) for c in expected]
+
+    def test_matches_loop_on_random_profiles(self):
+        rng = np.random.default_rng(11)
+        for trial in range(50):
+            pattern = rng.integers(0, 6, size=rng.integers(2, 9))
+            window = np.tile(pattern.astype(float), 12)
+            window += rng.normal(0, rng.uniform(0, 0.3), size=window.size)
+            profile = amdf_profile(window, min(48, window.size - 1))
+            cands = find_local_minima(profile)
+            got = filter_harmonics(cands)
+            expected = _filter_harmonics_loop(cands)
+            assert [c.lag for c in got] == [c.lag for c in expected], trial
+
+    def test_dropped_harmonic_does_not_suppress(self):
+        # Lag 4 is dropped as a harmonic of lag 2; it must then not drop
+        # lag 8, which survives against lag 2 alone (kept-set semantics).
+        cands = [
+            PeriodCandidate(2, 0.5, 0.50),
+            PeriodCandidate(4, 0.4, 0.60),
+            PeriodCandidate(8, 0.3, 0.70),
+        ]
+        kept = filter_harmonics(cands, tolerance=0.15)
+        assert [c.lag for c in kept] == [2, 8]
 
 
 class TestSelectPeriod:

@@ -1,0 +1,27 @@
+"""Child-process entry points for the spawn-context snapshot tests.
+
+Lives in its own module (not the test file) so a ``spawn``-context child
+can import it by name: spawn re-imports the function's module, and test
+modules themselves are not importable from a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+
+def continue_from_snapshot(state: dict, mode: str, options: dict, tail, out):
+    """Restore an engine from ``state``, feed ``tail``, send results back."""
+    from repro.core.engine import make_engine
+
+    engine = make_engine(mode, **options)
+    engine.restore(state)
+    results = [
+        (r.index, r.period, r.is_period_start, r.new_detection)
+        for r in engine.update_batch(tail)
+    ]
+    out.send({
+        "results": results,
+        "current_period": engine.current_period,
+        "detected_periods": engine.detected_periods,
+        "snapshot": engine.snapshot(),
+    })
+    out.close()

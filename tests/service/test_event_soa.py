@@ -1,0 +1,127 @@
+"""Tests for the event-mode structure-of-arrays bank (EventSoABank).
+
+Acceptance criterion of the sharding PR: event-mode lockstep through
+``EventSoABank`` is bit-for-bit equivalent to standalone
+``EventPeriodicityDetector`` instances — same locks, same detected
+periods, same profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
+from repro.service.event_soa import EventSoABank
+from repro.traces.synthetic import repeat_pattern
+from repro.util.validation import ValidationError
+
+
+def event_trace(period: int, length: int, base: int) -> np.ndarray:
+    return repeat_pattern(base + np.arange(period), length)
+
+
+def reference_results(config, trace):
+    det = EventPeriodicityDetector(config)
+    starts = [
+        (r.index, r.period, r.new_detection)
+        for r in det.process(trace)
+        if r.is_period_start and r.period
+    ]
+    return starts, det
+
+
+class TestConstruction:
+    def test_requires_streams(self):
+        with pytest.raises(ValidationError):
+            EventSoABank([], EventDetectorConfig())
+
+    def test_requires_unique_ids(self):
+        with pytest.raises(ValidationError):
+            EventSoABank(["a", "a"], EventDetectorConfig())
+
+    def test_step_requires_one_event_per_stream(self):
+        bank = EventSoABank(["a", "b"], EventDetectorConfig(window_size=16))
+        with pytest.raises(ValidationError):
+            bank.step([1])
+
+    def test_process_requires_matching_matrix(self):
+        bank = EventSoABank(["a"], EventDetectorConfig(window_size=16))
+        with pytest.raises(ValidationError):
+            bank.process(np.zeros((2, 10), dtype=np.int64))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            EventDetectorConfig(window_size=32),
+            EventDetectorConfig(window_size=48, max_lag=20, min_lag=2, min_repetitions=3),
+            EventDetectorConfig(window_size=24, require_full_window=True, loss_patience=2),
+            EventDetectorConfig(window_size=40, loss_patience=1),
+        ],
+    )
+    def test_bank_equals_standalone_detectors(self, config):
+        rng = np.random.default_rng(7)
+        traces = [
+            event_trace(4, 220, base=100),           # simple periodic
+            repeat_pattern(np.array([7, 7, 9]), 220),  # repeated values inside the period
+            rng.integers(0, 40, size=220),           # aperiodic
+            np.full(220, 42),                        # constant (period 1)
+            np.concatenate(                          # lock, lose, re-lock
+                [
+                    event_trace(5, 80, base=0),
+                    rng.integers(1000, 2000, size=60),
+                    event_trace(3, 80, base=500),
+                ]
+            ),
+        ]
+        matrix = np.stack([np.asarray(t, dtype=np.int64) for t in traces])
+        bank = EventSoABank([f"s{i}" for i in range(len(traces))], config)
+        raw = bank.process(matrix)
+
+        for pos, trace in enumerate(traces):
+            expected, det = reference_results(config, trace)
+            got = [(i, p, n) for (b, i, p, c, n) in raw if b == pos]
+            assert got == expected, pos
+            assert bank.current_period(pos) == det.current_period
+            assert bank.detected_periods(pos) == det.detected_periods
+            np.testing.assert_array_equal(bank.profiles()[pos], det.profile())
+
+    def test_snapshot_matches_standalone_exactly(self):
+        config = EventDetectorConfig(window_size=32)
+        trace = event_trace(6, 150, base=10)
+        bank = EventSoABank(["only"], config)
+        det = EventPeriodicityDetector(config)
+        for value in trace:
+            bank.step([value])
+            det.update(int(value))
+        ours, theirs = bank.snapshot_stream(0), det.snapshot()
+        assert set(ours) == set(theirs)
+        for key, expected in theirs.items():
+            if isinstance(expected, np.ndarray):
+                np.testing.assert_array_equal(ours[key], expected, err_msg=key)
+            else:
+                assert ours[key] == expected, key
+
+    def test_snapshot_handoff_resumes_identically(self):
+        config = EventDetectorConfig(window_size=40)
+        head = event_trace(6, 130, base=0)
+        tail = event_trace(9, 130, base=50)
+        bank = EventSoABank(["a"], config)
+        reference = EventPeriodicityDetector(config)
+        for value in head:
+            bank.step([value])
+            reference.update(int(value))
+
+        engine = bank.to_engine(0)
+        got = [(r.index, r.period, r.is_period_start) for r in engine.process(tail)]
+        expected = [(r.index, r.period, r.is_period_start) for r in reference.process(tail)]
+        assert got == expected
+
+    def test_confidence_is_binary_like_standalone(self):
+        config = EventDetectorConfig(window_size=24)
+        bank = EventSoABank(["a"], config)
+        confidences = set()
+        for value in event_trace(3, 90, base=1):
+            for (_, _, confidence, _) in bank.step([value]):
+                confidences.add(confidence)
+        assert confidences <= {1.0}

@@ -97,10 +97,15 @@ class TestLockstep:
 
     def test_streams_continue_after_lockstep_handoff(self):
         cfg = DetectorConfig(window_size=48)
-        pool = DetectorPool(PoolConfig(mode="magnitude", detector_config=cfg))
+        # soa_min_streams=1 forces the bank even for this tiny fleet, so
+        # the hand-off path stays exercised.
+        pool = DetectorPool(
+            PoolConfig(mode="magnitude", detector_config=cfg, soa_min_streams=1)
+        )
         first = periodic_signal(5, 200, seed=1)
         second = periodic_signal(5, 100, seed=1)
         pool.ingest_lockstep({"a": first, "b": first})
+        assert pool.stats().lockstep_backend == "soa"
         events = pool.ingest("a", second)  # per-stream ingest after the hand-off
 
         reference = DynamicPeriodicityDetector(cfg)
@@ -108,12 +113,45 @@ class TestLockstep:
         assert pool.current_period("a") == reference.current_period
         assert pool.stream_stats("a").samples == 300
 
-    def test_event_mode_falls_back_to_per_stream(self):
+    def test_small_fleet_stays_per_stream(self):
+        # Below the measured crossover the SoA bank loses to per-stream
+        # engines, so a two-stream lockstep call must not use it — and the
+        # chosen backend must be visible in the stats.
         pool = DetectorPool(PoolConfig(mode="event", window_size=32))
         traces = {"a": event_trace(3, 60, 0), "b": event_trace(4, 60, 50)}
         pool.ingest_lockstep(traces)
+        assert pool.stats().lockstep_backend == "per-stream"
         assert pool.current_period("a") == 3
         assert pool.current_period("b") == 4
+
+    def test_event_lockstep_uses_event_bank_above_crossover(self):
+        traces = {f"s{i}": event_trace(3 + i % 5, 120, 100 * i) for i in range(8)}
+        fast = DetectorPool(PoolConfig(mode="event", window_size=48))
+        fast_events = fast.ingest_lockstep(traces)
+        assert fast.stats().lockstep_backend == "soa"
+
+        slow = DetectorPool(PoolConfig(mode="event", window_size=48))
+        slow_events = []
+        for sid, trace in traces.items():
+            slow_events.extend(slow.ingest(sid, trace))
+        assert sorted(
+            (e.stream_id, e.index, e.period, e.new_detection) for e in fast_events
+        ) == sorted(
+            (e.stream_id, e.index, e.period, e.new_detection) for e in slow_events
+        )
+        for sid in traces:
+            assert fast.current_period(sid) == slow.current_period(sid)
+
+    def test_backend_choice_is_logged_once(self, caplog):
+        import logging
+
+        traces = {f"s{i}": event_trace(3, 60, 10 * i) for i in range(6)}
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        with caplog.at_level(logging.INFO, logger="repro.service.pool"):
+            pool.ingest_lockstep({k: v for k, v in list(traces.items())[:6]})
+            pool.ingest_lockstep({f"t{i}": event_trace(4, 60, 7 * i) for i in range(6)})
+        messages = [r.message for r in caplog.records if "lockstep backend" in r.message]
+        assert len(messages) == 1 and "soa" in messages[0]
 
     def test_unequal_lengths_rejected(self):
         pool = DetectorPool(PoolConfig(mode="magnitude"))
@@ -194,6 +232,17 @@ class TestRegressions:
         lockstep.ingest_lockstep({"s": trace})
         assert direct.current_period("s") == 4
         assert lockstep.current_period("s") == 4
+
+    def test_event_bank_rejected_for_lossy_identifiers(self):
+        # Values that do not round-trip through int64 exactly (here:
+        # non-integral floats, which the per-stream engines truncate) must
+        # push even a large fleet onto the dtype-preserving fallback.
+        traces = {f"s{i}": [1.5, 2.5, 3.5] * 20 for i in range(8)}
+        pool = DetectorPool(PoolConfig(mode="event", window_size=32))
+        pool.ingest_lockstep(traces)
+        assert pool.stats().lockstep_backend == "per-stream"
+        for sid in traces:
+            assert pool.current_period(sid) == 3
 
     def test_ingest_one_matches_ingest(self):
         trace = event_trace(5, 120, base=3)

@@ -1,0 +1,312 @@
+"""Tests for the sharded multi-process detection service.
+
+Acceptance criterion of the sharding PR: sharded results are
+stream-for-stream identical to a single :class:`DetectorPool` run on the
+same traces — the hash partition is pure routing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.sharding import ShardedDetectorPool, ShardingConfig, shard_of
+from repro.service.shm_ring import ShmSpanWriter
+from repro.traces.synthetic import periodic_signal, repeat_pattern
+from repro.util.validation import ValidationError
+
+
+def magnitude_config(**overrides) -> PoolConfig:
+    options = dict(window_size=64, evaluation_interval=4)
+    options.update(overrides)
+    return PoolConfig(mode="magnitude", detector_config=DetectorConfig(**options))
+
+
+def magnitude_traces(streams: int, samples: int = 192) -> dict[str, np.ndarray]:
+    return {
+        f"s{i:03d}": periodic_signal(3 + i % 11, samples, seed=i)
+        for i in range(streams)
+    }
+
+
+def event_traces(streams: int, samples: int = 160) -> dict[str, np.ndarray]:
+    return {
+        f"app-{i}": repeat_pattern(100 * (i + 1) + np.arange(3 + i % 7), samples)
+        for i in range(streams)
+    }
+
+
+def single_pool_reference(config: PoolConfig, traces, chunk: int | None = None):
+    pool = DetectorPool(config)
+    events = []
+    if chunk is None:
+        for sid, trace in traces.items():
+            events.extend(pool.ingest(sid, trace))
+    else:
+        length = len(next(iter(traces.values())))
+        for offset in range(0, length, chunk):
+            for sid, trace in traces.items():
+                events.extend(pool.ingest(sid, trace[offset : offset + chunk]))
+    return pool, events
+
+
+def event_keys(events):
+    return sorted((e.stream_id, e.index, e.period, e.new_detection) for e in events)
+
+
+class TestStableHash:
+    def test_shard_of_is_stable(self):
+        # crc32-based routing must never change across runs/processes:
+        # these values are frozen on purpose.
+        assert shard_of("app-0", 4) == 3
+        assert shard_of("app-1", 4) == 1
+        assert shard_of("stream-0042", 4) == 2
+
+    def test_all_shards_reachable(self):
+        hits = {shard_of(f"s{i}", 3) for i in range(100)}
+        assert hits == {0, 1, 2}
+
+
+class TestShmSpanWriter:
+    class _FakeShm:
+        def __init__(self, size):
+            self.size = size
+            self.buf = memoryview(bytearray(size))
+
+    def test_write_read_roundtrip(self):
+        writer = ShmSpanWriter(self._FakeShm(256))
+        data = np.arange(8, dtype=np.float64)
+        offset, shape, dtype = writer.write(data)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=writer._shm.buf, offset=offset)
+        np.testing.assert_array_equal(view, data)
+
+    def test_wraps_and_blocks(self):
+        writer = ShmSpanWriter(self._FakeShm(64))
+        a = np.arange(4, dtype=np.float64)  # 32 bytes
+        writer.write(a)
+        writer.write(a)  # ring now full
+        with pytest.raises(BlockingIOError):
+            writer.write(a)
+        writer.release()
+        # A wrapped span must stay strictly clear of the live tail at 32.
+        offset, _, _ = writer.write(np.arange(3, dtype=np.float64))  # 24 bytes
+        assert offset == 0
+        writer.release()  # tail span gone; the ring drains fully
+        writer.release()
+        assert writer.outstanding == 0
+        offset, _, _ = writer.write(a)
+        assert offset == 0  # empty ring restarts from the origin
+
+    def test_oversized_batch_rejected(self):
+        writer = ShmSpanWriter(self._FakeShm(64))
+        with pytest.raises(ValidationError):
+            writer.write(np.zeros(64, dtype=np.float64))
+
+    def test_release_without_span_rejected(self):
+        writer = ShmSpanWriter(self._FakeShm(64))
+        with pytest.raises(ValidationError):
+            writer.release()
+
+
+@pytest.fixture
+def sharded_magnitude():
+    pool = ShardedDetectorPool(magnitude_config(), workers=2)
+    yield pool
+    pool.close()
+
+
+class TestShardedEquivalence:
+    def test_ingest_many_matches_single_pool(self, sharded_magnitude):
+        traces = magnitude_traces(16)
+        reference, expected = single_pool_reference(magnitude_config(), traces)
+        got = sharded_magnitude.ingest_many(traces)
+        assert event_keys(got) == event_keys(expected)
+        for sid in traces:
+            assert sharded_magnitude.current_period(sid) == reference.current_period(sid)
+
+    def test_chunked_round_robin_matches_single_pool(self, sharded_magnitude):
+        traces = magnitude_traces(12, samples=160)
+        reference, expected = single_pool_reference(magnitude_config(), traces, chunk=48)
+        events = []
+        for offset in range(0, 160, 48):
+            events.extend(
+                sharded_magnitude.ingest_many(
+                    {sid: trace[offset : offset + 48] for sid, trace in traces.items()}
+                )
+            )
+        assert event_keys(events) == event_keys(expected)
+        for sid in traces:
+            assert sharded_magnitude.current_period(sid) == reference.current_period(sid)
+
+    def test_lockstep_matches_single_pool(self, sharded_magnitude):
+        traces = magnitude_traces(16)
+        single = DetectorPool(magnitude_config())
+        expected = single.ingest_lockstep(traces)
+        got = sharded_magnitude.ingest_lockstep(traces)
+        assert event_keys(got) == event_keys(expected)
+        for sid in traces:
+            assert sharded_magnitude.current_period(sid) == single.current_period(sid)
+
+    def test_event_mode_matches_single_pool(self):
+        config = PoolConfig(mode="event", window_size=48)
+        traces = event_traces(10)
+        reference, expected = single_pool_reference(config, traces)
+        with ShardedDetectorPool(config, workers=2) as pool:
+            got = pool.ingest_many(traces)
+            assert event_keys(got) == event_keys(expected)
+            for sid in traces:
+                assert pool.current_period(sid) == reference.current_period(sid)
+
+    def test_tiny_ring_forces_chunking(self):
+        # A ring smaller than the batch exercises the transparent
+        # chunked-ingest path; results must be unchanged.
+        traces = magnitude_traces(6, samples=256)
+        reference, expected = single_pool_reference(magnitude_config(), traces)
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=2, ring_bytes=512)
+        )
+        try:
+            got = pool.ingest_many(traces)
+            assert event_keys(got) == event_keys(expected)
+            for sid in traces:
+                assert pool.current_period(sid) == reference.current_period(sid)
+        finally:
+            pool.close()
+
+    def test_drain_to_pool_reconstructs_state(self, sharded_magnitude):
+        traces = magnitude_traces(8)
+        sharded_magnitude.ingest_many(traces)
+        local = sharded_magnitude.drain_to_pool()
+        reference, _ = single_pool_reference(magnitude_config(), traces)
+        for sid in traces:
+            assert local.current_period(sid) == reference.current_period(sid)
+            np.testing.assert_allclose(
+                local.engine(sid).snapshot()["sums"],
+                reference.engine(sid).snapshot()["sums"],
+                atol=1e-9,
+            )
+        assert local.stats().total_samples == reference.stats().total_samples
+
+
+class TestStateManagement:
+    def test_stats_aggregation(self, sharded_magnitude):
+        traces = magnitude_traces(10)
+        sharded_magnitude.ingest_many(traces)
+        stats = sharded_magnitude.stats()
+        assert stats.streams == 10
+        assert stats.total_samples == 10 * 192
+        assert stats.mode == "magnitude"
+        assert len(sharded_magnitude) == 10
+        assert sorted(sharded_magnitude.stream_ids) == sorted(traces)
+        assert "s000" in sharded_magnitude
+        per_stream = sharded_magnitude.stream_stats("s000")
+        assert per_stream.samples == 192
+
+    def test_crash_recovery_from_checkpoint(self, sharded_magnitude):
+        traces = magnitude_traces(10)
+        sharded_magnitude.ingest_many(traces)
+        reference, _ = single_pool_reference(magnitude_config(), traces)
+        sharded_magnitude.checkpoint()
+
+        victim = sharded_magnitude._shards[0]
+        victim.process.terminate()
+        victim.process.join()
+
+        # The next operation must transparently respawn and restore.
+        for sid in traces:
+            assert sharded_magnitude.current_period(sid) == reference.current_period(sid)
+        assert sharded_magnitude.stats().total_samples == 10 * 192
+
+    def test_mid_operation_crash_recovers_immediately(self, sharded_magnitude, monkeypatch):
+        # A worker that dies while a request is in flight (not caught by
+        # the pre-operation liveness check) must abort the call with a
+        # clean error AND respawn/restore right away — not on the next call.
+        pool = sharded_magnitude
+        traces = magnitude_traces(8)
+        pool.ingest_many(traces)
+        reference, _ = single_pool_reference(magnitude_config(), traces)
+        pool.checkpoint()
+
+        victim = pool._shards[0]
+        victim.process.terminate()
+        victim.process.join()
+
+        from repro.service.sharding import ShardedDetectorPool
+
+        original = ShardedDetectorPool._ensure_alive
+        calls = {"n": 0}
+
+        def skip_first(self):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return  # suppress the pre-op check: force the in-flight path
+            return original(self)
+
+        monkeypatch.setattr(ShardedDetectorPool, "_ensure_alive", skip_first)
+        with pytest.raises(RuntimeError, match="died mid-operation"):
+            pool.ingest_many(traces)
+        assert calls["n"] >= 2  # the crash handler respawned inline
+        assert all(shard.alive() for shard in pool._shards)
+        assert not any(shard.events for shard in pool._shards)  # no stale events
+        for sid in traces:
+            assert pool.current_period(sid) == reference.current_period(sid)
+
+    def test_crash_without_restore_flag_raises(self):
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=2, restore_on_crash=False)
+        )
+        try:
+            pool.ingest_many(magnitude_traces(4))
+            victim = pool._shards[1]
+            victim.process.terminate()
+            victim.process.join()
+            with pytest.raises(RuntimeError):
+                pool.stats()
+        finally:
+            pool.close()
+
+    def test_rebalance_preserves_streams(self, sharded_magnitude):
+        traces = magnitude_traces(12)
+        sharded_magnitude.ingest_many(traces)
+        reference, _ = single_pool_reference(magnitude_config(), traces)
+
+        sharded_magnitude.rebalance(3)
+        assert sharded_magnitude.workers == 3
+        for sid in traces:
+            assert sharded_magnitude.current_period(sid) == reference.current_period(sid)
+        # Detection continues seamlessly after the move.
+        more = {sid: periodic_signal(3 + i % 11, 64, seed=1000 + i)
+                for i, sid in enumerate(traces)}
+        sharded_magnitude.ingest_many(more)
+        assert sharded_magnitude.stats().total_samples == 12 * (192 + 64)
+
+    def test_restore_stream_routes_to_home_shard(self, sharded_magnitude):
+        donor = DetectorPool(magnitude_config())
+        trace = periodic_signal(7, 192, seed=1)
+        donor.ingest("migrant", trace)
+        state = donor.engine("migrant").snapshot()
+        sharded_magnitude.restore_stream(
+            "migrant", state, samples=192, events=donor.stream_stats("migrant").events
+        )
+        assert sharded_magnitude.current_period("migrant") == 7
+        assert sharded_magnitude.stream_stats("migrant").samples == 192
+
+    def test_closed_pool_rejects_operations(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ValidationError):
+            pool.ingest("x", [1.0, 2.0])
+
+    def test_spawn_context_end_to_end(self):
+        config = PoolConfig(mode="event", window_size=32)
+        traces = event_traces(6, samples=96)
+        reference, expected = single_pool_reference(config, traces)
+        pool = ShardedDetectorPool(
+            config, ShardingConfig(workers=2, start_method="spawn")
+        )
+        try:
+            got = pool.ingest_many(traces)
+            assert event_keys(got) == event_keys(expected)
+        finally:
+            pool.close()

@@ -89,3 +89,24 @@ class TestPoolCommand:
             "--window", "64",
         ]) == 0
         assert "correct period locks: 5/5" in capsys.readouterr().out
+
+    def test_pool_sharded_workers(self, capsys):
+        assert main([
+            "pool", "--streams", "8", "--samples", "192", "--window", "64",
+            "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded x2 workers" in out
+        assert "correct period locks: 8/8" in out
+
+    def test_pool_sharded_lockstep_event(self, capsys):
+        assert main([
+            "pool", "--streams", "8", "--samples", "192", "--mode", "event",
+            "--window", "64", "--workers", "2", "--lockstep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded x2 workers" in out
+        assert "correct period locks: 8/8" in out
+
+    def test_pool_rejects_bad_workers(self, capsys):
+        assert main(["pool", "--streams", "2", "--workers", "0"]) == 2
