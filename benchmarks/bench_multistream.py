@@ -25,6 +25,13 @@ future PRs can track the performance trajectory:
    sharding speedup is only meaningful relative to the cores available
    (a 1-core container measures pure sharding overhead).
 
+4. **Loopback-server throughput** — the same workload pushed through a
+   live ``repro serve`` daemon over loopback TCP by the blocking client
+   (pipelined chunked ingestion, and the lockstep frame), measuring the
+   full network stack: framing, the asyncio frontend, the executor
+   bridge and the reply path.  The delta against the matching in-process
+   row is the cost of the network boundary.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_multistream.py            # table
@@ -332,6 +339,52 @@ def bench_sharded(
     }
 
 
+def bench_loopback_server(
+    streams: int, samples: int, window: int = 128, mode: str = "magnitude",
+    lockstep: bool = False, pipeline_window: int = 8,
+) -> dict:
+    """Throughput of the :func:`bench_pool` workload over loopback TCP.
+
+    Hosts a single-process pool behind a
+    :class:`~repro.server.server.DetectionServer` in a daemon thread and
+    drives it with the blocking :class:`~repro.server.client.DetectionClient`
+    — chunked ``ingest_many`` frames kept ``pipeline_window`` deep to
+    hide round trips, or one ``INGEST_LOCKSTEP`` matrix frame.
+    """
+    from repro.server.client import DetectionClient
+    from repro.server.server import ServerThread
+
+    traces, periods, config = _pool_workload(mode, streams, samples, window)
+    with ServerThread(DetectorPool(config)) as (host, port):
+        with DetectionClient(host, port, namespace="bench") as client:
+            started = time.perf_counter()
+            if lockstep:
+                client.ingest_lockstep(traces)
+            else:
+                chunks = (
+                    {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+                    for offset in range(0, samples, _BENCH_CHUNK)
+                )
+                client.pipeline(chunks, window=pipeline_window)
+            elapsed = time.perf_counter() - started
+            remote_periods = client.stats(periods=True)["periods"]
+    correct = sum(
+        1 for i, sid in enumerate(traces) if remote_periods.get(sid) == periods[i]
+    )
+    total = streams * samples
+    return {
+        "streams": streams,
+        "samples_per_stream": samples,
+        "window": window,
+        "mode": mode,
+        "transport": "loopback-tcp",
+        "ingest": "lockstep" if lockstep else f"pipelined x{pipeline_window}",
+        "elapsed_s": round(elapsed, 3),
+        "samples_per_s": round(total / elapsed),
+        "correct_locks": correct,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -389,6 +442,19 @@ def main(argv=None) -> int:
         row["speedup_vs_single"] = round(speedup, 2)
         print(f"  workers={workers}  {row['samples_per_s']:>12,} samples/s  "
               f"({speedup:4.2f}x vs single, locks {row['correct_locks']}/{row['streams']})")
+
+    results["server"] = []
+    server_streams = 100 if args.quick else 1000
+    server_samples = 256 if args.quick else 512
+    print(f"\nloopback-server throughput (magnitude, {server_streams} streams, "
+          f"over the wire vs the in-process pool rows above):")
+    for lockstep in (False, True):
+        row = bench_loopback_server(
+            server_streams, server_samples, lockstep=lockstep
+        )
+        results["server"].append(row)
+        print(f"  {row['ingest']:14s}  {row['samples_per_s']:>12,} samples/s  "
+              f"(locks {row['correct_locks']}/{row['streams']})")
 
     if args.json:
         payload = json.dumps(results, indent=2)

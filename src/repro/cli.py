@@ -11,6 +11,8 @@ writing any Python::
     python -m repro speedup --cpus 8    # Section 5 case study
     python -m repro detect trace.csv    # run the DPD over a recorded trace
     python -m repro pool --streams 1000 # multi-stream detection service
+    python -m repro serve --port 8757   # network detection daemon
+    python -m repro pool --connect 127.0.0.1:8757   # drive a remote daemon
 
 ``repro pool`` exercises the multi-stream service layer
 (:mod:`repro.service`): it generates N synthetic periodic traces with
@@ -23,6 +25,17 @@ when any stream fails to lock its ground-truth period.  With
 multi-process service (:class:`~repro.service.sharding.ShardedDetectorPool`),
 which partitions the streams across N worker processes with zero-copy
 shared-memory ingest.
+
+``repro serve`` runs the asyncio network daemon
+(:mod:`repro.server`): remote producers push batches over the framed
+TCP protocol and the daemon routes them into a (optionally sharded)
+pool without blocking its event loop.  ``repro pool --connect
+HOST:PORT`` turns the pool workload into such a producer — it pushes
+the same synthetic traces through the wire and verifies the locks
+remotely, so a serve/connect pair is a end-to-end smoke test of the
+network layer (the CI does exactly that).  ``--mode``/``--window``
+must match the serving daemon's configuration for the lock check to
+be meaningful.
 
 Every command prints a plain-text table/plot and exits non-zero when the
 reproduction does not match the paper's qualitative claim, so the CLI can
@@ -110,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shard the pool across this many worker processes (>= 2 enables sharding)")
     pl.add_argument("--start-method", choices=("fork", "spawn", "forkserver"), default=None,
                     help="multiprocessing start method for --workers (default: fork where available)")
+    pl.add_argument("--connect", metavar="HOST:PORT", default=None,
+                    help="push the workload to a running `repro serve` daemon instead "
+                         "of an in-process pool (--workers is then the server's business)")
+    pl.add_argument("--namespace", default=None,
+                    help="stream namespace on the server (with --connect; default: server-assigned)")
+
+    sv = sub.add_parser("serve", help="run the network detection daemon (asyncio TCP server)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8757, help="TCP port (0 = ephemeral)")
+    sv.add_argument("--mode", choices=("magnitude", "event"), default="magnitude")
+    sv.add_argument("--window", type=int, default=128, help="data window size N per stream")
+    sv.add_argument("--max-streams", type=int, default=None,
+                    help="LRU capacity of the pool (default: unbounded; per shard with --workers)")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="shard the pool across this many worker processes (>= 2 enables sharding)")
+    sv.add_argument("--max-inflight", type=int, default=32,
+                    help="per-connection unanswered-request bound before BUSY replies")
+    sv.add_argument("--eval-interval", type=int, default=4,
+                    help="evaluate the profile every this many samples (magnitude only)")
     return parser
 
 
@@ -198,6 +230,91 @@ def _cmd_detect(args) -> int:
     return 0 if dpd.detected_periods else 2
 
 
+def _synthetic_pool_config(
+    mode: str, window: int, max_streams: int | None, eval_interval: int
+) -> PoolConfig:
+    """The pool configuration both ``pool`` and ``serve`` build from flags."""
+    if mode == "magnitude":
+        return PoolConfig(
+            mode="magnitude",
+            max_streams=max_streams,
+            detector_config=DetectorConfig(
+                window_size=window, evaluation_interval=max(eval_interval, 1)
+            ),
+        )
+    return PoolConfig(mode="event", window_size=window, max_streams=max_streams)
+
+
+def _synthetic_workload(mode: str, streams: int, samples: int):
+    """Synthetic traces with known per-stream ground-truth periods."""
+    periods = [4 + (i % 29) for i in range(streams)]
+    if mode == "magnitude":
+        traces = {
+            f"stream-{i:04d}": periodic_signal(periods[i], samples, seed=i)
+            for i in range(streams)
+        }
+    else:
+        traces = {
+            f"stream-{i:04d}": repeat_pattern(
+                1000 * (i + 1) + np.arange(periods[i]), samples
+            )
+            for i in range(streams)
+        }
+    return traces, periods
+
+
+def _cmd_pool_connect(args, traces, periods) -> int:
+    """``repro pool --connect``: push the workload to a running daemon."""
+    from repro.server.client import DetectionClient, ServerError
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect must be HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    try:
+        client = DetectionClient(
+            host, int(port_text), namespace=args.namespace,
+            connect_retries=20, retry_delay=0.25,
+        )
+    except (ServerError, OSError) as exc:
+        # OSError covers refused/unreachable/timed-out sockets alike.
+        print(f"cannot reach the detection server: {exc}", file=sys.stderr)
+        return 1
+    with client:
+        try:
+            started = time.perf_counter()
+            if args.lockstep:
+                events = client.ingest_lockstep(traces)
+            else:
+                chunk = max(args.chunk, 1)
+                requests = (
+                    {sid: values[offset : offset + chunk] for sid, values in traces.items()}
+                    for offset in range(0, args.samples, chunk)
+                )
+                events = client.pipeline(requests, window=8)
+            elapsed = time.perf_counter() - started
+            stats = client.stats(periods=True)
+        except (ServerError, OSError) as exc:
+            # TimeoutError from a wedged daemon is an OSError but not a
+            # ConnectionError; all of them deserve the clean message.
+            print(f"detection server error: {exc}", file=sys.stderr)
+            return 1
+    total = args.streams * args.samples
+    remote_periods = stats.get("periods", {})
+    locked_ok = sum(
+        1 for i, sid in enumerate(traces) if remote_periods.get(sid) == periods[i]
+    )
+    print(f"pool --connect {args.connect} (namespace {client.namespace}): "
+          f"{args.streams} streams x {args.samples} samples "
+          f"({'lockstep' if args.lockstep else f'pipelined chunk={args.chunk}'})")
+    print(f"ingested {total} samples in {elapsed:.3f} s "
+          f"-> {total / elapsed:,.0f} samples/s over loopback/TCP")
+    print(f"period-start events: {len(events)}, "
+          f"correct remote period locks: {locked_ok}/{args.streams}")
+    print(f"server stats: {stats['server']}")
+    return 0 if locked_ok == args.streams else 1
+
+
 def _cmd_pool(args) -> int:
     if args.streams <= 0 or args.samples <= 0:
         print("--streams and --samples must be positive", file=sys.stderr)
@@ -205,29 +322,12 @@ def _cmd_pool(args) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    periods = [4 + (i % 29) for i in range(args.streams)]
-    if args.mode == "magnitude":
-        traces = {
-            f"stream-{i:04d}": periodic_signal(periods[i], args.samples, seed=i)
-            for i in range(args.streams)
-        }
-        config = PoolConfig(
-            mode="magnitude",
-            max_streams=args.max_streams,
-            detector_config=DetectorConfig(
-                window_size=args.window, evaluation_interval=max(args.eval_interval, 1)
-            ),
-        )
-    else:
-        traces = {
-            f"stream-{i:04d}": repeat_pattern(
-                1000 * (i + 1) + np.arange(periods[i]), args.samples
-            )
-            for i in range(args.streams)
-        }
-        config = PoolConfig(
-            mode="event", window_size=args.window, max_streams=args.max_streams,
-        )
+    traces, periods = _synthetic_workload(args.mode, args.streams, args.samples)
+    if args.connect:
+        return _cmd_pool_connect(args, traces, periods)
+    config = _synthetic_pool_config(
+        args.mode, args.window, args.max_streams, args.eval_interval
+    )
 
     sharded = args.workers >= 2
     if sharded:
@@ -282,6 +382,41 @@ def _cmd_pool(args) -> int:
     return 0 if locked_ok == args.streams else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server.server import DetectionServer, ServerConfig, build_pool
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    config = _synthetic_pool_config(
+        args.mode, args.window, args.max_streams, args.eval_interval
+    )
+    pool = build_pool(config, workers=args.workers)
+    server = DetectionServer(
+        pool,
+        ServerConfig(host=args.host, port=args.port, max_inflight=args.max_inflight),
+    )
+
+    async def run() -> None:
+        await server.start()
+        layout = f", sharded x{args.workers} workers" if args.workers >= 2 else ""
+        print(f"repro detection server listening on {server.host}:{server.port} "
+              f"(mode={args.mode}, window={args.window}{layout})", flush=True)
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop_requested.set)
+        await stop_requested.wait()
+        print("draining and shutting down ...", flush=True)
+        await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -291,6 +426,7 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "detect": _cmd_detect,
     "pool": _cmd_pool,
+    "serve": _cmd_serve,
 }
 
 

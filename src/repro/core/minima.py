@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.util.validation import check_positive
 
-__all__ = ["PeriodCandidate", "find_local_minima", "select_period", "filter_harmonics"]
+__all__ = [
+    "PeriodCandidate",
+    "find_local_minima",
+    "select_period",
+    "select_periods_batch",
+    "filter_harmonics",
+]
 
 
 @dataclass(frozen=True)
@@ -62,7 +68,11 @@ def _minima_arrays(
     finite_mask = np.isfinite(profile)
     if not np.any(finite_mask):
         return empty
-    mean = float(profile[finite_mask].mean())
+    # Padded sum over the full profile (zeros at non-finite lags), not a
+    # compacted fancy-indexed mean: this is the exact computation the
+    # batched 2-D search runs per row, so single-profile and batched
+    # selection stay bit-for-bit identical.
+    mean = float(np.where(finite_mask, profile, 0.0).sum() / finite_mask.sum())
     eligible = finite_mask.copy()
     eligible[: min(max(min_lag, 0), n)] = False
     if not np.any(eligible):
@@ -137,6 +147,18 @@ def filter_harmonics(
     by_lag = sorted(candidates, key=lambda c: c.lag)
     lags = np.array([c.lag for c in by_lag], dtype=np.int64)
     depths = np.array([c.depth for c in by_lag])
+    kept_mask = _harmonic_kept_mask(lags, depths, tolerance)
+    if kept_mask.all():
+        return by_lag
+    return [c for c, keep in zip(by_lag, kept_mask) if keep]
+
+
+def _harmonic_kept_mask(lags: np.ndarray, depths: np.ndarray, tolerance: float) -> np.ndarray:
+    """Harmonic-filter survivor mask over lag-sorted candidate arrays.
+
+    The array-level core of :func:`filter_harmonics`, shared with the
+    batched selection so both paths keep identical candidates.
+    """
     # suppresses[i, j]: candidate i, *if kept*, drops candidate j.
     ratio_exact = (lags[None, :] % lags[:, None]) == 0
     suppresses = (
@@ -144,12 +166,24 @@ def filter_harmonics(
         & (lags[:, None] < lags[None, :])
         & (depths[None, :] <= depths[:, None] + tolerance)
     )
+    kept_mask = np.ones(lags.size, dtype=bool)
     if not suppresses.any():
-        return by_lag
-    kept_mask = np.zeros(lags.size, dtype=bool)
+        return kept_mask
     for j in range(lags.size):
         kept_mask[j] = not np.any(kept_mask[:j] & suppresses[:j, j])
-    return [c for c, keep in zip(by_lag, kept_mask) if keep]
+    return kept_mask
+
+
+def _best_candidate_index(lags: np.ndarray, depths: np.ndarray, tolerance: float) -> int:
+    """Index of the winning candidate among lag-sorted candidate arrays.
+
+    Applies the harmonic filter, then picks the deepest survivor with
+    ties broken in favour of the smaller lag — exactly the
+    ``min(candidates, key=(-depth, lag))`` rule of :func:`select_period`.
+    """
+    kept = np.flatnonzero(_harmonic_kept_mask(lags, depths, tolerance))
+    order = np.lexsort((lags[kept], -depths[kept]))
+    return int(kept[order[0]])
 
 
 def select_period(
@@ -165,18 +199,112 @@ def select_period(
     ``min_depth`` is returned; ``None`` when no minimum qualifies (the
     stream is considered aperiodic over the current window).
     """
+    check_positive(harmonic_tolerance + 1e-12, "harmonic_tolerance")
     lags, found, depths = _minima_arrays(profile, min_lag)
     keep = depths >= min_depth
     if not np.any(keep):
         return None
-    candidates = [
-        PeriodCandidate(lag=int(lag), distance=float(value), depth=float(depth))
-        for lag, value, depth in zip(lags[keep], found[keep], depths[keep])
-    ]
-    candidates = filter_harmonics(candidates, tolerance=harmonic_tolerance)
-    if not candidates:
-        return None
-    # Deepest minimum wins; ties broken in favour of the smaller lag (the
-    # fundamental) so that exact multiples never displace the fundamental.
-    best = min(candidates, key=lambda c: (-c.depth, c.lag))
-    return best
+    lags, found, depths = lags[keep], found[keep], depths[keep]
+    # Deepest non-harmonic minimum wins; ties broken in favour of the
+    # smaller lag (the fundamental) so that exact multiples never
+    # displace the fundamental.
+    best = _best_candidate_index(lags, depths, harmonic_tolerance)
+    return PeriodCandidate(
+        lag=int(lags[best]), distance=float(found[best]), depth=float(depths[best])
+    )
+
+
+def _minima_matrix(
+    profiles: np.ndarray, min_lag: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise local-minimum search; returns ``(is_min, depths)`` matrices.
+
+    The 2-D lift of :func:`_minima_arrays`: every comparison and the
+    per-row profile mean are the same expressions evaluated along
+    ``axis=1``, so row ``s`` of the result is bit-for-bit the 1-D search
+    over ``profiles[s]``.
+    """
+    P = np.asarray(profiles, dtype=float)
+    streams, n = P.shape
+    finite = np.isfinite(P)
+    counts = finite.sum(axis=1)
+    means = np.where(finite, P, 0.0).sum(axis=1) / np.maximum(counts, 1)
+    eligible = finite.copy()
+    eligible[:, : min(max(min_lag, 0), n)] = False
+    left = np.full((streams, n), np.inf)
+    left[:, 1:] = np.where(eligible[:, :-1], P[:, :-1], np.inf)
+    right = np.full((streams, n), np.inf)
+    right[:, :-1] = np.where(eligible[:, 1:], P[:, 1:], np.inf)
+    with np.errstate(invalid="ignore"):
+        is_min = eligible & (P <= left) & (P <= right)
+        plateau = np.zeros((streams, n), dtype=bool)
+        plateau[:, 1:] = eligible[:, :-1] & (P[:, :-1] == P[:, 1:]) & (
+            left[:, 1:] <= right[:, 1:]
+        )
+    is_min &= ~plateau
+    mean_col = means[:, None]
+    positive = mean_col > 0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        depths = np.where(
+            positive,
+            1.0 - P / np.where(positive, mean_col, 1.0),
+            np.where(P == 0, 1.0, 0.0),
+        )
+    return is_min, depths
+
+
+def select_periods_batch(
+    profiles: np.ndarray,
+    *,
+    min_lag: int = 1,
+    min_depth: float = 0.25,
+    harmonic_tolerance: float = 0.15,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run :func:`select_period` over every row of a profile matrix at once.
+
+    ``profiles`` has shape ``(streams, lags)`` — the layout of the
+    structure-of-arrays lockstep bank, whose per-evaluation Python loop
+    over streams this replaces (the ROADMAP's magnitude-lockstep
+    bottleneck).  The local-minimum search, depth computation and
+    ``min_depth`` gate run as single whole-matrix passes; only rows that
+    still have qualifying candidates pay the (small, compact-array)
+    harmonic resolution.
+
+    Returns
+    -------
+    (lags, distances, depths):
+        One entry per row; ``lags[s] == 0`` means row ``s`` selected no
+        period (:func:`select_period` returning ``None``), otherwise the
+        three values are exactly the fields of the
+        :class:`PeriodCandidate` the per-stream call would build.
+    """
+    check_positive(harmonic_tolerance + 1e-12, "harmonic_tolerance")
+    if min_lag < 1:
+        # Lag 0 is the no-candidate marker of the batched result; the
+        # scalar path cannot select it either (PeriodCandidate rejects
+        # non-positive lags).
+        raise ValueError(f"min_lag must be >= 1, got {min_lag}")
+    P = np.asarray(profiles, dtype=float)
+    if P.ndim != 2:
+        raise ValueError(f"profiles must be 2-D (streams, lags), got shape {P.shape}")
+    streams = P.shape[0]
+    out_lags = np.zeros(streams, dtype=np.int64)
+    out_dist = np.zeros(streams, dtype=np.float64)
+    out_depth = np.zeros(streams, dtype=np.float64)
+    if P.shape[1] == 0:
+        return out_lags, out_dist, out_depth
+    is_min, depths = _minima_matrix(P, min_lag)
+    with np.errstate(invalid="ignore"):
+        qualifies = is_min & (depths >= min_depth)
+    for row in np.flatnonzero(qualifies.any(axis=1)):
+        cols = np.flatnonzero(qualifies[row])
+        if cols.size == 1:
+            best = cols[0]
+        else:
+            best = cols[_best_candidate_index(
+                cols.astype(np.int64), depths[row, cols], harmonic_tolerance
+            )]
+        out_lags[row] = best
+        out_dist[row] = P[row, best]
+        out_depth[row] = depths[row, best]
+    return out_lags, out_dist, out_depth

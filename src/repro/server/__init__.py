@@ -1,0 +1,39 @@
+"""Network detection service: asyncio daemon + wire protocol + clients.
+
+The :mod:`repro.service` layer turned the paper's single detector into a
+multi-stream library (:class:`~repro.service.pool.DetectorPool`,
+:class:`~repro.service.sharding.ShardedDetectorPool`).  This package
+turns that library into a *service*: remote producers push sample
+batches over TCP, the server routes them into the (optionally sharded)
+pool without ever blocking its event loop, and subscribers receive
+:class:`~repro.service.events.PeriodStartEvent` frames as they fire.
+
+* :mod:`repro.server.protocol` — the length-prefixed, versioned binary
+  frame format shared by both ends (NumPy payloads travel as raw
+  buffers, not pickles);
+* :mod:`repro.server.server` — the asyncio daemon
+  (:class:`DetectionServer`, ``repro serve``) with per-connection stream
+  namespacing, bounded queues with explicit ``BUSY`` backpressure,
+  cross-connection batch coalescing into ``ingest_many`` and graceful
+  drain on shutdown;
+* :mod:`repro.server.client` — the blocking
+  (:class:`DetectionClient`) and asyncio
+  (:class:`AsyncDetectionClient`) client libraries used by the CLI, the
+  benchmarks and the tests.
+"""
+
+from repro.server.client import AsyncDetectionClient, DetectionClient
+from repro.server.protocol import PROTOCOL_VERSION, Frame, FrameType, ProtocolError
+from repro.server.server import DetectionServer, ServerConfig, ServerThread
+
+__all__ = [
+    "AsyncDetectionClient",
+    "DetectionClient",
+    "DetectionServer",
+    "Frame",
+    "FrameType",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerThread",
+]

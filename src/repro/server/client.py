@@ -1,0 +1,451 @@
+"""Client libraries of the network detection service.
+
+Two clients over the same wire protocol (:mod:`repro.server.protocol`):
+
+* :class:`DetectionClient` — blocking sockets, no asyncio required.
+  This is what the CLI's ``repro pool --connect``, the loopback
+  benchmark and most tests use.  Request/reply is strictly in order;
+  asynchronous ``EVENT`` pushes for subscribers are demultiplexed into a
+  local buffer so they can interleave with replies at any point.
+  :meth:`DetectionClient.pipeline` keeps several ingest requests in
+  flight to hide round-trip latency (bounded by the server's
+  ``max_inflight`` — beyond it the server answers ``BUSY``).
+* :class:`AsyncDetectionClient` — the asyncio twin for callers that
+  already live on an event loop; a background reader task resolves
+  reply futures in FIFO order and queues event pushes.
+
+Both raise :class:`ServerBusy` on ``BUSY`` replies (the explicit
+backpressure signal — back off and retry) and :class:`ServerError` when
+the server reports a failed request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import select
+import socket
+import time
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.server import protocol
+from repro.server.protocol import Frame, FrameType, ProtocolError
+from repro.service.events import PeriodStartEvent
+
+__all__ = [
+    "AsyncDetectionClient",
+    "ConnectionClosedError",
+    "DetectionClient",
+    "ServerBusy",
+    "ServerError",
+]
+
+
+class ServerError(Exception):
+    """The server answered a request with an ERROR frame."""
+
+
+class ServerBusy(ServerError):
+    """The server answered BUSY: its per-connection inflight bound is hit."""
+
+
+class ConnectionClosedError(ConnectionError):
+    """The server said BYE (drain) or the connection is gone."""
+
+
+def _as_batch(samples) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(samples).ravel())
+
+
+def _events_from_frame(frame: Frame) -> list[PeriodStartEvent]:
+    ids = frame.meta.get("streams", [])
+    if not frame.arrays:
+        return []
+    return protocol.events_from_array(frame.arrays[0], ids)
+
+
+class DetectionClient:
+    """Blocking client of a :class:`~repro.server.server.DetectionServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    namespace:
+        Stream namespace on the server.  ``None`` lets the server assign
+        a fresh one; pass a stable name to reconnect to previous streams
+        (combine with ``fresh=True`` to drop them instead).
+    fresh:
+        Ask the server to remove any resident streams of this namespace
+        during the handshake (a clean-slate reconnect).
+    connect_retries, retry_delay:
+        Retry ``ConnectionRefusedError`` during connect — a daemon that
+        was *just* started (CI smoke jobs, examples) may not be
+        listening yet.
+    timeout:
+        Socket timeout in seconds for connect and replies.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        namespace: str | None = None,
+        fresh: bool = False,
+        connect_retries: int = 0,
+        retry_delay: float = 0.25,
+        timeout: float | None = 30.0,
+    ) -> None:
+        last_error: Exception | None = None
+        self._sock: socket.socket | None = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except ConnectionRefusedError as exc:
+                last_error = exc
+                if attempt < connect_retries:
+                    time.sleep(retry_delay)
+        if self._sock is None:
+            raise last_error  # type: ignore[misc]
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._events: list[list[PeriodStartEvent]] = []  # buffered pushes
+        self._closed = False
+        self._saw_bye = False
+        try:
+            reply = self._request(
+                FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
+            )
+        except BaseException:
+            # A failed handshake (ERROR reply, draining server, protocol
+            # mismatch) must not leak the connected socket.
+            self._sock.close()
+            raise
+        self.server_info = reply.meta
+        self.namespace = reply.meta["namespace"]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send(self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()) -> None:
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        if self._saw_bye:
+            raise ConnectionClosedError("server is draining (BYE received)")
+        protocol.write_frame(self._sock, ftype, meta, arrays)
+
+    def _read_reply(self) -> Frame:
+        """Next non-push frame; EVENT pushes are buffered on the side."""
+        while True:
+            frame = protocol.read_frame(self._sock)
+            if frame.type == FrameType.EVENT:
+                self._events.append(_events_from_frame(frame))
+                continue
+            if frame.type == FrameType.BYE:
+                self._saw_bye = True
+                raise ConnectionClosedError("server is draining (BYE received)")
+            return frame
+
+    def _request(
+        self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
+    ) -> Frame:
+        self._send(ftype, meta, arrays)
+        return self._check(self._read_reply())
+
+    @staticmethod
+    def _check(frame: Frame) -> Frame:
+        if frame.type == FrameType.BUSY:
+            raise ServerBusy(f"server busy (inflight={frame.meta.get('inflight')})")
+        if frame.type == FrameType.ERROR:
+            raise ServerError(frame.meta.get("message", "unknown server error"))
+        return frame
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, stream_id: str, samples) -> list[PeriodStartEvent]:
+        """Feed one batch into one stream; returns its period-start events."""
+        return self.ingest_many({stream_id: samples})
+
+    def ingest_many(self, batches: Mapping[str, Sequence | np.ndarray]) -> list[PeriodStartEvent]:
+        """Feed one batch per stream in a single request/reply round trip."""
+        ids = list(batches)
+        arrays = [_as_batch(batches[sid]) for sid in ids]
+        reply = self._request(FrameType.INGEST, {"streams": ids}, arrays)
+        return _events_from_frame(reply)
+
+    def ingest_lockstep(self, traces: Mapping[str, Sequence | np.ndarray]) -> list[PeriodStartEvent]:
+        """Feed equally long traces into many streams as one 2-D matrix."""
+        ids = list(traces)
+        matrix = np.ascontiguousarray(
+            np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
+        )
+        reply = self._request(FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix])
+        return _events_from_frame(reply)
+
+    def pipeline(
+        self,
+        requests: Iterable[Mapping[str, Sequence | np.ndarray]],
+        *,
+        window: int = 8,
+        on_busy: str = "raise",
+    ) -> list[PeriodStartEvent]:
+        """Pipelined ``ingest_many``: keep up to ``window`` requests in flight.
+
+        ``on_busy`` is ``"raise"`` (default) or ``"count"``; with
+        ``"count"``, BUSY replies are tallied on
+        :attr:`busy_replies` and the corresponding request's samples are
+        *not* retried (the caller opted into lossy backpressure).
+        """
+        if on_busy not in ("raise", "count"):
+            raise ValueError("on_busy must be 'raise' or 'count'")
+        events: list[PeriodStartEvent] = []
+        outstanding = 0
+        busy: ServerBusy | None = None
+
+        def collect_one() -> None:
+            nonlocal outstanding, busy
+            try:
+                frame = self._check(self._read_reply())
+            except ServerBusy as exc:
+                # Never raise with replies still outstanding: the
+                # request/reply FIFO must stay paired or every later
+                # call on this client would read a stale reply.
+                self.busy_replies += 1
+                if on_busy == "raise" and busy is None:
+                    busy = exc
+            else:
+                events.extend(_events_from_frame(frame))
+            finally:
+                outstanding -= 1
+
+        for batches in requests:
+            if busy is not None:
+                break  # stop feeding a server that already said BUSY
+            ids = list(batches)
+            arrays = [_as_batch(batches[sid]) for sid in ids]
+            self._send(FrameType.INGEST, {"streams": ids}, arrays)
+            outstanding += 1
+            while outstanding >= window:
+                collect_one()
+        while outstanding:
+            collect_one()
+        if busy is not None:
+            raise busy
+        return events
+
+    busy_replies: int = 0
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, scope: str = "own") -> None:
+        """Receive EVENT pushes for ``"own"`` streams or ``"all"`` streams."""
+        self._request(FrameType.SUBSCRIBE, {"scope": scope})
+
+    def next_events(self, timeout: float | None = None) -> list[PeriodStartEvent] | None:
+        """Next pushed event batch, or ``None`` when ``timeout`` expires.
+
+        The timeout gates only the *wait for the first byte* (via
+        ``select``); once a frame starts arriving it is read to
+        completion.  A per-read socket timeout would be wrong here: it
+        could fire mid-frame, discard the consumed bytes and leave the
+        connection permanently desynchronised.
+        """
+        if self._events:
+            return self._events.pop(0)
+        if timeout is not None:
+            readable, _, _ = select.select([self._sock], [], [], timeout)
+            if not readable:
+                return None
+        frame = protocol.read_frame(self._sock)
+        if frame.type == FrameType.EVENT:
+            return _events_from_frame(frame)
+        if frame.type == FrameType.BYE:
+            self._saw_bye = True
+            raise ConnectionClosedError("server is draining (BYE received)")
+        raise ProtocolError(f"unexpected {frame.type.name} frame outside a request")
+
+    # ------------------------------------------------------------------
+    # state + stats
+    # ------------------------------------------------------------------
+    def snapshot(self, stream_ids: Sequence[str] | None = None) -> dict[str, dict]:
+        """Engine snapshots of (some of) this namespace's streams.
+
+        Returns ``stream_id -> {"state", "samples", "events"}`` — opaque
+        blobs to hand back to :meth:`restore` after a reconnect.
+        """
+        meta = {"streams": list(stream_ids)} if stream_ids is not None else {}
+        reply = self._request(FrameType.SNAPSHOT, meta)
+        return protocol.unpack_object(reply.meta["states"], reply.arrays)
+
+    def restore(self, states: Mapping[str, dict]) -> int:
+        """Reinstate streams from :meth:`snapshot` blobs; returns the count."""
+        tree, arrays = protocol.pack_object(dict(states))
+        reply = self._request(FrameType.RESTORE, {"states": tree}, arrays)
+        return int(reply.meta["restored"])
+
+    def stats(self, *, periods: bool = False) -> dict:
+        """Pool + server statistics; ``periods=True`` adds this
+        namespace's per-stream locked periods."""
+        return self._request(FrameType.STATS, {"periods": periods}).meta
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "DetectionClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncDetectionClient:
+    """Asyncio client; create it with :meth:`connect`.
+
+    A background reader task demultiplexes the socket: replies resolve
+    their request futures in FIFO order, EVENT pushes land on
+    :attr:`events` (an ``asyncio.Queue`` of event-batch lists).
+
+    Examples
+    --------
+    ::
+
+        client = await AsyncDetectionClient.connect("127.0.0.1", port)
+        events = await client.ingest("app", batch)
+        await client.close()
+    """
+
+    def __init__(self, reader, writer, namespace_hint, fresh: bool) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: list[asyncio.Future] = []
+        self.events: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._saw_bye = False
+        self._hello = (namespace_hint, fresh)
+        self._reader_task: asyncio.Task | None = None
+        self.namespace = ""
+        self.server_info: dict = {}
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, namespace: str | None = None, fresh: bool = False
+    ) -> "AsyncDetectionClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, namespace, fresh)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        reply = await client._request(
+            FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
+        )
+        client.server_info = reply.meta
+        client.namespace = reply.meta["namespace"]
+        return client
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame_async(self._reader)
+                if frame.type == FrameType.EVENT:
+                    self.events.put_nowait(_events_from_frame(frame))
+                elif frame.type == FrameType.BYE:
+                    self._saw_bye = True
+                    self._fail_pending(ConnectionClosedError("server is draining"))
+                else:
+                    if not self._pending:
+                        raise ProtocolError(
+                            f"unsolicited {frame.type.name} reply"
+                        )
+                    future = self._pending.pop(0)
+                    if not future.done():
+                        future.set_result(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError) as exc:
+            self._fail_pending(ConnectionClosedError(f"connection lost: {exc!r}"))
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, []
+        for future in pending:
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _request(
+        self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
+    ) -> Frame:
+        if self._closed or self._saw_bye:
+            raise ConnectionClosedError("client is closed")
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(future)
+        self._writer.writelines(protocol.encode_frame(ftype, meta, arrays))
+        await self._writer.drain()
+        frame = await future
+        return DetectionClient._check(frame)
+
+    # ------------------------------------------------------------------
+    async def ingest(self, stream_id: str, samples) -> list[PeriodStartEvent]:
+        """Feed one batch into one stream."""
+        return await self.ingest_many({stream_id: samples})
+
+    async def ingest_many(self, batches: Mapping) -> list[PeriodStartEvent]:
+        """Feed one batch per stream in one round trip."""
+        ids = list(batches)
+        arrays = [_as_batch(batches[sid]) for sid in ids]
+        reply = await self._request(FrameType.INGEST, {"streams": ids}, arrays)
+        return _events_from_frame(reply)
+
+    async def ingest_lockstep(self, traces: Mapping) -> list[PeriodStartEvent]:
+        """Feed equally long traces into many streams as one matrix."""
+        ids = list(traces)
+        matrix = np.ascontiguousarray(
+            np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
+        )
+        reply = await self._request(FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix])
+        return _events_from_frame(reply)
+
+    async def subscribe(self, scope: str = "own") -> None:
+        """Receive EVENT pushes on :attr:`events`."""
+        await self._request(FrameType.SUBSCRIBE, {"scope": scope})
+
+    async def snapshot(self, stream_ids=None) -> dict[str, dict]:
+        """Engine snapshots of this namespace's streams."""
+        meta = {"streams": list(stream_ids)} if stream_ids is not None else {}
+        reply = await self._request(FrameType.SNAPSHOT, meta)
+        return protocol.unpack_object(reply.meta["states"], reply.arrays)
+
+    async def restore(self, states: Mapping[str, dict]) -> int:
+        """Reinstate streams from snapshot blobs."""
+        tree, arrays = protocol.pack_object(dict(states))
+        reply = await self._request(FrameType.RESTORE, {"states": tree}, arrays)
+        return int(reply.meta["restored"])
+
+    async def stats(self, *, periods: bool = False) -> dict:
+        """Pool + server statistics."""
+        return (await self._request(FrameType.STATS, {"periods": periods})).meta
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass

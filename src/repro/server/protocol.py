@@ -1,0 +1,388 @@
+"""Wire protocol of the network detection service.
+
+Every message is one *frame*::
+
+    +--------+---------+--------+-------------+
+    | magic  | version | type   | payload_len |   8-byte header, big-endian
+    | 4 B    | u16     | u16    | u32         |
+    +--------+---------+--------+-------------+
+    | meta_len u32 | meta (JSON, UTF-8)       |   payload
+    | raw array 0 | raw array 1 | ...         |
+    +------------------------------------------+
+
+The JSON ``meta`` dictionary carries the small, structured part of the
+message (stream names, options, error text) plus a ``__arrays__`` list
+describing the NumPy buffers that follow it back-to-back: dtype, shape
+and byte length per array.  Sample batches and event tables therefore
+travel as their raw bytes — :func:`encode_frame` returns the array's own
+(contiguous) memory as buffers for scatter-gather writes, and
+:func:`decode_payload` reconstructs zero-copy ``np.frombuffer`` views
+into the received payload — no pickling and no per-element conversion on
+either side.
+
+The header carries :data:`PROTOCOL_VERSION`; a peer that receives a
+frame from a *newer* protocol version raises :class:`ProtocolError`
+instead of mis-parsing it, mirroring the engine snapshot versioning in
+:mod:`repro.core.engine`.
+
+Detector snapshots are nested dictionaries holding NumPy arrays and
+integer-keyed maps, which JSON cannot express directly;
+:func:`pack_object` / :func:`unpack_object` flatten such trees into a
+JSON-safe skeleton plus the extracted array list (again raw buffers on
+the wire, not pickles).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.service.events import PeriodStartEvent
+
+__all__ = [
+    "EVENT_DTYPE",
+    "Frame",
+    "FrameType",
+    "MAX_PAYLOAD_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_payload",
+    "encode_frame",
+    "events_from_array",
+    "events_to_array",
+    "pack_object",
+    "read_frame",
+    "read_frame_async",
+    "unpack_object",
+    "write_frame",
+]
+
+#: Version of the wire format.  History: version 1 — initial format.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"RDPD"
+
+#: Upper bound on a single frame's payload; a corrupt or hostile length
+#: prefix must not make a peer allocate unbounded memory.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+_HEADER = struct.Struct("!4sHHI")  # magic, version, frame type, payload length
+_META_LEN = struct.Struct("!I")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized or incompatible frame."""
+
+
+class FrameType(IntEnum):
+    """Frame discriminator (requests < 16, replies/pushes >= 16)."""
+
+    # requests
+    HELLO = 1
+    INGEST = 2
+    INGEST_LOCKSTEP = 3
+    SUBSCRIBE = 4
+    SNAPSHOT = 5
+    RESTORE = 6
+    STATS = 7
+    # replies and server pushes
+    OK = 16
+    ERROR = 17
+    BUSY = 18
+    EVENTS = 19  # reply to INGEST / INGEST_LOCKSTEP
+    EVENT = 20  # asynchronous push to a subscriber
+    BYE = 21  # server is draining; no further requests will be served
+
+
+@dataclass
+class Frame:
+    """One decoded protocol frame."""
+
+    type: FrameType
+    meta: dict = field(default_factory=dict)
+    arrays: tuple[np.ndarray, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# dtype <-> JSON
+# ----------------------------------------------------------------------
+def _dtype_to_wire(dtype: np.dtype):
+    """JSON-able description of ``dtype`` (structured dtypes included)."""
+    return dtype.descr if dtype.names else dtype.str
+
+
+def _dtype_from_wire(spec) -> np.dtype:
+    if isinstance(spec, str):
+        return np.dtype(spec)
+    fields = []
+    for entry in spec:
+        if len(entry) == 2:
+            fields.append((entry[0], entry[1]))
+        else:  # (name, fmt, shape) — JSON turned the shape into a list
+            fields.append((entry[0], entry[1], tuple(entry[2])))
+    return np.dtype(fields)
+
+
+# ----------------------------------------------------------------------
+# frame encode / decode
+# ----------------------------------------------------------------------
+def encode_frame(
+    ftype: FrameType, meta: Mapping | None = None, arrays: Iterable[np.ndarray] = ()
+) -> list:
+    """Serialise a frame into a list of write buffers.
+
+    The first buffer holds header + meta; each subsequent buffer *is* the
+    corresponding array's memory (made contiguous when necessary), so a
+    scatter-gather write ships large batches without copying them.
+    """
+    contiguous = [np.ascontiguousarray(arr) for arr in arrays]
+    descriptors = [
+        {"dtype": _dtype_to_wire(arr.dtype), "shape": list(arr.shape), "nbytes": arr.nbytes}
+        for arr in contiguous
+    ]
+    body = dict(meta or {})
+    if descriptors:
+        body["__arrays__"] = descriptors
+    meta_bytes = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    payload_len = _META_LEN.size + len(meta_bytes) + sum(arr.nbytes for arr in contiguous)
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"frame payload of {payload_len} bytes exceeds the protocol limit")
+    head = (
+        _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(ftype), payload_len)
+        + _META_LEN.pack(len(meta_bytes))
+        + meta_bytes
+    )
+    buffers: list = [head]
+    buffers.extend(memoryview(arr).cast("B") for arr in contiguous if arr.nbytes)
+    return buffers
+
+
+def decode_header(header: bytes) -> tuple[FrameType, int]:
+    """Validate a frame header; returns ``(frame type, payload length)``."""
+    magic, version, ftype, payload_len = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, newer than the supported "
+            f"version {PROTOCOL_VERSION}"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"frame payload of {payload_len} bytes exceeds the protocol limit")
+    try:
+        kind = FrameType(ftype)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown frame type {ftype}") from exc
+    return kind, payload_len
+
+
+def decode_payload(ftype: FrameType, payload: bytes | bytearray | memoryview) -> Frame:
+    """Decode a frame payload; array fields are zero-copy views into it."""
+    view = memoryview(payload)
+    if len(view) < _META_LEN.size:
+        raise ProtocolError("truncated frame payload (missing meta length)")
+    (meta_len,) = _META_LEN.unpack_from(view, 0)
+    offset = _META_LEN.size
+    if len(view) < offset + meta_len:
+        raise ProtocolError("truncated frame payload (missing meta)")
+    try:
+        meta = json.loads(bytes(view[offset : offset + meta_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("frame meta must be a JSON object")
+    offset += meta_len
+    arrays = []
+    descriptors = meta.pop("__arrays__", [])
+    if not isinstance(descriptors, list):
+        raise ProtocolError("__arrays__ must be a list of descriptors")
+    for descriptor in descriptors:
+        try:
+            dtype = _dtype_from_wire(descriptor["dtype"])
+            shape = tuple(descriptor["shape"])
+            nbytes = int(descriptor["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            # A malformed descriptor is a peer protocol violation, not a
+            # local bug: it must surface as ProtocolError so the server
+            # answers with an ERROR frame instead of a dropped connection.
+            raise ProtocolError(f"bad array descriptor: {exc!r}") from exc
+        if dtype.hasobject:
+            raise ProtocolError("object dtypes cannot travel as raw buffers")
+        if len(view) < offset + nbytes:
+            raise ProtocolError("truncated frame payload (missing array bytes)")
+        if nbytes == 0:
+            try:
+                arrays.append(np.empty(shape, dtype=dtype))
+            except ValueError as exc:
+                raise ProtocolError(f"bad empty-array descriptor: {exc}") from exc
+            continue
+        count = nbytes // dtype.itemsize if dtype.itemsize else 0
+        arr = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+        try:
+            arrays.append(arr.reshape(shape))
+        except ValueError as exc:
+            raise ProtocolError(f"array descriptor does not match its bytes: {exc}") from exc
+        offset += nbytes
+    if offset != len(view):
+        raise ProtocolError(f"{len(view) - offset} trailing bytes after the last array")
+    return Frame(type=ftype, meta=meta, arrays=tuple(arrays))
+
+
+# ----------------------------------------------------------------------
+# blocking socket I/O
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> bytearray:
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        read = sock.recv_into(view[got:])
+        if read == 0:
+            raise ConnectionError("peer closed the connection mid-frame")
+        got += read
+    return buf
+
+
+def read_frame(sock: socket.socket) -> Frame:
+    """Read one frame from a blocking socket."""
+    ftype, payload_len = decode_header(bytes(_recv_exact(sock, _HEADER.size)))
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    return decode_payload(ftype, payload)
+
+
+#: Below this size, coalescing the frame into one send beats the extra
+#: syscalls of scatter-gather; above it, avoiding the copy wins.
+_JOIN_THRESHOLD = 1 << 16
+
+
+def write_frame(
+    sock: socket.socket, ftype: FrameType, meta: Mapping | None = None,
+    arrays: Iterable[np.ndarray] = (),
+) -> None:
+    """Write one frame to a blocking socket (large arrays are not copied)."""
+    buffers = encode_frame(ftype, meta, arrays)
+    total = sum(len(b) for b in buffers)
+    if total <= _JOIN_THRESHOLD:
+        sock.sendall(b"".join(bytes(b) if isinstance(b, memoryview) else b for b in buffers))
+    else:
+        for buffer in buffers:
+            sock.sendall(buffer)
+
+
+# ----------------------------------------------------------------------
+# asyncio I/O
+# ----------------------------------------------------------------------
+async def read_frame_async(reader) -> Frame:
+    """Read one frame from an ``asyncio.StreamReader``."""
+    ftype, payload_len = decode_header(await reader.readexactly(_HEADER.size))
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    return decode_payload(ftype, payload)
+
+
+# ----------------------------------------------------------------------
+# event tables
+# ----------------------------------------------------------------------
+#: Compact on-the-wire representation of a batch of period-start events;
+#: ``stream`` indexes the frame's ``streams`` meta list.
+EVENT_DTYPE = np.dtype(
+    [
+        ("stream", np.int32),
+        ("index", np.int64),
+        ("period", np.int64),
+        ("confidence", np.float64),
+        ("new_detection", np.bool_),
+    ]
+)
+
+
+def events_to_array(
+    events: Sequence[PeriodStartEvent], positions: Mapping[str, int]
+) -> np.ndarray:
+    """Pack events into one :data:`EVENT_DTYPE` table for the wire."""
+    out = np.empty(len(events), dtype=EVENT_DTYPE)
+    for row, event in enumerate(events):
+        out[row] = (
+            positions[event.stream_id],
+            event.index,
+            event.period,
+            event.confidence,
+            event.new_detection,
+        )
+    return out
+
+
+def events_from_array(table: np.ndarray, ids: Sequence[str]) -> list[PeriodStartEvent]:
+    """Unpack an :data:`EVENT_DTYPE` table against its stream-id list."""
+    return [
+        PeriodStartEvent(
+            stream_id=ids[int(row["stream"])],
+            index=int(row["index"]),
+            period=int(row["period"]),
+            confidence=float(row["confidence"]),
+            new_detection=bool(row["new_detection"]),
+        )
+        for row in table
+    ]
+
+
+# ----------------------------------------------------------------------
+# structured objects (detector snapshots)
+# ----------------------------------------------------------------------
+def pack_object(obj) -> tuple[object, list[np.ndarray]]:
+    """Flatten a snapshot-like tree into a JSON-safe skeleton + arrays.
+
+    Handles the value types engine snapshots actually contain: nested
+    dicts (including non-string keys such as ``LockTracker.detected``'s
+    ``int`` keys), lists/tuples, NumPy arrays and scalars, and JSON
+    primitives.  Arrays are replaced by ``{"__nd__": index}`` markers and
+    collected into the returned list, in marker order, so they can ride
+    the frame as raw buffers.
+    """
+    arrays: list[np.ndarray] = []
+
+    def encode(value):
+        if isinstance(value, np.ndarray):
+            arrays.append(value)
+            return {"__nd__": len(arrays) - 1}
+        if isinstance(value, np.generic):
+            return encode(value.item())
+        if isinstance(value, dict):
+            if all(isinstance(k, str) for k in value) and not any(
+                k in ("__nd__", "__map__", "__tuple__") for k in value
+            ):
+                return {k: encode(v) for k, v in value.items()}
+            return {"__map__": [[encode(k), encode(v)] for k, v in value.items()]}
+        if isinstance(value, tuple):
+            return {"__tuple__": [encode(v) for v in value]}
+        if isinstance(value, list):
+            return [encode(v) for v in value]
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        raise ProtocolError(f"cannot serialise {type(value).__name__} values")
+
+    return encode(obj), arrays
+
+
+def unpack_object(tree, arrays: Sequence[np.ndarray]):
+    """Reverse :func:`pack_object` against the frame's array list."""
+
+    def decode(value):
+        if isinstance(value, dict):
+            if "__nd__" in value:
+                return np.array(arrays[int(value["__nd__"])])  # owned copy
+            if "__map__" in value:
+                return {decode(k): decode(v) for k, v in value["__map__"]}
+            if "__tuple__" in value:
+                return tuple(decode(v) for v in value["__tuple__"])
+            return {k: decode(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [decode(v) for v in value]
+        return value
+
+    return decode(tree)

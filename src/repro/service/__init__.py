@@ -16,7 +16,10 @@ The service layer scales that design point up twice over:
 * :class:`~repro.service.sharding.ShardedDetectorPool` partitions
   streams by stable hash across N worker processes (private pool each,
   zero-copy shared-memory ingest), which is how the service scales past
-  one core — the GIL makes threads useless here.
+  one core — the GIL makes threads useless here;
+* :class:`~repro.service.facade.ThreadSafePool` wraps either pool behind
+  one re-entrant lock and a uniform interface, which is what the network
+  server (:mod:`repro.server`) drives from its executor thread.
 
 Layering (see ARCHITECTURE.md)::
 
@@ -25,6 +28,7 @@ Layering (see ARCHITECTURE.md)::
 
 from repro.service.event_soa import EventSoABank
 from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
+from repro.service.facade import ThreadSafePool
 from repro.service.pool import DetectorPool, PoolConfig
 from repro.service.sharding import ShardedDetectorPool, ShardingConfig
 from repro.service.soa import MagnitudeSoABank
@@ -39,4 +43,5 @@ __all__ = [
     "ShardedDetectorPool",
     "ShardingConfig",
     "StreamStats",
+    "ThreadSafePool",
 ]

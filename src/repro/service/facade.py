@@ -1,0 +1,194 @@
+"""Thread-safe ingest facade over a (possibly sharded) detector pool.
+
+Neither :class:`~repro.service.pool.DetectorPool` nor
+:class:`~repro.service.sharding.ShardedDetectorPool` is thread-safe:
+both mutate per-stream state and counters with no locking, which is the
+right default for the single-threaded library paths.  The network
+server, however, touches its pool from two places — the asyncio event
+loop's executor thread for ingestion, plus whatever thread asks for
+stats or snapshots — so :class:`ThreadSafePool` serialises every pool
+operation behind one re-entrant lock and presents the *union* interface
+of both pool types (``ingest_many``, ``checkpoint``-backed snapshots,
+``close``), letting consumers hold either implementation through one
+handle.
+
+The facade also carries its own event listeners: callbacks registered
+with :meth:`ThreadSafePool.add_listener` see the events of every ingest
+made *through the facade*, regardless of pool type — the sharded pool's
+events materialise in the parent process only as ingest return values,
+so pool-level hooks cannot observe them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
+from repro.service.pool import DetectorPool
+from repro.util.validation import ValidationError
+
+__all__ = ["ThreadSafePool"]
+
+
+class ThreadSafePool:
+    """Serialise all access to a ``DetectorPool`` / ``ShardedDetectorPool``.
+
+    Examples
+    --------
+    >>> facade = ThreadSafePool(DetectorPool(mode="event", window_size=32))
+    >>> _ = facade.ingest("app", [7, 8, 9] * 8)
+    >>> facade.current_period("app")
+    3
+    """
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+        self._lock = threading.RLock()
+        self._listeners: list = []
+        self._closed = False
+
+    @property
+    def pool(self):
+        """The wrapped pool (access it only while no other thread ingests)."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # event fan-out
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Register ``listener(events)`` for every facade-ingested batch."""
+        if not callable(listener):
+            raise ValidationError("listener must be callable")
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> bool:
+        """Unregister a listener; returns True when it was registered."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                return False
+            return True
+
+    def _deliver(self, events: list[PeriodStartEvent]) -> list[PeriodStartEvent]:
+        if events:
+            for listener in list(self._listeners):
+                listener(events)
+        return events
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self, stream_id: str, samples: Sequence[float] | np.ndarray
+    ) -> list[PeriodStartEvent]:
+        """Feed one batch into one stream (see ``DetectorPool.ingest``)."""
+        with self._lock:
+            return self._deliver(self._pool.ingest(stream_id, samples))
+
+    def ingest_many(
+        self, batches: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed one batch per stream (see ``ingest_many`` on either pool)."""
+        with self._lock:
+            return self._deliver(self._pool.ingest_many(batches))
+
+    def ingest_lockstep(
+        self, traces: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed equally long traces into many streams concurrently."""
+        with self._lock:
+            return self._deliver(self._pool.ingest_lockstep(traces))
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def snapshot_streams(self, stream_ids: Sequence[str]) -> dict[str, dict]:
+        """Engine snapshots + activity counters of the given streams.
+
+        Returns ``stream_id -> {"state", "samples", "events"}`` for every
+        requested stream that is resident (absent streams are skipped:
+        they may have been LRU-evicted, which is not an error).  Both
+        pool types implement ``snapshot_streams`` with this contract —
+        the sharded one touches only the owning shards and only the
+        requested streams.
+        """
+        with self._lock:
+            return self._pool.snapshot_streams(list(stream_ids))
+
+    def restore_stream(
+        self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
+    ) -> None:
+        """Reinstate one stream from an engine snapshot."""
+        with self._lock:
+            self._pool.restore_stream(stream_id, state, samples=samples, events=events)
+
+    def remove_streams(self, stream_ids: Sequence[str]) -> int:
+        """Drop the given streams; returns how many were resident."""
+        with self._lock:
+            return sum(1 for sid in stream_ids if self._pool.remove_stream(sid))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, stream_id: str) -> bool:
+        with self._lock:
+            return stream_id in self._pool
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pool)
+
+    @property
+    def stream_ids(self) -> list[str]:
+        """Resident stream names."""
+        with self._lock:
+            return list(self._pool.stream_ids)
+
+    def streams_with_prefix(self, prefix: str) -> list[str]:
+        """Resident stream names starting with ``prefix``."""
+        with self._lock:
+            return [sid for sid in self._pool.stream_ids if sid.startswith(prefix)]
+
+    def current_period(self, stream_id: str) -> int | None:
+        """Locked period of a stream (None while searching or absent)."""
+        with self._lock:
+            return self._pool.current_period(stream_id)
+
+    def current_periods(self) -> dict[str, int | None]:
+        """Locked period of every resident stream (bulk: one shard round
+        trip each on a sharded pool, never one per stream)."""
+        with self._lock:
+            return dict(self._pool.current_periods())
+
+    def stream_stats(self, stream_id: str) -> StreamStats:
+        """Activity summary of one resident stream."""
+        with self._lock:
+            return self._pool.stream_stats(stream_id)
+
+    def stats(self) -> PoolStats:
+        """Pool-wide activity summary."""
+        with self._lock:
+            return self._pool.stats()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the wrapped pool (idempotent, safe from any thread)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._listeners.clear()
+            self._pool.close()
+
+    def __enter__(self) -> "ThreadSafePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

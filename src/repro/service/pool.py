@@ -20,7 +20,14 @@ instances:
 * idle streams are evicted LRU-style once ``max_streams`` is exceeded,
   which bounds the memory of a long-running service;
 * ``stats()`` / ``stream_stats()`` expose pool-level and per-stream
-  activity counters.
+  activity counters;
+* ``add_listener(fn)`` registers an event fan-out hook: every batch of
+  period-start events produced by any ingestion path is also delivered
+  to the registered callables — the in-process observer API for
+  consumers embedding a pool directly (the network server fans out to
+  its remote subscribers from ingest return values instead, which also
+  covers the sharded pool, whose events only materialise in the
+  parent).
 
 Every stream behaves exactly like a standalone detector: the pool adds
 multiplexing, not new detection semantics.
@@ -181,6 +188,7 @@ class DetectorPool:
         self._total_samples = 0
         self._total_events = 0
         self._lockstep_backend: str | None = None
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # stream management
@@ -251,6 +259,28 @@ class DetectorPool:
         """Drop a stream; returns True when it was resident."""
         return self._streams.pop(stream_id, None) is not None
 
+    def snapshot_streams(self, stream_ids: Sequence[str]) -> dict[str, dict]:
+        """Snapshots + activity counters of the given streams.
+
+        Returns ``stream_id -> {"state", "samples", "events"}`` for every
+        requested stream that is resident; absent streams are skipped
+        (they may have been LRU-evicted, which is not an error).  The
+        same signature as
+        :meth:`~repro.service.sharding.ShardedDetectorPool.snapshot_streams`,
+        so facade consumers need not care which pool they hold.
+        """
+        out: dict[str, dict] = {}
+        for sid in stream_ids:
+            stream = self._streams.get(sid)
+            if stream is None:
+                continue
+            out[sid] = {
+                "state": stream.engine.snapshot(),
+                "samples": stream.samples,
+                "events": stream.events,
+            }
+        return out
+
     def _touch(self, stream_id: str) -> _PoolStream:
         state = self._streams.get(stream_id)
         if state is None:
@@ -269,6 +299,36 @@ class DetectorPool:
         while len(self._streams) > limit:
             self._streams.popitem(last=False)
             self._evicted += 1
+
+    # ------------------------------------------------------------------
+    # event fan-out hooks
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Register ``listener(events)`` to receive every event batch.
+
+        The callable is invoked synchronously at the end of each
+        ingestion call that produced at least one
+        :class:`PeriodStartEvent`, with the same list the call returns.
+        Listener exceptions propagate to the ingesting caller — a
+        listener is part of the pool's delivery path, not a best-effort
+        observer.
+        """
+        if not callable(listener):
+            raise ValidationError("listener must be callable")
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> bool:
+        """Unregister a listener; returns True when it was registered."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            return False
+        return True
+
+    def _notify(self, events: list[PeriodStartEvent]) -> None:
+        if events:
+            for listener in self._listeners:
+                listener(events)
 
     # ------------------------------------------------------------------
     # ingestion
@@ -299,6 +359,22 @@ class DetectorPool:
         state.events += len(events)
         self._total_samples += len(results)
         self._total_events += len(events)
+        self._notify(events)
+        return events
+
+    def ingest_many(
+        self, batches: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed one batch per stream; returns all events in stream order.
+
+        The single-process counterpart of
+        :meth:`repro.service.sharding.ShardedDetectorPool.ingest_many`,
+        so pool consumers (the network server, the benchmarks) can drive
+        either implementation through one interface.
+        """
+        events: list[PeriodStartEvent] = []
+        for stream_id, samples in batches.items():
+            events.extend(self.ingest(stream_id, samples))
         return events
 
     def ingest_one(
@@ -327,13 +403,15 @@ class DetectorPool:
         if result.is_period_start and result.period:
             state.events += 1
             self._total_events += 1
-            return PeriodStartEvent(
+            event = PeriodStartEvent(
                 stream_id=stream_id,
                 index=result.index,
                 period=int(result.period),
                 confidence=result.confidence,
                 new_detection=result.new_detection,
             )
+            self._notify([event])
+            return event
         return None
 
     def _record_lockstep_backend(self, backend: str, streams: int, reason: str) -> None:
@@ -434,7 +512,22 @@ class DetectorPool:
                 state.events = per_stream_events[sid]
         self._total_samples += length * len(ids)
         self._total_events += len(events)
+        self._notify(events)
         return events
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the pool's streams (idempotent).
+
+        A single-process pool owns no external resources, but consumers
+        that may hold either a ``DetectorPool`` or a
+        :class:`~repro.service.sharding.ShardedDetectorPool` (the network
+        server, the facade) need one teardown call that is safe on both.
+        """
+        self._streams.clear()
+        self._listeners.clear()
 
     # ------------------------------------------------------------------
     # inspection
@@ -443,6 +536,17 @@ class DetectorPool:
         """Locked period of a stream (None while searching or absent)."""
         state = self._streams.get(stream_id)
         return state.engine.current_period if state is not None else None
+
+    def current_periods(self) -> dict[str, int | None]:
+        """Locked period of every resident stream, in one pass.
+
+        The bulk form matters for the sharded pool and the network
+        server, where asking stream by stream would pay one IPC round
+        trip each.
+        """
+        return {
+            sid: state.engine.current_period for sid, state in self._streams.items()
+        }
 
     def stream_stats(self, stream_id: str) -> StreamStats:
         """Activity summary of one resident stream (KeyError when absent)."""

@@ -190,6 +190,18 @@ def _shard_worker_main(conn, shm_name: str, config: PoolConfig) -> None:
                         }
                         for sid in pool.stream_ids
                     }
+                elif op == "snapshot_streams":
+                    reply = {
+                        sid: {
+                            "state": pool.engine(sid).snapshot(),
+                            "samples": pool.stream_stats(sid).samples,
+                            "events": pool.stream_stats(sid).events,
+                        }
+                        for sid in payload
+                        if sid in pool
+                    }
+                elif op == "periods":
+                    reply = pool.current_periods()
                 elif op == "restore":
                     stream_id, state, samples, events_count = payload
                     pool.restore_stream(
@@ -436,13 +448,32 @@ class ShardedDetectorPool:
         self.close()
 
     def close(self) -> None:
-        """Shut down every worker and free the shared-memory rings."""
-        if self._closed:
+        """Shut down every worker and free the shared-memory rings.
+
+        Never raises, and is safe to call any number of times from any
+        teardown path — explicit ``close()``, context-manager exit,
+        ``__del__`` during garbage collection, or a constructor unwind
+        after a mid-``__init__`` failure (the ``getattr`` default covers
+        an instance whose attributes were never assigned).  A failure to
+        tear down one shard is logged and must not leak the remaining
+        workers or their shared-memory segments.
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        for shard in self._shards:
-            shard.shutdown()
-        self._shards = []
+        shards, self._shards = self._shards, []
+        for shard in shards:
+            try:
+                shard.shutdown()
+            except Exception:  # pragma: no cover - defensive
+                _logger.warning(
+                    "error shutting down shard worker %d", shard.index, exc_info=True
+                )
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (operations then raise)."""
+        return self._closed
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
@@ -640,12 +671,47 @@ class ShardedDetectorPool:
         return merged
 
     @_recovering
+    def snapshot_streams(self, stream_ids: Sequence[str]) -> dict[str, dict]:
+        """Snapshots + counters of the given streams (absent ones skipped).
+
+        Unlike :meth:`checkpoint` this touches only the shards that own
+        a requested stream, snapshots nothing else, and does *not*
+        update the crash-recovery baseline — it is the targeted form the
+        network server uses to answer per-client SNAPSHOT requests.
+        """
+        self._ensure_alive()
+        wanted: list[list[str]] = [[] for _ in self._shards]
+        for sid in stream_ids:
+            wanted[self.shard_of(sid)].append(sid)
+        merged: dict[str, dict] = {}
+        for shard, members in zip(self._shards, wanted):
+            if members:
+                merged.update(shard.call("snapshot_streams", members))
+        return merged
+
+    @_recovering
+    def current_periods(self) -> dict[str, int | None]:
+        """Locked period of every resident stream — one round trip per
+        shard, not per stream."""
+        self._ensure_alive()
+        merged: dict[str, int | None] = {}
+        for shard in self._shards:
+            merged.update(shard.call("periods"))
+        return merged
+
+    @_recovering
     def restore_stream(
         self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
     ) -> None:
         """Restore one stream onto its home shard from an engine snapshot."""
         self._ensure_alive()
         self._shard(stream_id).call("restore", (stream_id, state, samples, events))
+
+    @_recovering
+    def remove_stream(self, stream_id: str) -> bool:
+        """Drop a stream from its home shard; True when it was resident."""
+        self._ensure_alive()
+        return bool(self._shard(stream_id).call("remove", stream_id))
 
     @_recovering
     def rebalance(self, workers: int) -> None:

@@ -31,7 +31,7 @@ import numpy as np
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.distance import amdf_pair_sums
 from repro.core.engine import LockTracker, tag_snapshot, validate_snapshot
-from repro.core.minima import select_period
+from repro.core.minima import PeriodCandidate, select_periods_batch
 from repro.util.validation import ValidationError
 
 __all__ = ["MagnitudeSoABank"]
@@ -167,20 +167,28 @@ class MagnitudeSoABank:
         if self._since_refresh >= self.config.refresh_interval:
             self._rebuild_sums()
 
-        # --- evaluate, stream by stream, on the shared profile matrix ---
+        # --- evaluate all streams in one pass over the profile matrix ---
+        # The minima search, depth computation and min_depth gate run as
+        # whole-matrix operations (select_periods_batch); only the lock
+        # state machines remain per-stream.
         cfg = self.config
         ready = self._fill >= max(2 * cfg.min_lag, min(cfg.min_fill, self._window_size))
         if (self._index % cfg.evaluation_interval) == 0 and ready:
-            profiles = self.profiles()
+            lags, distances, depths = select_periods_batch(
+                self.profiles(),
+                min_lag=cfg.min_lag,
+                min_depth=cfg.min_depth,
+                harmonic_tolerance=cfg.harmonic_tolerance,
+            )
             fill_now = self._fill
+            min_fill_of = cfg.min_repetitions
             for pos, lock in enumerate(self._locks):
-                candidate = select_period(
-                    profiles[pos],
-                    min_lag=cfg.min_lag,
-                    min_depth=cfg.min_depth,
-                    harmonic_tolerance=cfg.harmonic_tolerance,
-                )
-                if candidate is not None and fill_now < cfg.min_repetitions * candidate.lag:
+                lag = int(lags[pos])
+                if lag and fill_now >= min_fill_of * lag:
+                    candidate = PeriodCandidate(
+                        lag=lag, distance=float(distances[pos]), depth=float(depths[pos])
+                    )
+                else:
                     candidate = None
                 lock.apply(candidate, self._index)
                 self._periods[pos] = lock.period or 0

@@ -1,0 +1,94 @@
+"""Property tests: batched period selection == the per-stream oracle.
+
+``select_periods_batch`` replaces the magnitude bank's per-stream
+``select_period`` loop with whole-matrix passes; the ROADMAP's lockstep
+bottleneck only moves safely if every row of the batched result is
+*exactly* what the scalar call would have produced — including NaN
+padding, plateau handling, the ``min_depth`` gate, harmonic suppression
+and the deepest-then-smallest-lag tie break.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minima import select_period, select_periods_batch
+
+
+def oracle_rows(matrix, *, min_lag, min_depth, harmonic_tolerance):
+    out = []
+    for row in matrix:
+        candidate = select_period(
+            row,
+            min_lag=min_lag,
+            min_depth=min_depth,
+            harmonic_tolerance=harmonic_tolerance,
+        )
+        out.append(
+            (0, 0.0, 0.0)
+            if candidate is None
+            else (candidate.lag, candidate.distance, candidate.depth)
+        )
+    return out
+
+
+@st.composite
+def profile_matrices(draw):
+    streams = draw(st.integers(min_value=1, max_value=6))
+    lags = draw(st.integers(min_value=2, max_value=40))
+    # Values with repeats (plateaus), zeros and NaN stretches: the shapes
+    # that exercise every branch of the minima search.
+    value = st.one_of(
+        st.just(np.nan),
+        st.just(0.0),
+        st.integers(min_value=0, max_value=6).map(float),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    rows = draw(
+        st.lists(
+            st.lists(value, min_size=lags, max_size=lags),
+            min_size=streams,
+            max_size=streams,
+        )
+    )
+    return np.array(rows, dtype=float)
+
+
+class TestBatchEqualsOracle:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        matrix=profile_matrices(),
+        min_lag=st.integers(min_value=1, max_value=6),
+        min_depth=st.floats(min_value=0.0, max_value=1.0),
+        tolerance=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_every_row_matches_select_period(self, matrix, min_lag, min_depth, tolerance):
+        lags, distances, depths = select_periods_batch(
+            matrix, min_lag=min_lag, min_depth=min_depth, harmonic_tolerance=tolerance
+        )
+        expected = oracle_rows(
+            matrix, min_lag=min_lag, min_depth=min_depth, harmonic_tolerance=tolerance
+        )
+        got = list(zip(lags.tolist(), distances.tolist(), depths.tolist()))
+        assert got == expected
+
+    def test_realistic_periodic_profiles(self):
+        # A sharp profile with harmonics: minima at 5, 10, 15, ... must
+        # resolve to the fundamental in every row.
+        lags = np.arange(41, dtype=float)
+        profile = np.where(lags % 5 == 0, 0.1, 3.0)
+        profile[0] = np.nan
+        matrix = np.stack([profile, profile * 2.0, np.full(41, np.nan)])
+        selected, _, _ = select_periods_batch(matrix, min_lag=2)
+        assert selected.tolist() == [5, 5, 0]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            select_periods_batch(np.zeros(8))
+
+    def test_empty_lag_axis(self):
+        lags, distances, depths = select_periods_batch(np.empty((3, 0)))
+        assert lags.tolist() == [0, 0, 0]
+        assert distances.tolist() == [0.0, 0.0, 0.0]
+        assert depths.tolist() == [0.0, 0.0, 0.0]

@@ -1,0 +1,29 @@
+"""Shared workload builders of the network-server suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.pool import PoolConfig
+from repro.traces.synthetic import periodic_signal, repeat_pattern
+
+
+def event_config(**overrides) -> PoolConfig:
+    options = dict(mode="event", window_size=32)
+    options.update(overrides)
+    return PoolConfig(**options)
+
+
+def event_traces(streams: int, samples: int = 160) -> dict[str, np.ndarray]:
+    """Synthetic identifier streams with known periods 3 + i % 7."""
+    return {
+        f"app-{i}": repeat_pattern(100 * (i + 1) + np.arange(3 + i % 7), samples)
+        for i in range(streams)
+    }
+
+
+def magnitude_traces(streams: int, samples: int = 256) -> dict[str, np.ndarray]:
+    return {
+        f"sig-{i}": periodic_signal(3 + i % 11, samples, seed=i)
+        for i in range(streams)
+    }

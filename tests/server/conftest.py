@@ -1,0 +1,25 @@
+"""Shared fixtures of the network-server suite: loopback server factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from _server_helpers import event_config
+from repro.server.server import ServerConfig, ServerThread
+from repro.service.pool import DetectorPool, PoolConfig
+
+
+@pytest.fixture
+def loopback():
+    """Factory: start a loopback server; all started servers stop at teardown."""
+    threads: list[ServerThread] = []
+
+    def start(pool_config: PoolConfig | None = None, server_config: ServerConfig | None = None):
+        thread = ServerThread(DetectorPool(pool_config or event_config()), server_config)
+        threads.append(thread)
+        host, port = thread.start()
+        return thread, host, port
+
+    yield start
+    for thread in threads:
+        thread.stop()

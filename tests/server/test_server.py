@@ -1,0 +1,320 @@
+"""Behavioural tests of the asyncio detection server over loopback TCP.
+
+The acceptance criterion of the server PR: a loopback client pushing N
+synthetic periodic streams through the daemon receives the same
+``PeriodStartEvent`` sequence, stream for stream, as a direct
+``DetectorPool.ingest_many`` over the same traces.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.server.client import (
+    AsyncDetectionClient,
+    ConnectionClosedError,
+    DetectionClient,
+    ServerBusy,
+    ServerError,
+)
+from repro.server.server import DetectionServer, ServerConfig, ServerThread, build_pool
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.service.sharding import ShardedDetectorPool
+
+from _server_helpers import event_config, event_traces, magnitude_traces
+
+
+def keyed(events, strip=""):
+    """Stream-for-stream comparable view: per-stream event sequences.
+
+    Chunked remote ingestion interleaves events of different streams
+    differently than one big direct batch; the equivalence that matters
+    (and that the acceptance criterion names) is that *each stream's*
+    event sequence is identical.
+    """
+    per_stream: dict[str, list] = {}
+    for e in events:
+        per_stream.setdefault(e.stream_id.removeprefix(strip), []).append(
+            (e.index, e.period, e.new_detection)
+        )
+    return per_stream
+
+
+class TestEquivalence:
+    def test_chunked_ingest_matches_direct_pool(self, loopback):
+        _, host, port = loopback(event_config())
+        traces = event_traces(8, samples=160)
+        with DetectionClient(host, port, namespace="n") as client:
+            remote = []
+            for offset in range(0, 160, 40):
+                remote.extend(client.ingest_many(
+                    {sid: values[offset : offset + 40] for sid, values in traces.items()}
+                ))
+            remote_periods = client.stats(periods=True)["periods"]
+
+        pool = DetectorPool(event_config())
+        direct = pool.ingest_many({f"n/{sid}": v for sid, v in traces.items()})
+        assert keyed(remote) == keyed(direct, strip="n/")
+        for sid in traces:
+            assert remote_periods[sid] == pool.current_period(f"n/{sid}")
+
+    def test_lockstep_matches_direct_pool(self, loopback):
+        _, host, port = loopback(event_config())
+        traces = event_traces(6, samples=128)
+        with DetectionClient(host, port, namespace="n") as client:
+            remote = client.ingest_lockstep(traces)
+        direct = DetectorPool(event_config()).ingest_lockstep(
+            {f"n/{sid}": v for sid, v in traces.items()}
+        )
+        assert keyed(remote) == keyed(direct, strip="n/")
+
+    def test_magnitude_mode_roundtrip(self, loopback):
+        from repro.core.detector import DetectorConfig
+
+        config = PoolConfig(
+            mode="magnitude",
+            detector_config=DetectorConfig(window_size=64, evaluation_interval=4),
+        )
+        _, host, port = loopback(config)
+        traces = magnitude_traces(5, samples=192)
+        with DetectionClient(host, port, namespace="m") as client:
+            remote = client.ingest_many(traces)
+        direct = DetectorPool(config).ingest_many(
+            {f"m/{sid}": v for sid, v in traces.items()}
+        )
+        assert keyed(remote) == keyed(direct, strip="m/")
+
+    def test_sharded_pool_behind_server(self):
+        traces = event_traces(6, samples=128)
+        pool = build_pool(event_config(), workers=2)
+        assert isinstance(pool, ShardedDetectorPool)
+        with ServerThread(pool) as (host, port):
+            with DetectionClient(host, port, namespace="s") as client:
+                remote = client.ingest_many(traces)
+        direct = DetectorPool(event_config()).ingest_many(
+            {f"s/{sid}": v for sid, v in traces.items()}
+        )
+        assert keyed(remote) == keyed(direct, strip="s/")
+
+
+class TestNamespacing:
+    def test_same_stream_name_does_not_collide(self, loopback):
+        _, host, port = loopback(event_config())
+        trace_a = np.tile(np.arange(3), 40)  # period 3
+        trace_b = np.tile(np.arange(5), 24)  # period 5
+        with DetectionClient(host, port, namespace="a") as ca, \
+                DetectionClient(host, port, namespace="b") as cb:
+            ca.ingest("app", trace_a)
+            cb.ingest("app", trace_b)
+            assert ca.stats(periods=True)["periods"] == {"app": 3}
+            assert cb.stats(periods=True)["periods"] == {"app": 5}
+
+    def test_server_assigns_unique_namespaces(self, loopback):
+        _, host, port = loopback(event_config())
+        with DetectionClient(host, port) as c1, DetectionClient(host, port) as c2:
+            assert c1.namespace != c2.namespace
+
+    def test_bad_namespace_rejected(self, loopback):
+        _, host, port = loopback(event_config())
+        with pytest.raises((ServerError, ConnectionError)):
+            DetectionClient(host, port, namespace="a/b")
+
+
+class TestSubscriptions:
+    def test_own_scope_strips_namespace_and_filters(self, loopback):
+        _, host, port = loopback(event_config())
+        trace = np.tile(np.arange(4), 30)
+        with DetectionClient(host, port, namespace="w") as watcher, \
+                DetectionClient(host, port, namespace="o") as other:
+            watcher.subscribe("own")
+            other.ingest("noise", trace)  # not watcher's namespace
+            events = watcher.ingest("app", trace)
+            pushed = watcher.next_events(timeout=5)
+            assert pushed is not None
+            assert {e.stream_id for e in pushed} == {"app"}
+            assert keyed(pushed) == keyed(events)
+            # Nothing else pending: the other client's events were filtered.
+            assert watcher.next_events(timeout=0.2) is None
+
+    def test_all_scope_sees_other_namespaces(self, loopback):
+        _, host, port = loopback(event_config())
+        trace = np.tile(np.arange(4), 30)
+        with DetectionClient(host, port, namespace="w") as watcher, \
+                DetectionClient(host, port, namespace="o") as other:
+            watcher.subscribe("all")
+            other.ingest("app", trace)
+            pushed = watcher.next_events(timeout=5)
+            assert pushed is not None
+            assert {e.stream_id for e in pushed} == {"o/app"}
+
+    def test_bad_scope_rejected(self, loopback):
+        _, host, port = loopback(event_config())
+        with DetectionClient(host, port) as client:
+            with pytest.raises(ServerError):
+                client.subscribe("everything")
+
+
+class TestBackpressure:
+    def test_busy_reply_when_pipelining_past_inflight_bound(self, loopback):
+        _, host, port = loopback(
+            event_config(), ServerConfig(max_inflight=1)
+        )
+        trace = np.tile(np.arange(4), 50)
+        with DetectionClient(host, port, namespace="p") as client:
+            chunks = [{"x": trace[i * 20 : (i + 1) * 20]} for i in range(10)]
+            client.pipeline(chunks, window=6, on_busy="count")
+            assert client.busy_replies > 0
+            assert client.stats()["server"]["busy_replies"] > 0
+
+    def test_busy_raises_by_default(self, loopback):
+        _, host, port = loopback(
+            event_config(), ServerConfig(max_inflight=1)
+        )
+        trace = np.tile(np.arange(4), 50)
+        with DetectionClient(host, port, namespace="p") as client:
+            chunks = [{"x": trace[i * 20 : (i + 1) * 20]} for i in range(10)]
+            with pytest.raises(ServerBusy):
+                client.pipeline(chunks, window=8)
+            # The raise happened only after every outstanding reply was
+            # drained: the request/reply FIFO is still paired and the
+            # connection remains fully usable.
+            stats = client.stats(periods=True)
+            assert "pool" in stats and "x" in stats["periods"]
+            client.ingest("x", trace[:20])
+
+    def test_within_bound_pipelining_loses_nothing(self, loopback):
+        _, host, port = loopback(event_config())
+        traces = event_traces(4, samples=160)
+        with DetectionClient(host, port, namespace="n") as client:
+            chunks = [
+                {sid: values[offset : offset + 20] for sid, values in traces.items()}
+                for offset in range(0, 160, 20)
+            ]
+            remote = client.pipeline(chunks, window=4)
+        direct = DetectorPool(event_config()).ingest_many(
+            {f"n/{sid}": v for sid, v in traces.items()}
+        )
+        assert keyed(remote) == keyed(direct, strip="n/")
+
+
+class TestProtocolAbuse:
+    def test_request_before_hello_is_rejected(self, loopback):
+        import socket
+
+        from repro.server import protocol
+        from repro.server.protocol import FrameType
+
+        _, host, port = loopback(event_config())
+        with socket.create_connection((host, port), timeout=10) as sock:
+            protocol.write_frame(sock, FrameType.STATS, {})
+            frame = protocol.read_frame(sock)
+            assert frame.type == FrameType.ERROR
+            assert "HELLO" in frame.meta["message"]
+
+    def test_ingest_with_mismatched_arrays_is_an_error(self, loopback):
+        import socket
+
+        from repro.server import protocol
+        from repro.server.protocol import FrameType
+
+        _, host, port = loopback(event_config())
+        with socket.create_connection((host, port), timeout=10) as sock:
+            protocol.write_frame(sock, FrameType.HELLO, {"namespace": "x"})
+            assert protocol.read_frame(sock).type == FrameType.OK
+            protocol.write_frame(
+                sock, FrameType.INGEST, {"streams": ["a", "b"]}, [np.arange(4.0)]
+            )
+            frame = protocol.read_frame(sock)
+            assert frame.type == FrameType.ERROR
+
+
+class TestShutdown:
+    def test_graceful_stop_drains_and_says_bye(self):
+        thread = ServerThread(DetectorPool(event_config()))
+        host, port = thread.start()
+        client = DetectionClient(host, port, namespace="d")
+        client.ingest("app", np.tile(np.arange(4), 30))
+        thread.stop()
+        # The connected client observes the drain, not a hard cut.
+        with pytest.raises(ConnectionClosedError):
+            while True:
+                client.next_events(timeout=1)
+        with pytest.raises(ConnectionClosedError):
+            client.ingest("app", [1, 2, 3])
+        client.close()
+
+    def test_stop_is_idempotent(self):
+        thread = ServerThread(DetectorPool(event_config()))
+        thread.start()
+        thread.stop()
+        thread.stop()
+
+    def test_new_connections_refused_after_stop(self):
+        thread = ServerThread(DetectorPool(event_config()))
+        host, port = thread.start()
+        thread.stop()
+        with pytest.raises(ConnectionError):
+            DetectionClient(host, port)
+
+
+class TestAsyncClient:
+    def test_async_roundtrip_and_subscription(self, loopback):
+        _, host, port = loopback(event_config())
+        traces = event_traces(4, samples=120)
+
+        async def run():
+            client = await AsyncDetectionClient.connect(host, port, namespace="a")
+            await client.subscribe("own")
+            events = await client.ingest_many(traces)
+            pushed = await asyncio.wait_for(client.events.get(), 10)
+            stats = await client.stats(periods=True)
+            await client.close()
+            return events, pushed, stats
+
+        events, pushed, stats = asyncio.run(run())
+        direct = DetectorPool(event_config()).ingest_many(
+            {f"a/{sid}": v for sid, v in traces.items()}
+        )
+        assert keyed(events) == keyed(direct, strip="a/")
+        assert keyed(pushed) == keyed(events)
+        assert stats["periods"] == {
+            sid: 3 + i % 7 for i, sid in enumerate(traces)
+        }
+
+    def test_async_snapshot_restore(self, loopback):
+        _, host, port = loopback(event_config())
+        trace = np.tile(np.arange(6), 30)
+
+        async def run():
+            client = await AsyncDetectionClient.connect(host, port, namespace="s")
+            await client.ingest("app", trace[:90])
+            snap = await client.snapshot()
+            await client.close()
+            client = await AsyncDetectionClient.connect(
+                host, port, namespace="s", fresh=True
+            )
+            restored = await client.restore(snap)
+            tail = await client.ingest("app", trace[90:])
+            await client.close()
+            return restored, tail
+
+        restored, tail = asyncio.run(run())
+        pool = DetectorPool(event_config())
+        pool.ingest("app", trace[:90])
+        expected = pool.ingest("app", trace[90:])
+        assert restored == 1
+        assert keyed(tail) == keyed(expected)
+
+
+class TestHandshakeFailures:
+    def test_failed_handshake_closes_the_socket(self, loopback):
+        import gc
+        import warnings
+
+        _, host, port = loopback(event_config())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with pytest.raises((ServerError, ConnectionError)):
+                DetectionClient(host, port, namespace="bad/name")
+            gc.collect()  # an unclosed socket would raise ResourceWarning here

@@ -1,0 +1,150 @@
+"""Tests of the thread-safe facade and the pool's event fan-out hooks."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.facade import ThreadSafePool
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.traces.synthetic import repeat_pattern
+from repro.util.validation import ValidationError
+
+
+def config(**overrides) -> PoolConfig:
+    options = dict(mode="event", window_size=32)
+    options.update(overrides)
+    return PoolConfig(**options)
+
+
+class TestPoolListeners:
+    def test_ingest_notifies_listeners_with_returned_events(self):
+        pool = DetectorPool(config())
+        seen = []
+        pool.add_listener(seen.append)
+        events = pool.ingest("app", np.tile(np.arange(4), 30))
+        assert seen == [events]
+
+    def test_ingest_one_and_lockstep_notify(self):
+        pool = DetectorPool(config())
+        batches = []
+        pool.add_listener(batches.append)
+        trace = np.tile(np.arange(3), 20)
+        for value in trace:
+            pool.ingest_one("solo", int(value))
+        solo_events = [e for batch in batches for e in batch]
+        assert all(e.stream_id == "solo" for e in solo_events)
+        assert solo_events  # the periodic stream fired
+
+        batches.clear()
+        traces = {f"s{i}": repeat_pattern(100 * (i + 1) + np.arange(4), 64) for i in range(6)}
+        lockstep_events = pool.ingest_lockstep(traces)
+        assert [e for batch in batches for e in batch] == lockstep_events
+
+    def test_no_notification_for_empty_batches(self):
+        pool = DetectorPool(config())
+        seen = []
+        pool.add_listener(seen.append)
+        pool.ingest("app", np.arange(10))  # aperiodic: no events
+        assert seen == []
+
+    def test_remove_listener(self):
+        pool = DetectorPool(config())
+        listener = lambda events: None  # noqa: E731
+        pool.add_listener(listener)
+        assert pool.remove_listener(listener) is True
+        assert pool.remove_listener(listener) is False
+        seen = []
+        pool.add_listener(seen.append)
+        pool.remove_listener(seen.append)
+        pool.ingest("app", np.tile(np.arange(4), 30))
+        assert seen == []  # removed listeners are not called
+
+    def test_listener_must_be_callable(self):
+        with pytest.raises(ValidationError):
+            DetectorPool(config()).add_listener("not callable")
+
+
+class TestIngestMany:
+    def test_matches_sequential_ingest(self):
+        traces = {
+            f"s{i}": repeat_pattern(100 * (i + 1) + np.arange(3 + i), 96)
+            for i in range(4)
+        }
+        a, b = DetectorPool(config()), DetectorPool(config())
+        many = a.ingest_many(traces)
+        sequential = []
+        for sid, values in traces.items():
+            sequential.extend(b.ingest(sid, values))
+        assert many == sequential
+
+
+class TestThreadSafePool:
+    def test_uniform_interface_over_plain_pool(self):
+        facade = ThreadSafePool(DetectorPool(config()))
+        trace = np.tile(np.arange(4), 30)
+        events = facade.ingest("app", trace)
+        assert facade.current_period("app") == 4
+        assert "app" in facade
+        assert len(facade) == 1
+        assert facade.stream_ids == ["app"]
+        assert facade.stats().total_events == len(events)
+        assert facade.stream_stats("app").samples == trace.size
+
+    def test_facade_listeners_see_all_ingest_paths(self):
+        facade = ThreadSafePool(DetectorPool(config()))
+        batches = []
+        facade.add_listener(batches.append)
+        events = facade.ingest("app", np.tile(np.arange(4), 30))
+        traces = {f"s{i}": repeat_pattern(100 * (i + 1) + np.arange(4), 64) for i in range(6)}
+        lockstep = facade.ingest_lockstep(traces)
+        many = facade.ingest_many({"app": np.tile(np.arange(4), 10)})
+        flattened = [e for batch in batches for e in batch]
+        assert flattened == events + lockstep + many
+
+    def test_snapshot_restore_remove_roundtrip(self):
+        facade = ThreadSafePool(DetectorPool(config()))
+        trace = np.tile(np.arange(5), 40)
+        facade.ingest("app", trace)
+        states = facade.snapshot_streams(["app", "missing"])
+        assert list(states) == ["app"]
+        assert states["app"]["samples"] == trace.size
+        assert facade.remove_streams(["app", "missing"]) == 1
+        facade.restore_stream(
+            "app",
+            states["app"]["state"],
+            samples=states["app"]["samples"],
+            events=states["app"]["events"],
+        )
+        assert facade.current_period("app") == 5
+        assert facade.streams_with_prefix("ap") == ["app"]
+
+    def test_concurrent_ingest_is_serialised(self):
+        facade = ThreadSafePool(DetectorPool(config()))
+        trace = np.tile(np.arange(4), 50)
+        errors = []
+
+        def worker(name: str) -> None:
+            try:
+                for offset in range(0, trace.size, 20):
+                    facade.ingest(name, trace[offset : offset + 20])
+            except Exception as exc:  # pragma: no cover - the test assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = facade.stats()
+        assert stats.total_samples == 8 * trace.size
+        assert all(facade.current_period(f"t{i}") == 4 for i in range(8))
+
+    def test_close_is_idempotent_and_context_managed(self):
+        facade = ThreadSafePool(DetectorPool(config()))
+        with facade:
+            facade.ingest("app", [1, 2, 3])
+        facade.close()  # second close: no-op

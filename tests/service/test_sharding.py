@@ -310,3 +310,114 @@ class TestStateManagement:
             assert event_keys(got) == event_keys(expected)
         finally:
             pool.close()
+
+
+class TestCloseHardening:
+    """Teardown paths must never raise: the network server closes the
+    pool from drain logic, context managers and GC, possibly repeatedly."""
+
+    def test_double_close_and_del_after_close(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        pool.ingest("x", periodic_signal(5, 64, seed=0))
+        pool.close()
+        assert pool.closed
+        pool.close()
+        pool.close()
+        pool.__del__()  # GC after close: must be a silent no-op
+
+    def test_del_on_partially_constructed_instance(self):
+        # __init__ can fail before any attribute exists (validation);
+        # __del__ (and therefore close) must cope with the bare object.
+        pool = ShardedDetectorPool.__new__(ShardedDetectorPool)
+        pool.close()
+        pool.__del__()
+
+    def test_close_after_failed_init_releases_resources(self):
+        with pytest.raises(ValidationError):
+            ShardedDetectorPool(magnitude_config(), workers=0)
+
+    def test_context_manager_exit_then_explicit_close(self):
+        with ShardedDetectorPool(magnitude_config(), workers=2) as pool:
+            pool.ingest("x", periodic_signal(5, 64, seed=0))
+        pool.close()  # after __exit__: still silent
+
+    def test_close_with_dead_worker_is_silent(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        try:
+            pool.ingest("x", periodic_signal(5, 64, seed=0))
+            # Kill one worker behind the pool's back; close must still
+            # shut the survivor down and free both rings without raising.
+            pool._shards[0].process.terminate()
+            pool._shards[0].process.join(timeout=10)
+        finally:
+            pool.close()
+        pool.close()
+
+    def test_operations_after_close_raise_cleanly(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        pool.close()
+        for operation in (
+            lambda: pool.ingest("x", [1.0]),
+            lambda: pool.ingest_many({"x": [1.0]}),
+            lambda: pool.ingest_lockstep({"x": [1.0]}),
+            lambda: pool.checkpoint(),
+            lambda: pool.stats(),
+            lambda: pool.remove_stream("x"),
+        ):
+            with pytest.raises(ValidationError):
+                operation()
+
+
+class TestTargetedStateOps:
+    """Bulk/targeted parent ops: one round trip per shard, not per stream."""
+
+    def test_snapshot_streams_subset(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        try:
+            traces = magnitude_traces(8)
+            pool.ingest_many(traces)
+            wanted = list(traces)[:3] + ["never-existed"]
+            states = pool.snapshot_streams(wanted)
+            assert sorted(states) == sorted(list(traces)[:3])
+            for sid in states:
+                assert states[sid]["samples"] == 192
+                assert states[sid]["state"]["kind"] == "magnitude"
+        finally:
+            pool.close()
+
+    def test_snapshot_streams_does_not_touch_crash_baseline(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        try:
+            traces = magnitude_traces(4)
+            pool.ingest_many(traces)
+            pool.snapshot_streams(list(traces))
+            assert pool._checkpoint == {}  # only checkpoint() sets it
+        finally:
+            pool.close()
+
+    def test_current_periods_matches_per_stream(self):
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        try:
+            traces = magnitude_traces(8)
+            pool.ingest_many(traces)
+            bulk = pool.current_periods()
+            assert sorted(bulk) == sorted(traces)
+            for sid in traces:
+                assert bulk[sid] == pool.current_period(sid)
+        finally:
+            pool.close()
+
+    def test_facade_uses_targeted_ops_over_sharded_pool(self):
+        from repro.service.facade import ThreadSafePool
+
+        pool = ShardedDetectorPool(magnitude_config(), workers=2)
+        facade = ThreadSafePool(pool)
+        try:
+            traces = magnitude_traces(6)
+            facade.ingest_many(traces)
+            sid = next(iter(traces))
+            states = facade.snapshot_streams([sid])
+            assert list(states) == [sid]
+            assert facade.current_periods()[sid] == pool.current_period(sid)
+        finally:
+            facade.close()
