@@ -32,6 +32,17 @@ future PRs can track the performance trajectory:
    bridge and the reply path.  The delta against the matching in-process
    row is the cost of the network boundary.
 
+5. **Mixed workload** — a magnitude fleet *and* an event fleet active
+   simultaneously, each behind its own sharded loopback server, driven
+   concurrently with chunked lockstep frames; run once synchronously and
+   once with shard-ingest pipelining (``ShardingConfig.pipeline_depth``)
+   so the pipelining win is measured end-to-end rather than in-process.
+
+Besides the full trajectory JSON (``--json``), every run also writes a
+compact top-level summary (``BENCH_multistream.json``: scenario ->
+samples/s plus machine metadata and the git revision) so the
+performance trajectory is one flat file diff per PR.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_multistream.py            # table
@@ -43,7 +54,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import threading
 import time
 
 import numpy as np
@@ -260,16 +273,22 @@ def _timed_run(pool, traces, periods, samples, lockstep: bool, sharded: bool):
 
     Single source of truth for what a pool row measures, so the sharded
     ``workers=1`` baseline is guaranteed to run the exact same loop as
-    the single-process rows it is compared against.
+    the single-process rows it is compared against.  Sharded rows ingest
+    in chunks (ingest_many, or chunked ingest_lockstep so consecutive
+    calls can pipeline) and end with the terminal ``flush()`` — a no-op
+    at pipeline_depth 0.
     """
     started = time.perf_counter()
-    if lockstep:
-        pool.ingest_lockstep(traces)
-    elif sharded:
+    if sharded:
         for offset in range(0, samples, _BENCH_CHUNK):
-            pool.ingest_many(
-                {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
-            )
+            chunk = {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+            if lockstep:
+                pool.ingest_lockstep(chunk)
+            else:
+                pool.ingest_many(chunk)
+        pool.flush()
+    elif lockstep:
+        pool.ingest_lockstep(traces)
     else:
         for offset in range(0, samples, _BENCH_CHUNK):
             for sid, values in traces.items():
@@ -308,31 +327,39 @@ def bench_pool(
 
 def bench_sharded(
     streams: int, samples: int, workers: int, window: int = 128,
-    mode: str = "magnitude", lockstep: bool = False,
+    mode: str = "magnitude", lockstep: bool = False, pipeline_depth: int = 0,
 ) -> dict:
     """Sharded-pool throughput on the :func:`bench_pool` workload.
 
     ``workers=1`` measures the single-process pool as the baseline the
-    sharding acceptance criterion compares against.
+    sharding acceptance criterion compares against; a positive
+    ``pipeline_depth`` pipelines consecutive shard ingests (the parent's
+    next ring write overlaps worker detection).
     """
     traces, periods, config = _pool_workload(mode, streams, samples, window)
     if workers == 1:
         pool = DetectorPool(config)
         elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, False)
     else:
-        pool = ShardedDetectorPool(config, ShardingConfig(workers=workers))
+        pool = ShardedDetectorPool(
+            config, ShardingConfig(workers=workers, pipeline_depth=pipeline_depth)
+        )
         try:
             elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, True)
         finally:
             pool.close()
     total = streams * samples
+    ingest = "lockstep" if lockstep else "round-robin"
+    if pipeline_depth:
+        ingest += f"-pipelined x{pipeline_depth}"
     return {
         "streams": streams,
         "samples_per_stream": samples,
         "window": window,
         "mode": mode,
         "workers": workers,
-        "ingest": "lockstep" if lockstep else "round-robin",
+        "pipeline_depth": pipeline_depth,
+        "ingest": ingest,
         "elapsed_s": round(elapsed, 3),
         "samples_per_s": round(total / elapsed),
         "correct_locks": correct,
@@ -385,10 +412,144 @@ def bench_loopback_server(
     }
 
 
+def bench_mixed_loopback(
+    streams_each: int, samples: int, window: int = 128, workers: int = 2,
+    pipeline_depth: int = 0,
+) -> dict:
+    """Magnitude + event fleets active simultaneously, sharded, over TCP.
+
+    Each mode gets its own sharded pool behind its own loopback
+    ``DetectionServer``; two driver threads push chunked
+    ``INGEST_LOCKSTEP`` frames concurrently, so both SoA banks are hot at
+    once and the measurement covers the full stack end-to-end: framing,
+    the asyncio frontend, the executor bridge, the shard rings and — with
+    ``pipeline_depth`` — the cross-call shard ingest pipelining (the
+    synchronous run of the same scenario is the baseline the pipelining
+    win is read against).
+    """
+    from repro.server.client import DetectionClient
+    from repro.server.server import ServerThread, build_pool
+
+    workloads = {
+        mode: _pool_workload(mode, streams_each, samples, window)
+        for mode in ("magnitude", "event")
+    }
+    correct: dict[str, int] = {}
+    errors: list[tuple[str, Exception]] = []
+
+    def drive(mode: str, host: str, port: int) -> None:
+        traces, periods, _config = workloads[mode]
+        try:
+            with DetectionClient(host, port, namespace="bench") as client:
+                for offset in range(0, samples, _BENCH_CHUNK):
+                    client.ingest_lockstep(
+                        {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+                    )
+                remote = client.stats(periods=True)["periods"]
+            correct[mode] = sum(
+                1 for i, sid in enumerate(traces) if remote.get(sid) == periods[i]
+            )
+        except Exception as exc:  # surfaced after the join below
+            errors.append((mode, exc))
+
+    servers: list[ServerThread] = []
+    try:
+        addresses = {}
+        for mode, (_traces, _periods, config) in workloads.items():
+            server = ServerThread(
+                build_pool(config, workers=workers, pipeline_depth=pipeline_depth)
+            )
+            servers.append(server)
+            addresses[mode] = server.start()
+        started = time.perf_counter()
+        drivers = [
+            threading.Thread(target=drive, args=(mode, *addresses[mode]), daemon=True)
+            for mode in workloads
+        ]
+        for thread in drivers:
+            thread.start()
+        for thread in drivers:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        for server in servers:
+            server.stop()
+    if errors:
+        mode, exc = errors[0]
+        raise RuntimeError(f"mixed-workload driver for {mode} failed: {exc}") from exc
+    total = 2 * streams_each * samples
+    return {
+        "streams_each": streams_each,
+        "samples_per_stream": samples,
+        "window": window,
+        "workers": workers,
+        "pipeline_depth": pipeline_depth,
+        "transport": "loopback-tcp",
+        "ingest": "chunked-lockstep",
+        "elapsed_s": round(elapsed, 3),
+        "samples_per_s": round(total / elapsed),
+        "correct_locks": sum(correct.values()),
+        "total_streams": 2 * streams_each,
+    }
+
+
+def _git_rev() -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=os.path.dirname(os.path.abspath(__file__)),
+            timeout=10,
+        )
+        return proc.stdout.strip() or None
+    except Exception:
+        return None
+
+
+def write_summary(results: dict, path: str) -> dict:
+    """Compact trajectory summary: one flat scenario -> samples/s map."""
+
+    def put(key: str, value) -> None:
+        scenarios[key.replace(" ", "")] = value
+
+    scenarios: dict[str, float] = {}
+    for name, row in results["single_stream"]["scenarios"].items():
+        put(f"single_{name}_us_per_sample", row["new_us_per_sample"])
+    for row in results.get("pool", ()):
+        key = f"pool_{row['mode']}_{row['streams']}_{row['backend']}"
+        put(key, row["samples_per_s"])
+    for row in results.get("sharded", ()):
+        key = f"sharded_{row['mode']}_{row['streams']}_{row['workers']}w_{row['ingest']}"
+        put(key, row["samples_per_s"])
+    for row in results.get("server", ()):
+        key = f"server_{row['mode']}_{row['streams']}_{row['ingest']}"
+        put(key, row["samples_per_s"])
+    for row in results.get("mixed", ()):
+        put(
+            f"mixed_{row['streams_each']}x2_{row['workers']}w_"
+            f"depth{row['pipeline_depth']}",
+            row["samples_per_s"],
+        )
+    summary = {
+        "machine": results["machine"],
+        "git_rev": _git_rev(),
+        "scenarios": scenarios,
+    }
+    with open(path, "w") as fh:
+        fh.write(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the results as JSON to PATH ('-' for stdout)")
+    parser.add_argument("--summary", metavar="PATH",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_multistream.json",
+                        ),
+                        help="write the compact trajectory summary here "
+                             "(default: top-level BENCH_multistream.json; 'none' to skip)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes (CI smoke run)")
     args = parser.parse_args(argv)
@@ -434,14 +595,19 @@ def main(argv=None) -> int:
           f"round-robin; workers=1 is the single-process baseline):")
     baseline = None
     for workers in worker_counts:
-        row = bench_sharded(sharded_streams, sharded_samples, workers)
-        results["sharded"].append(row)
-        if workers == 1:
-            baseline = row["samples_per_s"]
-        speedup = row["samples_per_s"] / baseline if baseline else float("nan")
-        row["speedup_vs_single"] = round(speedup, 2)
-        print(f"  workers={workers}  {row['samples_per_s']:>12,} samples/s  "
-              f"({speedup:4.2f}x vs single, locks {row['correct_locks']}/{row['streams']})")
+        depths = (0,) if workers == 1 else (0, 8)
+        for depth in depths:
+            row = bench_sharded(
+                sharded_streams, sharded_samples, workers, pipeline_depth=depth
+            )
+            results["sharded"].append(row)
+            if workers == 1:
+                baseline = row["samples_per_s"]
+            speedup = row["samples_per_s"] / baseline if baseline else float("nan")
+            row["speedup_vs_single"] = round(speedup, 2)
+            print(f"  workers={workers} {row['ingest']:24s} "
+                  f"{row['samples_per_s']:>12,} samples/s  "
+                  f"({speedup:4.2f}x vs single, locks {row['correct_locks']}/{row['streams']})")
 
     results["server"] = []
     server_streams = 100 if args.quick else 1000
@@ -456,6 +622,20 @@ def main(argv=None) -> int:
         print(f"  {row['ingest']:14s}  {row['samples_per_s']:>12,} samples/s  "
               f"(locks {row['correct_locks']}/{row['streams']})")
 
+    results["mixed"] = []
+    mixed_streams = 100 if args.quick else 1000
+    mixed_samples = 256 if args.quick else 512
+    print(f"\nmixed workload (magnitude + event, {mixed_streams} streams each, "
+          f"sharded x2 behind two loopback servers, chunked lockstep):")
+    for depth in (0, 8):
+        row = bench_mixed_loopback(
+            mixed_streams, mixed_samples, pipeline_depth=depth
+        )
+        results["mixed"].append(row)
+        label = f"pipeline_depth={depth}" if depth else "synchronous"
+        print(f"  {label:18s}  {row['samples_per_s']:>12,} samples/s  "
+              f"(locks {row['correct_locks']}/{row['total_streams']})")
+
     if args.json:
         payload = json.dumps(results, indent=2)
         if args.json == "-":
@@ -464,10 +644,28 @@ def main(argv=None) -> int:
             with open(args.json, "w") as fh:
                 fh.write(payload + "\n")
             print(f"\nwrote {args.json}")
+    if args.summary and args.summary != "none":
+        write_summary(results, args.summary)
+        print(f"wrote {args.summary}")
 
     ok = results["single_stream"]["scenarios"]["default"]["speedup"] >= 3.0
     if not ok:
         print("\nWARNING: hot-path speedup below the 3x acceptance bar", file=sys.stderr)
+    # The SoA lockstep backend must beat per-stream engines at the largest
+    # magnitude fleet measured (the bank is the multi-stream scaling story).
+    magnitude_rows = [r for r in results["pool"] if r["mode"] == "magnitude"]
+    largest = max(r["streams"] for r in magnitude_rows)
+    by_backend = {
+        r["backend"]: r["samples_per_s"]
+        for r in magnitude_rows if r["streams"] == largest
+    }
+    soa = by_backend.get("soa-lockstep", 0)
+    per_stream = by_backend.get("per-stream-engines", 0)
+    if soa <= per_stream:
+        print(f"\nWARNING: magnitude SoA bank ({soa:,} samples/s) does not beat "
+              f"per-stream engines ({per_stream:,} samples/s) at {largest} streams",
+              file=sys.stderr)
+        ok = False
     return 0 if ok else 1
 
 

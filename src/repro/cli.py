@@ -123,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shard the pool across this many worker processes (>= 2 enables sharding)")
     pl.add_argument("--start-method", choices=("fork", "spawn", "forkserver"), default=None,
                     help="multiprocessing start method for --workers (default: fork where available)")
+    pl.add_argument("--pipeline-depth", type=int, default=0,
+                    help="with --workers >= 2: pipeline consecutive ingest calls with this "
+                         "many unacknowledged requests per shard (0 = synchronous)")
     pl.add_argument("--connect", metavar="HOST:PORT", default=None,
                     help="push the workload to a running `repro serve` daemon instead "
                          "of an in-process pool (--workers is then the server's business)")
@@ -138,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="LRU capacity of the pool (default: unbounded; per shard with --workers)")
     sv.add_argument("--workers", type=int, default=1,
                     help="shard the pool across this many worker processes (>= 2 enables sharding)")
+    sv.add_argument("--pipeline-depth", type=int, default=0,
+                    help="with --workers >= 2: pipeline consecutive shard ingests with this "
+                         "many unacknowledged requests per shard (0 = synchronous; in-flight "
+                         "events then reach clients on later replies or subscriber pushes)")
     sv.add_argument("--max-inflight", type=int, default=32,
                     help="per-connection unanswered-request bound before BUSY replies")
     sv.add_argument("--eval-interval", type=int, default=4,
@@ -333,7 +340,11 @@ def _cmd_pool(args) -> int:
     if sharded:
         pool = ShardedDetectorPool(
             config,
-            ShardingConfig(workers=args.workers, start_method=args.start_method),
+            ShardingConfig(
+                workers=args.workers,
+                start_method=args.start_method,
+                pipeline_depth=max(args.pipeline_depth, 0),
+            ),
         )
     else:
         pool = DetectorPool(config)
@@ -353,6 +364,9 @@ def _cmd_pool(args) -> int:
             for offset in range(0, args.samples, chunk):
                 for sid, values in traces.items():
                     events.extend(pool.ingest(sid, values[offset : offset + chunk]))
+        if sharded:
+            # Terminal collection of a pipelined run (no-op when synchronous).
+            events.extend(pool.flush())
         elapsed = time.perf_counter() - started
 
         total = args.streams * args.samples
@@ -394,7 +408,9 @@ def _cmd_serve(args) -> int:
     config = _synthetic_pool_config(
         args.mode, args.window, args.max_streams, args.eval_interval
     )
-    pool = build_pool(config, workers=args.workers)
+    pool = build_pool(
+        config, workers=args.workers, pipeline_depth=max(args.pipeline_depth, 0)
+    )
     server = DetectionServer(
         pool,
         ServerConfig(host=args.host, port=args.port, max_inflight=args.max_inflight),

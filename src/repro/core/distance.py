@@ -40,6 +40,7 @@ __all__ = [
     "amdf_at_lag",
     "amdf_profile",
     "amdf_pair_sums",
+    "amdf_pair_sums_batch",
     "event_distance_at_lag",
     "event_distance_profile",
     "event_mismatch_counts",
@@ -119,6 +120,44 @@ def amdf_pair_sums(
     for start in range(0, max_lag + 1, width):
         stop = min(start + width, max_lag + 1)
         sums[start:stop] = np.nansum(np.abs(lagged[:, start:stop] - col), axis=0)
+    return sums
+
+
+def amdf_pair_sums_batch(
+    windows: np.ndarray, max_lag: int | None = None
+) -> np.ndarray:
+    """Row-wise :func:`amdf_pair_sums` over a ``(streams, n)`` matrix.
+
+    Returns a ``(streams, max_lag + 1)`` matrix whose row ``s`` is
+    bit-for-bit ``amdf_pair_sums(windows[s], max_lag)``: the lagged pair
+    matrix is the same NaN-padded strided view lifted to 3-D, and the
+    ``nansum`` reduction runs over the same (middle) pair axis in the
+    same ascending-``k`` order.  This is what the structure-of-arrays
+    bank's refresh-interval drift guard calls instead of looping
+    ``amdf_pair_sums`` per stream.
+    """
+    arr = np.asarray(windows, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError("windows must be a 2-D (streams, n) matrix")
+    streams, n = arr.shape
+    if streams == 0 or n == 0:
+        raise ValidationError("windows must not be empty")
+    if max_lag is None:
+        max_lag = n - 1
+    check_positive_int(max_lag, "max_lag")
+    max_lag = min(max_lag, n - 1)
+    padded = np.concatenate(
+        [arr, np.full((streams, max_lag), np.nan, dtype=np.float64)], axis=1
+    )
+    lagged = sliding_window_view(padded, max_lag + 1, axis=1)  # (S, n, max_lag+1)
+    col = arr[:, :, None]
+    sums = np.empty((streams, max_lag + 1), dtype=np.float64)
+    width = max(1, min(max_lag + 1, _MAX_BLOCK_ELEMENTS // max(streams * n, 1)))
+    for start in range(0, max_lag + 1, width):
+        stop = min(start + width, max_lag + 1)
+        sums[:, start:stop] = np.nansum(
+            np.abs(lagged[:, :, start:stop] - col), axis=1
+        )
     return sums
 
 

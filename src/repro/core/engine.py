@@ -22,9 +22,13 @@ module defines the :class:`DetectorEngine` protocol they all speak:
     per-stream engine and how checkpointing works.
 
 The module also hosts :class:`LockTracker`, the small period-lock state
-machine shared verbatim between the single-stream magnitude detector and
-the vectorised multi-stream bank so that both produce bit-identical
-detections.
+machine of the single-stream magnitude detector, and
+:class:`LockTrackerBank`, its whole-bank array form: one
+``apply_batch`` call advances N lock state machines with transitions
+that are bit-for-bit equivalent to N scalar :meth:`LockTracker.apply`
+calls, which is what lets the structure-of-arrays service backend
+(:class:`repro.service.soa.MagnitudeSoABank`) drop its last per-stream
+Python loop while staying exactly equivalent to standalone detectors.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ __all__ = [
     "DetectionResult",
     "DetectorEngine",
     "LockTracker",
+    "LockTrackerBank",
     "SNAPSHOT_VERSION",
     "make_engine",
     "tag_snapshot",
@@ -227,6 +232,155 @@ class LockTracker:
         self.anchor = state["anchor"]
         self.misses = int(state["misses"])
         self.detected = dict(state["detected"])
+
+
+class LockTrackerBank:
+    """Whole-bank array form of N :class:`LockTracker` state machines.
+
+    The magnitude lockstep bank evaluates all streams' profiles as one
+    2-D matrix pass; this class is the matching lock layer, so no
+    per-stream Python survives on the evaluation path.  State lives in
+    flat arrays (``periods``, ``anchors``, ``misses``, ``confidences``)
+    with sentinel encodings — ``periods[s] == 0`` for "no lock",
+    ``anchors[s] == -1`` for "no anchor" — plus one per-stream
+    ``detected`` dict that is touched only on the rare lock-change mask.
+
+    Every transition of :meth:`apply_batch` is bit-for-bit equivalent to
+    N scalar :meth:`LockTracker.apply` calls (property-tested against
+    the scalar oracle), and :meth:`snapshot_stream` /
+    :meth:`restore_stream` speak the scalar snapshot format, so streams
+    can hop between a bank row and a standalone detector freely.
+    """
+
+    __slots__ = (
+        "loss_patiences",
+        "periods",
+        "anchors",
+        "misses",
+        "confidences",
+        "detected",
+    )
+
+    def __init__(self, streams: int, loss_patience: int) -> None:
+        if streams <= 0:
+            raise ValidationError(f"streams must be positive, got {streams}")
+        # Per stream, like the scalar tracker's attribute: a restored
+        # snapshot may carry a different patience than the bank default.
+        self.loss_patiences = np.full(streams, int(loss_patience), dtype=np.int64)
+        self.periods = np.zeros(streams, dtype=np.int64)
+        self.anchors = np.full(streams, -1, dtype=np.int64)
+        self.misses = np.zeros(streams, dtype=np.int64)
+        self.confidences = np.zeros(streams, dtype=np.float64)
+        #: per stream: period -> number of times it was (re-)locked
+        self.detected: list[dict[int, int]] = [{} for _ in range(streams)]
+
+    @property
+    def streams(self) -> int:
+        """Number of lock state machines in the bank."""
+        return self.periods.size
+
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        lags: np.ndarray,
+        depths: np.ndarray,
+        gate_mask: np.ndarray | None,
+        index: int,
+    ) -> np.ndarray:
+        """Advance every lock with one evaluation outcome; returns the
+        new-detection mask.
+
+        ``lags[s] == 0`` means stream ``s`` produced no candidate (the
+        convention of :func:`~repro.core.minima.select_periods_batch`);
+        ``gate_mask`` (optional) vetoes candidates that fail an external
+        acceptance test (the bank's ``fill >= min_repetitions * lag``
+        gate).  A stream whose candidate is vetoed behaves exactly as if
+        the scalar tracker had been handed ``None``.
+        """
+        lags = np.asarray(lags)
+        have = lags > 0
+        if gate_mask is not None:
+            have = have & gate_mask
+
+        # Scalar branch 1: no candidate while locked -> count a miss,
+        # drop the lock once the patience is exhausted.
+        missing = ~have & (self.periods > 0)
+        if missing.any():
+            self.misses[missing] += 1
+            dropped = missing & (self.misses >= self.loss_patiences)
+            if dropped.any():
+                self.periods[dropped] = 0
+                self.confidences[dropped] = 0.0
+                self.anchors[dropped] = -1
+                self.misses[dropped] = 0
+
+        # Scalar branch 2: a candidate always clears the miss counter;
+        # the same lag refreshes the confidence, a different lag
+        # (re-)locks and re-anchors.
+        self.misses[have] = 0
+        same = have & (lags == self.periods)
+        if same.any():
+            self.confidences[same] = depths[same]
+        changed = have & (lags != self.periods)
+        if changed.any():
+            self.periods[changed] = lags[changed]
+            self.confidences[changed] = depths[changed]
+            self.anchors[changed] = index
+            for pos in np.flatnonzero(changed):
+                counts = self.detected[pos]
+                lag = int(lags[pos])
+                counts[lag] = counts.get(lag, 0) + 1
+        return changed
+
+    # ------------------------------------------------------------------
+    def is_period_start_mask(self, index: int) -> np.ndarray:
+        """Boolean mask of streams whose lock starts a period at ``index``."""
+        active = (self.periods > 0) & (self.anchors >= 0)
+        safe = np.where(active, self.periods, 1)
+        return active & ((index - self.anchors) % safe == 0)
+
+    def period_start_matrix(self, start_index: int, count: int) -> np.ndarray:
+        """Period-start masks for ``count`` consecutive indices at once.
+
+        Returns a ``(count, streams)`` boolean matrix whose row ``t`` is
+        :meth:`is_period_start_mask` at ``start_index + t`` — valid only
+        while no :meth:`apply_batch` falls inside the range (the chunked
+        bank hot loop guarantees that by construction).
+        """
+        active = (self.periods > 0) & (self.anchors >= 0)
+        safe = np.where(active, self.periods, 1)
+        offsets = (start_index + np.arange(count))[:, None] - self.anchors[None, :]
+        return active[None, :] & (offsets % safe[None, :] == 0)
+
+    # ------------------------------------------------------------------
+    def current_period(self, pos: int) -> int | None:
+        """Locked period of the tracker at ``pos`` (None while searching)."""
+        period = int(self.periods[pos])
+        return period if period else None
+
+    def snapshot_stream(self, pos: int) -> dict:
+        """Scalar :meth:`LockTracker.snapshot`-format copy of one tracker."""
+        period = int(self.periods[pos])
+        anchor = int(self.anchors[pos])
+        return {
+            "loss_patience": int(self.loss_patiences[pos]),
+            "period": period if period else None,
+            "confidence": float(self.confidences[pos]),
+            "anchor": anchor if anchor >= 0 else None,
+            "misses": int(self.misses[pos]),
+            "detected": dict(self.detected[pos]),
+        }
+
+    def restore_stream(self, pos: int, state: dict) -> None:
+        """Reinstate one tracker from a scalar-format snapshot."""
+        period = state["period"]
+        anchor = state["anchor"]
+        self.loss_patiences[pos] = int(state["loss_patience"])
+        self.periods[pos] = period if period is not None else 0
+        self.anchors[pos] = anchor if anchor is not None else -1
+        self.confidences[pos] = float(state["confidence"])
+        self.misses[pos] = int(state["misses"])
+        self.detected[pos] = dict(state["detected"])
 
 
 def make_engine(mode: str, **options) -> "DetectorEngine":

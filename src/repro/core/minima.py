@@ -296,7 +296,56 @@ def select_periods_batch(
     is_min, depths = _minima_matrix(P, min_lag)
     with np.errstate(invalid="ignore"):
         qualifies = is_min & (depths >= min_depth)
-    for row in np.flatnonzero(qualifies.any(axis=1)):
+    has_any = qualifies.any(axis=1)
+    if not has_any.any():
+        return out_lags, out_dist, out_depth
+    # Whole-matrix fast paths: two sufficient conditions, each settling a
+    # row with no per-row Python, together covering essentially every
+    # evaluation of a locked periodic stream (minima at p, 2p, 3p, ...
+    # plus the odd shallow spurious minimum); only rows with genuinely
+    # competing minima pay the compact-array resolution below.
+    #
+    # (A) Let m0 be the row's smallest qualifying lag.  Nothing can
+    #     suppress m0 (suppression needs a smaller kept lag), so m0
+    #     always survives the harmonic filter.  When every qualifying
+    #     multiple of m0 lies within the harmonic tolerance of m0's
+    #     depth (m0 suppresses it) and every qualifying non-multiple is
+    #     no deeper than m0 (it cannot out-rank m0, and ties break
+    #     toward the smaller lag — m0), the winner is m0.
+    # (B) Let j* be the row's deepest qualifying lag (smallest lag on a
+    #     depth tie — the lexsort order).  When no qualifying strict
+    #     divisor of j* is deep enough to suppress it (kept lags are a
+    #     subset of qualifying ones, so this is conservative), j*
+    #     survives the filter, and as the pre-filter deepest it wins.
+    first = qualifies.argmax(axis=1)
+    lag_grid = np.arange(P.shape[1], dtype=np.int64)
+    m0 = np.maximum(first, 1)[:, None]
+    d0 = depths[np.arange(streams), first][:, None]
+    with np.errstate(invalid="ignore"):
+        multiple = lag_grid[None, :] % m0 == 0
+        explained = np.where(
+            multiple, depths <= d0 + harmonic_tolerance, depths <= d0
+        )
+        fast_a = has_any & np.all(explained | ~qualifies, axis=1)
+        masked = np.where(qualifies, depths, -np.inf)
+        dmax = masked.max(axis=1)
+        jstar = (masked == dmax[:, None]).argmax(axis=1)
+        divisor = (
+            (np.maximum(jstar, 1)[:, None] % np.maximum(lag_grid, 1)[None, :] == 0)
+            & (lag_grid[None, :] < jstar[:, None])
+        )
+        threat = qualifies & divisor & (depths + harmonic_tolerance >= dmax[:, None])
+        fast_b = has_any & ~fast_a & ~threat.any(axis=1)
+    # When A and B both hold they provably agree, so precedence is moot.
+    for rows, best_fast in (
+        (np.flatnonzero(fast_a), first),
+        (np.flatnonzero(fast_b), jstar),
+    ):
+        best = best_fast[rows]
+        out_lags[rows] = best
+        out_dist[rows] = P[rows, best]
+        out_depth[rows] = depths[rows, best]
+    for row in np.flatnonzero(has_any & ~fast_a & ~fast_b):
         cols = np.flatnonzero(qualifies[row])
         if cols.size == 1:
             best = cols[0]

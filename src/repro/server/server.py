@@ -194,6 +194,15 @@ class DetectionServer:
         self._draining = False
         self._stopped = False
         self._conn_counter = 0
+        # A sharded pool with a positive pipeline_depth returns ingest
+        # events lazily; the dispatcher then flushes whenever its queue
+        # runs dry so subscribers see the tail without waiting for the
+        # next request.  Synchronous pools never have anything pending,
+        # so the idle flush is skipped entirely.
+        sharding = getattr(self.facade.pool, "sharding", None)
+        self._pipelined_pool = bool(
+            sharding is not None and getattr(sharding, "pipeline_depth", 0)
+        )
         # service counters, reported by STATS
         self.busy_replies = 0
         self.dropped_events = 0
@@ -241,6 +250,9 @@ class DetectionServer:
                 await self._dispatcher
             except asyncio.CancelledError:
                 pass
+        if self._pipelined_pool:
+            # Deliver the pipelined tail before the subscribers go away.
+            await self._flush_pipelined(asyncio.get_running_loop())
         # Flush each connection's outbound queue behind a BYE notice.
         writers = []
         for conn in list(self._connections):
@@ -272,6 +284,13 @@ class DetectionServer:
         loop = asyncio.get_running_loop()
         carry: _Job | None = None
         while True:
+            # Idle collection first, so every job path reaches it — the
+            # control-job `continue` below must not skip the pipelined
+            # tail (events drained into the shard handles by a stats or
+            # snapshot call would otherwise sit undelivered until the
+            # next ingest).
+            if self._pipelined_pool and carry is None and self._jobs.empty():
+                await self._collect_pipelined_idle(loop)
             job = carry if carry is not None else await self._jobs.get()
             carry = None
             try:
@@ -298,6 +317,37 @@ class DetectionServer:
                 # future request would hang silently.  Whatever slipped
                 # through the per-job guards is logged and survived.
                 _logger.exception("dispatcher error; continuing")
+
+    async def _collect_pipelined_idle(self, loop) -> None:
+        """Deliver a pipelined pool's tail while idle, without stalling.
+
+        Uses the *non-blocking* ``collect`` in a short poll loop — a
+        blocking flush here would serialise the dispatcher (and the
+        executor) against every in-flight shard reply, adding a full
+        drain of latency to any request arriving during an idle blip.
+        The loop yields back to job processing the moment work arrives
+        and stops once nothing is outstanding; the blocking flush is
+        reserved for shutdown.
+        """
+        while self._jobs.empty():
+            try:
+                events = await loop.run_in_executor(self._executor, self.facade.collect)
+            except Exception:  # pragma: no cover - defensive
+                _logger.exception("pipelined collect failed; continuing")
+                return
+            self._fan_out(events)
+            if not self.facade.outstanding:
+                return
+            await asyncio.sleep(0.002)
+
+    async def _flush_pipelined(self, loop) -> None:
+        """Blocking terminal drain of a pipelined pool (shutdown only)."""
+        try:
+            events = await loop.run_in_executor(self._executor, self.facade.flush)
+        except Exception:  # pragma: no cover - defensive
+            _logger.exception("pipelined flush failed; continuing")
+            return
+        self._fan_out(events)
 
     async def _run_single(self, loop, job: _Job) -> None:
         """Execute one lockstep/control job on the executor thread."""
@@ -348,7 +398,13 @@ class DetectionServer:
                 for sid in job.batches:
                     owner[sid] = id(job)
             for event in events:
-                shares[owner[event.stream_id]].append(event)
+                # A pipelined sharded pool may hand back events of
+                # streams no current job touched (an earlier call's
+                # tail); those reach subscribers via _fan_out below but
+                # belong to no reply.
+                job_id = owner.get(event.stream_id)
+                if job_id is not None:
+                    shares[job_id].append(event)
             for job in jobs:
                 if not job.future.cancelled():
                     job.future.set_result(shares[id(job)])
@@ -677,12 +733,28 @@ class DetectionServer:
 # construction + threaded hosting helpers
 # ----------------------------------------------------------------------
 def build_pool(
-    config: PoolConfig, *, workers: int = 1, sharding: ShardingConfig | None = None
+    config: PoolConfig,
+    *,
+    workers: int = 1,
+    sharding: ShardingConfig | None = None,
+    pipeline_depth: int = 0,
 ):
-    """Build the pool a server should own: plain below 2 workers, sharded above."""
+    """Build the pool a server should own: plain below 2 workers, sharded above.
+
+    ``pipeline_depth`` (used only when ``sharding`` is not given and the
+    pool is sharded) enables cross-call ingest pipelining — see
+    :class:`~repro.service.sharding.ShardingConfig`.  With it, an INGEST
+    reply may omit events that are still in flight; they reach the
+    requester on a later reply for the same streams, or subscribers via
+    the dispatcher's idle flush.
+    """
     check_positive_int(workers, "workers")
     if workers >= 2:
-        return ShardedDetectorPool(config, sharding or ShardingConfig(workers=workers))
+        return ShardedDetectorPool(
+            config,
+            sharding
+            or ShardingConfig(workers=workers, pipeline_depth=pipeline_depth),
+        )
     return DetectorPool(config)
 
 

@@ -82,6 +82,11 @@ class EventSoABank:
         self._misses = np.zeros(streams, dtype=np.int64)
         #: per stream: period -> number of times it was (re-)locked
         self._detected: list[dict[int, int]] = [{} for _ in ids]
+        # Cached candidate-lag range of _fundamentals; rebuilt only while
+        # the window is still filling (the top lag then grows), constant
+        # afterwards, so the per-step hot path allocates no index arrays.
+        self._fund_lags = np.empty(0, dtype=np.int64)
+        self._fund_top = -2
 
     # ------------------------------------------------------------------
     @property
@@ -181,7 +186,10 @@ class EventSoABank:
         if self.config.require_full_window and fill < self._window_size:
             return fundamentals
         top = min(self._max_lag, fill - 1)
-        lags = np.arange(self.config.min_lag, top + 1)
+        if top != self._fund_top:
+            self._fund_lags = np.arange(self.config.min_lag, top + 1)
+            self._fund_top = top
+        lags = self._fund_lags
         if lags.size == 0:
             return fundamentals
         ok = self._mismatches[:, lags] == 0
@@ -245,6 +253,13 @@ class EventSoABank:
         Same convention as :meth:`EventPeriodicityDetector.profile`:
         0 for an exact repetition, 1 otherwise, -1 below ``min_lag`` or
         beyond the filled window (not evaluated).
+
+        Allocates a fresh matrix per call, which is fine here: unlike
+        the magnitude bank (whose evaluation consumes its profile matrix
+        every ``evaluation_interval`` steps and therefore reuses a
+        preallocated scratch), the event hot path reads the mismatch
+        counters directly in ``_fundamentals`` — this accessor only
+        serves inspection and tests.
         """
         profiles = np.full((self.streams, self._max_lag + 1), -1, dtype=np.int64)
         hi = min(self._max_lag, self._fill - 1)

@@ -104,6 +104,26 @@ class ThreadSafePool:
         with self._lock:
             return self._deliver(self._pool.ingest_lockstep(traces))
 
+    def collect(self) -> list[PeriodStartEvent]:
+        """Non-blocking: events of pipelined ingests whose replies have
+        already arrived (always ``[]`` on a synchronous pool).  Collected
+        events reach facade listeners exactly like ingest returns."""
+        with self._lock:
+            return self._deliver(self._pool.collect())
+
+    def flush(self) -> list[PeriodStartEvent]:
+        """Wait for every outstanding pipelined ingest; returns (and
+        delivers to listeners) the remaining events.  A no-op returning
+        ``[]`` on a synchronous pool."""
+        with self._lock:
+            return self._deliver(self._pool.flush())
+
+    @property
+    def outstanding(self) -> int:
+        """Unacknowledged pipelined requests (0 on a synchronous pool)."""
+        with self._lock:
+            return self._pool.outstanding
+
     # ------------------------------------------------------------------
     # state management
     # ------------------------------------------------------------------

@@ -515,6 +515,28 @@ class DetectorPool:
         self._notify(events)
         return events
 
+    @property
+    def outstanding(self) -> int:
+        """Unacknowledged pipelined requests: always 0 (synchronous pool)."""
+        return 0
+
+    def collect(self) -> list[PeriodStartEvent]:
+        """Events of already-acknowledged pipelined ingests: always ``[]``.
+
+        A single-process pool is strictly synchronous — every ingest
+        call returns its own events — but consumers that may hold either
+        a ``DetectorPool`` or a pipelining
+        :class:`~repro.service.sharding.ShardedDetectorPool` (the
+        network server, the facade) need the collection interface on
+        both.
+        """
+        return []
+
+    def flush(self) -> list[PeriodStartEvent]:
+        """Wait for outstanding pipelined ingests: a no-op returning ``[]``
+        (see :meth:`collect`)."""
+        return []
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -13,6 +13,13 @@ process boundary through a preallocated shared-memory ring per shard
 worker); detected period starts come back over the control pipe as one
 compact structured array per request — never as pickled per-event
 object lists.  Batches larger than the ring are chunked transparently.
+With ``ShardingConfig.pipeline_depth > 0`` consecutive ingest calls
+additionally *pipeline*: the parent keeps a bounded per-shard window of
+unacknowledged requests instead of waiting for each call's replies, so
+a worker's detector time overlaps the parent's next ring write; events
+are handed back as their replies arrive (later ingest calls,
+``collect()``, or ``flush()``), and every stateful operation drains
+lazily first.
 
 State management reuses the engine ``snapshot`` / ``restore`` protocol
 verbatim — the exact mechanism the SoA banks already use to hand streams
@@ -91,17 +98,37 @@ class ShardingConfig:
         When True (default), an operation that finds a dead worker
         respawns it and restores its streams from the last checkpoint
         instead of raising.
+    pipeline_depth:
+        When positive, ``ingest_many`` / ``ingest_lockstep`` *pipeline*
+        across consecutive calls: instead of blocking until every shard
+        has replied, a call returns once each shard's in-flight window
+        is back under this bound, handing back whichever events have
+        materialised so far — a worker's detector time then overlaps the
+        parent's next ring write.  Outstanding events are delivered by
+        later ingest calls, :meth:`ShardedDetectorPool.collect`, or
+        :meth:`ShardedDetectorPool.flush`; stateful operations
+        (checkpoint, snapshots, stats, ...) drain lazily first, so they
+        always observe fully applied state.  ``0`` (the default) keeps
+        every call fully synchronous.  Per-stream event order is
+        preserved either way — pipelining changes only *when* events are
+        handed back, never their content or relative order.  Values
+        beyond the per-shard outstanding-request cap are clamped by it.
     """
 
     workers: int | None = None
     ring_bytes: int = 1 << 22
     start_method: str | None = None
     restore_on_crash: bool = True
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.workers is not None:
             check_positive_int(self.workers, "workers")
         check_positive_int(self.ring_bytes, "ring_bytes")
+        if self.pipeline_depth < 0:
+            raise ValidationError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
+            )
         if self.start_method is not None and self.start_method not in (
             "fork",
             "spawn",
@@ -302,19 +329,32 @@ class _ShardClient:
             return None
         return payload
 
-    def drain(self) -> None:
-        """Collect every outstanding reply."""
+    def flush(self) -> None:
+        """Collect every outstanding reply (blocking)."""
         while self.pending:
             self.recv_one()
 
-    def drain_ready(self) -> None:
+    def collect(self) -> None:
         """Collect replies that are already waiting, without blocking."""
         while self.pending and self.conn.poll():
             self.recv_one()
 
+    def settle(self, depth: int) -> None:
+        """Collect until at most ``depth`` requests remain in flight.
+
+        The pipelined ingest path calls this instead of :meth:`flush`:
+        ready replies are always gathered, and only an in-flight window
+        beyond ``depth`` blocks — that bounded window is what lets a
+        worker's detector time overlap the parent's next ring write.
+        """
+        self.collect()
+        while len(self.pending) > depth:
+            self.recv_one()
+
     def call(self, op: str, payload=None):
-        """Synchronous control call (drains data replies first)."""
-        self.drain()
+        """Synchronous control call (flushes pending data replies first,
+        so stateful operations always observe fully applied state)."""
+        self.flush()
         self.send(op, payload)
         return self.recv_one()
 
@@ -325,7 +365,7 @@ class _ShardClient:
     def write_span(self, array: np.ndarray) -> tuple[int, tuple[int, ...], str]:
         """Reserve + fill a ring span, draining acknowledgements as needed."""
         while True:
-            self.drain_ready()
+            self.collect()
             if len(self.pending) >= _MAX_OUTSTANDING:
                 self.recv_one()  # blocking: bound the backlog
                 continue
@@ -339,7 +379,7 @@ class _ShardClient:
     def shutdown(self) -> None:
         try:
             if self.alive():
-                self.drain()
+                self.flush()
                 self.send("close", None)
                 self.recv_one()
         except (BrokenPipeError, EOFError, OSError, RuntimeError):
@@ -421,6 +461,10 @@ class ShardedDetectorPool:
         self._workers = sharding.resolved_workers()
         self._shards: list[_ShardClient] = []
         self._checkpoint: dict[str, dict] = {}
+        # Pipelined events rescued from shard handles that were torn down
+        # by a normal-path reshape (rebalance, drain_to_pool): delivered
+        # by the next collection so no event is ever silently dropped.
+        self._stray_events: list[PeriodStartEvent] = []
         self._closed = False
         try:
             for index in range(self._workers):
@@ -493,7 +537,7 @@ class ShardedDetectorPool:
         for shard in self._shards:
             if shard.alive():
                 try:
-                    shard.drain()
+                    shard.flush()
                 except _WorkerCrash:  # pragma: no cover - second crash
                     pass
             shard.pending.clear()
@@ -563,19 +607,50 @@ class ShardedDetectorPool:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
+    def _collect_ingest_replies(self) -> list[PeriodStartEvent]:
+        """Gather events after an ingest send, honouring the pipeline depth.
+
+        Depth 0 (the default) flushes every shard — the synchronous
+        contract: the returned events are exactly this call's.  A
+        positive depth only settles each shard back under its in-flight
+        window and returns whatever events have materialised, which may
+        span earlier pipelined calls (and may not yet include this
+        one's); :meth:`flush` retrieves the rest.
+        """
+        depth = self.sharding.pipeline_depth
+        events = self._take_stray_events()
+        for shard in self._shards:
+            if depth:
+                shard.settle(depth)
+            else:
+                shard.flush()
+            events.extend(shard.take_events())
+        return events
+
+    def _take_stray_events(self) -> list[PeriodStartEvent]:
+        if not self._stray_events:
+            return []
+        events, self._stray_events = self._stray_events, []
+        return events
+
     @_recovering
     def ingest(
         self, stream_id: str, samples: Sequence[float] | np.ndarray
     ) -> list[PeriodStartEvent]:
         """Feed a batch into one stream; returns its period-start events.
 
-        Synchronous (waits for the owning shard).  For cross-shard
-        parallelism feed many streams at once with :meth:`ingest_many`.
+        Synchronous (waits for the owning shard; with a positive
+        ``pipeline_depth`` the reply wait is bounded by the in-flight
+        window instead).  For cross-shard parallelism feed many streams
+        at once with :meth:`ingest_many`.
         """
         self._ensure_alive()
         shard = self._shard(stream_id)
         self._send_batch(shard, stream_id, np.asarray(samples).ravel())
-        shard.drain()
+        if self.sharding.pipeline_depth:
+            shard.settle(self.sharding.pipeline_depth)
+        else:
+            shard.flush()
         return shard.take_events()
 
     @_recovering
@@ -587,17 +662,15 @@ class ShardedDetectorPool:
         The parent writes every batch into the rings before collecting
         any reply, so the N workers overlap their detector work — this
         (and :meth:`ingest_lockstep`) is the multi-core scaling path.
+        With a positive ``pipeline_depth`` consecutive calls additionally
+        pipeline against each other (see :class:`ShardingConfig`).
         """
         self._ensure_alive()
         for stream_id, samples in batches.items():
             self._send_batch(
                 self._shard(stream_id), stream_id, np.asarray(samples).ravel()
             )
-        events: list[PeriodStartEvent] = []
-        for shard in self._shards:
-            shard.drain()
-            events.extend(shard.take_events())
-        return events
+        return self._collect_ingest_replies()
 
     @_recovering
     def ingest_lockstep(
@@ -607,7 +680,9 @@ class ShardedDetectorPool:
 
         The stream partition of ``traces`` is routed shard by shard; each
         worker then applies its own SoA-vs-per-stream crossover on its
-        partition (identical results either way).
+        partition (identical results either way).  With a positive
+        ``pipeline_depth`` consecutive lockstep calls pipeline against
+        each other (see :class:`ShardingConfig`).
         """
         self._ensure_alive()
         ids = list(traces)
@@ -645,9 +720,41 @@ class ShardedDetectorPool:
                     holds_span=True,
                     context=member_ids,
                 )
-        events: list[PeriodStartEvent] = []
+        return self._collect_ingest_replies()
+
+    @property
+    def outstanding(self) -> int:
+        """Unacknowledged pipelined requests across all shards (0 when
+        synchronous or fully drained)."""
+        return sum(len(shard.pending) for shard in self._shards)
+
+    @_recovering
+    def collect(self) -> list[PeriodStartEvent]:
+        """Non-blocking: events whose pipelined replies already arrived.
+
+        Complements a positive ``pipeline_depth``; on a synchronous pool
+        there is never anything outstanding and this returns ``[]``.
+        """
+        self._ensure_alive()
+        events = self._take_stray_events()
         for shard in self._shards:
-            shard.drain()
+            shard.collect()
+            events.extend(shard.take_events())
+        return events
+
+    @_recovering
+    def flush(self) -> list[PeriodStartEvent]:
+        """Wait for every outstanding pipelined reply; returns its events.
+
+        The terminal collection of a pipelined ingest sequence — after
+        it, every sample handed to ``ingest_many`` / ``ingest_lockstep``
+        has been applied and every produced event has been returned
+        (here or by an earlier call).
+        """
+        self._ensure_alive()
+        events = self._take_stray_events()
+        for shard in self._shards:
+            shard.flush()
             events.extend(shard.take_events())
         return events
 
@@ -725,6 +832,9 @@ class ShardedDetectorPool:
         check_positive_int(workers, "workers")
         snapshot = self.checkpoint()
         for shard in self._shards:
+            # checkpoint() drained any pipelined replies into the shard
+            # handles; rescue those events before the handles go away.
+            self._stray_events.extend(shard.take_events())
             shard.shutdown()
         self._workers = workers
         self._shards = [
@@ -738,8 +848,15 @@ class ShardedDetectorPool:
 
     @_recovering
     def drain_to_pool(self) -> DetectorPool:
-        """Materialise the whole sharded state as one local ``DetectorPool``."""
+        """Materialise the whole sharded state as one local ``DetectorPool``.
+
+        Pipelined events drained by the checkpoint stay retrievable from
+        this pool's :meth:`collect`/:meth:`flush` — migrating the state
+        out does not lose them.
+        """
         snapshot = self.checkpoint()
+        for shard in self._shards:
+            self._stray_events.extend(shard.take_events())
         pool = DetectorPool(self.config)
         for sid, entry in snapshot.items():
             pool.restore_stream(

@@ -11,13 +11,30 @@ arithmetic on 2-D arrays: ``buffers`` is ``(streams, window)`` and
 ``sums`` is ``(streams, max_lag + 1)``, so one vectorised operation
 advances every stream at once.
 
+No per-stream Python survives on the hot path:
+
+* the candidate evaluation runs
+  :func:`~repro.core.minima.select_periods_batch` over the whole 2-D
+  profile matrix (derived allocation-free from preallocated scratch);
+* the lock state machines run as one
+  :class:`~repro.core.engine.LockTrackerBank` — whole-bank array
+  transitions bit-for-bit equivalent to N scalar ``LockTracker``s;
+* :meth:`MagnitudeSoABank.process` advances the incremental AMDF sums
+  for all columns *between* evaluation/refresh boundaries in one chunked
+  columnar pass (the eviction/insert recurrence unrolled over the
+  chunk), instead of paying the full per-``step()`` dispatch for every
+  sample, and reports period starts from one vectorised mask per chunk;
+* the refresh-interval drift guard recomputes the sums for all streams
+  with one batched :func:`~repro.core.distance.amdf_pair_sums_batch`
+  pass.
+
 Equivalence with the per-stream engine is exact by construction: the
 slice arithmetic mirrors :meth:`DynamicPeriodicityDetector.update` line
-by line, the candidate evaluation calls the same
-:func:`~repro.core.minima.select_period`, and each stream's lock runs the
-shared :class:`~repro.core.engine.LockTracker` state machine.
-:meth:`MagnitudeSoABank.snapshot_stream` emits a snapshot in the
-engine format, so a stream can be handed back to a standalone
+by line (the chunked pass applies the same per-step add/evict terms in
+the same order, so even the floating-point accumulation is identical),
+and the lock transitions are the scalar state machine lifted to arrays.
+:meth:`MagnitudeSoABank.snapshot_stream` emits a snapshot in the engine
+format, so a stream can be handed back to a standalone
 :class:`DynamicPeriodicityDetector` at any point (the pool does exactly
 that after a lockstep run).
 """
@@ -27,14 +44,21 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
-from repro.core.distance import amdf_pair_sums
-from repro.core.engine import LockTracker, tag_snapshot, validate_snapshot
-from repro.core.minima import PeriodCandidate, select_periods_batch
+from repro.core.distance import amdf_pair_sums_batch
+from repro.core.engine import LockTrackerBank, tag_snapshot, validate_snapshot
+from repro.core.minima import select_periods_batch
 from repro.util.validation import ValidationError
 
 __all__ = ["MagnitudeSoABank"]
+
+#: Upper bound on the number of 3-D scratch elements (streams x chunk x
+#: max_lag) a chunked columnar pass may materialise; bounds the working
+#: set without limiting how many columns :meth:`MagnitudeSoABank.process`
+#: accepts.
+_CHUNK_BUDGET_ELEMENTS = 1 << 21
 
 
 class MagnitudeSoABank:
@@ -82,12 +106,36 @@ class MagnitudeSoABank:
         self._head = 0
         self._index = -1
         self._since_refresh = 0
-        self._locks = [LockTracker(config.loss_patience) for _ in ids]
-        # Mirrors of the lock state as arrays, refreshed at evaluation
-        # steps, so the per-step period-start test is one vectorised pass.
-        self._periods = np.zeros(streams, dtype=np.int64)
-        self._anchors = np.zeros(streams, dtype=np.int64)
-        self._confidences = np.zeros(streams, dtype=np.float64)
+        self._locks = LockTrackerBank(streams, config.loss_patience)
+        # Once the window is full, "enough samples to evaluate" never
+        # changes again; precomputing it keeps the chunked pass branchless.
+        self._steady_ready = self._window_size >= max(
+            2 * config.min_lag, min(config.min_fill, self._window_size)
+        )
+        # --- preallocated scratch (the hot path never allocates) ---------
+        # Profile matrix handed to select_periods_batch: NaN outside the
+        # evaluated lag band; the band itself is overwritten in place on
+        # every evaluation, and only ever grows while the window fills.
+        self._profile_scratch = np.full(
+            (streams, self._max_lag + 1), np.nan, dtype=np.float64
+        )
+        self._steady_denoms = np.arange(
+            self._window_size - config.min_lag,
+            self._window_size - min(self._max_lag, self._window_size - 1) - 1,
+            -1,
+            dtype=np.float64,
+        )
+        self._chunk_cap = max(
+            1,
+            min(
+                self._window_size,
+                _CHUNK_BUDGET_ELEMENTS // max(streams * max(self._max_lag, 1), 1),
+            ),
+        )
+        # Window contents (oldest first) + incoming chunk, rebuilt per pass.
+        self._ext_scratch = np.empty(
+            (streams, self._window_size + self._chunk_cap), dtype=np.float64
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -102,11 +150,11 @@ class MagnitudeSoABank:
 
     def current_period(self, pos: int) -> int | None:
         """Locked period of the stream at row ``pos`` (None while searching)."""
-        return self._locks[pos].period
+        return self._locks.current_period(pos)
 
     def detected_periods(self, pos: int) -> list[int]:
         """Distinct periods locked on the stream at row ``pos``."""
-        return sorted(self._locks[pos].detected)
+        return sorted(self._locks.detected[pos])
 
     # ------------------------------------------------------------------
     def step(self, values: Sequence[float] | np.ndarray) -> list[tuple[int, int, float, bool]]:
@@ -168,57 +216,52 @@ class MagnitudeSoABank:
             self._rebuild_sums()
 
         # --- evaluate all streams in one pass over the profile matrix ---
-        # The minima search, depth computation and min_depth gate run as
-        # whole-matrix operations (select_periods_batch); only the lock
-        # state machines remain per-stream.
+        # Minima search, depth computation, min_depth gate and the lock
+        # transitions all run as whole-matrix operations; no per-stream
+        # Python.
         cfg = self.config
         ready = self._fill >= max(2 * cfg.min_lag, min(cfg.min_fill, self._window_size))
         if (self._index % cfg.evaluation_interval) == 0 and ready:
-            lags, distances, depths = select_periods_batch(
-                self.profiles(),
-                min_lag=cfg.min_lag,
-                min_depth=cfg.min_depth,
-                harmonic_tolerance=cfg.harmonic_tolerance,
-            )
-            fill_now = self._fill
-            min_fill_of = cfg.min_repetitions
-            for pos, lock in enumerate(self._locks):
-                lag = int(lags[pos])
-                if lag and fill_now >= min_fill_of * lag:
-                    candidate = PeriodCandidate(
-                        lag=lag, distance=float(distances[pos]), depth=float(depths[pos])
-                    )
-                else:
-                    candidate = None
-                lock.apply(candidate, self._index)
-                self._periods[pos] = lock.period or 0
-                self._anchors[pos] = lock.anchor if lock.anchor is not None else 0
-                self._confidences[pos] = lock.confidence
+            self._evaluate_locks()
 
         # --- period starts, one vectorised pass --------------------------
-        locked = np.flatnonzero(self._periods)
-        if locked.size == 0:
+        starting = np.flatnonzero(self._locks.is_period_start_mask(self._index))
+        if starting.size == 0:
             return []
-        offsets = self._index - self._anchors[locked]
-        starting = locked[offsets % self._periods[locked] == 0]
-        new_marks = {
-            pos for pos in starting if self._locks[pos].anchor == self._index
-        }
-        return [
-            (
-                int(pos),
-                int(self._periods[pos]),
-                float(self._confidences[pos]),
-                int(pos) in new_marks,
+        new_marks = self._locks.anchors[starting] == self._index
+        return list(
+            zip(
+                starting.tolist(),
+                self._locks.periods[starting].tolist(),
+                self._locks.confidences[starting].tolist(),
+                new_marks.tolist(),
             )
-            for pos in starting
-        ]
+        )
+
+    def _evaluate_locks(self) -> np.ndarray:
+        """One whole-bank evaluation at the current index; returns the
+        new-detection mask (``LockTrackerBank.apply_batch``)."""
+        cfg = self.config
+        lags, _distances, depths = select_periods_batch(
+            self._eval_profiles(),
+            min_lag=cfg.min_lag,
+            min_depth=cfg.min_depth,
+            harmonic_tolerance=cfg.harmonic_tolerance,
+        )
+        # The scalar detector rejects a candidate whose period does not
+        # repeat min_repetitions times inside the filled window.
+        gate = self._fill >= cfg.min_repetitions * lags
+        return self._locks.apply_batch(lags, depths, gate, self._index)
 
     def process(self, matrix: np.ndarray) -> list[tuple[int, int, int, float, bool]]:
-        """Feed a ``(streams, samples)`` matrix column by column.
+        """Feed a ``(streams, samples)`` matrix, chunked between boundaries.
 
         Returns one ``(stream_pos, index, period, confidence,
-        new_detection)`` tuple per detected period start.
+        new_detection)`` tuple per detected period start.  While the
+        window is filling, columns run through :meth:`step`; once it is
+        full, all columns up to the next evaluation/refresh boundary are
+        advanced in one columnar pass (:meth:`_advance_chunk`), which is
+        the bank's steady-state hot loop.
         """
         arr = np.asarray(matrix, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[0] != self.streams:
@@ -226,24 +269,162 @@ class MagnitudeSoABank:
                 f"matrix must have shape (streams={self.streams}, samples)"
             )
         out: list[tuple[int, int, int, float, bool]] = []
-        for t in range(arr.shape[1]):
+        total = arr.shape[1]
+        t = 0
+        while t < total and self._fill < self._window_size:
             index = self._index + 1
             for pos, period, confidence, new in self.step(arr[:, t]):
                 out.append((pos, index, period, confidence, new))
+            t += 1
+        while t < total:
+            length = self._chunk_len(total - t)
+            self._advance_chunk(arr[:, t : t + length], out)
+            t += length
         return out
 
+    def _chunk_len(self, remaining: int) -> int:
+        """Columns until (and including) the next evaluation or refresh
+        boundary, capped by the scratch budget and the window size."""
+        cfg = self.config
+        idx0 = self._index + 1
+        eval_k = (
+            (cfg.evaluation_interval - idx0 % cfg.evaluation_interval)
+            % cfg.evaluation_interval
+        ) + 1
+        refresh_k = cfg.refresh_interval - self._since_refresh
+        return max(1, min(eval_k, refresh_k, remaining, self._chunk_cap))
+
+    def _advance_chunk(
+        self, cols: np.ndarray, out: list[tuple[int, int, int, float, bool]]
+    ) -> None:
+        """Advance the full-window bank by ``cols.shape[1]`` lockstep columns.
+
+        The per-step insert/evict terms of the incremental AMDF
+        recurrence are materialised for the whole chunk in two strided
+        3-D passes over (window ++ chunk), then applied step by step as
+        plain 2-D adds — same values, same order, bit-for-bit the
+        arithmetic of :meth:`step`, at a fraction of the dispatch cost.
+        Evaluation (and the refresh rebuild) can only be due at the last
+        column — :meth:`_chunk_len` cuts chunks at those boundaries — so
+        the lock state is constant for all earlier columns and their
+        period starts reduce to one vectorised mask.
+        """
+        length = cols.shape[1]
+        window = self._window_size
+        top = self._max_lag
+        head = self._head
+        bufs = self._buffers
+        sums = self._sums
+        idx0 = self._index + 1
+
+        # ext = window contents oldest-first, then the incoming columns.
+        ext = self._ext_scratch[:, : window + length]
+        ext[:, : window - head] = bufs[:, head:]
+        if head:
+            ext[:, window - head : window] = bufs[:, :head]
+        ext[:, window:] = cols
+
+        # sw[s, j, k] = ext[s, j + k]; row j spans ext[j .. j + top].
+        sw = sliding_window_view(ext, top + 1, axis=1)
+        # Insert terms: step t adds |x_new - x_prev(m)| at lag m, where
+        # x_new = ext[:, window + t]; column k of the block is lag top-k.
+        base = window - top
+        add_rev = np.abs(
+            sw[:, base : base + length, top : top + 1]
+            - sw[:, base : base + length, :top]
+        )
+        # Evict terms: step t removes |x_old(m) - x_evicted| at lag m,
+        # where x_evicted = ext[:, t]; column k of the block is lag k+1.
+        sub = np.abs(sw[:, :length, 1 : top + 1] - sw[:, :length, :1])
+        body = sums[:, 1 : top + 1]
+        for step_t in range(length):
+            body += add_rev[:, step_t, ::-1]
+            body -= sub[:, step_t, :]
+
+        # Ring write of the chunk (at most one wrap: length <= window).
+        end = head + length
+        if end <= window:
+            bufs[:, head:end] = cols
+        else:
+            split = window - head
+            bufs[:, head:] = cols[:, :split]
+            bufs[:, : end - window] = cols[:, split:]
+        self._head = end % window
+        self._index += length
+        self._since_refresh += length
+        if self._since_refresh >= self.config.refresh_interval:
+            self._rebuild_sums()
+
+        cfg = self.config
+        eval_due = (
+            self._steady_ready and (self._index % cfg.evaluation_interval) == 0
+        )
+        locks = self._locks
+        # Period starts for the columns before any lock change: the lock
+        # state is constant there, so one (columns, streams) mask covers
+        # them all; nonzero() yields them time-major / stream-ascending,
+        # the exact order the per-step path reports.
+        plain = length - 1 if eval_due else length
+        if plain and locks.periods.any():
+            ts, poss = np.nonzero(locks.period_start_matrix(idx0, plain))
+            if ts.size:
+                out.extend(
+                    zip(
+                        poss.tolist(),
+                        (ts + idx0).tolist(),
+                        locks.periods[poss].tolist(),
+                        locks.confidences[poss].tolist(),
+                        (False,) * ts.size,
+                    )
+                )
+        if eval_due:
+            self._evaluate_locks()
+            starting = np.flatnonzero(locks.is_period_start_mask(self._index))
+            if starting.size:
+                new_marks = locks.anchors[starting] == self._index
+                out.extend(
+                    zip(
+                        starting.tolist(),
+                        (int(self._index),) * starting.size,
+                        locks.periods[starting].tolist(),
+                        locks.confidences[starting].tolist(),
+                        new_marks.tolist(),
+                    )
+                )
+
     # ------------------------------------------------------------------
+    def _eval_profiles(self) -> np.ndarray:
+        """Incremental ``d(m)`` profiles, written into the scratch matrix.
+
+        Allocation-free: only the evaluated lag band ``[min_lag, top]``
+        is (re)written; everything outside stays NaN from construction.
+        The returned matrix is reused by the next evaluation — callers
+        must not retain it (:meth:`profiles` hands out copies).
+        """
+        fill = self._fill
+        lo = self.config.min_lag
+        hi = min(self._max_lag, fill - 1)
+        scratch = self._profile_scratch
+        if hi < lo:
+            return scratch
+        if fill == self._window_size:
+            denoms = self._steady_denoms
+        else:
+            denoms = np.arange(fill - lo, fill - hi - 1, -1, dtype=np.float64)
+        np.divide(self._sums[:, lo : hi + 1], denoms, out=scratch[:, lo : hi + 1])
+        return scratch
+
     def profiles(self) -> np.ndarray:
         """Incremental ``d(m)`` profiles, shape ``(streams, max_lag + 1)``."""
-        profiles = np.full((self.streams, self._max_lag + 1), np.nan, dtype=np.float64)
-        fill = self._fill
-        lags = np.arange(self.config.min_lag, min(self._max_lag, fill - 1) + 1)
-        if lags.size:
-            profiles[:, lags] = self._sums[:, lags] / (fill - lags)
-        return profiles
+        return self._eval_profiles().copy()
 
     def _rebuild_sums(self) -> None:
-        """Exact per-stream recompute (the refresh-interval drift guard)."""
+        """Exact whole-bank recompute (the refresh-interval drift guard).
+
+        One batched 2-D :func:`amdf_pair_sums_batch` pass — bit-for-bit
+        the per-stream ``amdf_pair_sums`` results, with no Python loop
+        over streams.
+        """
         fill = self._fill
         head = self._head
         if fill < self._window_size:
@@ -252,11 +433,10 @@ class MagnitudeSoABank:
             windows = np.concatenate(
                 (self._buffers[:, head:], self._buffers[:, :head]), axis=1
             )
-        self._sums = np.zeros_like(self._sums)
         top = min(self._max_lag, fill - 1)
+        self._sums.fill(0.0)
         if top >= 1:
-            for pos in range(self.streams):
-                self._sums[pos, : top + 1] = amdf_pair_sums(windows[pos], top)
+            self._sums[:, : top + 1] = amdf_pair_sums_batch(windows, top)
         self._since_refresh = 0
 
     # ------------------------------------------------------------------
@@ -273,7 +453,7 @@ class MagnitudeSoABank:
             "sums": self._sums[pos].copy(),
             "since_refresh": self._since_refresh,
             "samples_since_growth": self._index + 1,
-            "lock": self._locks[pos].snapshot(),
+            "lock": self._locks.snapshot_stream(pos),
         })
 
     def restore_stream(self, pos: int, state: dict) -> None:
@@ -298,11 +478,7 @@ class MagnitudeSoABank:
             )
         self._buffers[pos] = np.asarray(state["buffer"], dtype=np.float64)
         self._sums[pos] = np.asarray(state["sums"], dtype=np.float64)
-        lock = self._locks[pos]
-        lock.restore(state["lock"])
-        self._periods[pos] = lock.period or 0
-        self._anchors[pos] = lock.anchor if lock.anchor is not None else 0
-        self._confidences[pos] = lock.confidence
+        self._locks.restore_stream(pos, state["lock"])
 
     def to_engine(self, pos: int) -> DynamicPeriodicityDetector:
         """Materialise the stream at row ``pos`` as a standalone engine."""

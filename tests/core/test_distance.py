@@ -126,3 +126,25 @@ class TestMatchingLags:
     def test_aperiodic_stream_has_no_matches(self):
         window = np.arange(50)
         assert matching_lags(window) == []
+
+
+class TestAmdfPairSumsBatch:
+    def test_rows_match_scalar_bitwise(self):
+        from repro.core.distance import amdf_pair_sums, amdf_pair_sums_batch
+
+        rng = np.random.default_rng(3)
+        for n, max_lag in ((64, 63), (64, 10), (7, 3), (2, 1)):
+            windows = rng.normal(size=(9, n)) * 1e4
+            batch = amdf_pair_sums_batch(windows, max_lag)
+            assert batch.shape == (9, max_lag + 1)
+            for row in range(9):
+                assert np.array_equal(batch[row], amdf_pair_sums(windows[row], max_lag))
+
+    def test_rejects_bad_shapes(self):
+        from repro.core.distance import amdf_pair_sums_batch
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            amdf_pair_sums_batch(np.zeros(8), 4)
+        with pytest.raises(ValidationError):
+            amdf_pair_sums_batch(np.zeros((0, 8)), 4)

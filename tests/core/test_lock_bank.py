@@ -1,0 +1,157 @@
+"""LockTrackerBank: bit-for-bit equivalence with N scalar LockTrackers.
+
+The bank's ``apply_batch`` is the whole-array lift of
+``LockTracker.apply``; these tests drive both through random candidate /
+gate sequences (hypothesis) and assert that every observable — the
+array state, the returned new-detection masks, the period-start masks
+and the snapshots — is identical to running the scalar state machine
+per stream.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import LockTracker, LockTrackerBank
+from repro.core.minima import PeriodCandidate
+from repro.util.validation import ValidationError
+
+# One evaluation outcome per stream: no candidate, or (lag, depth, gate).
+_outcome = st.one_of(
+    st.none(),
+    st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64),
+        st.booleans(),
+    ),
+)
+
+
+def _apply_scalar(trackers, outcomes, index):
+    """Drive the scalar oracle; returns the new-detection mask."""
+    changed = []
+    for tracker, outcome in zip(trackers, outcomes):
+        if outcome is None or not outcome[2]:
+            candidate = None
+        else:
+            candidate = PeriodCandidate(lag=outcome[0], distance=0.0, depth=outcome[1])
+        changed.append(tracker.apply(candidate, index))
+    return changed
+
+
+def _apply_bank(bank, outcomes, index):
+    streams = len(outcomes)
+    lags = np.zeros(streams, dtype=np.int64)
+    depths = np.zeros(streams, dtype=np.float64)
+    gate = np.zeros(streams, dtype=bool)
+    for pos, outcome in enumerate(outcomes):
+        if outcome is not None:
+            lags[pos] = outcome[0]
+            depths[pos] = outcome[1]
+            gate[pos] = outcome[2]
+    return bank.apply_batch(lags, depths, gate, index)
+
+
+def _assert_bank_matches(bank, trackers, context):
+    for pos, tracker in enumerate(trackers):
+        assert bank.current_period(pos) == tracker.period, context
+        assert bank.snapshot_stream(pos) == tracker.snapshot(), context
+
+
+class TestApplyBatchEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        steps=st.lists(st.lists(_outcome, min_size=3, max_size=3), min_size=1, max_size=40),
+        loss_patience=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_sequences_match_scalar_trackers(self, steps, loss_patience):
+        streams = 3
+        trackers = [LockTracker(loss_patience) for _ in range(streams)]
+        bank = LockTrackerBank(streams, loss_patience)
+        for index, outcomes in enumerate(steps):
+            expected_changed = _apply_scalar(trackers, outcomes, index)
+            changed = _apply_bank(bank, outcomes, index)
+            assert changed.tolist() == expected_changed, index
+            starts = bank.is_period_start_mask(index)
+            assert starts.tolist() == [t.is_period_start(index) for t in trackers], index
+            _assert_bank_matches(bank, trackers, index)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        steps=st.lists(st.lists(_outcome, min_size=2, max_size=2), min_size=2, max_size=24),
+        loss_patience=st.integers(min_value=1, max_value=3),
+        cut=st.integers(min_value=1, max_value=23),
+    )
+    def test_snapshot_roundtrip_resumes_identically(self, steps, loss_patience, cut):
+        """Bank -> scalar snapshot -> fresh bank mid-sequence: same tail."""
+        cut = min(cut, len(steps) - 1)
+        streams = 2
+        trackers = [LockTracker(loss_patience) for _ in range(streams)]
+        bank = LockTrackerBank(streams, loss_patience)
+        for index, outcomes in enumerate(steps[:cut]):
+            _apply_scalar(trackers, outcomes, index)
+            _apply_bank(bank, outcomes, index)
+        resumed = LockTrackerBank(streams, loss_patience)
+        for pos in range(streams):
+            resumed.restore_stream(pos, bank.snapshot_stream(pos))
+        for index, outcomes in enumerate(steps[cut:], start=cut):
+            expected_changed = _apply_scalar(trackers, outcomes, index)
+            changed = _apply_bank(resumed, outcomes, index)
+            assert changed.tolist() == expected_changed, index
+            _assert_bank_matches(resumed, trackers, index)
+
+
+class TestPeriodStartMatrix:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        steps=st.lists(st.lists(_outcome, min_size=2, max_size=2), min_size=1, max_size=16),
+        span=st.integers(min_value=1, max_value=12),
+    )
+    def test_matrix_rows_equal_per_index_masks(self, steps, span):
+        bank = LockTrackerBank(2, loss_patience=2)
+        for index, outcomes in enumerate(steps):
+            _apply_bank(bank, outcomes, index)
+        start = len(steps)
+        matrix = bank.period_start_matrix(start, span)
+        assert matrix.shape == (span, 2)
+        for t in range(span):
+            assert matrix[t].tolist() == bank.is_period_start_mask(start + t).tolist()
+
+
+class TestConstruction:
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValidationError):
+            LockTrackerBank(0, loss_patience=2)
+
+    def test_detected_counts_accumulate_per_stream(self):
+        bank = LockTrackerBank(2, loss_patience=8)
+        lags = np.array([3, 0])
+        depths = np.array([0.9, 0.0])
+        gate = np.array([True, True])
+        bank.apply_batch(lags, depths, gate, 0)
+        bank.apply_batch(np.array([5, 0]), depths, gate, 1)
+        bank.apply_batch(lags, depths, gate, 2)
+        assert bank.detected[0] == {3: 2, 5: 1}
+        assert bank.detected[1] == {}
+
+
+class TestRestoreLossPatience:
+    def test_restore_honours_snapshot_loss_patience(self):
+        # The scalar tracker restores loss_patience from the snapshot;
+        # the bank must too, even when it differs from the bank default.
+        donor = LockTracker(5)
+        donor.apply(PeriodCandidate(lag=3, distance=0.0, depth=0.9), 0)
+        bank = LockTrackerBank(2, loss_patience=2)
+        bank.restore_stream(0, donor.snapshot())
+        no_candidate = np.zeros(2, dtype=np.int64)
+        depths = np.zeros(2, dtype=np.float64)
+        for index in range(1, 5):
+            donor.apply(None, index)
+            bank.apply_batch(no_candidate, depths, None, index)
+            assert bank.snapshot_stream(0) == donor.snapshot(), index
+        assert bank.current_period(0) == 3  # patience 5 outlives 4 misses
+        donor.apply(None, 5)
+        bank.apply_batch(no_candidate, depths, None, 5)
+        assert bank.current_period(0) is None
+        assert bank.snapshot_stream(0) == donor.snapshot()

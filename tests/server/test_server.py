@@ -97,6 +97,39 @@ class TestEquivalence:
         )
         assert keyed(remote) == keyed(direct, strip="s/")
 
+    def test_pipelined_sharded_pool_behind_server(self):
+        # With pipeline_depth set, a reply may omit still-in-flight
+        # events; a subscription plus the dispatcher's idle flush must
+        # still deliver every event, and the locked periods must match
+        # the direct pool exactly.
+        traces = event_traces(8, samples=160)
+        pool = build_pool(event_config(), workers=2, pipeline_depth=4)
+        assert pool.sharding.pipeline_depth == 4
+        seen = []
+        with ServerThread(pool) as (host, port):
+            with DetectionClient(host, port, namespace="p") as client:
+                client.subscribe("own")
+                chunks = (
+                    {sid: v[offset : offset + 40] for sid, v in traces.items()}
+                    for offset in range(0, 160, 40)
+                )
+                client.pipeline(chunks, window=4)
+                remote_periods = client.stats(periods=True)["periods"]
+                while True:
+                    batch = client.next_events(timeout=2.0)
+                    if batch is None:
+                        break
+                    seen.extend(batch)
+        direct_pool = DetectorPool(event_config())
+        direct = []
+        for offset in range(0, 160, 40):
+            direct.extend(direct_pool.ingest_many(
+                {f"p/{sid}": v[offset : offset + 40] for sid, v in traces.items()}
+            ))
+        assert keyed(seen) == keyed(direct, strip="p/")
+        for sid in traces:
+            assert remote_periods[sid] == direct_pool.current_period(f"p/{sid}")
+
 
 class TestNamespacing:
     def test_same_stream_name_does_not_collide(self, loopback):

@@ -148,3 +148,34 @@ class TestThreadSafePool:
         with facade:
             facade.ingest("app", [1, 2, 3])
         facade.close()  # second close: no-op
+
+
+class TestPipelineCollection:
+    def test_plain_pool_flush_and_collect_are_noops(self):
+        facade = ThreadSafePool(DetectorPool(mode="event", window_size=32))
+        facade.ingest("app", [7, 8, 9] * 8)
+        assert facade.collect() == []
+        assert facade.flush() == []
+
+    def test_flush_delivers_to_listeners(self):
+        class FakePipelinedPool:
+            def __init__(self):
+                self.closed = False
+
+            def flush(self):
+                from repro.service.events import PeriodStartEvent
+
+                return [PeriodStartEvent("s", 1, 3, 1.0, True)]
+
+            def collect(self):
+                return []
+
+            def close(self):
+                self.closed = True
+
+        facade = ThreadSafePool(FakePipelinedPool())
+        seen = []
+        facade.add_listener(seen.extend)
+        events = facade.flush()
+        assert [e.stream_id for e in events] == ["s"]
+        assert seen == events

@@ -421,3 +421,198 @@ class TestTargetedStateOps:
             assert facade.current_periods()[sid] == pool.current_period(sid)
         finally:
             facade.close()
+
+
+def per_stream_sequences(events):
+    """Events grouped per stream, order preserved (the pipelining invariant)."""
+    out: dict[str, list] = {}
+    for e in events:
+        out.setdefault(e.stream_id, []).append(
+            (e.index, e.period, e.confidence, e.new_detection)
+        )
+    return out
+
+
+class TestPipelinedIngest:
+    """pipeline_depth > 0: event-for-event identical to the synchronous path."""
+
+    CHUNK = 48
+
+    def _run(self, depth, traces, *, lockstep=False, workers=3):
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=workers, pipeline_depth=depth)
+        )
+        try:
+            length = len(next(iter(traces.values())))
+            events = []
+            for offset in range(0, length, self.CHUNK):
+                chunk = {sid: v[offset : offset + self.CHUNK] for sid, v in traces.items()}
+                if lockstep:
+                    events.extend(pool.ingest_lockstep(chunk))
+                else:
+                    events.extend(pool.ingest_many(chunk))
+            events.extend(pool.flush())
+            return events, pool.current_periods(), pool.stats()
+        finally:
+            pool.close()
+
+    def test_validates_depth(self):
+        with pytest.raises(ValidationError):
+            ShardingConfig(pipeline_depth=-1)
+
+    @pytest.mark.parametrize("lockstep", [False, True])
+    def test_pipelined_equals_synchronous(self, lockstep):
+        traces = magnitude_traces(12)
+        sync_events, sync_periods, sync_stats = self._run(0, traces, lockstep=lockstep)
+        pipe_events, pipe_periods, pipe_stats = self._run(3, traces, lockstep=lockstep)
+        assert per_stream_sequences(pipe_events) == per_stream_sequences(sync_events)
+        assert len(pipe_events) == len(sync_events)
+        assert pipe_periods == sync_periods
+        assert pipe_stats.total_samples == sync_stats.total_samples
+        assert pipe_stats.total_events == sync_stats.total_events
+
+    def test_collect_is_nonblocking_and_flush_is_terminal(self):
+        traces = magnitude_traces(8)
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=2, pipeline_depth=4)
+        )
+        try:
+            collected = []
+            for offset in range(0, 192, self.CHUNK):
+                chunk = {sid: v[offset : offset + self.CHUNK] for sid, v in traces.items()}
+                collected.extend(pool.ingest_many(chunk))
+                collected.extend(pool.collect())
+            collected.extend(pool.flush())
+            assert pool.collect() == []  # nothing outstanding after flush
+            _, ref_events = single_pool_reference(
+                magnitude_config(), traces, chunk=self.CHUNK
+            )
+            assert per_stream_sequences(collected) == per_stream_sequences(ref_events)
+        finally:
+            pool.close()
+
+    def test_stateful_ops_drain_lazily(self):
+        # A checkpoint right after pipelined ingests must observe every
+        # sample (the shard call drains pending replies first), and the
+        # drained events must not be lost — the next collect returns them.
+        traces = magnitude_traces(9)
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=3, pipeline_depth=8)
+        )
+        try:
+            sent = 0
+            events = []
+            for offset in range(0, 192, self.CHUNK):
+                chunk = {sid: v[offset : offset + self.CHUNK] for sid, v in traces.items()}
+                events.extend(pool.ingest_many(chunk))
+                sent += sum(len(v) for v in chunk.values())
+            checkpoint = pool.checkpoint()
+            assert sum(entry["samples"] for entry in checkpoint.values()) == sent
+            assert pool.stats().total_samples == sent
+            # The drained events were retained, not lost: ingest returns
+            # plus one collect cover everything the synchronous reference
+            # produced.
+            events.extend(pool.collect())
+            _, ref_events = single_pool_reference(
+                magnitude_config(), traces, chunk=self.CHUNK
+            )
+            assert per_stream_sequences(events) == per_stream_sequences(ref_events)
+        finally:
+            pool.close()
+
+    def test_pipelined_crash_recovery_matches_synchronous(self):
+        # Scripted scenario on both a synchronous and a pipelined pool:
+        # phase A, checkpoint, worker killed, phase B through the
+        # transparent respawn.  Both lose exactly the same state (the
+        # checkpoint), so phase B must be event-for-event identical.
+        phase_a = magnitude_traces(10)
+        phase_b = {
+            sid: periodic_signal(3 + i % 11, 96, seed=500 + i)
+            for i, sid in enumerate(phase_a)
+        }
+
+        def run(depth):
+            pool = ShardedDetectorPool(
+                magnitude_config(), ShardingConfig(workers=2, pipeline_depth=depth)
+            )
+            try:
+                for offset in range(0, 192, self.CHUNK):
+                    pool.ingest_many(
+                        {sid: v[offset : offset + self.CHUNK] for sid, v in phase_a.items()}
+                    )
+                pool.flush()
+                pool.checkpoint()
+                victim = pool._shards[0]
+                victim.process.terminate()
+                victim.process.join()
+                events = []
+                for offset in range(0, 96, self.CHUNK):
+                    events.extend(pool.ingest_many(
+                        {sid: v[offset : offset + self.CHUNK] for sid, v in phase_b.items()}
+                    ))
+                events.extend(pool.flush())
+                return events, pool.current_periods()
+            finally:
+                pool.close()
+
+        sync_events, sync_periods = run(0)
+        pipe_events, pipe_periods = run(4)
+        assert per_stream_sequences(pipe_events) == per_stream_sequences(sync_events)
+        assert pipe_periods == sync_periods
+
+    def test_mid_operation_crash_discards_pipelined_tail_and_recovers(self, monkeypatch):
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=2, pipeline_depth=4)
+        )
+        try:
+            traces = magnitude_traces(8)
+            pool.ingest_many(traces)
+            pool.flush()
+            pool.checkpoint()
+            victim = pool._shards[0]
+            victim.process.terminate()
+            victim.process.join()
+
+            original = ShardedDetectorPool._ensure_alive
+            calls = {"n": 0}
+
+            def skip_first(self):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    return  # force the in-flight crash path
+                return original(self)
+
+            monkeypatch.setattr(ShardedDetectorPool, "_ensure_alive", skip_first)
+            with pytest.raises(RuntimeError, match="died mid-operation"):
+                pool.ingest_many(traces)
+            assert all(shard.alive() for shard in pool._shards)
+            assert not any(shard.pending for shard in pool._shards)
+            assert not any(shard.events for shard in pool._shards)
+            # The respawned fleet keeps working, pipelined.
+            pool.ingest_many(traces)
+            assert pool.flush() is not None
+        finally:
+            pool.close()
+
+    def test_rebalance_preserves_pipelined_events(self):
+        # Replies drained *into* the old shard handles by rebalance's
+        # checkpoint must survive the handle teardown: the next flush
+        # returns them, keeping the event-for-event guarantee.
+        traces = magnitude_traces(10)
+        pool = ShardedDetectorPool(
+            magnitude_config(), ShardingConfig(workers=2, pipeline_depth=8)
+        )
+        try:
+            events = []
+            for offset in range(0, 192, self.CHUNK):
+                events.extend(pool.ingest_many(
+                    {sid: v[offset : offset + self.CHUNK] for sid, v in traces.items()}
+                ))
+            pool.rebalance(3)
+            events.extend(pool.flush())
+            _, ref_events = single_pool_reference(
+                magnitude_config(), traces, chunk=self.CHUNK
+            )
+            assert per_stream_sequences(events) == per_stream_sequences(ref_events)
+        finally:
+            pool.close()

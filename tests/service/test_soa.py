@@ -107,3 +107,84 @@ class TestEquivalence:
         np.testing.assert_allclose(
             bank.snapshot_stream(0)["sums"], det.snapshot()["sums"], rtol=1e-9
         )
+
+
+class TestChunkedProcess:
+    """The chunked columnar hot loop must be bit-for-bit the per-step path."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            # chunk boundaries: eval 1 (degenerate chunks), eval > refresh,
+            # refresh mid-eval-stride, max_lag well below the window.
+            DetectorConfig(window_size=32, evaluation_interval=1, refresh_interval=7),
+            DetectorConfig(window_size=40, evaluation_interval=16, refresh_interval=6),
+            DetectorConfig(window_size=24, evaluation_interval=5, refresh_interval=256),
+            DetectorConfig(window_size=48, max_lag=9, min_lag=3, evaluation_interval=4),
+            DetectorConfig(window_size=16, evaluation_interval=3, loss_patience=1),
+        ],
+    )
+    def test_process_equals_scalar_engines_exactly(self, config):
+        rng = np.random.default_rng(11)
+        traces = [
+            noisy_periodic_signal(5, 260, noise_std=0.05, seed=21),
+            periodic_signal(9, 260, seed=22),
+            rng.normal(size=260),
+            np.zeros(260),
+        ]
+        bank = MagnitudeSoABank([f"s{i}" for i in range(len(traces))], config)
+        raw = bank.process(np.stack(traces))
+        for pos, trace in enumerate(traces):
+            det = DynamicPeriodicityDetector(config)
+            expected = [
+                (r.index, r.period, r.confidence, r.new_detection)
+                for r in det.process(trace)
+                if r.is_period_start and r.period
+            ]
+            got = [(i, p, c, n) for (b, i, p, c, n) in raw if b == pos]
+            assert got == expected, pos
+            # State equality is exact, floats included: the chunked pass
+            # applies the same per-step terms in the same order.
+            snap_bank, snap_det = bank.snapshot_stream(pos), det.snapshot()
+            assert np.array_equal(snap_bank["sums"], snap_det["sums"])
+            assert np.array_equal(snap_bank["buffer"], snap_det["buffer"])
+            assert snap_bank["lock"] == snap_det["lock"]
+            assert snap_bank["since_refresh"] == snap_det["since_refresh"]
+
+    def test_step_and_process_interleave(self):
+        # Mixing the per-step compat path with chunked process() calls on
+        # one bank must equal one straight per-step run.
+        config = DetectorConfig(window_size=32, evaluation_interval=4, refresh_interval=19)
+        trace = noisy_periodic_signal(6, 240, noise_std=0.1, seed=31)
+        mixed = MagnitudeSoABank(["a"], config)
+        events = []
+        cursor = 0
+        for span, use_step in ((50, True), (70, False), (1, True), (119, False)):
+            block = trace[cursor : cursor + span]
+            if use_step:
+                for value in block:
+                    index = mixed.samples_seen
+                    events.extend(
+                        (pos, index, p, c, n) for pos, p, c, n in mixed.step([value])
+                    )
+            else:
+                events.extend(mixed.process(block[None, :]))
+            cursor += span
+        straight = MagnitudeSoABank(["a"], config)
+        expected = straight.process(trace[None, :])
+        assert events == expected
+        assert np.array_equal(
+            mixed.snapshot_stream(0)["sums"], straight.snapshot_stream(0)["sums"]
+        )
+
+    def test_profiles_returns_a_safe_copy(self):
+        config = DetectorConfig(window_size=16)
+        bank = MagnitudeSoABank(["a"], config)
+        for value in periodic_signal(4, 40, seed=1):
+            bank.step([value])
+        first = bank.profiles()
+        kept = first.copy()
+        for value in periodic_signal(4, 8, seed=2):
+            bank.step([value])
+        bank.profiles()
+        np.testing.assert_array_equal(first, kept)  # scratch reuse stays private
