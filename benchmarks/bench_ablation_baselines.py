@@ -10,9 +10,6 @@ a dynamic optimization tool needs.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.bench.harness import format_table
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.spectral import autocorrelation_period, periodogram_period

@@ -13,7 +13,7 @@ so the reproduction does not depend on a plotting library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

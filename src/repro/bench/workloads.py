@@ -11,7 +11,6 @@ point — the ratio between them and the DPD cost is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Mapping
 
 from repro.runtime.application import IterativeApplication, application_from_pattern

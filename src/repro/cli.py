@@ -147,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "events then reach clients on later replies or subscriber pushes)")
     sv.add_argument("--max-inflight", type=int, default=32,
                     help="per-connection unanswered-request bound before BUSY replies")
+    sv.add_argument("--journal-size", type=int, default=4096,
+                    help="per-namespace replay journal capacity in events (subscribers "
+                         "recover dropped pushes via REPLAY while the range is inside "
+                         "it; 0 disables journaling)")
     sv.add_argument("--eval-interval", type=int, default=4,
                     help="evaluate the profile every this many samples (magnitude only)")
     return parser
@@ -413,7 +417,12 @@ def _cmd_serve(args) -> int:
     )
     server = DetectionServer(
         pool,
-        ServerConfig(host=args.host, port=args.port, max_inflight=args.max_inflight),
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            journal_size=max(args.journal_size, 0),
+        ),
     )
 
     async def run() -> None:

@@ -34,7 +34,7 @@ Python loop while staying exactly equivalent to standalone detectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Protocol, Sequence, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 

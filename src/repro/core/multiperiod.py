@@ -24,13 +24,12 @@ period set of a recorded stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.detector import DetectionResult
-from repro.core.distance import matching_lags
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
 from repro.util.validation import ValidationError, check_positive_int
 

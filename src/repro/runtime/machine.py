@@ -9,7 +9,7 @@ accounting so that utilisation can be reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.util.validation import ValidationError, check_non_negative, check_positive_int

@@ -10,7 +10,7 @@ and records the fork-join shape of its CPU usage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.runtime.clock import VirtualClock

@@ -15,7 +15,7 @@ work makes:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.scheduling.metrics import ApplicationProfile
 from repro.util.validation import check_in_range, check_positive_int

@@ -23,7 +23,7 @@ The analyzer works in two modes, exactly as in the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.api import DPDInterface

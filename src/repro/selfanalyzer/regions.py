@@ -10,7 +10,7 @@ one such region; :class:`RegionRegistry` indexes the regions by their
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.selfanalyzer.speedup import SpeedupMeasurement, efficiency, speedup
 from repro.util.stats import OnlineStats

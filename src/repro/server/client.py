@@ -17,6 +17,18 @@ Two clients over the same wire protocol (:mod:`repro.server.protocol`):
 Both raise :class:`ServerBusy` on ``BUSY`` replies (the explicit
 backpressure signal — back off and retry) and :class:`ServerError` when
 the server reports a failed request.
+
+Both also *resume transparently*: every event carries the pool's
+per-stream monotonic ``seq``, and the subscription delivery path
+(``next_events``) tracks the last seq seen per stream.  When a pushed
+batch reveals a gap — the server dropped pushes on this slow consumer,
+or the client reconnected mid-stream — the client silently issues
+``REPLAY`` for exactly the missed range and splices the recovered
+events in front, so consumers observe the complete ordered sequence.
+Only when the server's bounded journal has already evicted part of the
+range does the loss surface, through the optional ``on_gap(stream_id,
+from_seq, first_available)`` callback (fired exactly once per evicted
+range).
 """
 
 from __future__ import annotations
@@ -85,6 +97,23 @@ class DetectionClient:
         listening yet.
     timeout:
         Socket timeout in seconds for connect and replies.
+    on_gap:
+        ``on_gap(stream_id, from_seq, first_available)`` — called
+        (exactly once per evicted range) when an automatic replay finds
+        that the server's journal no longer holds part of the missed
+        range ``[from_seq, first_available)``; those events are lost.
+        ``None`` ignores unrecoverable gaps.
+    auto_replay:
+        When True (default), :meth:`next_events` detects per-stream seq
+        gaps in pushed batches and recovers them via :meth:`replay`
+        before delivering; False hands batches through verbatim (seqs
+        are still tracked).
+    resume_seqs:
+        Seed for the per-stream last-seen seq map — pass a previous
+        client's :attr:`last_seqs` when reconnecting, and the first push
+        of each stream then reveals (and replays) everything missed
+        while disconnected.  Without it a fresh client treats the first
+        event it sees as the baseline.
     """
 
     def __init__(
@@ -97,6 +126,9 @@ class DetectionClient:
         connect_retries: int = 0,
         retry_delay: float = 0.25,
         timeout: float | None = 30.0,
+        on_gap=None,
+        auto_replay: bool = True,
+        resume_seqs: Mapping[str, int] | None = None,
     ) -> None:
         last_error: Exception | None = None
         self._sock: socket.socket | None = None
@@ -114,6 +146,12 @@ class DetectionClient:
         self._events: list[list[PeriodStartEvent]] = []  # buffered pushes
         self._closed = False
         self._saw_bye = False
+        self._on_gap = on_gap
+        self._auto_replay = bool(auto_replay)
+        self._scope = "own"
+        # Per stream (named as delivered), the last seq handed to the
+        # consumer; seeded from resume_seqs on a reconnect.
+        self._last_seq: dict[str, int] = dict(resume_seqs or {})
         try:
             reply = self._request(
                 FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
@@ -129,7 +167,9 @@ class DetectionClient:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _send(self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()) -> None:
+    def _send(
+        self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
+    ) -> None:
         if self._closed:
             raise ConnectionClosedError("client is closed")
         if self._saw_bye:
@@ -169,14 +209,18 @@ class DetectionClient:
         """Feed one batch into one stream; returns its period-start events."""
         return self.ingest_many({stream_id: samples})
 
-    def ingest_many(self, batches: Mapping[str, Sequence | np.ndarray]) -> list[PeriodStartEvent]:
+    def ingest_many(
+        self, batches: Mapping[str, Sequence | np.ndarray]
+    ) -> list[PeriodStartEvent]:
         """Feed one batch per stream in a single request/reply round trip."""
         ids = list(batches)
         arrays = [_as_batch(batches[sid]) for sid in ids]
         reply = self._request(FrameType.INGEST, {"streams": ids}, arrays)
         return _events_from_frame(reply)
 
-    def ingest_lockstep(self, traces: Mapping[str, Sequence | np.ndarray]) -> list[PeriodStartEvent]:
+    def ingest_lockstep(
+        self, traces: Mapping[str, Sequence | np.ndarray]
+    ) -> list[PeriodStartEvent]:
         """Feed equally long traces into many streams as one 2-D matrix."""
         ids = list(traces)
         matrix = np.ascontiguousarray(
@@ -241,12 +285,120 @@ class DetectionClient:
     # ------------------------------------------------------------------
     # subscriptions
     # ------------------------------------------------------------------
+    @property
+    def last_seqs(self) -> dict[str, int]:
+        """Last delivered seq per stream — hand to ``resume_seqs`` on
+        reconnect to recover everything missed while disconnected."""
+        return dict(self._last_seq)
+
     def subscribe(self, scope: str = "own") -> None:
         """Receive EVENT pushes for ``"own"`` streams or ``"all"`` streams."""
         self._request(FrameType.SUBSCRIBE, {"scope": scope})
+        self._scope = scope
 
-    def next_events(self, timeout: float | None = None) -> list[PeriodStartEvent] | None:
+    def replay(
+        self,
+        stream_id: str,
+        from_seq: int,
+        *,
+        upto: int | None = None,
+        scope: str | None = None,
+    ) -> tuple[list[PeriodStartEvent], int | None]:
+        """Re-fetch journaled events of one stream from the server.
+
+        Returns ``(events, first_available)`` with the events of
+        ``[from_seq, upto)`` (open-ended without ``upto``) still inside
+        the server's journal, oldest first.  ``first_available`` is
+        ``None`` when the whole requested head was served; otherwise the
+        range ``[from_seq, first_available)`` has been evicted and is
+        unrecoverable.  ``scope`` defaults to the current subscription
+        scope: ``"own"`` resolves ``stream_id`` inside this connection's
+        namespace, ``"all"`` takes a full ``<namespace>/<stream>`` id.
+        """
+        meta: dict = {
+            "stream": stream_id,
+            "from_seq": int(from_seq),
+            "scope": scope or self._scope,
+        }
+        if upto is not None:
+            meta["upto"] = int(upto)
+        self._send(FrameType.REPLAY, meta)
+        frame = self._read_reply()
+        if frame.type == FrameType.EVENTS_GAP:
+            return _events_from_frame(frame), int(frame.meta["first_available"])
+        return _events_from_frame(self._check(frame)), None
+
+    def resync(self, stream_ids: Iterable[str]) -> list[PeriodStartEvent]:
+        """Catch up to the journal's tail without waiting for a push.
+
+        Push-revealed gap recovery only triggers when a *later* push
+        arrives; if the very last pushes were dropped there is nothing
+        left to reveal them.  ``resync`` closes that hole: for each
+        stream it replays everything after the last delivered seq
+        (streams never seen start at 0) and advances the tracking, with
+        ``on_gap`` fired for unrecoverable heads exactly like automatic
+        replay.  Meant for quiescent moments (shutdown, after a
+        producer pause) — events pushed concurrently with a resync may
+        be delivered twice.
+        """
+        out: list[PeriodStartEvent] = []
+        for stream_id in stream_ids:
+            from_seq = self._last_seq.get(stream_id, -1) + 1
+            events, first_available = self.replay(stream_id, from_seq)
+            if first_available is not None:
+                if self._on_gap is not None:
+                    self._on_gap(stream_id, from_seq, first_available)
+                # Advance past the reported loss so it is not re-reported
+                # by the next resync or push-revealed replay.  (An
+                # unknown-extent loss — first_available == from_seq, the
+                # journal never saw the stream — cannot advance anything
+                # and is re-reported by every explicit resync until a
+                # live push re-baselines the stream.)
+                self._last_seq[stream_id] = max(
+                    self._last_seq.get(stream_id, -1), first_available - 1
+                )
+            for event in events:
+                self._last_seq[stream_id] = event.seq
+            out.extend(events)
+        return out
+
+    def _resolve_gaps(self, batch: list[PeriodStartEvent]) -> list[PeriodStartEvent]:
+        """Splice automatically replayed events into a pushed batch.
+
+        For every event whose seq jumps past the stream's last delivered
+        seq, the missed range is replayed (bounded: ``[last + 1, seq)``,
+        so nothing already in hand is re-fetched) and inserted in front
+        of it; an unrecoverable head fires ``on_gap`` exactly once.  A
+        seq at or below the last delivered one resets the baseline — the
+        stream was re-created (LRU eviction, ``fresh`` reconnect), not
+        rewound.
+        """
+        out: list[PeriodStartEvent] = []
+        for event in batch:
+            if event.seq < 0:  # unsequenced (pre-seq server): pass through
+                out.append(event)
+                continue
+            last = self._last_seq.get(event.stream_id)
+            if self._auto_replay and last is not None and event.seq > last + 1:
+                recovered, first_available = self.replay(
+                    event.stream_id, last + 1, upto=event.seq
+                )
+                if first_available is not None and self._on_gap is not None:
+                    self._on_gap(event.stream_id, last + 1, first_available)
+                out.extend(recovered)
+            self._last_seq[event.stream_id] = event.seq
+            out.append(event)
+        return out
+
+    def next_events(
+        self, timeout: float | None = None
+    ) -> list[PeriodStartEvent] | None:
         """Next pushed event batch, or ``None`` when ``timeout`` expires.
+
+        Per-stream seq gaps are recovered transparently before delivery
+        (see the class docstring); the returned list therefore may be
+        longer than the pushed batch — missed events appear in front of
+        the push that revealed them, in seq order.
 
         The timeout gates only the *wait for the first byte* (via
         ``select``); once a frame starts arriving it is read to
@@ -255,14 +407,14 @@ class DetectionClient:
         connection permanently desynchronised.
         """
         if self._events:
-            return self._events.pop(0)
+            return self._resolve_gaps(self._events.pop(0))
         if timeout is not None:
             readable, _, _ = select.select([self._sock], [], [], timeout)
             if not readable:
                 return None
         frame = protocol.read_frame(self._sock)
         if frame.type == FrameType.EVENT:
-            return _events_from_frame(frame)
+            return self._resolve_gaps(_events_from_frame(frame))
         if frame.type == FrameType.BYE:
             self._saw_bye = True
             raise ConnectionClosedError("server is draining (BYE received)")
@@ -325,7 +477,16 @@ class AsyncDetectionClient:
         await client.close()
     """
 
-    def __init__(self, reader, writer, namespace_hint, fresh: bool) -> None:
+    def __init__(
+        self,
+        reader,
+        writer,
+        namespace_hint,
+        fresh: bool,
+        on_gap=None,
+        auto_replay: bool = True,
+        resume_seqs: Mapping[str, int] | None = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._pending: list[asyncio.Future] = []
@@ -336,13 +497,27 @@ class AsyncDetectionClient:
         self._reader_task: asyncio.Task | None = None
         self.namespace = ""
         self.server_info: dict = {}
+        self._on_gap = on_gap
+        self._auto_replay = bool(auto_replay)
+        self._scope = "own"
+        # Per stream (named as delivered), the last seq handed to the
+        # consumer; seeded from resume_seqs on a reconnect.
+        self._last_seq: dict[str, int] = dict(resume_seqs or {})
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, namespace: str | None = None, fresh: bool = False
+        cls,
+        host: str,
+        port: int,
+        *,
+        namespace: str | None = None,
+        fresh: bool = False,
+        on_gap=None,
+        auto_replay: bool = True,
+        resume_seqs: Mapping[str, int] | None = None,
     ) -> "AsyncDetectionClient":
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, namespace, fresh)
+        client = cls(reader, writer, namespace, fresh, on_gap, auto_replay, resume_seqs)
         client._reader_task = asyncio.ensure_future(client._read_loop())
         reply = await client._request(
             FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
@@ -369,7 +544,11 @@ class AsyncDetectionClient:
                     future = self._pending.pop(0)
                     if not future.done():
                         future.set_result(frame)
-        except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError) as exc:
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ) as exc:
             self._fail_pending(ConnectionClosedError(f"connection lost: {exc!r}"))
         except ProtocolError as exc:
             self._fail_pending(exc)
@@ -380,7 +559,7 @@ class AsyncDetectionClient:
             if not future.done():
                 future.set_exception(exc)
 
-    async def _request(
+    async def _request_raw(
         self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
     ) -> Frame:
         if self._closed or self._saw_bye:
@@ -389,8 +568,12 @@ class AsyncDetectionClient:
         self._pending.append(future)
         self._writer.writelines(protocol.encode_frame(ftype, meta, arrays))
         await self._writer.drain()
-        frame = await future
-        return DetectionClient._check(frame)
+        return await future
+
+    async def _request(
+        self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
+    ) -> Frame:
+        return DetectionClient._check(await self._request_raw(ftype, meta, arrays))
 
     # ------------------------------------------------------------------
     async def ingest(self, stream_id: str, samples) -> list[PeriodStartEvent]:
@@ -410,12 +593,93 @@ class AsyncDetectionClient:
         matrix = np.ascontiguousarray(
             np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
         )
-        reply = await self._request(FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix])
+        reply = await self._request(
+            FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix]
+        )
         return _events_from_frame(reply)
+
+    @property
+    def last_seqs(self) -> dict[str, int]:
+        """Last delivered seq per stream (see
+        :attr:`DetectionClient.last_seqs`)."""
+        return dict(self._last_seq)
 
     async def subscribe(self, scope: str = "own") -> None:
         """Receive EVENT pushes on :attr:`events`."""
         await self._request(FrameType.SUBSCRIBE, {"scope": scope})
+        self._scope = scope
+
+    async def replay(
+        self,
+        stream_id: str,
+        from_seq: int,
+        *,
+        upto: int | None = None,
+        scope: str | None = None,
+    ) -> tuple[list[PeriodStartEvent], int | None]:
+        """Re-fetch journaled events (see :meth:`DetectionClient.replay`)."""
+        meta: dict = {
+            "stream": stream_id,
+            "from_seq": int(from_seq),
+            "scope": scope or self._scope,
+        }
+        if upto is not None:
+            meta["upto"] = int(upto)
+        frame = await self._request_raw(FrameType.REPLAY, meta)
+        if frame.type == FrameType.EVENTS_GAP:
+            return _events_from_frame(frame), int(frame.meta["first_available"])
+        return _events_from_frame(DetectionClient._check(frame)), None
+
+    async def resync(self, stream_ids: Iterable[str]) -> list[PeriodStartEvent]:
+        """Catch up to the journal's tail without waiting for a push
+        (see :meth:`DetectionClient.resync`)."""
+        out: list[PeriodStartEvent] = []
+        for stream_id in stream_ids:
+            from_seq = self._last_seq.get(stream_id, -1) + 1
+            events, first_available = await self.replay(stream_id, from_seq)
+            if first_available is not None:
+                if self._on_gap is not None:
+                    self._on_gap(stream_id, from_seq, first_available)
+                # Advance past the reported loss — see the blocking twin.
+                self._last_seq[stream_id] = max(
+                    self._last_seq.get(stream_id, -1), first_available - 1
+                )
+            for event in events:
+                self._last_seq[stream_id] = event.seq
+            out.extend(events)
+        return out
+
+    async def next_events(
+        self, timeout: float | None = None
+    ) -> list[PeriodStartEvent] | None:
+        """Next pushed event batch (or ``None`` on timeout), with
+        per-stream seq gaps transparently replayed before delivery —
+        the asyncio twin of :meth:`DetectionClient.next_events`.
+        Reading :attr:`events` directly bypasses gap recovery.
+        """
+        try:
+            if timeout is not None:
+                batch = await asyncio.wait_for(self.events.get(), timeout)
+            else:
+                batch = await self.events.get()
+        except asyncio.TimeoutError:
+            return None
+        out: list[PeriodStartEvent] = []
+        for event in batch:
+            if event.seq < 0:  # unsequenced (pre-seq server): pass through
+                out.append(event)
+                continue
+            last = self._last_seq.get(event.stream_id)
+            if self._auto_replay and last is not None and event.seq > last + 1:
+                recovered, first_available = await self.replay(
+                    event.stream_id, last + 1, upto=event.seq
+                )
+                if first_available is not None and self._on_gap is not None:
+                    self._on_gap(event.stream_id, last + 1, first_available)
+                out.extend(recovered)
+            self._last_seq[event.stream_id] = event.seq
+            out.append(event)
+        return out
 
     async def snapshot(self, stream_ids=None) -> dict[str, dict]:
         """Engine snapshots of this namespace's streams."""

@@ -63,8 +63,11 @@ __all__ = [
     "write_frame",
 ]
 
-#: Version of the wire format.  History: version 1 — initial format.
-PROTOCOL_VERSION = 1
+#: Version of the wire format.  History: version 1 — initial format;
+#: version 2 — per-stream monotonic ``seq`` column in event tables, plus
+#: the REPLAY request and EVENTS_GAP reply for recovering dropped
+#: subscriber events from the server's bounded journal.
+PROTOCOL_VERSION = 2
 
 MAGIC = b"RDPD"
 
@@ -91,13 +94,15 @@ class FrameType(IntEnum):
     SNAPSHOT = 5
     RESTORE = 6
     STATS = 7
+    REPLAY = 8  # re-deliver journaled events of one stream from a seq
     # replies and server pushes
     OK = 16
     ERROR = 17
     BUSY = 18
-    EVENTS = 19  # reply to INGEST / INGEST_LOCKSTEP
+    EVENTS = 19  # reply to INGEST / INGEST_LOCKSTEP / REPLAY
     EVENT = 20  # asynchronous push to a subscriber
     BYE = 21  # server is draining; no further requests will be served
+    EVENTS_GAP = 22  # REPLAY reply: part of the range left the journal
 
 
 @dataclass
@@ -143,16 +148,24 @@ def encode_frame(
     """
     contiguous = [np.ascontiguousarray(arr) for arr in arrays]
     descriptors = [
-        {"dtype": _dtype_to_wire(arr.dtype), "shape": list(arr.shape), "nbytes": arr.nbytes}
+        {
+            "dtype": _dtype_to_wire(arr.dtype),
+            "shape": list(arr.shape),
+            "nbytes": arr.nbytes,
+        }
         for arr in contiguous
     ]
     body = dict(meta or {})
     if descriptors:
         body["__arrays__"] = descriptors
     meta_bytes = json.dumps(body, separators=(",", ":")).encode("utf-8")
-    payload_len = _META_LEN.size + len(meta_bytes) + sum(arr.nbytes for arr in contiguous)
+    payload_len = (
+        _META_LEN.size + len(meta_bytes) + sum(arr.nbytes for arr in contiguous)
+    )
     if payload_len > MAX_PAYLOAD_BYTES:
-        raise ProtocolError(f"frame payload of {payload_len} bytes exceeds the protocol limit")
+        raise ProtocolError(
+            f"frame payload of {payload_len} bytes exceeds the protocol limit"
+        )
     head = (
         _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(ftype), payload_len)
         + _META_LEN.pack(len(meta_bytes))
@@ -174,7 +187,9 @@ def decode_header(header: bytes) -> tuple[FrameType, int]:
             f"version {PROTOCOL_VERSION}"
         )
     if payload_len > MAX_PAYLOAD_BYTES:
-        raise ProtocolError(f"frame payload of {payload_len} bytes exceeds the protocol limit")
+        raise ProtocolError(
+            f"frame payload of {payload_len} bytes exceeds the protocol limit"
+        )
     try:
         kind = FrameType(ftype)
     except ValueError as exc:
@@ -227,7 +242,9 @@ def decode_payload(ftype: FrameType, payload: bytes | bytearray | memoryview) ->
         try:
             arrays.append(arr.reshape(shape))
         except ValueError as exc:
-            raise ProtocolError(f"array descriptor does not match its bytes: {exc}") from exc
+            raise ProtocolError(
+                f"array descriptor does not match its bytes: {exc}"
+            ) from exc
         offset += nbytes
     if offset != len(view):
         raise ProtocolError(f"{len(view) - offset} trailing bytes after the last array")
@@ -269,7 +286,9 @@ def write_frame(
     buffers = encode_frame(ftype, meta, arrays)
     total = sum(len(b) for b in buffers)
     if total <= _JOIN_THRESHOLD:
-        sock.sendall(b"".join(bytes(b) if isinstance(b, memoryview) else b for b in buffers))
+        sock.sendall(
+            b"".join(bytes(b) if isinstance(b, memoryview) else b for b in buffers)
+        )
     else:
         for buffer in buffers:
             sock.sendall(buffer)
@@ -297,6 +316,7 @@ EVENT_DTYPE = np.dtype(
         ("period", np.int64),
         ("confidence", np.float64),
         ("new_detection", np.bool_),
+        ("seq", np.int64),
     ]
 )
 
@@ -313,6 +333,7 @@ def events_to_array(
             event.period,
             event.confidence,
             event.new_detection,
+            event.seq,
         )
     return out
 
@@ -326,6 +347,7 @@ def events_from_array(table: np.ndarray, ids: Sequence[str]) -> list[PeriodStart
             period=int(row["period"]),
             confidence=float(row["confidence"]),
             new_detection=bool(row["new_detection"]),
+            seq=int(row["seq"]),
         )
         for row in table
     ]

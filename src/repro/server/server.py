@@ -28,6 +28,16 @@ unless they opt into the same namespace (which is also how a client
 reconnects to its previous streams).  Subscribers choose between their
 own namespace and the whole pool.
 
+**Dropped events are recoverable.**  Every event carries the pool's
+per-stream monotonic ``seq``; the server additionally keeps a bounded
+:class:`EventJournal` ring per namespace (``journal_size`` events,
+appended during fan-out on the event loop — never on the detection hot
+path).  A subscriber that notices a seq gap (it was dropped as a slow
+consumer, or it reconnected) sends ``REPLAY(stream, from_seq[, upto])``
+and receives exactly the missed events back; a range the ring has
+already evicted is answered with ``EVENTS_GAP`` naming the first still
+available seq, so the loss is explicit, never silent.
+
 **Shutdown drains.**  :meth:`DetectionServer.stop` stops accepting
 work, runs every already-queued job to completion, flushes every
 connection's outbound queue, then says ``BYE`` and closes — no accepted
@@ -42,6 +52,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
@@ -57,9 +68,112 @@ from repro.service.sharding import ShardedDetectorPool, ShardingConfig
 from repro.util.logging import get_logger
 from repro.util.validation import ValidationError, check_positive_int
 
-__all__ = ["DetectionServer", "ServerConfig", "ServerThread"]
+__all__ = ["DetectionServer", "EventJournal", "ServerConfig", "ServerThread"]
 
 _logger = get_logger(__name__)
+
+#: Upper bound on distinct namespace journals; namespaces are created by
+#: connections (auto-assigned ones included), so without a cap a
+#: reconnect-happy client could grow the journal table without bound.
+#: Least recently touched journals are evicted first.
+_MAX_JOURNALS = 1024
+
+
+class EventJournal:
+    """Bounded ring of one namespace's recently fanned-out events.
+
+    The journal is the server-side half of replay-from-sequence
+    recovery: every event batch that reaches the fan-out path is
+    appended here (full stream ids, pool-assigned ``seq``), the oldest
+    events falling off once ``capacity`` is exceeded.  :meth:`replay`
+    answers "give me stream S from seq F (up to U)" against that ring
+    and reports explicitly when part of the range has already been
+    evicted.
+
+    Appending is O(batch) deque work on the asyncio loop — the
+    detection hot path (pool/executor) never touches the journal.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: deque[PeriodStartEvent] = deque(maxlen=capacity)
+        #: highest seq ever appended per stream — survives eviction, so
+        #: an evicted range is distinguishable from one that never was.
+        self._last_seq: dict[str, int] = {}
+        self.appended = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring since the journal was created."""
+        return self.appended - len(self._entries)
+
+    def append(self, events: "list[PeriodStartEvent]") -> None:
+        """Append an event batch (per-stream seq order is the caller's
+        contract — fan-out delivers batches in production order).
+
+        A seq at or below the stream's last journaled one means the
+        stream restarted (LRU-evicted and re-created under the same
+        name); the previous incarnation's entries are purged so they can
+        never replay into the new numbering.
+        """
+        for event in events:
+            last = self._last_seq.get(event.stream_id)
+            if last is not None and event.seq <= last:
+                self._entries = deque(
+                    (e for e in self._entries if e.stream_id != event.stream_id),
+                    maxlen=self._entries.maxlen,
+                )
+            self._entries.append(event)
+            self._last_seq[event.stream_id] = event.seq
+        self.appended += len(events)
+
+    def last_seq(self, stream_id: str) -> int | None:
+        """Highest seq ever journaled for ``stream_id`` (None: never)."""
+        return self._last_seq.get(stream_id)
+
+    def replay(
+        self, stream_id: str, from_seq: int, upto: int | None = None
+    ) -> tuple[list[PeriodStartEvent], int | None]:
+        """Journaled events of ``stream_id`` with ``from_seq <= seq``
+        (``< upto`` when given), oldest first.
+
+        Returns ``(events, gap_end)``.  ``gap_end`` is ``None`` when the
+        head of the requested range was still in the ring; otherwise the
+        range ``[from_seq, gap_end)`` has been evicted (or, after a
+        journal reset, was never seen) and the returned events resume at
+        ``gap_end`` — the caller must surface that loss, not silence it.
+        A ``gap_end`` *equal to* ``from_seq`` is the degenerate honest
+        answer for a stream this journal never saw when ``from_seq``
+        proves events existed: the loss is real but its extent unknown.
+        """
+        if upto is not None and upto <= from_seq:
+            return [], None  # empty range: nothing to fetch, nothing lost
+        selected = [
+            event
+            for event in self._entries
+            if event.stream_id == stream_id
+            and event.seq >= from_seq
+            and (upto is None or event.seq < upto)
+        ]
+        last = self._last_seq.get(stream_id)
+        if last is None:
+            # This journal never saw the stream.  With a bounded request
+            # the whole range is lost; open-ended, a positive from_seq
+            # still proves a loss of unknown extent — report it rather
+            # than pretending nothing was missed.
+            if upto is not None:
+                return [], upto
+            return [], (from_seq if from_seq > 0 else None)
+        if selected and selected[0].seq == from_seq:
+            return selected, None
+        if from_seq > last and not selected:
+            return [], None  # nothing missed: the stream never got there
+        if selected:
+            return selected, selected[0].seq
+        return [], (upto if upto is not None else last + 1)
 
 
 @dataclass
@@ -83,6 +197,12 @@ class ServerConfig:
     coalesce_limit:
         Maximum number of queued ingest jobs merged into one pool
         ``ingest_many`` call.
+    journal_size:
+        Per-namespace capacity (in events) of the replay journal ring.
+        A dropped or reconnecting subscriber can recover any seq range
+        still inside it via ``REPLAY``; older ranges are answered with
+        ``EVENTS_GAP``.  ``0`` disables journaling (every replay then
+        reports a gap).
     """
 
     host: str = "127.0.0.1"
@@ -90,11 +210,16 @@ class ServerConfig:
     max_inflight: int = 32
     push_queue: int = 256
     coalesce_limit: int = 64
+    journal_size: int = 4096
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_inflight, "max_inflight")
         check_positive_int(self.push_queue, "push_queue")
         check_positive_int(self.coalesce_limit, "coalesce_limit")
+        if self.journal_size < 0:
+            raise ValidationError(
+                f"journal_size must be >= 0, got {self.journal_size}"
+            )
         if not 0 <= self.port <= 65535:
             raise ValidationError(f"port must be in [0, 65535], got {self.port}")
 
@@ -203,11 +328,16 @@ class DetectionServer:
         self._pipelined_pool = bool(
             sharding is not None and getattr(sharding, "pipeline_depth", 0)
         )
+        # Replay journals, one bounded ring per namespace, touched only
+        # on the event loop (fan-out appends, REPLAY reads).
+        self._journals: "OrderedDict[str, EventJournal]" = OrderedDict()
         # service counters, reported by STATS
         self.busy_replies = 0
         self.dropped_events = 0
         self.ingest_jobs = 0
         self.executor_calls = 0
+        self.replays_served = 0
+        self.replay_gaps = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -416,15 +546,46 @@ class DetectionServer:
                     job.future.set_exception(exc)
         self._fan_out(events)
 
-    def _fan_out(self, events: list[PeriodStartEvent]) -> None:
-        """Deliver an event batch to every matching subscriber.
+    def _journal_for(self, namespace: str) -> EventJournal:
+        """The namespace's journal, created on first use, LRU-bounded."""
+        journal = self._journals.get(namespace)
+        if journal is None:
+            journal = EventJournal(self.config.journal_size)
+            self._journals[namespace] = journal
+            while len(self._journals) > _MAX_JOURNALS:
+                self._journals.popitem(last=False)
+        else:
+            self._journals.move_to_end(namespace)
+        return journal
 
-        Fan-out is best-effort by design (slow subscribers drop); it
-        must never take the dispatcher down with it.
+    def _journal_events(self, events: list[PeriodStartEvent]) -> None:
+        """Append a fanned-out batch to its namespaces' journals.
+
+        Runs on the event loop during fan-out, so the executor thread
+        (the detection hot path) never pays for it.  Events are
+        journaled whether or not anyone is currently subscribed — a
+        subscriber that connects later may still replay them.
+        """
+        by_namespace: dict[str, list[PeriodStartEvent]] = {}
+        for event in events:
+            namespace = event.stream_id.split("/", 1)[0]
+            by_namespace.setdefault(namespace, []).append(event)
+        for namespace, batch in by_namespace.items():
+            self._journal_for(namespace).append(batch)
+
+    def _fan_out(self, events: list[PeriodStartEvent]) -> None:
+        """Journal an event batch, then deliver it to every matching
+        subscriber.
+
+        Fan-out is best-effort by design (slow subscribers drop — the
+        journal is what makes that recoverable); it must never take the
+        dispatcher down with it.
         """
         if not events:
             return
         try:
+            if self.config.journal_size:  # size 0 = journaling disabled
+                self._journal_events(events)
             self._fan_out_unguarded(events)
         except Exception:  # pragma: no cover - defensive
             _logger.exception("subscriber fan-out failed; events dropped")
@@ -441,8 +602,10 @@ class DetectionServer:
                 if not matched:
                     continue
                 ids = sorted({e.stream_id for e in matched})
-            local = [sid[len(conn.prefix):] if conn.subscription == "own" else sid
-                     for sid in ids]
+            local = [
+                sid[len(conn.prefix) :] if conn.subscription == "own" else sid
+                for sid in ids
+            ]
             index = {sid: pos for pos, sid in enumerate(ids)}
             renamed = [
                 PeriodStartEvent(
@@ -451,6 +614,7 @@ class DetectionServer:
                     period=e.period,
                     confidence=e.confidence,
                     new_detection=e.new_detection,
+                    seq=e.seq,
                 )
                 for e in matched
             ]
@@ -488,7 +652,8 @@ class DetectionServer:
             if conn.dropped_events:
                 _logger.warning(
                     "connection %s: dropped %d subscriber events (slow consumer)",
-                    conn.namespace, conn.dropped_events,
+                    conn.namespace,
+                    conn.dropped_events,
                 )
 
     async def _serve_frames(self, conn: _Connection, reader) -> None:
@@ -502,6 +667,10 @@ class DetectionServer:
         conn.namespace = namespace
         conn.prefix = namespace + "/"
         if hello.meta.get("fresh"):
+            # A clean-slate reconnect resets the namespace's sequencing
+            # (streams restart at seq 0), so its journal must go too —
+            # stale high-seq entries would confuse later replays.
+            self._journals.pop(namespace, None)
             self._submit_control(
                 conn,
                 lambda: self.facade.remove_streams(
@@ -536,9 +705,13 @@ class DetectionServer:
         elif kind == FrameType.SUBSCRIBE:
             scope = frame.meta.get("scope", "own")
             if scope not in ("own", "all"):
-                raise ProtocolError(f"subscribe scope must be 'own' or 'all', got {scope!r}")
+                raise ProtocolError(
+                    f"subscribe scope must be 'own' or 'all', got {scope!r}"
+                )
             conn.subscription = scope
             conn.enqueue_reply(("reply", FrameType.OK, {"scope": scope}, ()))
+        elif kind == FrameType.REPLAY:
+            self._handle_replay(conn, frame)
         elif kind == FrameType.SNAPSHOT:
             self._handle_snapshot(conn, frame)
         elif kind == FrameType.RESTORE:
@@ -592,7 +765,9 @@ class DetectionServer:
             return
         conn.inflight += 1
         future = asyncio.get_running_loop().create_future()
-        future.add_done_callback(lambda _f: setattr(conn, "inflight", conn.inflight - 1))
+        future.add_done_callback(
+            lambda _f: setattr(conn, "inflight", conn.inflight - 1)
+        )
         self._jobs.put_nowait(_Job(kind=job_kind, future=future, batches=batches))
 
         def format_events(events: list[PeriodStartEvent]):
@@ -601,6 +776,70 @@ class DetectionServer:
             return FrameType.EVENTS, {"streams": local_ids}, (table,)
 
         conn.enqueue_reply(("future", future, format_events))
+
+    def _handle_replay(self, conn: _Connection, frame: Frame) -> None:
+        """Answer ``REPLAY(stream, from_seq[, upto])`` from the journal.
+
+        Served entirely on the event loop — the journal is loop-local
+        state, so a replay never queues behind (or interrupts) detector
+        work on the executor.  The reply is an ``EVENTS`` frame holding
+        the requested range, or ``EVENTS_GAP`` (plus whatever suffix is
+        still available) when the ring has already evicted its head.
+        ``scope`` mirrors the subscription scopes: ``"own"`` resolves
+        ``stream`` inside the connection's namespace, ``"all"`` takes a
+        full ``<namespace>/<stream>`` id as pushed to scope-``all``
+        subscribers.
+        """
+        stream = frame.meta.get("stream")
+        if not isinstance(stream, str) or not stream:
+            raise ProtocolError("'stream' must be a non-empty stream name")
+        scope = frame.meta.get("scope", "own")
+        if scope not in ("own", "all"):
+            raise ProtocolError(f"replay scope must be 'own' or 'all', got {scope!r}")
+        try:
+            from_seq = int(frame.meta["from_seq"])
+            upto_raw = frame.meta.get("upto")
+            upto = None if upto_raw is None else int(upto_raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "'from_seq' (and optional 'upto') must be integers"
+            ) from exc
+        if from_seq < 0 or (upto is not None and upto < from_seq):
+            raise ProtocolError("replay range must satisfy 0 <= from_seq <= upto")
+        full_sid = stream if scope == "all" else conn.prefix + stream
+        namespace = full_sid.split("/", 1)[0]
+        journal = self._journals.get(namespace)
+        if journal is None:
+            # An unknown namespace (never produced, LRU-evicted past the
+            # journal cap, or reset) answers exactly like an empty
+            # journal — including the explicit unknown-extent loss
+            # report for a positive from_seq.
+            journal = EventJournal(0)
+        else:
+            self._journals.move_to_end(namespace)
+        events, gap_end = journal.replay(full_sid, from_seq, upto)
+        self.replays_served += 1
+        renamed = [
+            PeriodStartEvent(
+                stream_id=stream,
+                index=e.index,
+                period=e.period,
+                confidence=e.confidence,
+                new_detection=e.new_detection,
+                seq=e.seq,
+            )
+            for e in events
+        ]
+        table = protocol.events_to_array(renamed, {stream: 0})
+        meta: dict = {"streams": [stream], "stream": stream, "from_seq": from_seq}
+        if upto is not None:
+            meta["upto"] = upto
+        if gap_end is not None:
+            self.replay_gaps += 1
+            meta["first_available"] = gap_end
+            conn.enqueue_reply(("reply", FrameType.EVENTS_GAP, meta, (table,)))
+        else:
+            conn.enqueue_reply(("reply", FrameType.EVENTS, meta, (table,)))
 
     def _submit_control(self, conn: _Connection, fn, formatter) -> None:
         """Queue a control job; its reply keeps the connection's FIFO order."""
@@ -623,7 +862,7 @@ class DetectionServer:
             else:
                 wanted = [prefix + sid for sid in requested]
             states = self.facade.snapshot_streams(wanted)
-            return {sid[len(prefix):]: entry for sid, entry in states.items()}
+            return {sid[len(prefix) :]: entry for sid, entry in states.items()}
 
         def format_snapshot(states: dict):
             tree, arrays = protocol.pack_object(states)
@@ -661,6 +900,15 @@ class DetectionServer:
             "ingest_jobs": self.ingest_jobs,
             "executor_calls": self.executor_calls,
             "draining": self._draining,
+            "replays_served": self.replays_served,
+            "replay_gaps": self.replay_gaps,
+            "journal": {
+                "namespaces": len(self._journals),
+                "entries": sum(len(j) for j in self._journals.values()),
+                "appended": sum(j.appended for j in self._journals.values()),
+                "evicted": sum(j.evicted for j in self._journals.values()),
+                "capacity": self.config.journal_size,
+            },
         }
 
         def run() -> dict:
@@ -680,7 +928,7 @@ class DetectionServer:
             }
             if include_periods:
                 result["periods"] = {
-                    sid[len(prefix):]: period
+                    sid[len(prefix) :]: period
                     for sid, period in self.facade.current_periods().items()
                     if sid.startswith(prefix)
                 }

@@ -109,7 +109,9 @@ class EventSoABank:
         return sorted(self._detected[pos])
 
     # ------------------------------------------------------------------
-    def step(self, values: Sequence[int] | np.ndarray) -> list[tuple[int, int, float, bool]]:
+    def step(
+        self, values: Sequence[int] | np.ndarray
+    ) -> list[tuple[int, int, float, bool]]:
         """Feed one event to every stream (lockstep).
 
         Returns one ``(stream_pos, period, confidence, new_detection)``
@@ -231,7 +233,9 @@ class EventSoABank:
         """Feed a ``(streams, events)`` matrix column by column.
 
         Returns one ``(stream_pos, index, period, confidence,
-        new_detection)`` tuple per detected period start.
+        new_detection)`` tuple per detected period start, in step
+        (chronological) order — per-stream order is contractual: the
+        pool assigns each stream's monotonic event ``seq`` from it.
         """
         arr = np.asarray(matrix)
         if arr.ndim != 2 or arr.shape[0] != self.streams:

@@ -33,6 +33,17 @@ class PeriodStartEvent:
     new_detection:
         True when this boundary coincides with a first lock or a period
         switch on the stream.
+    seq:
+        Zero-based per-stream monotonic sequence number, assigned at the
+        pool layer: the k-th event a stream ever produced carries
+        ``seq = k - 1``, whichever ingestion backend produced it
+        (per-stream engines, the SoA lockstep banks, or a sharded
+        worker).  The counter travels with the stream's snapshot —
+        rebalance, crash recovery and server-side restore all resume the
+        numbering instead of restarting it — so consumers can detect
+        dropped events by seq gaps and ask the server to replay exactly
+        the missed range.  ``-1`` marks a hand-constructed, unsequenced
+        event.
     """
 
     stream_id: str
@@ -40,6 +51,7 @@ class PeriodStartEvent:
     period: int
     confidence: float
     new_detection: bool
+    seq: int = -1
 
 
 @dataclass(frozen=True)

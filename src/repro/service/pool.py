@@ -36,8 +36,8 @@ multiplexing, not new detection semantics.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -73,7 +73,9 @@ def _exact_int64_matrix(arrays: list[np.ndarray]) -> np.ndarray | None:
     """
     casted = []
     for arr in arrays:
-        if not np.issubdtype(arr.dtype, np.number) or np.issubdtype(arr.dtype, np.complexfloating):
+        if not np.issubdtype(arr.dtype, np.number) or np.issubdtype(
+            arr.dtype, np.complexfloating
+        ):
             return None
         with np.errstate(invalid="ignore"):
             as_int = arr.astype(np.int64, casting="unsafe")
@@ -125,7 +127,9 @@ class PoolConfig:
 
     def __post_init__(self) -> None:
         if self.mode not in ("event", "magnitude"):
-            raise ValidationError(f"mode must be 'event' or 'magnitude', got {self.mode!r}")
+            raise ValidationError(
+                f"mode must be 'event' or 'magnitude', got {self.mode!r}"
+            )
         check_positive_int(self.window_size, "window_size")
         if self.max_streams is not None:
             check_positive_int(self.max_streams, "max_streams")
@@ -179,7 +183,9 @@ class DetectorPool:
         if config is None:
             config = PoolConfig(**kwargs)
         elif kwargs:
-            raise ValidationError("pass either a PoolConfig or keyword options, not both")
+            raise ValidationError(
+                "pass either a PoolConfig or keyword options, not both"
+            )
         self.config = config
         self._streams: "OrderedDict[str, _PoolStream]" = OrderedDict()
         self._clock = 0  # monotonically increasing ingest counter
@@ -210,7 +216,9 @@ class DetectorPool:
             return DynamicPeriodicityDetector(cfg)
         return EventPeriodicityDetector(cfg)
 
-    def add_stream(self, stream_id: str, engine: DetectorEngine | None = None) -> DetectorEngine:
+    def add_stream(
+        self, stream_id: str, engine: DetectorEngine | None = None
+    ) -> DetectorEngine:
         """Register ``stream_id`` (replacing any previous stream of that name).
 
         ``engine`` lets a caller supply a pre-configured or pre-loaded
@@ -236,7 +244,9 @@ class DetectorPool:
 
         Builds an engine from the pool configuration, restores ``state``
         into it and registers it under ``stream_id``; ``samples`` /
-        ``events`` reinstate the stream's activity counters.  This is the
+        ``events`` reinstate the stream's activity counters (the events
+        counter doubles as the stream's next event ``seq``, so
+        sequencing resumes across migration instead of restarting).  This is the
         receiving half of stream migration: the sharded service moves
         streams between worker processes as ``(snapshot, counters)``
         pairs, and crash recovery replays the last checkpoint through
@@ -344,6 +354,11 @@ class DetectorPool:
         """
         state = self._touch(stream_id)
         results = state.engine.update_batch(samples)
+        # seq continues the stream's event ordinal: the events counter
+        # counts exactly the delivered events, survives snapshot/restore
+        # (stream migration, crash recovery), and is therefore the one
+        # coherent numbering across every ingestion backend.
+        base_seq = state.events
         events = [
             PeriodStartEvent(
                 stream_id=stream_id,
@@ -351,9 +366,11 @@ class DetectorPool:
                 period=int(r.period),
                 confidence=r.confidence,
                 new_detection=r.new_detection,
+                seq=base_seq + pos,
             )
-            for r in results
-            if r.is_period_start and r.period
+            for pos, r in enumerate(
+                r for r in results if r.is_period_start and r.period
+            )
         ]
         state.samples += len(results)
         state.events += len(events)
@@ -401,6 +418,7 @@ class DetectorPool:
         state.samples += 1
         self._total_samples += 1
         if result.is_period_start and result.period:
+            seq = state.events  # ordinal before the increment below
             state.events += 1
             self._total_events += 1
             event = PeriodStartEvent(
@@ -409,6 +427,7 @@ class DetectorPool:
                 period=int(result.period),
                 confidence=result.confidence,
                 new_detection=result.new_detection,
+                seq=seq,
             )
             self._notify([event])
             return event
@@ -438,7 +457,11 @@ class DetectorPool:
             else SOA_MIN_STREAMS
         )
         if len(ids) < threshold:
-            return None, None, f"{len(ids)} streams below the SoA crossover ({threshold})"
+            return (
+                None,
+                None,
+                f"{len(ids)} streams below the SoA crossover ({threshold})",
+            )
         if any(sid in self._streams for sid in ids):
             return None, None, "target streams already resident"
         cfg = self.config.resolved_config()
@@ -487,19 +510,24 @@ class DetectorPool:
 
         self._record_lockstep_backend("soa", len(ids), reason)
         raw = bank.process(matrix)
-        events = [
-            PeriodStartEvent(
-                stream_id=ids[pos],
-                index=index,
-                period=period,
-                confidence=confidence,
-                new_detection=new,
-            )
-            for pos, index, period, confidence, new in raw
-        ]
+        # The bank only ever runs for fresh streams (the backend choice
+        # rejects resident targets), so per-stream seqs start at 0 here;
+        # ``process`` emits in step order, hence chronological per stream.
         per_stream_events = {sid: 0 for sid in ids}
-        for event in events:
-            per_stream_events[event.stream_id] += 1
+        events: list[PeriodStartEvent] = []
+        for pos, index, period, confidence, new in raw:
+            sid = ids[pos]
+            events.append(
+                PeriodStartEvent(
+                    stream_id=sid,
+                    index=index,
+                    period=period,
+                    confidence=confidence,
+                    new_detection=new,
+                    seq=per_stream_events[sid],
+                )
+            )
+            per_stream_events[sid] += 1
         length = lengths.pop()
         for pos, sid in enumerate(ids):
             engine = bank.to_engine(pos)

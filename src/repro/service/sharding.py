@@ -43,7 +43,7 @@ import multiprocessing
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, cast
 
 import numpy as np
 
@@ -160,11 +160,14 @@ _EVENT_FIELDS = np.dtype(
         ("period", np.int64),
         ("confidence", np.float64),
         ("new_detection", np.bool_),
+        ("seq", np.int64),  # per-stream ordinal assigned by the worker pool
     ]
 )
 
 
-def _events_to_array(events: list[PeriodStartEvent], positions: Mapping[str, int]) -> np.ndarray:
+def _events_to_array(
+    events: list[PeriodStartEvent], positions: Mapping[str, int]
+) -> np.ndarray:
     """Pack pool events into one compact structured array for the pipe."""
     out = np.empty(len(events), dtype=_EVENT_FIELDS)
     for row, event in enumerate(events):
@@ -174,6 +177,7 @@ def _events_to_array(events: list[PeriodStartEvent], positions: Mapping[str, int
             event.period,
             event.confidence,
             event.new_detection,
+            event.seq,
         )
     return out
 
@@ -315,7 +319,7 @@ class _ShardClient:
         if status == "err":
             raise RuntimeError(f"shard {self.index} failed: {payload}")
         if isinstance(payload, np.ndarray) and payload.dtype == _EVENT_FIELDS:
-            ids: Sequence[str] = context  # stream ids of the request
+            ids = cast(Sequence[str], context)  # stream ids of the request
             self.events.extend(
                 PeriodStartEvent(
                     stream_id=ids[int(row["stream"])],
@@ -323,6 +327,7 @@ class _ShardClient:
                     period=int(row["period"]),
                     confidence=float(row["confidence"]),
                     new_detection=bool(row["new_detection"]),
+                    seq=int(row["seq"]),
                 )
                 for row in payload
             )
@@ -448,7 +453,9 @@ class ShardedDetectorPool:
         if config is None:
             config = PoolConfig(**kwargs)
         elif kwargs:
-            raise ValidationError("pass either a PoolConfig or keyword options, not both")
+            raise ValidationError(
+                "pass either a PoolConfig or keyword options, not both"
+            )
         if sharding is None:
             sharding = ShardingConfig(**shard_kwargs)
         elif shard_kwargs:
@@ -912,6 +919,8 @@ class ShardedDetectorPool:
             locked_streams=sum(p.locked_streams for p in parts),
             mode=self.config.mode,
             lockstep_backend=(
-                backends.pop() if len(backends) == 1 else ("mixed" if backends else None)
+                backends.pop()
+                if len(backends) == 1
+                else ("mixed" if backends else None)
             ),
         )

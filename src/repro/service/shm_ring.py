@@ -134,7 +134,9 @@ class ShmSpanWriter:
         if offset is None:
             raise BlockingIOError("ring full; release acknowledged spans first")
         if nbytes:
-            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=offset)
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=offset
+            )
             view[...] = arr
         self._head = offset + nbytes
         self._spans.append((offset, nbytes))

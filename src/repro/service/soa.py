@@ -157,7 +157,9 @@ class MagnitudeSoABank:
         return sorted(self._locks.detected[pos])
 
     # ------------------------------------------------------------------
-    def step(self, values: Sequence[float] | np.ndarray) -> list[tuple[int, int, float, bool]]:
+    def step(
+        self, values: Sequence[float] | np.ndarray
+    ) -> list[tuple[int, int, float, bool]]:
         """Feed one sample to every stream (lockstep).
 
         Parameters
@@ -196,13 +198,17 @@ class MagnitudeSoABank:
                 if head:
                     sums[:, 1 : head + 1] += np.abs(sample - bufs[:, head - 1 :: -1])
                 tail = m - head
-                sums[:, head + 1 : m + 1] += np.abs(sample - bufs[:, -1 : -tail - 1 : -1])
+                sums[:, head + 1 : m + 1] += np.abs(
+                    sample - bufs[:, -1 : -tail - 1 : -1]
+                )
         if fill == self._window_size:
             evicted = bufs[:, head].copy()[:, None]
             m = min(self._max_lag, fill - 1)
             first = min(m, fill - 1 - head)
             if first:
-                sums[:, 1 : first + 1] -= np.abs(bufs[:, head + 1 : head + 1 + first] - evicted)
+                sums[:, 1 : first + 1] -= np.abs(
+                    bufs[:, head + 1 : head + 1 + first] - evicted
+                )
             if m > first:
                 sums[:, first + 1 : m + 1] -= np.abs(bufs[:, : m - first] - evicted)
 
@@ -257,11 +263,14 @@ class MagnitudeSoABank:
         """Feed a ``(streams, samples)`` matrix, chunked between boundaries.
 
         Returns one ``(stream_pos, index, period, confidence,
-        new_detection)`` tuple per detected period start.  While the
-        window is filling, columns run through :meth:`step`; once it is
-        full, all columns up to the next evaluation/refresh boundary are
-        advanced in one columnar pass (:meth:`_advance_chunk`), which is
-        the bank's steady-state hot loop.
+        new_detection)`` tuple per detected period start, in step
+        (chronological) order — per-stream order is contractual: the
+        pool assigns each stream's monotonic event ``seq`` from it.
+        While the window is filling, columns run through :meth:`step`;
+        once it is full, all columns up to the next evaluation/refresh
+        boundary are advanced in one columnar pass
+        (:meth:`_advance_chunk`), which is the bank's steady-state hot
+        loop.
         """
         arr = np.asarray(matrix, dtype=np.float64)
         if arr.ndim != 2 or arr.shape[0] != self.streams:

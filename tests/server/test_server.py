@@ -18,7 +18,7 @@ from repro.server.client import (
     ServerBusy,
     ServerError,
 )
-from repro.server.server import DetectionServer, ServerConfig, ServerThread, build_pool
+from repro.server.server import ServerConfig, ServerThread, build_pool
 from repro.service.pool import DetectorPool, PoolConfig
 from repro.service.sharding import ShardedDetectorPool
 

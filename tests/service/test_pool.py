@@ -88,7 +88,6 @@ class TestLockstep:
         for sid, trace in traces.items():
             slow_events.extend(slow.ingest(sid, trace))
 
-        key = lambda e: (e.stream_id, e.index)
         assert sorted(
             [(e.stream_id, e.index, e.period) for e in fast_events]
         ) == sorted([(e.stream_id, e.index, e.period) for e in slow_events])

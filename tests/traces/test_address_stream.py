@@ -1,6 +1,5 @@
 """Tests for loop-address assignment and address-stream construction."""
 
-import numpy as np
 import pytest
 
 from repro.traces.address_stream import (
