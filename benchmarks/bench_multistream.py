@@ -61,6 +61,7 @@ import time
 
 import numpy as np
 
+from repro import kernels
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.service.pool import DetectorPool, PoolConfig
 from repro.service.sharding import ShardedDetectorPool, ShardingConfig
@@ -309,8 +310,9 @@ def bench_pool(
     pool = DetectorPool(config)
     elapsed, correct = _timed_run(pool, traces, periods, samples, lockstep, False)
     total = streams * samples
+    stats = pool.stats()
     if lockstep:
-        backend = f"{pool.stats().lockstep_backend}-lockstep"
+        backend = f"{stats.lockstep_backend}-lockstep"
     else:
         backend = "per-stream-engines"
     return {
@@ -319,6 +321,7 @@ def bench_pool(
         "window": window,
         "mode": mode,
         "backend": backend,
+        "kernel_backend": stats.kernel_backend,
         "elapsed_s": round(elapsed, 3),
         "samples_per_s": round(total / elapsed),
         "correct_locks": correct,
@@ -357,6 +360,7 @@ def bench_sharded(
         "samples_per_stream": samples,
         "window": window,
         "mode": mode,
+        "kernel_backend": kernels.backend_name(),
         "workers": workers,
         "pipeline_depth": pipeline_depth,
         "ingest": ingest,
@@ -516,6 +520,11 @@ def write_summary(results: dict, path: str) -> dict:
         put(f"single_{name}_us_per_sample", row["new_us_per_sample"])
     for row in results.get("pool", ()):
         key = f"pool_{row['mode']}_{row['streams']}_{row['backend']}"
+        # Compiled-kernel runs get their own trajectory rows (e.g.
+        # pool_magnitude_1000_soa-lockstep-numba); the unsuffixed keys
+        # keep meaning the NumPy-kernel baseline.
+        if row.get("kernel_backend") == "numba":
+            key += "-numba"
         put(key, row["samples_per_s"])
     for row in results.get("sharded", ()):
         key = f"sharded_{row['mode']}_{row['streams']}_{row['workers']}w_{row['ingest']}"
@@ -532,6 +541,7 @@ def write_summary(results: dict, path: str) -> dict:
     summary = {
         "machine": results["machine"],
         "git_rev": _git_rev(),
+        "kernel_backend": results.get("kernel_backend"),
         "scenarios": scenarios,
     }
     with open(path, "w") as fh:
@@ -552,7 +562,19 @@ def main(argv=None) -> int:
                              "(default: top-level BENCH_multistream.json; 'none' to skip)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes (CI smoke run)")
+    parser.add_argument("--kernels", choices=["auto", "numba", "numpy", "python"],
+                        default=None,
+                        help="force the repro.kernels backend for this run "
+                             "(default: honour REPRO_KERNELS / auto)")
     args = parser.parse_args(argv)
+
+    if args.kernels:
+        # Export too, so sharded workers resolve the same backend.
+        os.environ[kernels.ENV_VAR] = args.kernels
+        kernels.set_backend(args.kernels)
+    # Pre-JIT outside every timed region: a production deployment warms
+    # up at spawn, so the benchmark should never time a compile.
+    kernel_backend = kernels.warmup()
 
     single_samples = 1024 if args.quick else 2048
     pool_samples = 256 if args.quick else 512
@@ -568,9 +590,11 @@ def main(argv=None) -> int:
                 len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
             ),
         },
+        "kernel_backend": kernel_backend,
         "single_stream": bench_single_stream(samples=single_samples),
     }
-    print(f"machine: {results['machine']['cpu_count']} CPUs")
+    print(f"machine: {results['machine']['cpu_count']} CPUs, "
+          f"kernels: {kernel_backend}")
     print("single-stream per-sample latency (window "
           f"{results['single_stream']['window']}):")
     for name, row in results["single_stream"]["scenarios"].items():

@@ -1,13 +1,26 @@
 """Setuptools shim.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that the package can be installed in editable mode on environments whose
-setuptools/pip cannot build PEP 517 editable wheels (e.g. offline hosts
-without the ``wheel`` package):
+This file exists so that the package can be installed in editable mode on
+environments whose setuptools/pip cannot build PEP 517 editable wheels
+(e.g. offline hosts without the ``wheel`` package):
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+The ``fast`` extra pulls in numba for the compiled hot-path kernels
+(``pip install -e .[fast]``); without it the package runs fully
+functional on the pure-NumPy kernel backend (see ``src/repro/kernels``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    install_requires=["numpy"],
+    extras_require={
+        # Optional compiled kernels: REPRO_KERNELS=auto picks numba up
+        # automatically when importable, NumPy otherwise.
+        "fast": ["numba>=0.60"],
+    },
+)

@@ -18,6 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
+from repro.kernels.numpy_backend import (
+    best_candidate_index as _best_candidate_index,
+    harmonic_kept_mask as _harmonic_kept_mask,
+)
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -153,39 +158,6 @@ def filter_harmonics(
     return [c for c, keep in zip(by_lag, kept_mask) if keep]
 
 
-def _harmonic_kept_mask(lags: np.ndarray, depths: np.ndarray, tolerance: float) -> np.ndarray:
-    """Harmonic-filter survivor mask over lag-sorted candidate arrays.
-
-    The array-level core of :func:`filter_harmonics`, shared with the
-    batched selection so both paths keep identical candidates.
-    """
-    # suppresses[i, j]: candidate i, *if kept*, drops candidate j.
-    ratio_exact = (lags[None, :] % lags[:, None]) == 0
-    suppresses = (
-        ratio_exact
-        & (lags[:, None] < lags[None, :])
-        & (depths[None, :] <= depths[:, None] + tolerance)
-    )
-    kept_mask = np.ones(lags.size, dtype=bool)
-    if not suppresses.any():
-        return kept_mask
-    for j in range(lags.size):
-        kept_mask[j] = not np.any(kept_mask[:j] & suppresses[:j, j])
-    return kept_mask
-
-
-def _best_candidate_index(lags: np.ndarray, depths: np.ndarray, tolerance: float) -> int:
-    """Index of the winning candidate among lag-sorted candidate arrays.
-
-    Applies the harmonic filter, then picks the deepest survivor with
-    ties broken in favour of the smaller lag — exactly the
-    ``min(candidates, key=(-depth, lag))`` rule of :func:`select_period`.
-    """
-    kept = np.flatnonzero(_harmonic_kept_mask(lags, depths, tolerance))
-    order = np.lexsort((lags[kept], -depths[kept]))
-    return int(kept[order[0]])
-
-
 def select_period(
     profile: np.ndarray,
     *,
@@ -214,45 +186,6 @@ def select_period(
     )
 
 
-def _minima_matrix(
-    profiles: np.ndarray, min_lag: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Row-wise local-minimum search; returns ``(is_min, depths)`` matrices.
-
-    The 2-D lift of :func:`_minima_arrays`: every comparison and the
-    per-row profile mean are the same expressions evaluated along
-    ``axis=1``, so row ``s`` of the result is bit-for-bit the 1-D search
-    over ``profiles[s]``.
-    """
-    P = np.asarray(profiles, dtype=float)
-    streams, n = P.shape
-    finite = np.isfinite(P)
-    counts = finite.sum(axis=1)
-    means = np.where(finite, P, 0.0).sum(axis=1) / np.maximum(counts, 1)
-    eligible = finite.copy()
-    eligible[:, : min(max(min_lag, 0), n)] = False
-    left = np.full((streams, n), np.inf)
-    left[:, 1:] = np.where(eligible[:, :-1], P[:, :-1], np.inf)
-    right = np.full((streams, n), np.inf)
-    right[:, :-1] = np.where(eligible[:, 1:], P[:, 1:], np.inf)
-    with np.errstate(invalid="ignore"):
-        is_min = eligible & (P <= left) & (P <= right)
-        plateau = np.zeros((streams, n), dtype=bool)
-        plateau[:, 1:] = eligible[:, :-1] & (P[:, :-1] == P[:, 1:]) & (
-            left[:, 1:] <= right[:, 1:]
-        )
-    is_min &= ~plateau
-    mean_col = means[:, None]
-    positive = mean_col > 0
-    with np.errstate(invalid="ignore", divide="ignore"):
-        depths = np.where(
-            positive,
-            1.0 - P / np.where(positive, mean_col, 1.0),
-            np.where(P == 0, 1.0, 0.0),
-        )
-    return is_min, depths
-
-
 def select_periods_batch(
     profiles: np.ndarray,
     *,
@@ -265,10 +198,11 @@ def select_periods_batch(
     ``profiles`` has shape ``(streams, lags)`` — the layout of the
     structure-of-arrays lockstep bank, whose per-evaluation Python loop
     over streams this replaces (the ROADMAP's magnitude-lockstep
-    bottleneck).  The local-minimum search, depth computation and
-    ``min_depth`` gate run as single whole-matrix passes; only rows that
-    still have qualifying candidates pay the (small, compact-array)
-    harmonic resolution.
+    bottleneck).  The search itself runs in the active
+    :mod:`repro.kernels` backend — a fused ``@njit`` row kernel when
+    numba is installed, the vectorised whole-matrix NumPy reference
+    otherwise; every backend is bit-for-bit identical to the scalar
+    :func:`select_period` per row.
 
     Returns
     -------
@@ -287,73 +221,4 @@ def select_periods_batch(
     P = np.asarray(profiles, dtype=float)
     if P.ndim != 2:
         raise ValueError(f"profiles must be 2-D (streams, lags), got shape {P.shape}")
-    streams = P.shape[0]
-    out_lags = np.zeros(streams, dtype=np.int64)
-    out_dist = np.zeros(streams, dtype=np.float64)
-    out_depth = np.zeros(streams, dtype=np.float64)
-    if P.shape[1] == 0:
-        return out_lags, out_dist, out_depth
-    is_min, depths = _minima_matrix(P, min_lag)
-    with np.errstate(invalid="ignore"):
-        qualifies = is_min & (depths >= min_depth)
-    has_any = qualifies.any(axis=1)
-    if not has_any.any():
-        return out_lags, out_dist, out_depth
-    # Whole-matrix fast paths: two sufficient conditions, each settling a
-    # row with no per-row Python, together covering essentially every
-    # evaluation of a locked periodic stream (minima at p, 2p, 3p, ...
-    # plus the odd shallow spurious minimum); only rows with genuinely
-    # competing minima pay the compact-array resolution below.
-    #
-    # (A) Let m0 be the row's smallest qualifying lag.  Nothing can
-    #     suppress m0 (suppression needs a smaller kept lag), so m0
-    #     always survives the harmonic filter.  When every qualifying
-    #     multiple of m0 lies within the harmonic tolerance of m0's
-    #     depth (m0 suppresses it) and every qualifying non-multiple is
-    #     no deeper than m0 (it cannot out-rank m0, and ties break
-    #     toward the smaller lag — m0), the winner is m0.
-    # (B) Let j* be the row's deepest qualifying lag (smallest lag on a
-    #     depth tie — the lexsort order).  When no qualifying strict
-    #     divisor of j* is deep enough to suppress it (kept lags are a
-    #     subset of qualifying ones, so this is conservative), j*
-    #     survives the filter, and as the pre-filter deepest it wins.
-    first = qualifies.argmax(axis=1)
-    lag_grid = np.arange(P.shape[1], dtype=np.int64)
-    m0 = np.maximum(first, 1)[:, None]
-    d0 = depths[np.arange(streams), first][:, None]
-    with np.errstate(invalid="ignore"):
-        multiple = lag_grid[None, :] % m0 == 0
-        explained = np.where(
-            multiple, depths <= d0 + harmonic_tolerance, depths <= d0
-        )
-        fast_a = has_any & np.all(explained | ~qualifies, axis=1)
-        masked = np.where(qualifies, depths, -np.inf)
-        dmax = masked.max(axis=1)
-        jstar = (masked == dmax[:, None]).argmax(axis=1)
-        divisor = (
-            (np.maximum(jstar, 1)[:, None] % np.maximum(lag_grid, 1)[None, :] == 0)
-            & (lag_grid[None, :] < jstar[:, None])
-        )
-        threat = qualifies & divisor & (depths + harmonic_tolerance >= dmax[:, None])
-        fast_b = has_any & ~fast_a & ~threat.any(axis=1)
-    # When A and B both hold they provably agree, so precedence is moot.
-    for rows, best_fast in (
-        (np.flatnonzero(fast_a), first),
-        (np.flatnonzero(fast_b), jstar),
-    ):
-        best = best_fast[rows]
-        out_lags[rows] = best
-        out_dist[rows] = P[rows, best]
-        out_depth[rows] = depths[rows, best]
-    for row in np.flatnonzero(has_any & ~fast_a & ~fast_b):
-        cols = np.flatnonzero(qualifies[row])
-        if cols.size == 1:
-            best = cols[0]
-        else:
-            best = cols[_best_candidate_index(
-                cols.astype(np.int64), depths[row, cols], harmonic_tolerance
-            )]
-        out_lags[row] = best
-        out_dist[row] = P[row, best]
-        out_depth[row] = depths[row, best]
-    return out_lags, out_dist, out_depth
+    return kernels.select_periods_batch_impl(P, min_lag, min_depth, harmonic_tolerance)

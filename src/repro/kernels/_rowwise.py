@@ -1,0 +1,48 @@
+"""Shared driver for the row-wise (numba / python) period-selection kernel.
+
+The batched period selection has one reduction whose result depends on
+floating-point association order: the per-row profile mean (NumPy sums
+pairwise; a plain loop sums sequentially, which differs in the last
+ulp and can flip the ``min_depth`` gate).  To keep every backend
+bit-for-bit identical, the mean is always computed with the exact NumPy
+expression of the vectorised reference, and only the per-row selection
+— pure elementwise arithmetic and comparisons — runs in the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def make_select_impl(select_rows: Callable) -> Callable:
+    """Wrap a ``select_rows`` kernel into the backend entry point."""
+
+    def select_periods_batch_impl(
+        P: np.ndarray, min_lag: int, min_depth: float, harmonic_tolerance: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        streams, n = P.shape
+        out_lags = np.zeros(streams, dtype=np.int64)
+        out_dist = np.zeros(streams, dtype=np.float64)
+        out_depth = np.zeros(streams, dtype=np.float64)
+        if n == 0:
+            return out_lags, out_dist, out_depth
+        finite = np.isfinite(P)
+        counts = finite.sum(axis=1)
+        # The one order-sensitive reduction: identical expression (and
+        # therefore identical pairwise summation) to the NumPy backend.
+        means = np.where(finite, P, 0.0).sum(axis=1) / np.maximum(counts, 1)
+        select_rows(
+            np.ascontiguousarray(P),
+            means,
+            min_lag,
+            min_depth,
+            harmonic_tolerance,
+            out_lags,
+            out_dist,
+            out_depth,
+        )
+        return out_lags, out_dist, out_depth
+
+    return select_periods_batch_impl

@@ -1,0 +1,12 @@
+"""Keep --doctest-modules collection away from the numba backend.
+
+``numba_backend`` raises ImportError at import time when numba is not
+installed (the registry catches it and falls back); pytest's module
+collection must not trip over that.
+"""
+
+import importlib.util
+
+collect_ignore: list[str] = []
+if importlib.util.find_spec("numba") is None:
+    collect_ignore.append("numba_backend.py")

@@ -923,6 +923,7 @@ class DetectionServer:
                     "locked_streams": pool_stats.locked_streams,
                     "mode": pool_stats.mode,
                     "lockstep_backend": pool_stats.lockstep_backend,
+                    "kernel_backend": pool_stats.kernel_backend,
                 },
                 "server": server_stats,
             }

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.core.engine import tag_snapshot, validate_snapshot
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
 from repro.util.validation import ValidationError
@@ -128,31 +129,15 @@ class EventSoABank:
         self._index += 1
 
         # --- incremental mismatch counts, all streams at once -----------
-        # Identical slice arithmetic to EventPeriodicityDetector.update,
-        # lifted to 2-D: every stream shares head/fill because the bank
-        # advances in lockstep.
+        # The active kernels backend runs the same arithmetic as
+        # EventPeriodicityDetector.update lifted to 2-D: every stream
+        # shares head/fill because the bank advances in lockstep.
         bufs = self._buffers
-        mism = self._mismatches
         head = self._head
         fill = self._fill
-        sample = col[:, None]
-        if fill:
-            m = min(self._max_lag, fill)
-            if m <= head:
-                mism[:, 1 : m + 1] += bufs[:, head - m : head][:, ::-1] != sample
-            else:
-                if head:
-                    mism[:, 1 : head + 1] += bufs[:, head - 1 :: -1] != sample
-                tail = m - head
-                mism[:, head + 1 : m + 1] += bufs[:, -1 : -tail - 1 : -1] != sample
-        if fill == self._window_size and fill > 1:
-            evicted = bufs[:, head].copy()[:, None]
-            m = min(self._max_lag, fill - 1)
-            first = min(m, fill - 1 - head)
-            if first:
-                mism[:, 1 : first + 1] -= bufs[:, head + 1 : head + 1 + first] != evicted
-            if m > first:
-                mism[:, first + 1 : m + 1] -= bufs[:, : m - first] != evicted
+        kernels.event_step_mismatches(
+            bufs, self._mismatches, col, head, fill, self._window_size
+        )
 
         bufs[:, head] = col
         self._head = (head + 1) % self._window_size

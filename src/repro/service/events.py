@@ -81,3 +81,7 @@ class PoolStats:
     lockstep_backend: str | None = None
     """Backend chosen by the last ``ingest_lockstep`` call (``"soa"`` or
     ``"per-stream"``); ``None`` when lockstep ingestion was never used."""
+    kernel_backend: str | None = None
+    """Active :mod:`repro.kernels` backend (``"numba"``, ``"numpy"`` or
+    ``"python"``) so the perf trajectory records what actually ran;
+    ``None`` only in stats merged from workers that predate the field."""

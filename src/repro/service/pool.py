@@ -41,6 +41,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.engine import DetectorEngine
 from repro.core.events import EventDetectorConfig, EventPeriodicityDetector
@@ -195,6 +196,10 @@ class DetectorPool:
         self._total_events = 0
         self._lockstep_backend: str | None = None
         self._listeners: list = []
+        # Resolve and pre-JIT the hot-path kernels now, not on the first
+        # ingest: with the numba backend, lazy-dispatch compilation would
+        # otherwise land inside a latency-sensitive request.
+        self._kernel_backend = kernels.warmup()
 
     # ------------------------------------------------------------------
     # stream management
@@ -624,4 +629,5 @@ class DetectorPool:
             locked_streams=locked,
             mode=self.config.mode,
             lockstep_backend=self._lockstep_backend,
+            kernel_backend=self._kernel_backend,
         )

@@ -47,6 +47,7 @@ from typing import Mapping, Sequence, cast
 
 import numpy as np
 
+from repro import kernels
 from repro.service.events import PeriodStartEvent, PoolStats, StreamStats
 from repro.service.pool import DetectorPool, PoolConfig
 from repro.service.shm_ring import ShmSpanWriter, attach_shared_memory, map_span
@@ -192,6 +193,11 @@ def _shard_worker_main(conn, shm_name: str, config: PoolConfig) -> None:
     order, which is what lets the parent do FIFO span accounting.
     """
     shm = attach_shared_memory(shm_name)
+    # Pre-JIT the hot-path kernels before the pool accepts requests: a
+    # fresh worker must pay any compile cost here, at spawn, never inside
+    # its first ingest (the pool constructor warms up too — this is
+    # explicit and first so the ordering survives pool refactors).
+    kernels.warmup()
     pool = DetectorPool(config)
     try:
         while True:
@@ -910,6 +916,7 @@ class ShardedDetectorPool:
         self._ensure_alive()
         parts: list[PoolStats] = [shard.call("stats") for shard in self._shards]
         backends = {p.lockstep_backend for p in parts} - {None}
+        kernel_backends = {p.kernel_backend for p in parts} - {None}
         return PoolStats(
             streams=sum(p.streams for p in parts),
             created=sum(p.created for p in parts),
@@ -922,5 +929,10 @@ class ShardedDetectorPool:
                 backends.pop()
                 if len(backends) == 1
                 else ("mixed" if backends else None)
+            ),
+            kernel_backend=(
+                kernel_backends.pop()
+                if len(kernel_backends) == 1
+                else ("mixed" if kernel_backends else None)
             ),
         )

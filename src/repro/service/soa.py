@@ -44,8 +44,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
+from repro import kernels
 from repro.core.detector import DetectorConfig, DynamicPeriodicityDetector
 from repro.core.distance import amdf_pair_sums_batch
 from repro.core.engine import LockTrackerBank, tag_snapshot, validate_snapshot
@@ -308,11 +308,11 @@ class MagnitudeSoABank:
     ) -> None:
         """Advance the full-window bank by ``cols.shape[1]`` lockstep columns.
 
-        The per-step insert/evict terms of the incremental AMDF
-        recurrence are materialised for the whole chunk in two strided
-        3-D passes over (window ++ chunk), then applied step by step as
-        plain 2-D adds — same values, same order, bit-for-bit the
-        arithmetic of :meth:`step`, at a fraction of the dispatch cost.
+        The insert/evict terms of the incremental AMDF recurrence are
+        applied by the active :mod:`repro.kernels` backend — a fused
+        compiled loop when numba is installed, two strided 3-D NumPy
+        passes otherwise — per element in the exact operation order of
+        :meth:`step`, so the float state stays bit-for-bit identical.
         Evaluation (and the refresh rebuild) can only be due at the last
         column — :meth:`_chunk_len` cuts chunks at those boundaries — so
         the lock state is constant for all earlier columns and their
@@ -320,7 +320,6 @@ class MagnitudeSoABank:
         """
         length = cols.shape[1]
         window = self._window_size
-        top = self._max_lag
         head = self._head
         bufs = self._buffers
         sums = self._sums
@@ -333,22 +332,7 @@ class MagnitudeSoABank:
             ext[:, window - head : window] = bufs[:, :head]
         ext[:, window:] = cols
 
-        # sw[s, j, k] = ext[s, j + k]; row j spans ext[j .. j + top].
-        sw = sliding_window_view(ext, top + 1, axis=1)
-        # Insert terms: step t adds |x_new - x_prev(m)| at lag m, where
-        # x_new = ext[:, window + t]; column k of the block is lag top-k.
-        base = window - top
-        add_rev = np.abs(
-            sw[:, base : base + length, top : top + 1]
-            - sw[:, base : base + length, :top]
-        )
-        # Evict terms: step t removes |x_old(m) - x_evicted| at lag m,
-        # where x_evicted = ext[:, t]; column k of the block is lag k+1.
-        sub = np.abs(sw[:, :length, 1 : top + 1] - sw[:, :length, :1])
-        body = sums[:, 1 : top + 1]
-        for step_t in range(length):
-            body += add_rev[:, step_t, ::-1]
-            body -= sub[:, step_t, :]
+        kernels.magnitude_advance_sums(sums, ext, window, length)
 
         # Ring write of the chunk (at most one wrap: length <= window).
         end = head + length

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.bench.workloads import ft_like_application
 from repro.traces.nas_ft import generate_ft_cpu_trace
 from repro.traces.spec_apps import all_spec_models
@@ -14,6 +15,33 @@ from repro.traces.spec_apps import all_spec_models
 def rng() -> np.random.Generator:
     """A deterministic random generator for tests."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(
+    params=[
+        "numpy",
+        "python",
+        pytest.param(
+            "numba",
+            marks=pytest.mark.skipif(
+                not kernels.numba_available(), reason="numba not installed"
+            ),
+        ),
+    ]
+)
+def kernel_backend(request, monkeypatch):
+    """Run the test once per available :mod:`repro.kernels` backend.
+
+    Forces the backend in-process via ``set_backend`` *and* exports
+    ``REPRO_KERNELS`` so subprocesses spawned by the test (sharded
+    workers) resolve the same backend.  The numba parameter skips
+    cleanly when numba is not installed.
+    """
+    monkeypatch.setenv(kernels.ENV_VAR, request.param)
+    previous = kernels.set_backend(request.param)
+    kernels.warmup()
+    yield request.param
+    kernels.set_backend(previous)
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ per stream.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import LockTracker, LockTrackerBank
@@ -60,12 +60,20 @@ def _assert_bank_matches(bank, trackers, context):
 
 
 class TestApplyBatchEquivalence:
-    @settings(max_examples=200, deadline=None)
+    # kernel_backend is stateless to swap, so sharing it across
+    # hypothesis examples is sound (see test_minima_batch).
+    @settings(
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(
         steps=st.lists(st.lists(_outcome, min_size=3, max_size=3), min_size=1, max_size=40),
         loss_patience=st.integers(min_value=1, max_value=4),
     )
-    def test_random_sequences_match_scalar_trackers(self, steps, loss_patience):
+    def test_random_sequences_match_scalar_trackers(
+        self, kernel_backend, steps, loss_patience
+    ):
         streams = 3
         trackers = [LockTracker(loss_patience) for _ in range(streams)]
         bank = LockTrackerBank(streams, loss_patience)

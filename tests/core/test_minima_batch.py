@@ -10,7 +10,7 @@ and the deepest-then-smallest-lag tie break.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.minima import select_period, select_periods_batch
@@ -56,14 +56,23 @@ def profile_matrices(draw):
 
 
 class TestBatchEqualsOracle:
-    @settings(max_examples=300, deadline=None)
+    # The kernel_backend fixture only swaps which (stateless) kernel
+    # module the batch call dispatches to, so reusing it across
+    # hypothesis examples is sound.
+    @settings(
+        max_examples=300,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(
         matrix=profile_matrices(),
         min_lag=st.integers(min_value=1, max_value=6),
         min_depth=st.floats(min_value=0.0, max_value=1.0),
         tolerance=st.floats(min_value=0.0, max_value=0.5),
     )
-    def test_every_row_matches_select_period(self, matrix, min_lag, min_depth, tolerance):
+    def test_every_row_matches_select_period(
+        self, kernel_backend, matrix, min_lag, min_depth, tolerance
+    ):
         lags, distances, depths = select_periods_batch(
             matrix, min_lag=min_lag, min_depth=min_depth, harmonic_tolerance=tolerance
         )

@@ -84,7 +84,7 @@ class TestPoolSequencing:
         assert_seqs_are_per_stream_ordinals(one_events)
 
     @pytest.mark.parametrize("mode", ["magnitude", "event"])
-    def test_lockstep_soa_matches_per_stream_including_seq(self, mode):
+    def test_lockstep_soa_matches_per_stream_including_seq(self, mode, kernel_backend):
         if mode == "magnitude":
             config, traces = magnitude_config, magnitude_traces
         else:
@@ -124,7 +124,7 @@ class TestPoolSequencing:
 
 
 class TestShardedSequencing:
-    def test_sharded_matches_single_pool_including_seq(self):
+    def test_sharded_matches_single_pool_including_seq(self, kernel_backend):
         traces = magnitude_traces(10)
         with ShardedDetectorPool(
             magnitude_config(), ShardingConfig(workers=2)

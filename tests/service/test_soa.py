@@ -48,7 +48,7 @@ class TestEquivalence:
             DetectorConfig(window_size=24, max_lag=10, min_lag=2, min_fill=6),
         ],
     )
-    def test_bank_equals_standalone_detectors(self, config):
+    def test_bank_equals_standalone_detectors(self, config, kernel_backend):
         rng = np.random.default_rng(5)
         traces = [
             noisy_periodic_signal(4, 200, noise_std=0.05, seed=1),
@@ -124,7 +124,7 @@ class TestChunkedProcess:
             DetectorConfig(window_size=16, evaluation_interval=3, loss_patience=1),
         ],
     )
-    def test_process_equals_scalar_engines_exactly(self, config):
+    def test_process_equals_scalar_engines_exactly(self, config, kernel_backend):
         rng = np.random.default_rng(11)
         traces = [
             noisy_periodic_signal(5, 260, noise_std=0.05, seed=21),
@@ -151,7 +151,7 @@ class TestChunkedProcess:
             assert snap_bank["lock"] == snap_det["lock"]
             assert snap_bank["since_refresh"] == snap_det["since_refresh"]
 
-    def test_step_and_process_interleave(self):
+    def test_step_and_process_interleave(self, kernel_backend):
         # Mixing the per-step compat path with chunked process() calls on
         # one bank must equal one straight per-step run.
         config = DetectorConfig(window_size=32, evaluation_interval=4, refresh_interval=19)
