@@ -372,7 +372,7 @@ def bench_sharded(
 
 def bench_loopback_server(
     streams: int, samples: int, window: int = 128, mode: str = "magnitude",
-    lockstep: bool = False, pipeline_window: int = 8,
+    lockstep: bool = False, pipeline_window: int = 8, profile: bool = False,
 ) -> dict:
     """Throughput of the :func:`bench_pool` workload over loopback TCP.
 
@@ -381,6 +381,12 @@ def bench_loopback_server(
     drives it with the blocking :class:`~repro.server.client.DetectionClient`
     — chunked ``ingest_many`` frames kept ``pipeline_window`` deep to
     hide round trips, or one ``INGEST_LOCKSTEP`` matrix frame.
+
+    With ``profile=True`` the row additionally records the server's
+    per-layer time breakdown (frame encode / socket syscalls /
+    dispatcher / detection / fan-out, DFAnalyzer-style) for exactly this
+    run — the STATS profile counters diffed across the timed region — so
+    a wire-path win or regression is attributable to its layer.
     """
     from repro.server.client import DetectionClient
     from repro.server.server import ServerThread
@@ -388,6 +394,7 @@ def bench_loopback_server(
     traces, periods, config = _pool_workload(mode, streams, samples, window)
     with ServerThread(DetectorPool(config)) as (host, port):
         with DetectionClient(host, port, namespace="bench") as client:
+            before = client.stats()["server"] if profile else None
             started = time.perf_counter()
             if lockstep:
                 client.ingest_lockstep(traces)
@@ -398,12 +405,28 @@ def bench_loopback_server(
                 )
                 client.pipeline(chunks, window=pipeline_window)
             elapsed = time.perf_counter() - started
+            layers = None
+            counters = None
+            if profile:
+                after = client.stats()["server"]
+                layers = {
+                    layer: round(after["profile"][layer] - before["profile"][layer], 4)
+                    for layer in after["profile"]
+                }
+                # Client-side work and the wire itself: whatever the
+                # server's own layers cannot account for.
+                layers["unattributed"] = round(elapsed - sum(layers.values()), 4)
+                counters = {
+                    "coalesce": after["coalesce"],
+                    "writer": after["writer"],
+                    "protocol": after["protocol"]["connection"],
+                }
             remote_periods = client.stats(periods=True)["periods"]
     correct = sum(
         1 for i, sid in enumerate(traces) if remote_periods.get(sid) == periods[i]
     )
     total = streams * samples
-    return {
+    row = {
         "streams": streams,
         "samples_per_stream": samples,
         "window": window,
@@ -414,6 +437,10 @@ def bench_loopback_server(
         "samples_per_s": round(total / elapsed),
         "correct_locks": correct,
     }
+    if layers is not None:
+        row["profile_s"] = layers
+        row["server_counters"] = counters
+    return row
 
 
 def bench_mixed_loopback(
@@ -562,6 +589,10 @@ def main(argv=None) -> int:
                              "(default: top-level BENCH_multistream.json; 'none' to skip)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes (CI smoke run)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record the server scenarios' per-layer time "
+                             "breakdown (encode/syscall/dispatch/detect/fan-out)"
+                             " into the JSON results")
     parser.add_argument("--kernels", choices=["auto", "numba", "numpy", "python"],
                         default=None,
                         help="force the repro.kernels backend for this run "
@@ -640,11 +671,17 @@ def main(argv=None) -> int:
           f"over the wire vs the in-process pool rows above):")
     for lockstep in (False, True):
         row = bench_loopback_server(
-            server_streams, server_samples, lockstep=lockstep
+            server_streams, server_samples, lockstep=lockstep, profile=args.profile
         )
         results["server"].append(row)
         print(f"  {row['ingest']:14s}  {row['samples_per_s']:>12,} samples/s  "
               f"(locks {row['correct_locks']}/{row['streams']})")
+        if args.profile:
+            layers = "  ".join(
+                f"{layer} {seconds:.3f}s"
+                for layer, seconds in row["profile_s"].items()
+            )
+            print(f"    layers: {layers}")
 
     results["mixed"] = []
     mixed_streams = 100 if args.quick else 1000

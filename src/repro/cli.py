@@ -153,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "it; 0 disables journaling)")
     sv.add_argument("--eval-interval", type=int, default=4,
                     help="evaluate the profile every this many samples (magnitude only)")
+    sv.add_argument("--coalesce-max", type=int, default=64,
+                    help="upper bound on the adaptive dispatcher coalescing window "
+                         "(ingest requests merged into one pool submission; the window "
+                         "itself is sized from observed queue depth, so the default "
+                         "rarely needs tuning)")
+    sv.add_argument("--coalesce-min", type=int, default=4,
+                    help="lower bound on the adaptive coalescing window (>= 1; the "
+                         "default works well unless latency of a single tiny request "
+                         "matters more than throughput)")
     return parser
 
 
@@ -422,6 +431,8 @@ def _cmd_serve(args) -> int:
             port=args.port,
             max_inflight=args.max_inflight,
             journal_size=max(args.journal_size, 0),
+            coalesce_limit=args.coalesce_max,
+            coalesce_min=args.coalesce_min,
         ),
     )
 

@@ -18,6 +18,15 @@ Both raise :class:`ServerBusy` on ``BUSY`` replies (the explicit
 backpressure signal — back off and retry) and :class:`ServerError` when
 the server reports a failed request.
 
+Both negotiate the wire protocol in HELLO (``max_protocol`` caps what
+the client offers — ``max_protocol=2`` *is* the frozen-v2 helper the
+compatibility tests use, emitting byte-identical v2 traffic).  Against
+a v3 server the hot paths (``ingest``/``ingest_many``/
+``ingest_lockstep``/``pipeline`` and subscriber pushes) intern stream
+names into per-connection int32 handles and travel as binary hot
+frames; ragged batches, mixed dtypes and dtypes without a wire code
+fall back to the JSON frames transparently.
+
 Both also *resume transparently*: every event carries the pool's
 per-stream monotonic ``seq``, and the subscription delivery path
 (``next_events``) tracks the last seq seen per stream.  When a pushed
@@ -77,6 +86,57 @@ def _events_from_frame(frame: Frame) -> list[PeriodStartEvent]:
     return protocol.events_from_array(frame.arrays[0], ids)
 
 
+def _hot_matrix(arrays: Sequence[np.ndarray]) -> np.ndarray | None:
+    """Stack 1-D batches into a hot-frame matrix, or None for the JSON path.
+
+    Hot frames need equal-length rows of one wire-codeable dtype;
+    anything else (ragged batches, mixed or exotic dtypes, an empty
+    request) keeps the fully supported JSON frames.
+    """
+    if not arrays:
+        return None
+    first = arrays[0]
+    if protocol.hot_dtype_code(first.dtype) is None:
+        return None
+    length = first.shape[0]
+    for arr in arrays[1:]:
+        if arr.dtype != first.dtype or arr.shape[0] != length:
+            return None
+    if len(arrays) == 1:
+        return first.reshape(1, -1)
+    return np.stack(arrays)
+
+
+class _HandleRegistry:
+    """Per-connection stream-handle state shared by both clients."""
+
+    __slots__ = ("of_name", "names")
+
+    def __init__(self) -> None:
+        self.of_name: dict[str, int] = {}  # name -> handle (sent frames)
+        self.names: dict[int, str] = {}  # handle -> name (received frames)
+
+    def learn(self, name: str, handle: int) -> None:
+        self.of_name[name] = handle
+        self.names[handle] = name
+
+    def decode_events(self, frame: Frame) -> list[PeriodStartEvent]:
+        """Decode an EVENTS_HOT/EVENT_HOT frame against the registry."""
+        for handle, name in frame.meta.get("announce", ()):
+            self.names[handle] = name
+        ids = []
+        for handle in frame.meta.get("handles", ()):
+            name = self.names.get(handle)
+            if name is None:
+                raise ProtocolError(
+                    f"server referenced unannounced stream handle {handle}"
+                )
+            ids.append(name)
+        if not frame.arrays:
+            return []
+        return protocol.events_from_array(frame.arrays[0], ids)
+
+
 class DetectionClient:
     """Blocking client of a :class:`~repro.server.server.DetectionServer`.
 
@@ -114,6 +174,12 @@ class DetectionClient:
         of each stream then reveals (and replays) everything missed
         while disconnected.  Without it a fresh client treats the first
         event it sees as the baseline.
+    max_protocol:
+        Highest wire protocol version to offer in HELLO; the connection
+        runs ``min(offered, server's)`` (see
+        :attr:`protocol_version`).  ``2`` freezes the client to the
+        JSON-only v2 wire format, byte-identical to an old client — the
+        compatibility tests use exactly that.
     """
 
     def __init__(
@@ -129,6 +195,7 @@ class DetectionClient:
         on_gap=None,
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
+        max_protocol: int = protocol.PROTOCOL_VERSION,
     ) -> None:
         last_error: Exception | None = None
         self._sock: socket.socket | None = None
@@ -152,10 +219,25 @@ class DetectionClient:
         # Per stream (named as delivered), the last seq handed to the
         # consumer; seeded from resume_seqs on a reconnect.
         self._last_seq: dict[str, int] = dict(resume_seqs or {})
-        try:
-            reply = self._request(
-                FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
+        if not (
+            protocol.BASELINE_VERSION <= max_protocol <= protocol.PROTOCOL_VERSION
+        ):
+            self._sock.close()
+            raise ValueError(
+                f"max_protocol must be in "
+                f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}], "
+                f"got {max_protocol}"
             )
+        self._max_protocol = max_protocol
+        self._version = protocol.BASELINE_VERSION
+        self._handles = _HandleRegistry()
+        hello_meta: dict = {"namespace": namespace, "fresh": bool(fresh)}
+        if max_protocol > protocol.BASELINE_VERSION:
+            # A v2 peer has no "protocol" key; omitting it at
+            # max_protocol=2 keeps the frozen-v2 handshake byte-identical.
+            hello_meta["protocol"] = max_protocol
+        try:
+            reply = self._request(FrameType.HELLO, hello_meta)
         except BaseException:
             # A failed handshake (ERROR reply, draining server, protocol
             # mismatch) must not leak the connected socket.
@@ -163,6 +245,15 @@ class DetectionClient:
             raise
         self.server_info = reply.meta
         self.namespace = reply.meta["namespace"]
+        offered = reply.meta.get("protocol", protocol.BASELINE_VERSION)
+        self._version = max(
+            protocol.BASELINE_VERSION, min(int(offered), max_protocol)
+        )
+
+    @property
+    def protocol_version(self) -> int:
+        """The negotiated wire protocol version of this connection."""
+        return self._version
 
     # ------------------------------------------------------------------
     # plumbing
@@ -174,7 +265,24 @@ class DetectionClient:
             raise ConnectionClosedError("client is closed")
         if self._saw_bye:
             raise ConnectionClosedError("server is draining (BYE received)")
-        protocol.write_frame(self._sock, ftype, meta, arrays)
+        protocol.write_frame(self._sock, ftype, meta, arrays, version=self._version)
+
+    def _send_hot(self, ftype: FrameType, handles, matrix: np.ndarray) -> None:
+        """Ship a pre-validated hot ingest frame (v3 connections only)."""
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        if self._saw_bye:
+            raise ConnectionClosedError("server is draining (BYE received)")
+        protocol.send_buffers(
+            self._sock,
+            protocol.encode_hot_ingest(ftype, handles, matrix, version=self._version),
+        )
+
+    def _events_of(self, frame: Frame) -> list[PeriodStartEvent]:
+        """Decode an events reply, JSON (EVENTS) or binary (EVENTS_HOT)."""
+        if frame.type in (FrameType.EVENTS_HOT, FrameType.EVENT_HOT):
+            return self._handles.decode_events(frame)
+        return _events_from_frame(frame)
 
     def _read_reply(self) -> Frame:
         """Next non-push frame; EVENT pushes are buffered on the side."""
@@ -183,10 +291,23 @@ class DetectionClient:
             if frame.type == FrameType.EVENT:
                 self._events.append(_events_from_frame(frame))
                 continue
+            if frame.type == FrameType.EVENT_HOT:
+                self._events.append(self._handles.decode_events(frame))
+                continue
             if frame.type == FrameType.BYE:
                 self._saw_bye = True
                 raise ConnectionClosedError("server is draining (BYE received)")
             return frame
+
+    def _ensure_handles(self, ids: Sequence[str]) -> list[int]:
+        """Handles for ``ids``, registering the missing ones (one request)."""
+        known = self._handles.of_name
+        missing = [sid for sid in ids if sid not in known]
+        if missing:
+            reply = self._request(FrameType.REGISTER, {"streams": missing})
+            for sid, handle in zip(missing, reply.meta["handles"]):
+                self._handles.learn(sid, int(handle))
+        return [known[sid] for sid in ids]
 
     def _request(
         self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
@@ -215,6 +336,11 @@ class DetectionClient:
         """Feed one batch per stream in a single request/reply round trip."""
         ids = list(batches)
         arrays = [_as_batch(batches[sid]) for sid in ids]
+        matrix = _hot_matrix(arrays) if self._version >= 3 else None
+        if matrix is not None:
+            handles = self._ensure_handles(ids)
+            self._send_hot(FrameType.INGEST_HOT, handles, matrix)
+            return self._events_of(self._check(self._read_reply()))
         reply = self._request(FrameType.INGEST, {"streams": ids}, arrays)
         return _events_from_frame(reply)
 
@@ -226,6 +352,10 @@ class DetectionClient:
         matrix = np.ascontiguousarray(
             np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
         )
+        if self._version >= 3 and protocol.hot_dtype_code(matrix.dtype) is not None:
+            handles = self._ensure_handles(ids)
+            self._send_hot(FrameType.LOCKSTEP_HOT, handles, matrix)
+            return self._events_of(self._check(self._read_reply()))
         reply = self._request(FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix])
         return _events_from_frame(reply)
 
@@ -261,7 +391,7 @@ class DetectionClient:
                 if on_busy == "raise" and busy is None:
                     busy = exc
             else:
-                events.extend(_events_from_frame(frame))
+                events.extend(self._events_of(frame))
             finally:
                 outstanding -= 1
 
@@ -270,7 +400,23 @@ class DetectionClient:
                 break  # stop feeding a server that already said BUSY
             ids = list(batches)
             arrays = [_as_batch(batches[sid]) for sid in ids]
-            self._send(FrameType.INGEST, {"streams": ids}, arrays)
+            matrix = _hot_matrix(arrays) if self._version >= 3 else None
+            handles = None
+            if matrix is not None:
+                known = self._handles.of_name
+                if all(sid in known for sid in ids):
+                    handles = [known[sid] for sid in ids]
+                elif outstanding == 0:
+                    # REGISTER is its own request/reply; only safe with
+                    # nothing in flight (the reply FIFO must stay
+                    # paired).  In the steady state every id is already
+                    # interned and this round trip never happens.
+                    handles = self._ensure_handles(ids)
+                # else: unregistered ids mid-flight -> JSON fallback
+            if handles is not None:
+                self._send_hot(FrameType.INGEST_HOT, handles, matrix)
+            else:
+                self._send(FrameType.INGEST, {"streams": ids}, arrays)
             outstanding += 1
             while outstanding >= window:
                 collect_one()
@@ -415,6 +561,8 @@ class DetectionClient:
         frame = protocol.read_frame(self._sock)
         if frame.type == FrameType.EVENT:
             return self._resolve_gaps(_events_from_frame(frame))
+        if frame.type == FrameType.EVENT_HOT:
+            return self._resolve_gaps(self._handles.decode_events(frame))
         if frame.type == FrameType.BYE:
             self._saw_bye = True
             raise ConnectionClosedError("server is draining (BYE received)")
@@ -486,6 +634,7 @@ class AsyncDetectionClient:
         on_gap=None,
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
+        max_protocol: int = protocol.PROTOCOL_VERSION,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -500,9 +649,25 @@ class AsyncDetectionClient:
         self._on_gap = on_gap
         self._auto_replay = bool(auto_replay)
         self._scope = "own"
+        if not (
+            protocol.BASELINE_VERSION <= max_protocol <= protocol.PROTOCOL_VERSION
+        ):
+            raise ValueError(
+                f"max_protocol must be in "
+                f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}], "
+                f"got {max_protocol}"
+            )
+        self._max_protocol = max_protocol
+        self._version = protocol.BASELINE_VERSION
+        self._handles = _HandleRegistry()
         # Per stream (named as delivered), the last seq handed to the
         # consumer; seeded from resume_seqs on a reconnect.
         self._last_seq: dict[str, int] = dict(resume_seqs or {})
+
+    @property
+    def protocol_version(self) -> int:
+        """The negotiated wire protocol version of this connection."""
+        return self._version
 
     @classmethod
     async def connect(
@@ -515,15 +680,30 @@ class AsyncDetectionClient:
         on_gap=None,
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
+        max_protocol: int = protocol.PROTOCOL_VERSION,
     ) -> "AsyncDetectionClient":
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, namespace, fresh, on_gap, auto_replay, resume_seqs)
-        client._reader_task = asyncio.ensure_future(client._read_loop())
-        reply = await client._request(
-            FrameType.HELLO, {"namespace": namespace, "fresh": bool(fresh)}
+        client = cls(
+            reader,
+            writer,
+            namespace,
+            fresh,
+            on_gap,
+            auto_replay,
+            resume_seqs,
+            max_protocol,
         )
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        hello_meta: dict = {"namespace": namespace, "fresh": bool(fresh)}
+        if max_protocol > protocol.BASELINE_VERSION:
+            hello_meta["protocol"] = max_protocol
+        reply = await client._request(FrameType.HELLO, hello_meta)
         client.server_info = reply.meta
         client.namespace = reply.meta["namespace"]
+        offered = reply.meta.get("protocol", protocol.BASELINE_VERSION)
+        client._version = max(
+            protocol.BASELINE_VERSION, min(int(offered), max_protocol)
+        )
         return client
 
     # ------------------------------------------------------------------
@@ -533,6 +713,8 @@ class AsyncDetectionClient:
                 frame = await protocol.read_frame_async(self._reader)
                 if frame.type == FrameType.EVENT:
                     self.events.put_nowait(_events_from_frame(frame))
+                elif frame.type == FrameType.EVENT_HOT:
+                    self.events.put_nowait(self._handles.decode_events(frame))
                 elif frame.type == FrameType.BYE:
                     self._saw_bye = True
                     self._fail_pending(ConnectionClosedError("server is draining"))
@@ -566,7 +748,9 @@ class AsyncDetectionClient:
             raise ConnectionClosedError("client is closed")
         future = asyncio.get_running_loop().create_future()
         self._pending.append(future)
-        self._writer.writelines(protocol.encode_frame(ftype, meta, arrays))
+        self._writer.writelines(
+            protocol.encode_frame(ftype, meta, arrays, version=self._version)
+        )
         await self._writer.drain()
         return await future
 
@@ -574,6 +758,34 @@ class AsyncDetectionClient:
         self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
     ) -> Frame:
         return DetectionClient._check(await self._request_raw(ftype, meta, arrays))
+
+    async def _request_hot(
+        self, ftype: FrameType, handles, matrix: np.ndarray
+    ) -> Frame:
+        if self._closed or self._saw_bye:
+            raise ConnectionClosedError("client is closed")
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(future)
+        self._writer.writelines(
+            protocol.encode_hot_ingest(ftype, handles, matrix, version=self._version)
+        )
+        await self._writer.drain()
+        return DetectionClient._check(await future)
+
+    async def _ensure_handles(self, ids: Sequence[str]) -> list[int]:
+        """Handles for ``ids``, registering the missing ones (one request)."""
+        known = self._handles.of_name
+        missing = [sid for sid in ids if sid not in known]
+        if missing:
+            reply = await self._request(FrameType.REGISTER, {"streams": missing})
+            for sid, handle in zip(missing, reply.meta["handles"]):
+                self._handles.learn(sid, int(handle))
+        return [known[sid] for sid in ids]
+
+    def _events_of(self, frame: Frame) -> list[PeriodStartEvent]:
+        if frame.type in (FrameType.EVENTS_HOT, FrameType.EVENT_HOT):
+            return self._handles.decode_events(frame)
+        return _events_from_frame(frame)
 
     # ------------------------------------------------------------------
     async def ingest(self, stream_id: str, samples) -> list[PeriodStartEvent]:
@@ -584,6 +796,11 @@ class AsyncDetectionClient:
         """Feed one batch per stream in one round trip."""
         ids = list(batches)
         arrays = [_as_batch(batches[sid]) for sid in ids]
+        matrix = _hot_matrix(arrays) if self._version >= 3 else None
+        if matrix is not None:
+            handles = await self._ensure_handles(ids)
+            reply = await self._request_hot(FrameType.INGEST_HOT, handles, matrix)
+            return self._events_of(reply)
         reply = await self._request(FrameType.INGEST, {"streams": ids}, arrays)
         return _events_from_frame(reply)
 
@@ -593,6 +810,10 @@ class AsyncDetectionClient:
         matrix = np.ascontiguousarray(
             np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
         )
+        if self._version >= 3 and protocol.hot_dtype_code(matrix.dtype) is not None:
+            handles = await self._ensure_handles(ids)
+            reply = await self._request_hot(FrameType.LOCKSTEP_HOT, handles, matrix)
+            return self._events_of(reply)
         reply = await self._request(
             FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix]
         )

@@ -43,6 +43,16 @@ work, runs every already-queued job to completion, flushes every
 connection's outbound queue, then says ``BYE`` and closes — no accepted
 sample batch is silently discarded.
 
+**The wire hot path is negotiated.**  Protocol v3 peers (HELLO carries
+``protocol`` both ways, effective version = the minimum) intern stream
+names into per-connection int32 handles (``REGISTER``) and exchange
+binary hot frames (``INGEST_HOT``/``LOCKSTEP_HOT`` requests,
+``EVENTS_HOT`` replies, ``EVENT_HOT`` pushes) with no JSON on the
+ingest/events path; v2 JSON frames stay fully served, byte-compatibly,
+on the same port.  A hot frame naming a handle the connection never
+registered answers ``ERROR`` and keeps the connection alive
+(:class:`UnknownHandleError`) — only malformed frames disconnect.
+
 :class:`ServerThread` runs a server on a private event loop in a
 daemon thread, which is how the blocking client's tests, the benchmark
 harness and the examples host a loopback server in-process.
@@ -52,6 +62,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -68,7 +79,13 @@ from repro.service.sharding import ShardedDetectorPool, ShardingConfig
 from repro.util.logging import get_logger
 from repro.util.validation import ValidationError, check_positive_int
 
-__all__ = ["DetectionServer", "EventJournal", "ServerConfig", "ServerThread"]
+__all__ = [
+    "DetectionServer",
+    "EventJournal",
+    "ServerConfig",
+    "ServerThread",
+    "UnknownHandleError",
+]
 
 _logger = get_logger(__name__)
 
@@ -77,6 +94,18 @@ _logger = get_logger(__name__)
 #: reconnect-happy client could grow the journal table without bound.
 #: Least recently touched journals are evicted first.
 _MAX_JOURNALS = 1024
+
+
+class UnknownHandleError(Exception):
+    """A hot frame referenced a stream handle this connection never
+    registered.
+
+    Deliberately *not* a :class:`ProtocolError`: the frame itself was
+    well formed — the peer merely raced a ``fresh`` reconnect (handle
+    tables are per connection and start empty) or skipped ``REGISTER``.
+    The server answers with an ``ERROR`` frame, in order, and keeps the
+    connection alive; only malformed frames disconnect.
+    """
 
 
 class EventJournal:
@@ -195,14 +224,26 @@ class ServerConfig:
         batches beyond it are dropped and counted, never buffered
         without bound.
     coalesce_limit:
-        Maximum number of queued ingest jobs merged into one pool
-        ``ingest_many`` call.
+        Upper bound of the adaptive coalescing window: the maximum
+        number of queued ingest jobs merged into one pool
+        ``ingest_many`` call (``repro serve --coalesce-max``).
+    coalesce_min:
+        Lower bound of the adaptive window.  The dispatcher sizes each
+        merge from the observed job-queue depth — a deeper backlog
+        earns a larger batch, up to ``coalesce_limit`` — but never aims
+        below this floor, so lightly loaded pipelined clients still get
+        small opportunistic batches.  The defaults need no tuning.
     journal_size:
         Per-namespace capacity (in events) of the replay journal ring.
         A dropped or reconnecting subscriber can recover any seq range
         still inside it via ``REPLAY``; older ranges are answered with
         ``EVENTS_GAP``.  ``0`` disables journaling (every replay then
         reports a gap).
+    max_protocol:
+        Highest wire protocol version the server will negotiate in
+        HELLO (capped at :data:`protocol.PROTOCOL_VERSION`).  ``2``
+        freezes the server to the JSON-only v2 wire format — the
+        negotiation tests use it to emulate an old server.
     """
 
     host: str = "127.0.0.1"
@@ -210,15 +251,28 @@ class ServerConfig:
     max_inflight: int = 32
     push_queue: int = 256
     coalesce_limit: int = 64
+    coalesce_min: int = 4
     journal_size: int = 4096
+    max_protocol: int = protocol.PROTOCOL_VERSION
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_inflight, "max_inflight")
         check_positive_int(self.push_queue, "push_queue")
         check_positive_int(self.coalesce_limit, "coalesce_limit")
+        check_positive_int(self.coalesce_min, "coalesce_min")
+        if self.coalesce_min > self.coalesce_limit:
+            raise ValidationError(
+                f"coalesce_min ({self.coalesce_min}) must not exceed "
+                f"coalesce_limit ({self.coalesce_limit})"
+            )
         if self.journal_size < 0:
             raise ValidationError(
                 f"journal_size must be >= 0, got {self.journal_size}"
+            )
+        if not 2 <= self.max_protocol <= protocol.PROTOCOL_VERSION:
+            raise ValidationError(
+                f"max_protocol must be in [2, {protocol.PROTOCOL_VERSION}], "
+                f"got {self.max_protocol}"
             )
         if not 0 <= self.port <= 65535:
             raise ValidationError(f"port must be in [0, 65535], got {self.port}")
@@ -236,6 +290,16 @@ class _Job:
 
 _CLOSE = object()  # outbox sentinel: flush and stop the writer task
 
+#: Writer-loop buffer pooling: frame buffers at or below the copy limit
+#: coalesce into a reused scratch bytearray (one allocation serves many
+#: wakeups); larger buffers — raw sample/event arrays — pass through to
+#: the scatter-gather write uncopied.  A scratch that ballooned past the
+#: cap is dropped instead of being pooled, and at most ``_SCRATCH_POOL``
+#: buffers are retained per connection.
+_SCRATCH_COPY_LIMIT = 1 << 15
+_SCRATCH_CAP = 1 << 20
+_SCRATCH_POOL = 4
+
 
 class _Connection:
     """Per-connection state: namespace, bounded queues, counters."""
@@ -250,6 +314,20 @@ class _Connection:
         self.queued_pushes = 0
         self.dropped_events = 0
         self.dead = False
+        #: Negotiated wire protocol version; the v2 baseline until HELLO
+        #: says otherwise.  Every frame this connection emits is stamped
+        #: with it.
+        self.version = protocol.BASELINE_VERSION
+        # The handle table: one intern space per connection, shared by
+        # client registrations (REGISTER) and server-side push
+        # announcements.  ``handle_ids[h]`` is the name exactly as the
+        # peer sees it (namespace-local for its own streams, full
+        # ``<ns>/<stream>`` ids for scope-"all" pushes); ``peer_known``
+        # tracks which handles the peer has been told about, so the
+        # first EVENT_HOT using a server-assigned handle announces it.
+        self.handle_ids: list[str] = []
+        self.handle_of: dict[str, int] = {}
+        self.peer_known: set[int] = set()
         cfg = server.config
         # Replies (bounded by max_inflight plus the BUSY notices the
         # writer has not flushed yet) and pushes share one FIFO so reply
@@ -274,6 +352,29 @@ class _Connection:
             )
             self.abort()
 
+    # -- handle table --------------------------------------------------
+    def intern(self, name: str) -> int:
+        """The peer-visible name's handle, assigned on first use."""
+        handle = self.handle_of.get(name)
+        if handle is None:
+            handle = len(self.handle_ids)
+            self.handle_ids.append(name)
+            self.handle_of[name] = handle
+        return handle
+
+    def resolve_handles(self, handles: list[int]) -> list[str]:
+        """Map hot-frame handles back to local stream names."""
+        table = self.handle_ids
+        names = []
+        for handle in handles:
+            if not 0 <= handle < len(table):
+                raise UnknownHandleError(
+                    f"unknown stream handle {handle}; REGISTER it first "
+                    "(handle tables are per connection and reset on reconnect)"
+                )
+            names.append(table[handle])
+        return names
+
     def push_events(self, local_ids: list[str], events: list[PeriodStartEvent]) -> None:
         """Queue a subscriber EVENT push, dropping (and counting) on overflow."""
         if self.dead or self.queued_pushes >= self.server.config.push_queue:
@@ -283,7 +384,24 @@ class _Connection:
         positions = {sid: pos for pos, sid in enumerate(local_ids)}
         table = protocol.events_to_array(events, positions)
         self.queued_pushes += 1
-        self.enqueue_reply(("push", FrameType.EVENT, {"streams": local_ids}, (table,)))
+        if self.version >= 3:
+            # EVENT_HOT: handles instead of repeated names, announcing
+            # each server-assigned handle exactly once (outbox FIFO
+            # guarantees the announce is decoded before any later frame
+            # relies on it).
+            handles = []
+            announce = []
+            for sid in local_ids:
+                handle = self.intern(sid)
+                if handle not in self.peer_known:
+                    self.peer_known.add(handle)
+                    announce.append((handle, sid))
+                handles.append(handle)
+            self.enqueue_reply(("push_hot", handles, announce, table))
+        else:
+            self.enqueue_reply(
+                ("push", FrameType.EVENT, {"streams": local_ids}, (table,))
+            )
 
     def abort(self) -> None:
         self.dead = True
@@ -338,6 +456,24 @@ class DetectionServer:
         self.executor_calls = 0
         self.replays_served = 0
         self.replay_gaps = 0
+        # adaptive-coalescing + writer-batching observability (STATS)
+        self.ingest_batches = 0
+        self.max_batch = 0
+        self.adaptive_window = self.config.coalesce_min
+        self.writer_batches = 0
+        self.writer_frames = 0
+        #: Cumulative per-layer seconds (DFAnalyzer-style attribution):
+        #: frame encode, socket write+drain, dispatcher bookkeeping,
+        #: detection work on the executor, and subscriber fan-out.  The
+        #: executor thread adds to "detect", the loop thread to the
+        #: rest; CPython float += under the GIL keeps this race-benign.
+        self.profile: dict[str, float] = {
+            "encode": 0.0,
+            "syscall": 0.0,
+            "dispatch": 0.0,
+            "detect": 0.0,
+            "fanout": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -402,6 +538,18 @@ class DetectionServer:
     # ------------------------------------------------------------------
     # dispatcher: the executor bridge
     # ------------------------------------------------------------------
+    def _timed_detect(self, fn, *args) -> Callable:
+        """Wrap an executor call so its runtime lands in ``profile["detect"]``."""
+
+        def run():
+            start = time.perf_counter()
+            try:
+                return fn(*args)
+            finally:
+                self.profile["detect"] += time.perf_counter() - start
+
+        return run
+
     async def _dispatch_loop(self) -> None:
         """Run queued jobs in order, coalescing adjacent ingest jobs.
 
@@ -410,6 +558,14 @@ class DetectionServer:
         per job); a job touching an already-merged stream, a lockstep
         job or a control job closes the merge window so per-stream
         sample order is never reordered.
+
+        The merge window is adaptive: it follows the observed job-queue
+        depth between ``coalesce_min`` and ``coalesce_limit``, so a
+        backlogged server amortises executor hops over bigger
+        ``ingest_many`` batches while a lightly loaded one keeps
+        latency.  When the queue runs dry below the window, one event
+        loop yield gives the reader tasks a chance to enqueue frames
+        they have already parsed before the batch is sealed.
         """
         loop = asyncio.get_running_loop()
         carry: _Job | None = None
@@ -427,18 +583,32 @@ class DetectionServer:
                 if job.kind != "ingest":
                     await self._run_single(loop, job)
                     continue
+                start = time.perf_counter()
+                window = min(
+                    max(self._jobs.qsize() + 1, self.config.coalesce_min),
+                    self.config.coalesce_limit,
+                )
+                self.adaptive_window = window
                 jobs = [job]
                 streams = set(job.batches)
-                while len(jobs) < self.config.coalesce_limit:
+                yielded = False
+                while len(jobs) < window:
                     try:
                         nxt = self._jobs.get_nowait()
                     except asyncio.QueueEmpty:
-                        break
+                        if yielded or self._draining:
+                            break
+                        yielded = True
+                        self.profile["dispatch"] += time.perf_counter() - start
+                        await asyncio.sleep(0)
+                        start = time.perf_counter()
+                        continue
                     if nxt.kind != "ingest" or (set(nxt.batches) & streams):
                         carry = nxt
                         break
                     jobs.append(nxt)
                     streams |= set(nxt.batches)
+                self.profile["dispatch"] += time.perf_counter() - start
                 await self._run_ingest_batch(loop, jobs)
             except asyncio.CancelledError:
                 raise
@@ -486,7 +656,8 @@ class DetectionServer:
                 self.ingest_jobs += 1
                 self.executor_calls += 1
                 events = await loop.run_in_executor(
-                    self._executor, self.facade.ingest_lockstep, job.batches
+                    self._executor,
+                    self._timed_detect(self.facade.ingest_lockstep, job.batches),
                 )
                 if not job.future.cancelled():
                     job.future.set_result(events)
@@ -508,9 +679,11 @@ class DetectionServer:
             merged.update(job.batches)
         self.ingest_jobs += len(jobs)
         self.executor_calls += 1
+        self.ingest_batches += 1
+        self.max_batch = max(self.max_batch, len(jobs))
         try:
             events = await loop.run_in_executor(
-                self._executor, self.facade.ingest_many, merged
+                self._executor, self._timed_detect(self.facade.ingest_many, merged)
             )
         except Exception as exc:
             for job in jobs:
@@ -583,12 +756,15 @@ class DetectionServer:
         """
         if not events:
             return
+        start = time.perf_counter()
         try:
             if self.config.journal_size:  # size 0 = journaling disabled
                 self._journal_events(events)
             self._fan_out_unguarded(events)
         except Exception:  # pragma: no cover - defensive
             _logger.exception("subscriber fan-out failed; events dropped")
+        finally:
+            self.profile["fanout"] += time.perf_counter() - start
 
     def _fan_out_unguarded(self, events: list[PeriodStartEvent]) -> None:
         for conn in self._connections:
@@ -666,6 +842,16 @@ class DetectionServer:
             raise ProtocolError("namespace must be a non-empty string without '/'")
         conn.namespace = namespace
         conn.prefix = namespace + "/"
+        # Version negotiation: both sides name the highest protocol they
+        # speak, the connection runs the minimum.  A v2 peer sends no
+        # "protocol" key at all — absence means the v2 baseline.
+        requested = hello.meta.get("protocol", protocol.BASELINE_VERSION)
+        if not isinstance(requested, int) or requested < 1:
+            raise ProtocolError("'protocol' must be a positive integer")
+        conn.version = max(
+            protocol.BASELINE_VERSION,
+            min(requested, self.config.max_protocol, protocol.PROTOCOL_VERSION),
+        )
         if hello.meta.get("fresh"):
             # A clean-slate reconnect resets the namespace's sequencing
             # (streams restart at seq 0), so its journal must go too —
@@ -689,7 +875,7 @@ class DetectionServer:
         pool_cfg = self.facade.pool.config
         return {
             "namespace": conn.namespace,
-            "protocol": protocol.PROTOCOL_VERSION,
+            "protocol": conn.version,
             "mode": pool_cfg.mode,
             # The *resolved* window: a detector_config/event_config
             # override supersedes PoolConfig.window_size.
@@ -700,8 +886,27 @@ class DetectionServer:
     # -- request dispatch ----------------------------------------------
     def _handle_request(self, conn: _Connection, frame: Frame) -> None:
         kind = frame.type
+        if kind in (
+            FrameType.REGISTER,
+            FrameType.INGEST_HOT,
+            FrameType.LOCKSTEP_HOT,
+        ) and self.config.max_protocol < 3:
+            # A frozen-v2 server has no hot path; a correct peer never
+            # sends these after negotiating v2.
+            raise ProtocolError(f"unexpected frame type {kind.name}")
         if kind in (FrameType.INGEST, FrameType.INGEST_LOCKSTEP):
             self._handle_ingest(conn, frame)
+        elif kind == FrameType.REGISTER:
+            self._handle_register(conn, frame)
+        elif kind in (FrameType.INGEST_HOT, FrameType.LOCKSTEP_HOT):
+            try:
+                self._handle_hot_ingest(conn, frame)
+            except UnknownHandleError as exc:
+                # An ERROR reply in request order — the connection (and
+                # its other in-flight requests) survive.
+                conn.enqueue_reply(
+                    ("reply", FrameType.ERROR, {"message": str(exc)}, ())
+                )
         elif kind == FrameType.SUBSCRIBE:
             scope = frame.meta.get("scope", "own")
             if scope not in ("own", "all"):
@@ -752,6 +957,62 @@ class DetectionServer:
                 conn.prefix + sid: matrix[row] for row, sid in enumerate(local_ids)
             }
             job_kind = "lockstep"
+
+        def format_events(events: list[PeriodStartEvent]):
+            positions = {conn.prefix + sid: pos for pos, sid in enumerate(local_ids)}
+            table = protocol.events_to_array(events, positions)
+            return FrameType.EVENTS, {"streams": local_ids}, (table,)
+
+        self._queue_ingest_job(conn, job_kind, batches, format_events)
+
+    def _handle_register(self, conn: _Connection, frame: Frame) -> None:
+        """Intern stream names into per-connection int32 handles.
+
+        Served on the event loop (the handle table is loop-local); the
+        reply's ``handles`` list aligns with the request's ``streams``
+        list.  Re-registering a name returns its existing handle, so the
+        call is idempotent.
+        """
+        names = self._local_streams(conn, frame)
+        handles = []
+        for name in names:
+            if not name:
+                raise ProtocolError("stream names must be non-empty")
+            handle = conn.intern(name)
+            conn.peer_known.add(handle)
+            handles.append(handle)
+        conn.enqueue_reply(("reply", FrameType.OK, {"handles": handles}, ()))
+
+    def _handle_hot_ingest(self, conn: _Connection, frame: Frame) -> None:
+        """Queue an INGEST_HOT / LOCKSTEP_HOT request (binary, by handle)."""
+        raw_handles = frame.meta["handles"]
+        local_ids = conn.resolve_handles(raw_handles)  # may raise UnknownHandle
+        if len(set(local_ids)) != len(local_ids):
+            raise ProtocolError("duplicate stream handles in one request")
+        matrix = frame.arrays[0]  # decode guarantees one row per handle
+        batches = {
+            conn.prefix + sid: matrix[row] for row, sid in enumerate(local_ids)
+        }
+        job_kind = "lockstep" if frame.type == FrameType.LOCKSTEP_HOT else "ingest"
+        full_ids = [conn.prefix + sid for sid in local_ids]
+        handles = list(raw_handles)
+
+        def format_events(events: list[PeriodStartEvent]):
+            positions = {sid: pos for pos, sid in enumerate(full_ids)}
+            table = protocol.events_to_array(events, positions)
+            return (
+                "raw",
+                protocol.encode_hot_events(
+                    FrameType.EVENTS_HOT, handles, table, version=conn.version
+                ),
+            )
+
+        self._queue_ingest_job(conn, job_kind, batches, format_events)
+
+    def _queue_ingest_job(
+        self, conn: _Connection, job_kind: str, batches: dict, formatter
+    ) -> None:
+        """Admission control + job queueing shared by all ingest frames."""
         if self._draining:
             conn.enqueue_reply(
                 ("reply", FrameType.ERROR, {"message": "server is draining"}, ())
@@ -769,13 +1030,7 @@ class DetectionServer:
             lambda _f: setattr(conn, "inflight", conn.inflight - 1)
         )
         self._jobs.put_nowait(_Job(kind=job_kind, future=future, batches=batches))
-
-        def format_events(events: list[PeriodStartEvent]):
-            positions = {conn.prefix + sid: pos for pos, sid in enumerate(local_ids)}
-            table = protocol.events_to_array(events, positions)
-            return FrameType.EVENTS, {"streams": local_ids}, (table,)
-
-        conn.enqueue_reply(("future", future, format_events))
+        conn.enqueue_reply(("future", future, formatter))
 
     def _handle_replay(self, conn: _Connection, frame: Frame) -> None:
         """Answer ``REPLAY(stream, from_seq[, upto])`` from the journal.
@@ -902,6 +1157,23 @@ class DetectionServer:
             "draining": self._draining,
             "replays_served": self.replays_served,
             "replay_gaps": self.replay_gaps,
+            "protocol": {
+                "supported": protocol.PROTOCOL_VERSION,
+                "max": self.config.max_protocol,
+                "connection": conn.version,
+            },
+            "coalesce": {
+                "window": self.adaptive_window,
+                "min": self.config.coalesce_min,
+                "limit": self.config.coalesce_limit,
+                "batches": self.ingest_batches,
+                "max_batch": self.max_batch,
+            },
+            "writer": {
+                "batches": self.writer_batches,
+                "frames": self.writer_frames,
+            },
+            "profile": dict(self.profile),
             "journal": {
                 "namespaces": len(self._journals),
                 "entries": sum(len(j) for j in self._journals.values()),
@@ -940,42 +1212,136 @@ class DetectionServer:
         )
 
     # -- writer task ---------------------------------------------------
+    def _encode_entry(self, conn: _Connection, entry) -> list:
+        """Encode one resolved outbox entry into frame buffers."""
+        start = time.perf_counter()
+        try:
+            if entry[0] == "push_hot":
+                _, handles, announce, table = entry
+                return protocol.encode_hot_events(
+                    FrameType.EVENT_HOT,
+                    handles,
+                    table,
+                    announce,
+                    version=conn.version,
+                )
+            _, ftype, meta, arrays = entry
+            return protocol.encode_frame(ftype, meta, arrays, version=conn.version)
+        finally:
+            self.profile["encode"] += time.perf_counter() - start
+
     async def _writer_loop(self, conn: _Connection) -> None:
-        """Flush the connection's outbox in FIFO order.
+        """Flush the connection's outbox in FIFO order, batched per wakeup.
+
+        Every wakeup drains the outbox greedily: each ready entry's
+        frame buffers are appended to one pending write vector, small
+        buffers coalescing into pooled (reused) scratch bytearrays, and
+        the whole vector goes to the transport as a single
+        ``writelines`` + ``drain`` — one coalesced write per wakeup
+        instead of one write and one drain per reply.  An unresolved
+        future mid-batch first flushes everything already encoded (the
+        peer keeps receiving while the pool works), then waits.
 
         A write failure marks the connection dead but keeps consuming
         entries (futures still resolve; results are discarded) so the
         dispatcher and the drain logic never block on a gone peer.
         """
+        pool: list[bytearray] = []  # reusable scratch buffers
+        pending: list = []  # write vector of the current batch
+        borrowed: list[bytearray] = []  # scratch in use by `pending`
+        scratch: bytearray | None = None
+
+        async def flush() -> None:
+            nonlocal scratch
+            if pending and not conn.dead:
+                start = time.perf_counter()
+                try:
+                    conn.writer.writelines(pending)
+                    await conn.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    conn.dead = True
+                self.profile["syscall"] += time.perf_counter() - start
+                self.writer_batches += 1
+            pending.clear()
+            # The selector transport copies on write (immediate send or
+            # buffer extend), so the scratch bytearrays are free again.
+            while borrowed and len(pool) < _SCRATCH_POOL:
+                buf = borrowed.pop()
+                if len(buf) <= _SCRATCH_CAP:
+                    pool.append(buf)
+            borrowed.clear()
+            scratch = None
+
+        def put(buffers: list) -> None:
+            nonlocal scratch
+            self.writer_frames += 1
+            for buf in buffers:
+                if len(buf) <= _SCRATCH_COPY_LIMIT:
+                    if scratch is None or len(scratch) > _SCRATCH_CAP:
+                        scratch = pool.pop() if pool else bytearray()
+                        scratch.clear()
+                        borrowed.append(scratch)
+                        pending.append(scratch)
+                    scratch += buf
+                else:
+                    # Large (array) buffers pass through uncopied; later
+                    # small buffers must start a fresh scratch to keep
+                    # byte order.
+                    pending.append(buf)
+                    scratch = None
+
         while True:
             entry = await conn.outbox.get()
-            if entry is _CLOSE:
-                return
-            if entry[0] == "future":
-                _, future, formatter = entry
-                await asyncio.wait([future])
-                if future.cancelled():
-                    continue
-                exc = future.exception()
-                if exc is not None:
-                    ftype, meta, arrays = (
-                        FrameType.ERROR,
-                        {"message": f"{type(exc).__name__}: {exc}"},
-                        (),
-                    )
+            batch = [entry]
+            while entry is not _CLOSE:
+                try:
+                    entry = conn.outbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                batch.append(entry)
+            closing = False
+            for entry in batch:
+                if entry is _CLOSE:
+                    closing = True
+                    break
+                if entry[0] == "future":
+                    _, future, formatter = entry
+                    if not future.done():
+                        # Ship what is already encoded before blocking.
+                        await flush()
+                        await asyncio.wait([future])
+                    if future.cancelled():
+                        continue
+                    exc = future.exception()
+                    if exc is not None:
+                        resolved = (
+                            "reply",
+                            FrameType.ERROR,
+                            {"message": f"{type(exc).__name__}: {exc}"},
+                            (),
+                        )
+                    else:
+                        start = time.perf_counter()
+                        formatted = formatter(future.result())
+                        self.profile["encode"] += time.perf_counter() - start
+                        if formatted[0] == "raw":
+                            if not conn.dead:
+                                put(formatted[1])
+                            continue
+                        ftype, meta, arrays = formatted
+                        resolved = ("reply", ftype, meta, arrays)
                 else:
-                    ftype, meta, arrays = formatter(future.result())
-            else:
-                _, ftype, meta, arrays = entry
-                if ftype == FrameType.EVENT:
-                    conn.queued_pushes = max(0, conn.queued_pushes - 1)
-            if conn.dead:
-                continue
-            try:
-                conn.writer.writelines(protocol.encode_frame(ftype, meta, arrays))
-                await conn.writer.drain()
-            except (ConnectionError, RuntimeError):
-                conn.dead = True
+                    resolved = entry
+                    if resolved[0] == "push_hot" or (
+                        resolved[0] == "push" and resolved[1] == FrameType.EVENT
+                    ):
+                        conn.queued_pushes = max(0, conn.queued_pushes - 1)
+                if conn.dead:
+                    continue
+                put(self._encode_entry(conn, resolved))
+            await flush()
+            if closing:
+                return
 
 
 # ----------------------------------------------------------------------

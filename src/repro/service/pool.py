@@ -12,11 +12,19 @@ instances:
   streams at once; homogeneous fleets large enough to amortise the
   2-D bookkeeping take the vectorised structure-of-arrays fast path
   (:class:`~repro.service.soa.MagnitudeSoABank` for magnitude mode,
-  :class:`~repro.service.event_soa.EventSoABank` for event mode) and are
-  handed back to per-stream engines afterwards; small fleets and
-  heterogeneous combinations run per-stream.  The backend actually
-  chosen is recorded in :class:`~repro.service.events.PoolStats` and
-  logged once, so benchmark regressions are diagnosable;
+  :class:`~repro.service.event_soa.EventSoABank` for event mode).  The
+  bank then stays *resident*: each target stream's engine slot holds a
+  lightweight :class:`_BankResident` row handle, repeated lockstep
+  calls over the same fleet keep the vectorised path without any
+  hand-off cost, and a stream only materialises a standalone engine
+  lazily when something touches it individually.  Small fleets and
+  heterogeneous combinations run per-stream.  ``ingest_many`` batches
+  that happen to form such a fleet (equal lengths, bank-eligible) are
+  routed through the same bank automatically, which is what lets the
+  network server's coalesced ingest batches run at lockstep speed.
+  The backend actually chosen is recorded in
+  :class:`~repro.service.events.PoolStats` and logged once, so
+  benchmark regressions are diagnosable;
 * idle streams are evicted LRU-style once ``max_streams`` is exceeded,
   which bounds the memory of a long-running service;
 * ``stats()`` / ``stream_stats()`` expose pool-level and per-stream
@@ -37,7 +45,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, NoReturn, Sequence
 
 import numpy as np
 
@@ -169,6 +177,69 @@ class _PoolStream:
     last_active: int = 0
 
 
+class _BankResident:
+    """Engine-shaped view of one row of a resident structure-of-arrays bank.
+
+    After a lockstep call runs on a SoA bank, each target stream's engine
+    slot holds one of these instead of an eagerly materialised detector:
+    reads (current period, detected periods, snapshots) are served
+    straight from the bank row, and repeated whole-fleet calls keep the
+    vectorised path (see :meth:`DetectorPool.ingest_lockstep`).  The
+    first per-stream mutation materialises a standalone engine via
+    :meth:`materialize`, so the hand-off cost — formerly a large fixed
+    tax on every lockstep call — is only paid for streams that actually
+    leave the fleet.  Handles are self-contained (they reference the
+    bank directly), so LRU eviction of individual members needs no
+    bookkeeping beyond dropping the handle.
+    """
+
+    __slots__ = ("bank", "pos")
+
+    def __init__(self, bank: "MagnitudeSoABank | EventSoABank", pos: int) -> None:
+        self.bank = bank
+        self.pos = pos
+
+    @property
+    def config(self):
+        return self.bank.config
+
+    @property
+    def window_size(self) -> int:
+        return int(self.bank.config.window_size)
+
+    @property
+    def samples_seen(self) -> int:
+        return int(self.bank.samples_seen)
+
+    @property
+    def current_period(self) -> int | None:
+        return self.bank.current_period(self.pos)
+
+    @property
+    def detected_periods(self) -> list[int]:
+        return list(self.bank.detected_periods(self.pos))
+
+    def snapshot(self) -> dict:
+        return self.bank.snapshot_stream(self.pos)
+
+    def materialize(self) -> DetectorEngine:
+        """A standalone engine equivalent to this row, state included."""
+        return self.bank.to_engine(self.pos)
+
+    # The mutating half of the DetectorEngine protocol is deliberately a
+    # loud failure: the pool materialises a standalone engine before any
+    # per-stream mutation, so a call landing here is a bookkeeping bug.
+    def _unmaterialised(self, *_args, **_kwargs) -> "NoReturn":
+        raise RuntimeError("bank-resident stream mutated without materialisation")
+
+    update = _unmaterialised
+    update_batch = _unmaterialised
+    profile = _unmaterialised
+    restore = _unmaterialised
+    set_window_size = _unmaterialised
+    reset = _unmaterialised
+
+
 class DetectorPool:
     """Multiplexes many named detection streams over detector engines.
 
@@ -239,8 +310,14 @@ class DetectorPool:
         return engine
 
     def engine(self, stream_id: str) -> DetectorEngine:
-        """The engine behind ``stream_id`` (KeyError when absent)."""
-        return self._streams[stream_id].engine
+        """The engine behind ``stream_id`` (KeyError when absent).
+
+        A bank-resident stream is materialised first: the caller gets a
+        real, independently mutable engine, never a bank row handle.
+        """
+        state = self._streams[stream_id]
+        self._materialize(state)
+        return state.engine
 
     def restore_stream(
         self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
@@ -296,6 +373,13 @@ class DetectorPool:
             }
         return out
 
+    @staticmethod
+    def _materialize(state: _PoolStream) -> None:
+        """Swap a bank-resident handle for a real standalone engine."""
+        engine = state.engine
+        if isinstance(engine, _BankResident):
+            state.engine = engine.materialize()
+
     def _touch(self, stream_id: str) -> _PoolStream:
         state = self._streams.get(stream_id)
         if state is None:
@@ -303,6 +387,7 @@ class DetectorPool:
             state = self._streams[stream_id]
         else:
             self._streams.move_to_end(stream_id)
+        self._materialize(state)
         self._clock += 1
         state.last_active = self._clock
         return state
@@ -393,7 +478,16 @@ class DetectorPool:
         :meth:`repro.service.sharding.ShardedDetectorPool.ingest_many`,
         so pool consumers (the network server, the benchmarks) can drive
         either implementation through one interface.
+
+        Batches that form a bank-eligible lockstep fleet — equal lengths
+        and either the resident bank's exact fleet or a fresh fleet the
+        lockstep backend chooser accepts — run on the vectorised bank
+        instead of the per-stream loop, with the events regrouped into
+        the per-stream order (and seqs) the loop would have produced.
         """
+        routed = self._lockstep_autoroute(batches)
+        if routed is not None:
+            return routed
         events: list[PeriodStartEvent] = []
         for stream_id, samples in batches.items():
             events.extend(self.ingest(stream_id, samples))
@@ -417,6 +511,7 @@ class DetectorPool:
             state = self._streams[stream_id]
         else:
             self._streams.move_to_end(stream_id)
+        self._materialize(state)
         self._clock += 1
         state.last_active = self._clock
         result = state.engine.update(sample)
@@ -480,42 +575,107 @@ class DetectorPool:
             return None, None, "identifiers do not round-trip through int64"
         return EventSoABank(ids, cfg), matrix, "homogeneous event fleet"
 
-    def ingest_lockstep(
-        self, traces: Mapping[str, Sequence[float] | np.ndarray]
-    ) -> list[PeriodStartEvent]:
-        """Feed equally long traces into many streams "concurrently".
+    def _resident_bank(
+        self, ids: list[str]
+    ) -> "MagnitudeSoABank | EventSoABank | None":
+        """The SoA bank whose resident fleet is exactly ``ids``, or None.
 
-        Homogeneous fleets of fresh target streams run on the vectorised
-        structure-of-arrays bank of the pool's mode when the fleet is
-        large enough to amortise the bank's 2-D bookkeeping (the measured
-        crossover is a handful of streams; below it the bank *loses* to
-        per-stream engines) and are handed back to per-stream engines
-        afterwards; any other combination runs per-stream
-        :meth:`ingest`.  Streams are independent, so the results are
-        identical either way — only the wall-clock cost differs.  The
-        chosen backend is reported by :meth:`stats` and logged on change.
+        The fast path only applies while every target stream's engine
+        slot still holds the row handle of one shared bank covering the
+        whole fleet: any eviction, per-stream mutation (which
+        materialises a standalone engine) or partial fleet overlap
+        disqualifies it, and the caller falls back to the generic paths.
         """
-        ids = list(traces)
-        if not ids:
-            return []
-        # Dtype-preserving: event streams carry integer identifiers that a
-        # float64 round-trip would corrupt above 2**53.
-        arrays = [np.asarray(traces[sid]).ravel() for sid in ids]
-        lengths = {arr.size for arr in arrays}
-        if len(lengths) != 1:
-            raise ValidationError("lockstep ingestion requires equally long traces")
+        state = self._streams.get(ids[0])
+        if state is None:
+            return None
+        handle = state.engine
+        if not isinstance(handle, _BankResident):
+            return None
+        bank = handle.bank
+        if bank.streams != len(ids):
+            return None
+        for sid in ids:
+            st = self._streams.get(sid)
+            if st is None:
+                return None
+            eng = st.engine
+            if not isinstance(eng, _BankResident) or eng.bank is not bank:
+                return None
+        return bank
 
-        bank, matrix, reason = self._choose_lockstep_backend(ids, arrays)
-        if bank is None:
-            self._record_lockstep_backend("per-stream", len(ids), reason)
-            events: list[PeriodStartEvent] = []
-            for sid, arr in zip(ids, arrays):
-                events.extend(self.ingest(sid, arr))
-            return events
+    def _bank_matrix(
+        self, order: Sequence[str], traces_by_sid: Mapping[str, np.ndarray]
+    ) -> np.ndarray | None:
+        """Stack traces in bank row order, or None when not representable."""
+        rows = [traces_by_sid[sid] for sid in order]
+        if self.config.mode == "magnitude":
+            return np.stack(rows).astype(np.float64, copy=False)
+        return _exact_int64_matrix(rows)
 
-        self._record_lockstep_backend("soa", len(ids), reason)
+    def _process_resident_bank(
+        self,
+        bank: "MagnitudeSoABank | EventSoABank",
+        ids: list[str],
+        arrays: list[np.ndarray],
+        length: int,
+        group_by_stream: bool,
+    ) -> list[PeriodStartEvent] | None:
+        """Advance a resident bank with one more lockstep chunk.
+
+        Returns ``None`` when the chunk cannot be fed to the bank (event
+        identifiers that do not round-trip through int64), in which case
+        the caller must take a fallback path.  Seqs continue each
+        stream's event counter, exactly as per-stream ingestion would.
+        """
+        matrix = self._bank_matrix(bank.stream_ids, dict(zip(ids, arrays)))
+        if matrix is None:
+            return None
+        self._record_lockstep_backend(
+            "soa", len(ids), "resident bank, fleet unchanged"
+        )
         raw = bank.process(matrix)
-        # The bank only ever runs for fresh streams (the backend choice
+        order = bank.stream_ids
+        next_seq = {sid: self._streams[sid].events for sid in ids}
+        events: list[PeriodStartEvent] = []
+        for pos, index, period, confidence, new in raw:
+            sid = order[pos]
+            events.append(
+                PeriodStartEvent(
+                    stream_id=sid,
+                    index=index,
+                    period=period,
+                    confidence=confidence,
+                    new_detection=new,
+                    seq=next_seq[sid],
+                )
+            )
+            next_seq[sid] += 1
+        if group_by_stream:
+            events = self._group_by_stream(events, ids)
+        for sid in ids:
+            state = self._streams[sid]
+            self._streams.move_to_end(sid)
+            self._clock += 1
+            state.last_active = self._clock
+            state.samples += length
+            state.events = next_seq[sid]
+        self._total_samples += length * len(ids)
+        self._total_events += len(events)
+        self._notify(events)
+        return events
+
+    def _install_fresh_bank(
+        self,
+        bank: "MagnitudeSoABank | EventSoABank",
+        matrix: np.ndarray,
+        ids: list[str],
+        length: int,
+        group_by_stream: bool,
+    ) -> list[PeriodStartEvent]:
+        """Run a freshly built bank and leave its fleet bank-resident."""
+        raw = bank.process(matrix)
+        # The bank only ever starts on fresh streams (the backend choice
         # rejects resident targets), so per-stream seqs start at 0 here;
         # ``process`` emits in step order, hence chronological per stream.
         per_stream_events = {sid: 0 for sid in ids}
@@ -533,10 +693,10 @@ class DetectorPool:
                 )
             )
             per_stream_events[sid] += 1
-        length = lengths.pop()
+        if group_by_stream:
+            events = self._group_by_stream(events, ids)
         for pos, sid in enumerate(ids):
-            engine = bank.to_engine(pos)
-            self.add_stream(sid, engine)
+            self.add_stream(sid, _BankResident(bank, pos))
             state = self._streams.get(sid)
             if state is not None:  # may already be evicted by max_streams
                 self._clock += 1
@@ -547,6 +707,105 @@ class DetectorPool:
         self._total_events += len(events)
         self._notify(events)
         return events
+
+    @staticmethod
+    def _group_by_stream(
+        events: list[PeriodStartEvent], ids: list[str]
+    ) -> list[PeriodStartEvent]:
+        """Reorder step-order events into per-stream order.
+
+        ``ingest_many`` promises the event order of its sequential
+        per-stream loop (all of stream A's events, then B's, in batch
+        order); the bank emits chronological step order, so autorouted
+        batches regroup here.  Within a stream both orders agree.
+        """
+        by_stream: dict[str, list[PeriodStartEvent]] = {sid: [] for sid in ids}
+        for event in events:
+            by_stream[event.stream_id].append(event)
+        return [event for sid in ids for event in by_stream[sid]]
+
+    def _lockstep_autoroute(
+        self, batches: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent] | None:
+        """Run an ``ingest_many`` batch on the lockstep bank when eligible.
+
+        Only fires when a bank will certainly be used — the resident
+        bank's exact fleet, or a fresh fleet the backend chooser accepts
+        — so the reported lockstep backend never flips to "per-stream"
+        for a plain ``ingest_many`` that would not have used a bank.
+        Returns ``None`` to make the caller run the per-stream loop.
+        """
+        if len(batches) < 2:
+            return None
+        ids = list(batches)
+        arrays = [np.asarray(batches[sid]).ravel() for sid in ids]
+        sizes = {arr.size for arr in arrays}
+        if len(sizes) != 1:
+            return None
+        length = sizes.pop()
+        if length == 0:
+            return None
+        bank = self._resident_bank(ids)
+        if bank is not None:
+            return self._process_resident_bank(
+                bank, ids, arrays, length, group_by_stream=True
+            )
+        fresh_bank, matrix, reason = self._choose_lockstep_backend(ids, arrays)
+        if fresh_bank is None or matrix is None:
+            return None
+        self._record_lockstep_backend("soa", len(ids), reason)
+        return self._install_fresh_bank(
+            fresh_bank, matrix, ids, length, group_by_stream=True
+        )
+
+    def ingest_lockstep(
+        self, traces: Mapping[str, Sequence[float] | np.ndarray]
+    ) -> list[PeriodStartEvent]:
+        """Feed equally long traces into many streams "concurrently".
+
+        Homogeneous fleets of fresh target streams run on the vectorised
+        structure-of-arrays bank of the pool's mode when the fleet is
+        large enough to amortise the bank's 2-D bookkeeping (the measured
+        crossover is a handful of streams; below it the bank *loses* to
+        per-stream engines).  The fleet then stays bank-resident, so a
+        follow-up lockstep call over the same fleet feeds the same bank
+        incrementally instead of rebuilding it; any other combination
+        runs per-stream :meth:`ingest` (materialising bank-resident
+        targets lazily).  Streams are independent, so the results are
+        identical either way — only the wall-clock cost differs.  The
+        chosen backend is reported by :meth:`stats` and logged on change.
+        """
+        ids = list(traces)
+        if not ids:
+            return []
+        # Dtype-preserving: event streams carry integer identifiers that a
+        # float64 round-trip would corrupt above 2**53.
+        arrays = [np.asarray(traces[sid]).ravel() for sid in ids]
+        lengths = {arr.size for arr in arrays}
+        if len(lengths) != 1:
+            raise ValidationError("lockstep ingestion requires equally long traces")
+        length = lengths.pop()
+
+        resident = self._resident_bank(ids)
+        if resident is not None:
+            events = self._process_resident_bank(
+                resident, ids, arrays, length, group_by_stream=False
+            )
+            if events is not None:
+                return events
+
+        bank, matrix, reason = self._choose_lockstep_backend(ids, arrays)
+        if bank is None or matrix is None:
+            self._record_lockstep_backend("per-stream", len(ids), reason)
+            events = []
+            for sid, arr in zip(ids, arrays):
+                events.extend(self.ingest(sid, arr))
+            return events
+
+        self._record_lockstep_backend("soa", len(ids), reason)
+        return self._install_fresh_bank(
+            bank, matrix, ids, length, group_by_stream=False
+        )
 
     @property
     def outstanding(self) -> int:

@@ -1,0 +1,183 @@
+"""Bank residency: lockstep fleets stay on the SoA bank across calls.
+
+The service-layer half of the wire-hot-path PR: the first lockstep call
+over a fresh homogeneous fleet builds a structure-of-arrays bank and
+leaves its streams *resident* on it, so repeated chunked lockstep calls
+(the shape the server's hot frames produce) advance the same bank
+incrementally instead of paying per-stream engine dispatch — with
+event streams' results identical chunk-for-chunk to the one-shot and
+per-stream paths, sequence numbers included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.pool import DetectorPool, PoolConfig, _BankResident
+from repro.traces.synthetic import repeat_pattern
+
+
+def config(**overrides) -> PoolConfig:
+    options = dict(mode="event", window_size=32)
+    options.update(overrides)
+    return PoolConfig(**options)
+
+
+def fleet(streams: int, samples: int) -> dict[str, np.ndarray]:
+    return {
+        f"s-{i}": repeat_pattern(10 * (i + 1) + np.arange(3 + i % 5), samples)
+        for i in range(streams)
+    }
+
+
+def keyed(events):
+    per_stream: dict[str, list] = {}
+    for e in events:
+        per_stream.setdefault(e.stream_id, []).append(
+            (e.index, e.period, e.new_detection, e.seq)
+        )
+    return per_stream
+
+
+def chunks(traces: dict[str, np.ndarray], size: int):
+    total = len(next(iter(traces.values())))
+    for offset in range(0, total, size):
+        yield {sid: v[offset : offset + size] for sid, v in traces.items()}
+
+
+class TestResidencyEquivalence:
+    def test_chunked_lockstep_matches_one_shot_and_per_stream(self):
+        traces = fleet(8, 160)
+
+        one_shot = DetectorPool(config())
+        a = keyed(one_shot.ingest_lockstep(traces))
+        assert one_shot.stats().lockstep_backend == "soa"
+
+        chunked = DetectorPool(config())
+        events = []
+        for chunk in chunks(traces, 40):
+            events.extend(chunked.ingest_lockstep(chunk))
+        assert keyed(events) == a
+        assert chunked.stats().lockstep_backend == "soa"
+
+        per_stream = DetectorPool(config(soa_min_streams=10_000))
+        b = keyed(per_stream.ingest_lockstep(traces))
+        assert per_stream.stats().lockstep_backend == "per-stream"
+        assert b == a
+
+    def test_streams_stay_resident_between_chunks(self):
+        pool = DetectorPool(config())
+        traces = fleet(6, 120)
+        first = True
+        for chunk in chunks(traces, 30):
+            pool.ingest_lockstep(chunk)
+            handles = [pool._streams[sid].engine for sid in traces]
+            assert all(isinstance(h, _BankResident) for h in handles)
+            banks = {id(h.bank) for h in handles}
+            assert len(banks) == 1  # one shared bank for the whole fleet
+            if first:
+                shared = banks.pop()
+                first = False
+            else:
+                assert banks == {shared}  # the *same* bank, chunk after chunk
+
+    def test_ingest_many_autoroutes_equal_length_fleets(self):
+        """The ingest_many shape the hot wire frames produce hits the bank."""
+        traces = fleet(8, 160)
+        pool = DetectorPool(config())
+        events = []
+        for chunk in chunks(traces, 40):
+            events.extend(pool.ingest_many(chunk))
+        assert pool.stats().lockstep_backend == "soa"
+
+        direct = DetectorPool(config()).ingest_lockstep(traces)
+        assert keyed(events) == keyed(direct)
+
+    def test_autoroute_never_reports_per_stream_spuriously(self):
+        """A bank-ineligible ingest_many must not flip the backend stat."""
+        pool = DetectorPool(config())
+        ragged = {"a": np.arange(10), "b": np.arange(7)}  # unequal lengths
+        pool.ingest_many(ragged)
+        assert pool.stats().lockstep_backend is None
+
+
+class TestResidencyDissolution:
+    def test_per_stream_touch_materialises_and_detaches(self):
+        pool = DetectorPool(config())
+        traces = fleet(6, 96)
+        resident = keyed(pool.ingest_lockstep(traces))
+
+        # Touching one stream on its own materialises a standalone engine
+        # without losing any state...
+        extra = repeat_pattern(10 + np.arange(3), 32)
+        a = keyed(pool.ingest("s-0", extra))
+        assert not isinstance(pool._streams["s-0"].engine, _BankResident)
+
+        # ...and matches a pool that ran the same schedule per-stream.
+        ref = DetectorPool(config(soa_min_streams=10_000))
+        ref_events = keyed(ref.ingest_lockstep(traces))
+        assert ref_events == resident
+        b = keyed(ref.ingest("s-0", extra))
+        assert a == b
+
+    def test_dissolved_fleet_falls_back_without_corruption(self):
+        """After a partial touch, lockstep keeps working via per-stream."""
+        pool = DetectorPool(config())
+        traces = fleet(6, 64)
+        pool.ingest_lockstep(traces)
+        pool.ingest("s-2", repeat_pattern(30 + np.arange(5), 16))
+
+        follow_up = {sid: v[:32] for sid, v in fleet(6, 64).items()}
+        ref = DetectorPool(config(soa_min_streams=10_000))
+        ref.ingest_lockstep(traces)
+        ref.ingest("s-2", repeat_pattern(30 + np.arange(5), 16))
+        assert keyed(pool.ingest_lockstep(follow_up)) == keyed(
+            ref.ingest_lockstep(follow_up)
+        )
+
+    def test_eviction_disqualifies_the_bank(self):
+        """An LRU-evicted member forces the fleet off the resident path."""
+        pool = DetectorPool(config(max_streams=8))
+        traces = fleet(6, 64)
+        pool.ingest_lockstep(traces)
+        # Pushing unrelated streams evicts the oldest fleet members.
+        for i in range(8):
+            pool.ingest(f"other-{i}", repeat_pattern(50 + np.arange(4), 16))
+        assert pool._resident_bank(list(traces)) is None
+        # A fresh lockstep over the fleet still works (rebuild or fallback).
+        assert pool.ingest_lockstep(
+            {sid: v[:32] for sid, v in fleet(6, 64).items()}
+        ) is not None
+
+    def test_remove_stream_of_resident_member(self):
+        pool = DetectorPool(config())
+        traces = fleet(6, 64)
+        pool.ingest_lockstep(traces)
+        assert pool.remove_stream("s-3") is True
+        assert pool._resident_bank(list(traces)) is None
+        remaining = {sid: v[:32] for sid, v in fleet(6, 64).items() if sid != "s-3"}
+        assert pool.ingest_lockstep(remaining) is not None
+
+
+class TestMagnitudeResidency:
+    def test_magnitude_fleet_stays_resident_and_equivalent(self):
+        from repro.core.detector import DetectorConfig
+        from repro.traces.synthetic import periodic_signal
+
+        cfg = PoolConfig(
+            mode="magnitude",
+            detector_config=DetectorConfig(window_size=64, evaluation_interval=4),
+        )
+        traces = {
+            f"m-{i}": periodic_signal(3 + i % 7, 256, seed=i) for i in range(8)
+        }
+        chunked = DetectorPool(cfg)
+        events = []
+        for chunk in chunks(traces, 64):
+            events.extend(chunked.ingest_lockstep(chunk))
+        assert chunked.stats().lockstep_backend == "soa"
+        one_shot = DetectorPool(cfg)
+        assert keyed(events) == keyed(one_shot.ingest_lockstep(traces))
+        for sid in traces:
+            assert chunked.current_period(sid) == one_shot.current_period(sid)
