@@ -443,6 +443,68 @@ def bench_loopback_server(
     return row
 
 
+def bench_checkpoint_loopback(
+    streams: int, samples: int, window: int = 128, checkpoint_interval: float = 0.25,
+) -> dict:
+    """Background-checkpointing overhead on the loopback lockstep path.
+
+    Runs the :func:`bench_loopback_server` magnitude workload twice in
+    the same process — once fully in-memory, once with ``--state-dir``
+    durability active (a real checkpoint store on disk, passes firing
+    mid-run) — and reports the throughput ratio.  The durable run uses
+    chunked lockstep frames so the interval-driven passes genuinely
+    interleave with ingestion; the in-memory baseline runs the identical
+    loop.  The acceptance bar of the durable-state subsystem is a ratio
+    >= 0.9 (checkpointing within noise of the same-run baseline); the
+    graceful-stop final pass runs outside the timed region, exactly as a
+    deployment would experience it.  The short default interval makes
+    full-fleet passes genuinely land inside the timed window (the row
+    records how many completed, and how many streams/bytes they wrote).
+    """
+    import tempfile
+
+    from repro.server.client import DetectionClient
+    from repro.server.server import ServerConfig, ServerThread
+
+    traces, periods, config = _pool_workload("magnitude", streams, samples, window)
+
+    def run(server_config: ServerConfig | None):
+        with ServerThread(DetectorPool(config), server_config) as (host, port):
+            with DetectionClient(host, port, namespace="bench") as client:
+                started = time.perf_counter()
+                for offset in range(0, samples, _BENCH_CHUNK):
+                    client.ingest_lockstep(
+                        {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+                    )
+                elapsed = time.perf_counter() - started
+                stats = client.stats()["server"].get("checkpoint")
+        return elapsed, stats
+
+    baseline_s, _ = run(None)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as state_dir:
+        durable_s, ckpt = run(
+            ServerConfig(state_dir=state_dir, checkpoint_interval=checkpoint_interval)
+        )
+    total = streams * samples
+    baseline_rate = total / baseline_s
+    durable_rate = total / durable_s
+    return {
+        "streams": streams,
+        "samples_per_stream": samples,
+        "window": window,
+        "mode": "magnitude",
+        "transport": "loopback-tcp",
+        "ingest": "chunked-lockstep",
+        "checkpoint_interval_s": checkpoint_interval,
+        "baseline_samples_per_s": round(baseline_rate),
+        "durable_samples_per_s": round(durable_rate),
+        "overhead_ratio": round(durable_rate / baseline_rate, 3),
+        "checkpoint_passes": ckpt["passes"],
+        "checkpoint_streams_written": ckpt["streams_written"],
+        "checkpoint_bytes_written": ckpt["bytes_written"],
+    }
+
+
 def bench_mixed_loopback(
     streams_each: int, samples: int, window: int = 128, workers: int = 2,
     pipeline_depth: int = 0,
@@ -559,6 +621,9 @@ def write_summary(results: dict, path: str) -> dict:
     for row in results.get("server", ()):
         key = f"server_{row['mode']}_{row['streams']}_{row['ingest']}"
         put(key, row["samples_per_s"])
+    for row in results.get("checkpoint", ()):
+        put(f"server_durable_{row['streams']}_lockstep", row["durable_samples_per_s"])
+        put(f"server_durable_{row['streams']}_overhead_ratio", row["overhead_ratio"])
     for row in results.get("mixed", ()):
         put(
             f"mixed_{row['streams_each']}x2_{row['workers']}w_"
@@ -683,6 +748,16 @@ def main(argv=None) -> int:
             )
             print(f"    layers: {layers}")
 
+    results["checkpoint"] = []
+    print(f"\ncheckpointing overhead (magnitude, {server_streams} streams, "
+          f"chunked lockstep over loopback, durable vs in-memory same-run):")
+    row = bench_checkpoint_loopback(server_streams, server_samples)
+    results["checkpoint"].append(row)
+    print(f"  in-memory         {row['baseline_samples_per_s']:>12,} samples/s")
+    print(f"  --state-dir       {row['durable_samples_per_s']:>12,} samples/s  "
+          f"(ratio {row['overhead_ratio']:.3f}, {row['checkpoint_passes']} passes, "
+          f"{row['checkpoint_bytes_written']:,} bytes)")
+
     results["mixed"] = []
     mixed_streams = 100 if args.quick else 1000
     mixed_samples = 256 if args.quick else 512
@@ -727,6 +802,13 @@ def main(argv=None) -> int:
               f"per-stream engines ({per_stream:,} samples/s) at {largest} streams",
               file=sys.stderr)
         ok = False
+    # Durability must be within noise of the same-run in-memory baseline.
+    for row in results["checkpoint"]:
+        if row["overhead_ratio"] < 0.9:
+            print(f"\nWARNING: checkpointing overhead ratio "
+                  f"{row['overhead_ratio']:.3f} below the 0.9 acceptance bar "
+                  f"at {row['streams']} streams", file=sys.stderr)
+            ok = False
     return 0 if ok else 1
 
 

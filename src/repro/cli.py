@@ -162,6 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="lower bound on the adaptive coalescing window (>= 1; the "
                          "default works well unless latency of a single tiny request "
                          "matters more than throughput)")
+    sv.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="durable state directory: restore the last checkpoint from "
+                         "it on startup (warm restart — streams, seq positions and "
+                         "replay journals survive) and checkpoint into it in the "
+                         "background while serving (default: fully in-memory)")
+    sv.add_argument("--checkpoint-interval", type=float, default=30.0,
+                    help="seconds between background checkpoint passes (with "
+                         "--state-dir; each pass writes only streams dirty since "
+                         "the previous one)")
+    sv.add_argument("--checkpoint-max-dirty", type=int, default=None,
+                    help="with --state-dir: additionally checkpoint early once this "
+                         "many ingest requests landed since the last pass (bounds "
+                         "how much acknowledged work a crash can lose)")
     return parser
 
 
@@ -433,12 +446,22 @@ def _cmd_serve(args) -> int:
             journal_size=max(args.journal_size, 0),
             coalesce_limit=args.coalesce_max,
             coalesce_min=args.coalesce_min,
+            state_dir=args.state_dir,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_max_dirty=args.checkpoint_max_dirty,
         ),
     )
 
     async def run() -> None:
         await server.start()
         layout = f", sharded x{args.workers} workers" if args.workers >= 2 else ""
+        if args.state_dir:
+            restored = server.restore_stats or {}
+            layout += (
+                f", durable @ {args.state_dir} "
+                f"(restored {restored.get('streams', 0)} streams, "
+                f"{restored.get('journals', 0)} journals)"
+            )
         print(f"repro detection server listening on {server.host}:{server.port} "
               f"(mode={args.mode}, window={args.window}{layout})", flush=True)
         stop_requested = asyncio.Event()

@@ -19,15 +19,31 @@ pool without ever blocking its event loop, and subscribers receive
 * :mod:`repro.server.client` — the blocking
   (:class:`DetectionClient`) and asyncio
   (:class:`AsyncDetectionClient`) client libraries used by the CLI, the
-  benchmarks and the tests.
+  benchmarks and the tests;
+* :mod:`repro.server.persistence` — durable server state
+  (:class:`CheckpointStore`, :class:`Checkpointer`): crash-safe
+  incremental checkpoints under ``repro serve --state-dir`` and the
+  warm-restart restore path.
 """
 
 from repro.server.client import AsyncDetectionClient, DetectionClient
+from repro.server.persistence import (
+    CheckpointError,
+    CheckpointStore,
+    CheckpointVersionError,
+    Checkpointer,
+    CorruptSegmentError,
+)
 from repro.server.protocol import PROTOCOL_VERSION, Frame, FrameType, ProtocolError
 from repro.server.server import DetectionServer, ServerConfig, ServerThread
 
 __all__ = [
     "AsyncDetectionClient",
+    "CheckpointError",
+    "CheckpointStore",
+    "CheckpointVersionError",
+    "Checkpointer",
+    "CorruptSegmentError",
     "DetectionClient",
     "DetectionServer",
     "Frame",

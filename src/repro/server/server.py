@@ -71,6 +71,7 @@ from typing import Callable
 import numpy as np
 
 from repro.server import protocol
+from repro.server.persistence import CheckpointStore, Checkpointer
 from repro.server.protocol import Frame, FrameType, ProtocolError
 from repro.service.events import PeriodStartEvent
 from repro.service.facade import ThreadSafePool
@@ -163,6 +164,56 @@ class EventJournal:
         """Highest seq ever journaled for ``stream_id`` (None: never)."""
         return self._last_seq.get(stream_id)
 
+    def capture(self) -> tuple[list[PeriodStartEvent], dict[str, int]]:
+        """The journal's persistable state: ring entries + high-water map.
+
+        Both are copied (the checkpointer serialises them off the event
+        loop while this journal keeps appending).
+        """
+        return list(self._entries), dict(self._last_seq)
+
+    def restore(
+        self, entries: "list[PeriodStartEvent]", last_seq: dict[str, int]
+    ) -> None:
+        """Reinstate captured state into this (fresh) journal.
+
+        ``appended`` restarts at the restored entry count, so the
+        ``evicted`` derivation stays consistent — pre-restart evictions
+        are not re-reported by the restarted process.
+        """
+        self._entries = deque(entries, maxlen=self.capacity)
+        self._last_seq = dict(last_seq)
+        self.appended = len(self._entries)
+
+    def trim_from(self, stream_id: str, events_counter: int) -> int:
+        """Drop entries of ``stream_id`` with ``seq >= events_counter``.
+
+        The restore-time consistency trim: a checkpoint's journal may be
+        *ahead* of the same checkpoint's stream snapshot (the journal is
+        captured after the snapshots in a pass), and ingestion resumed
+        from the snapshot will re-produce those events with the same
+        seqs.  Left in place, the re-produced seqs would look like a
+        stream restart to :meth:`append` and purge the stream's history;
+        trimmed, they simply re-journal.  Returns how many entries were
+        dropped.
+        """
+        last = self._last_seq.get(stream_id)
+        if last is None or last < events_counter:
+            return 0
+        kept = [
+            e
+            for e in self._entries
+            if e.stream_id != stream_id or e.seq < events_counter
+        ]
+        dropped = len(self._entries) - len(kept)
+        self._entries = deque(kept, maxlen=self._entries.maxlen)
+        if events_counter > 0:
+            self._last_seq[stream_id] = events_counter - 1
+        else:
+            self._last_seq.pop(stream_id, None)
+        self.appended -= dropped
+        return dropped
+
     def replay(
         self, stream_id: str, from_seq: int, upto: int | None = None
     ) -> tuple[list[PeriodStartEvent], int | None]:
@@ -244,6 +295,21 @@ class ServerConfig:
         HELLO (capped at :data:`protocol.PROTOCOL_VERSION`).  ``2``
         freezes the server to the JSON-only v2 wire format — the
         negotiation tests use it to emulate an old server.
+    state_dir:
+        Directory for durable server state (``repro serve
+        --state-dir``).  When set, the server restores every stream and
+        journal from the directory's checkpoint store before listening
+        and runs a background :class:`~repro.server.persistence.
+        Checkpointer` while serving (plus a final pass on graceful
+        stop).  ``None`` (the default) keeps the server fully
+        in-memory.
+    checkpoint_interval:
+        Seconds between background checkpoint passes (each pass only
+        writes streams dirty since the previous one).
+    checkpoint_max_dirty:
+        When set, a pass is additionally kicked early once this many
+        ingest jobs have landed since the last pass — bounding how much
+        acknowledged work a crash can lose under heavy traffic.
     """
 
     host: str = "127.0.0.1"
@@ -254,6 +320,9 @@ class ServerConfig:
     coalesce_min: int = 4
     journal_size: int = 4096
     max_protocol: int = protocol.PROTOCOL_VERSION
+    state_dir: str | None = None
+    checkpoint_interval: float = 30.0
+    checkpoint_max_dirty: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_inflight, "max_inflight")
@@ -276,6 +345,12 @@ class ServerConfig:
             )
         if not 0 <= self.port <= 65535:
             raise ValidationError(f"port must be in [0, 65535], got {self.port}")
+        if not self.checkpoint_interval > 0:
+            raise ValidationError(
+                f"checkpoint_interval must be > 0, got {self.checkpoint_interval}"
+            )
+        if self.checkpoint_max_dirty is not None:
+            check_positive_int(self.checkpoint_max_dirty, "checkpoint_max_dirty")
 
 
 @dataclass
@@ -449,6 +524,18 @@ class DetectionServer:
         # Replay journals, one bounded ring per namespace, touched only
         # on the event loop (fan-out appends, REPLAY reads).
         self._journals: "OrderedDict[str, EventJournal]" = OrderedDict()
+        # Durable state (``state_dir``): the checkpoint store + the
+        # background checkpointer, built here, restored/started in
+        # ``start()`` and finalised in ``stop()``.
+        self._checkpointer: Checkpointer | None = None
+        self.restore_stats: dict | None = None
+        if self.config.state_dir:
+            self._checkpointer = Checkpointer(
+                self,
+                CheckpointStore(self.config.state_dir),
+                interval=self.config.checkpoint_interval,
+                max_dirty=self.config.checkpoint_max_dirty,
+            )
         # service counters, reported by STATS
         self.busy_replies = 0
         self.dropped_events = 0
@@ -479,12 +566,88 @@ class DetectionServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind and begin serving (returns once listening)."""
+        """Bind and begin serving (returns once listening).
+
+        With a ``state_dir``, the last checkpoint is restored *before*
+        the socket opens — the first client already sees every recovered
+        stream and can replay against the recovered journals — and the
+        background checkpointer starts alongside the dispatcher.
+        """
+        if self._checkpointer is not None:
+            await self._restore_state()
+            self._checkpointer.baseline()
+            self._checkpointer.start()
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         _logger.info("detection server listening on %s:%d", self.host, self.port)
+
+    async def _restore_state(self) -> None:
+        """Rebuild pool streams + journals from the checkpoint store.
+
+        A version-gated store (written by a newer build) aborts startup
+        with the store's error; corrupt segments were already skipped
+        (and counted) by the store.  Restored journals are trimmed to
+        each restored stream's events counter — see
+        :meth:`EventJournal.trim_from` for why entries ahead of the
+        snapshot must go.
+        """
+        assert self._checkpointer is not None
+        loop = asyncio.get_running_loop()
+        store = self._checkpointer.store
+        started = time.perf_counter()
+        result = await loop.run_in_executor(self._executor, store.load)
+
+        def restore_streams() -> None:
+            for sid, entry in result.streams.items():
+                self.facade.restore_stream(
+                    sid,
+                    entry["state"],
+                    samples=int(entry.get("samples", 0)),
+                    events=int(entry.get("events", 0)),
+                )
+
+        await loop.run_in_executor(self._executor, restore_streams)
+        trimmed = 0
+        for namespace, (entries, last_seq) in result.journals.items():
+            journal = self._journal_for(namespace)
+            journal.restore(entries, last_seq)
+            for sid, entry in result.streams.items():
+                if sid.split("/", 1)[0] == namespace:
+                    trimmed += journal.trim_from(sid, int(entry.get("events", 0)))
+        duration = time.perf_counter() - started
+        self.restore_stats = {
+            "streams": len(result.streams),
+            "journals": len(result.journals),
+            "journal_entries_trimmed": trimmed,
+            "segments_loaded": result.segments_loaded,
+            "segments_skipped": result.segments_skipped,
+            "duration_s": round(duration, 6),
+        }
+        if result.streams or result.journals or result.segments_skipped:
+            _logger.info(
+                "restored %d streams and %d journals from %s in %.3f s "
+                "(%d segments, %d skipped, %d journal entries trimmed)",
+                len(result.streams),
+                len(result.journals),
+                store.root,
+                duration,
+                result.segments_loaded,
+                result.segments_skipped,
+                trimmed,
+            )
+
+    async def checkpoint_now(self) -> dict:
+        """Run one checkpoint pass immediately (tests, ServerThread).
+
+        Raises :class:`ValidationError` when the server has no
+        ``state_dir`` — callers should not silently no-op a durability
+        request.
+        """
+        if self._checkpointer is None:
+            raise ValidationError("server has no state_dir configured")
+        return await self._checkpointer.checkpoint()
 
     @property
     def host(self) -> str:
@@ -519,6 +682,15 @@ class DetectionServer:
         if self._pipelined_pool:
             # Deliver the pipelined tail before the subscribers go away.
             await self._flush_pipelined(asyncio.get_running_loop())
+        if self._checkpointer is not None:
+            # Final pass after the drain: every acknowledged sample (and
+            # the journal entries its events produced) is durable before
+            # the process exits.  Must precede the executor shutdown —
+            # the pass snapshots on the pool executor.
+            try:
+                await self._checkpointer.aclose(final_pass=True)
+            except Exception:  # pragma: no cover - defensive
+                _logger.exception("final checkpoint failed; state may be stale")
         # Flush each connection's outbound queue behind a BYE notice.
         writers = []
         for conn in list(self._connections):
@@ -662,6 +834,8 @@ class DetectionServer:
                 if not job.future.cancelled():
                     job.future.set_result(events)
                 self._fan_out(events)
+                if self._checkpointer is not None:
+                    self._checkpointer.note_ingest(1)
             else:
                 result = await loop.run_in_executor(self._executor, job.fn)
                 if not job.future.cancelled():
@@ -718,6 +892,8 @@ class DetectionServer:
                 if not job.future.done():
                     job.future.set_exception(exc)
         self._fan_out(events)
+        if self._checkpointer is not None:
+            self._checkpointer.note_ingest(len(jobs))
 
     def _journal_for(self, namespace: str) -> EventJournal:
         """The namespace's journal, created on first use, LRU-bounded."""
@@ -1182,6 +1358,9 @@ class DetectionServer:
                 "capacity": self.config.journal_size,
             },
         }
+        if self._checkpointer is not None:
+            server_stats["checkpoint"] = self._checkpointer.stats()
+            server_stats["restore"] = self.restore_stats
 
         def run() -> dict:
             pool_stats = self.facade.stats()
@@ -1425,6 +1604,17 @@ class ServerThread:
         finally:
             loop.run_until_complete(loop.shutdown_asyncgens())
             loop.close()
+
+    def checkpoint(self, timeout: float = 30.0) -> dict:
+        """Run one checkpoint pass on the server's loop; returns its
+        summary.  Lets threaded tests force durability at a known point
+        instead of sleeping out the interval."""
+        if self._loop is None:
+            raise ValidationError("server thread not started")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.checkpoint_now(), self._loop
+        )
+        return future.result(timeout)
 
     def stop(self, timeout: float = 30.0) -> None:
         """Gracefully drain the server and join the loop thread."""

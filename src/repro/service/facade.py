@@ -140,6 +140,13 @@ class ThreadSafePool:
         with self._lock:
             return self._pool.snapshot_streams(list(stream_ids))
 
+    def dirty_marks(self) -> dict[str, int]:
+        """Per-stream checkpoint dirty marks (see ``dirty_marks`` on
+        either pool type): a stream whose mark is unchanged between two
+        calls has not been mutated through this facade's pool."""
+        with self._lock:
+            return self._pool.dirty_marks()
+
     def restore_stream(
         self, stream_id: str, state: dict, *, samples: int = 0, events: int = 0
     ) -> None:

@@ -175,6 +175,7 @@ class _PoolStream:
     samples: int = 0
     events: int = 0
     last_active: int = 0
+    dirty: int = 0  # checkpoint dirty mark, see DetectorPool.dirty_marks
 
 
 class _BankResident:
@@ -261,6 +262,7 @@ class DetectorPool:
         self.config = config
         self._streams: "OrderedDict[str, _PoolStream]" = OrderedDict()
         self._clock = 0  # monotonically increasing ingest counter
+        self._dirty_clock = 0  # monotonically increasing mutation counter
         self._created = 0
         self._evicted = 0
         self._total_samples = 0
@@ -304,7 +306,10 @@ class DetectorPool:
         if engine is None:
             engine = self._make_engine()
         self._streams.pop(stream_id, None)
-        self._streams[stream_id] = _PoolStream(engine=engine, last_active=self._clock)
+        self._dirty_clock += 1
+        self._streams[stream_id] = _PoolStream(
+            engine=engine, last_active=self._clock, dirty=self._dirty_clock
+        )
         self._created += 1
         self._evict_over_capacity()
         return engine
@@ -317,6 +322,10 @@ class DetectorPool:
         """
         state = self._streams[stream_id]
         self._materialize(state)
+        # The caller holds a mutable handle the pool cannot observe, so
+        # the stream must be considered changed from here on.
+        self._dirty_clock += 1
+        state.dirty = self._dirty_clock
         return state.engine
 
     def restore_stream(
@@ -373,6 +382,22 @@ class DetectorPool:
             }
         return out
 
+    def dirty_marks(self) -> dict[str, int]:
+        """Per-stream mutation marks for incremental checkpointing.
+
+        Every mutating entry point (creation, ingest, restore, handing
+        out a mutable engine) stamps the stream with the next value of a
+        pool-level counter; a stream whose mark is unchanged between two
+        calls has provably not been touched and can be skipped by a
+        checkpoint pass.  A dedicated counter rather than ``last_active``:
+        the LRU clock only advances on ingest, so a remove-then-restore
+        cycle could reproduce an old clock value (ABA) and silently skip
+        a changed stream.  One dict comprehension over the resident
+        streams — cheap enough to run every pass — and the hot path pays
+        a single integer store it already sits next to.
+        """
+        return {sid: state.dirty for sid, state in self._streams.items()}
+
     @staticmethod
     def _materialize(state: _PoolStream) -> None:
         """Swap a bank-resident handle for a real standalone engine."""
@@ -390,6 +415,8 @@ class DetectorPool:
         self._materialize(state)
         self._clock += 1
         state.last_active = self._clock
+        self._dirty_clock += 1
+        state.dirty = self._dirty_clock
         return state
 
     def _evict_over_capacity(self) -> None:
@@ -514,6 +541,8 @@ class DetectorPool:
         self._materialize(state)
         self._clock += 1
         state.last_active = self._clock
+        self._dirty_clock += 1
+        state.dirty = self._dirty_clock
         result = state.engine.update(sample)
         state.samples += 1
         self._total_samples += 1
@@ -658,6 +687,8 @@ class DetectorPool:
             self._streams.move_to_end(sid)
             self._clock += 1
             state.last_active = self._clock
+            self._dirty_clock += 1
+            state.dirty = self._dirty_clock
             state.samples += length
             state.events = next_seq[sid]
         self._total_samples += length * len(ids)

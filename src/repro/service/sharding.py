@@ -474,6 +474,12 @@ class ShardedDetectorPool:
         self._workers = sharding.resolved_workers()
         self._shards: list[_ShardClient] = []
         self._checkpoint: dict[str, dict] = {}
+        # Parent-side checkpoint dirty marks (see dirty_marks): the
+        # parent is the only place every mutation of a sharded stream
+        # passes through, so it can track dirtiness without asking the
+        # workers anything.
+        self._dirty: dict[str, int] = {}
+        self._dirty_clock = 0
         # Pipelined events rescued from shard handles that were torn down
         # by a normal-path reshape (rebalance, drain_to_pool): delivered
         # by the next collection so no event is ever silently dropped.
@@ -542,6 +548,23 @@ class ShardedDetectorPool:
     def _shard(self, stream_id: str) -> _ShardClient:
         return self._shards[self.shard_of(stream_id)]
 
+    def _mark_dirty(self, stream_id: str) -> None:
+        self._dirty_clock += 1
+        self._dirty[stream_id] = self._dirty_clock
+
+    def dirty_marks(self) -> dict[str, int]:
+        """Per-stream mutation marks for incremental checkpointing.
+
+        The sharded counterpart of
+        :meth:`~repro.service.pool.DetectorPool.dirty_marks`, tracked in
+        the parent (every mutating call passes through it) so reading
+        the marks costs zero IPC round trips.  A mark may linger for a
+        stream a worker has since LRU-evicted; the checkpoint pass
+        resolves that when the snapshot comes back empty and records the
+        stream as removed.
+        """
+        return dict(self._dirty)
+
     def _handle_worker_crash(self, exc: "_WorkerCrash") -> RuntimeError:
         """Clean up after a mid-operation crash; returns the error to raise."""
         # Discard the aborted operation's partial results everywhere:
@@ -590,6 +613,11 @@ class ShardedDetectorPool:
             self._shards[index] = replacement
             for sid, entry in self._checkpoint.items():
                 if shard_of(sid, self._workers) == index:
+                    # The restored state is the (older) crash baseline, so
+                    # the stream may have regressed relative to what a
+                    # checkpointer last persisted — mark it dirty so the
+                    # next pass re-persists the authoritative state.
+                    self._mark_dirty(sid)
                     replacement.call(
                         "restore",
                         (sid, entry["state"], entry["samples"], entry["events"]),
@@ -658,6 +686,7 @@ class ShardedDetectorPool:
         at once with :meth:`ingest_many`.
         """
         self._ensure_alive()
+        self._mark_dirty(stream_id)
         shard = self._shard(stream_id)
         self._send_batch(shard, stream_id, np.asarray(samples).ravel())
         if self.sharding.pipeline_depth:
@@ -680,6 +709,7 @@ class ShardedDetectorPool:
         """
         self._ensure_alive()
         for stream_id, samples in batches.items():
+            self._mark_dirty(stream_id)
             self._send_batch(
                 self._shard(stream_id), stream_id, np.asarray(samples).ravel()
             )
@@ -706,6 +736,7 @@ class ShardedDetectorPool:
             raise ValidationError("lockstep ingestion requires equally long traces")
         partitions: list[list[int]] = [[] for _ in self._shards]
         for pos, sid in enumerate(ids):
+            self._mark_dirty(sid)
             partitions[self.shard_of(sid)].append(pos)
         for shard, members in zip(self._shards, partitions):
             if not members:
@@ -825,12 +856,14 @@ class ShardedDetectorPool:
     ) -> None:
         """Restore one stream onto its home shard from an engine snapshot."""
         self._ensure_alive()
+        self._mark_dirty(stream_id)
         self._shard(stream_id).call("restore", (stream_id, state, samples, events))
 
     @_recovering
     def remove_stream(self, stream_id: str) -> bool:
         """Drop a stream from its home shard; True when it was resident."""
         self._ensure_alive()
+        self._dirty.pop(stream_id, None)
         return bool(self._shard(stream_id).call("remove", stream_id))
 
     @_recovering
