@@ -586,6 +586,166 @@ def bench_mixed_loopback(
     }
 
 
+def bench_router_lockstep(
+    streams: int, samples: int, window: int = 128, mode: str = "magnitude",
+    backends: int = 2, profile: bool = False,
+) -> dict:
+    """The loopback lockstep workload through the router tier.
+
+    Hosts ``backends`` single-process loopback servers behind one
+    :class:`~repro.server.router.RouterThread` and pushes the
+    :func:`bench_loopback_server` lockstep matrix at the router.  Read
+    against the same-run direct-server lockstep row: the 1-backend ratio
+    is the pure routing overhead (hash partition + row slice + one extra
+    hop, no JSON anywhere on the path), and the 2-backend row checks the
+    split-forwarding fans out concurrently instead of serialising the
+    backends.
+
+    With ``profile=True`` the row records the router's per-layer
+    breakdown (partition/slice, awaiting backends, upstream encode,
+    socket writes, event fan-in) diffed across the timed region.
+    """
+    from repro.server.client import DetectionClient
+    from repro.server.router import RouterThread
+    from repro.server.server import ServerThread
+
+    traces, periods, config = _pool_workload(mode, streams, samples, window)
+    servers = [ServerThread(DetectorPool(config)) for _ in range(backends)]
+    try:
+        addresses = ["%s:%d" % server.start() for server in servers]
+        with RouterThread(addresses) as (host, port):
+            with DetectionClient(host, port, namespace="bench") as client:
+                before = client.stats()["server"] if profile else None
+                started = time.perf_counter()
+                client.ingest_lockstep(traces)
+                elapsed = time.perf_counter() - started
+                layers = None
+                counters = None
+                if profile:
+                    after = client.stats()["server"]
+                    layers = {
+                        layer: round(
+                            after["profile"][layer] - before["profile"][layer], 4
+                        )
+                        for layer in after["profile"]
+                    }
+                    # Backend detection work hides inside "forward";
+                    # the remainder is client-side work and the wire.
+                    layers["unattributed"] = round(elapsed - sum(layers.values()), 4)
+                    counters = {
+                        "router": after["router"],
+                        "protocol": after["protocol"]["connection"],
+                    }
+                remote_periods = client.stats(periods=True)["periods"]
+    finally:
+        for server in servers:
+            server.stop()
+    correct = sum(
+        1 for i, sid in enumerate(traces) if remote_periods.get(sid) == periods[i]
+    )
+    total = streams * samples
+    row = {
+        "streams": streams,
+        "samples_per_stream": samples,
+        "window": window,
+        "mode": mode,
+        "backends": backends,
+        "transport": "routed-tcp",
+        "ingest": "lockstep",
+        "elapsed_s": round(elapsed, 3),
+        "samples_per_s": round(total / elapsed),
+        "correct_locks": correct,
+    }
+    if layers is not None:
+        row["profile_s"] = layers
+        row["router_counters"] = counters
+    return row
+
+
+def bench_router_mixed(
+    streams_each: int, samples: int, window: int = 128, backends: int = 2,
+) -> dict:
+    """The mixed magnitude + event workload, each fleet behind a router.
+
+    The router twin of :func:`bench_mixed_loopback`: per mode one router
+    fronts ``backends`` single-process loopback servers, and two driver
+    threads push chunked lockstep frames concurrently.  Every frame is
+    hash-split across that mode's backends, so the measurement covers
+    hot-frame slicing, concurrent split-forwarding and reply fan-in
+    under simultaneous heterogeneous load.
+    """
+    from repro.server.client import DetectionClient
+    from repro.server.router import RouterThread
+    from repro.server.server import ServerThread
+
+    workloads = {
+        mode: _pool_workload(mode, streams_each, samples, window)
+        for mode in ("magnitude", "event")
+    }
+    correct: dict[str, int] = {}
+    errors: list[tuple[str, Exception]] = []
+
+    def drive(mode: str, host: str, port: int) -> None:
+        traces, periods, _config = workloads[mode]
+        try:
+            with DetectionClient(host, port, namespace="bench") as client:
+                for offset in range(0, samples, _BENCH_CHUNK):
+                    client.ingest_lockstep(
+                        {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
+                    )
+                remote = client.stats(periods=True)["periods"]
+            correct[mode] = sum(
+                1 for i, sid in enumerate(traces) if remote.get(sid) == periods[i]
+            )
+        except Exception as exc:  # surfaced after the join below
+            errors.append((mode, exc))
+
+    servers: list = []
+    routers: list = []
+    try:
+        addresses = {}
+        for mode, (_traces, _periods, config) in workloads.items():
+            nodes = []
+            for _ in range(backends):
+                server = ServerThread(DetectorPool(config))
+                servers.append(server)
+                nodes.append("%s:%d" % server.start())
+            router = RouterThread(nodes)
+            routers.append(router)
+            addresses[mode] = router.start()
+        started = time.perf_counter()
+        drivers = [
+            threading.Thread(target=drive, args=(mode, *addresses[mode]), daemon=True)
+            for mode in workloads
+        ]
+        for thread in drivers:
+            thread.start()
+        for thread in drivers:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        for router in routers:
+            router.stop()
+        for server in servers:
+            server.stop()
+    if errors:
+        mode, exc = errors[0]
+        raise RuntimeError(f"routed mixed driver for {mode} failed: {exc}") from exc
+    total = 2 * streams_each * samples
+    return {
+        "streams_each": streams_each,
+        "samples_per_stream": samples,
+        "window": window,
+        "backends": backends,
+        "transport": "routed-tcp",
+        "ingest": "chunked-lockstep",
+        "elapsed_s": round(elapsed, 3),
+        "samples_per_s": round(total / elapsed),
+        "correct_locks": sum(correct.values()),
+        "total_streams": 2 * streams_each,
+    }
+
+
 def _git_rev() -> str | None:
     try:
         proc = subprocess.run(
@@ -630,6 +790,21 @@ def write_summary(results: dict, path: str) -> dict:
             f"depth{row['pipeline_depth']}",
             row["samples_per_s"],
         )
+    for row in results.get("router", ()):
+        if "streams_each" in row:
+            put(
+                f"router_mixed_{row['streams_each']}x2_"
+                f"{row['backends']}backend",
+                row["samples_per_s"],
+            )
+        else:
+            # The 2-backend row is the canonical cluster scenario; the
+            # 1-backend row carries a suffix (it measures pure routing
+            # overhead against the direct-server lockstep row).
+            key = f"router_{row['mode']}_{row['streams']}_{row['ingest']}"
+            if row["backends"] != 2:
+                key += f"_{row['backends']}backend"
+            put(key, row["samples_per_s"])
     summary = {
         "machine": results["machine"],
         "git_rev": _git_rev(),
@@ -772,6 +947,39 @@ def main(argv=None) -> int:
         print(f"  {label:18s}  {row['samples_per_s']:>12,} samples/s  "
               f"(locks {row['correct_locks']}/{row['total_streams']})")
 
+    results["router"] = []
+    router_streams = 100 if args.quick else 1000
+    router_samples = 256 if args.quick else 512
+    direct_row = next(
+        r for r in results["server"]
+        if r["ingest"] == "lockstep" and r["mode"] == "magnitude"
+    )
+    print(f"\nrouter-tier throughput (magnitude, {router_streams} streams, one "
+          f"lockstep matrix through `repro route`; read against the direct-server "
+          f"lockstep row, same run):")
+    router_rows = {}
+    for backends in (1, 2):
+        row = bench_router_lockstep(
+            router_streams, router_samples, backends=backends, profile=args.profile
+        )
+        results["router"].append(row)
+        router_rows[backends] = row
+        ratio = row["samples_per_s"] / direct_row["samples_per_s"]
+        row["ratio_vs_direct"] = round(ratio, 3)
+        print(f"  {backends} backend{'s' if backends > 1 else ' '}       "
+              f"{row['samples_per_s']:>12,} samples/s  "
+              f"({ratio:4.2f}x direct, locks {row['correct_locks']}/{row['streams']})")
+        if args.profile:
+            layers = "  ".join(
+                f"{layer} {seconds:.3f}s"
+                for layer, seconds in row["profile_s"].items()
+            )
+            print(f"    layers: {layers}")
+    row = bench_router_mixed(router_streams, router_samples)
+    results["router"].append(row)
+    print(f"  mixed x2 fleets   {row['samples_per_s']:>12,} samples/s  "
+          f"(2 routers x 2 backends, locks {row['correct_locks']}/{row['total_streams']})")
+
     if args.json:
         payload = json.dumps(results, indent=2)
         if args.json == "-":
@@ -809,6 +1017,30 @@ def main(argv=None) -> int:
                   f"{row['overhead_ratio']:.3f} below the 0.9 acceptance bar "
                   f"at {row['streams']} streams", file=sys.stderr)
             ok = False
+    # Router-tier acceptance, same-run: fronting one backend must keep
+    # >= 80% of direct-server lockstep throughput (routing overhead),
+    # and adding a backend must not serialise them (>= the 1-backend
+    # row, with a small allowance for run-to-run noise — see ROADMAP on
+    # single-core container variance).
+    one = router_rows[1]["samples_per_s"]
+    two = router_rows[2]["samples_per_s"]
+    if one < 0.8 * direct_row["samples_per_s"]:
+        print(f"\nWARNING: router+1-backend throughput ({one:,} samples/s) "
+              f"below 80% of direct server "
+              f"({direct_row['samples_per_s']:,} samples/s)", file=sys.stderr)
+        ok = False
+    # On >= 2 CPUs the backends genuinely run in parallel, so splitting
+    # must not lose throughput.  A single-core machine cannot exhibit
+    # that parallelism — there the 2-backend row measures pure split
+    # overhead (slice copy + second connection + thread switching), and
+    # the bar only rejects outright serialisation pathologies.
+    cpus = results["machine"]["cpu_count"] or 1
+    bar = 1.0 if cpus >= 2 else 0.75
+    if two < bar * one:
+        print(f"\nWARNING: router+2-backend throughput ({two:,} samples/s) "
+              f"fell below {bar:.2f}x the 1-backend row ({one:,} samples/s): "
+              f"routing may be serialising the backends", file=sys.stderr)
+        ok = False
     return 0 if ok else 1
 
 

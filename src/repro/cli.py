@@ -175,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="with --state-dir: additionally checkpoint early once this "
                          "many ingest requests landed since the last pass (bounds "
                          "how much acknowledged work a crash can lose)")
+
+    rt = sub.add_parser("route", help="run the multi-node router tier in front of "
+                                      "several `repro serve` backends")
+    rt.add_argument("--host", default="127.0.0.1")
+    rt.add_argument("--port", type=int, default=8756, help="TCP port (0 = ephemeral)")
+    rt.add_argument("--backend", action="append", metavar="HOST:PORT", default=[],
+                    help="a backend `repro serve` address (repeat for each node; "
+                         "at least one required)")
+    rt.add_argument("--replicas", type=int, default=128,
+                    help="virtual points per backend on the consistent-hash ring "
+                         "(more points = smoother balance, slower membership ops)")
+    rt.add_argument("--max-inflight", type=int, default=32,
+                    help="per-connection unanswered-request bound before BUSY replies")
     return parser
 
 
@@ -476,6 +489,46 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_route(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.server.router import DetectionRouter, RouterConfig
+    from repro.util.validation import ValidationError
+
+    if not args.backend:
+        print("route needs at least one --backend HOST:PORT", file=sys.stderr)
+        return 2
+    try:
+        router = DetectionRouter(
+            args.backend,
+            RouterConfig(
+                host=args.host,
+                port=args.port,
+                replicas=args.replicas,
+                max_inflight=args.max_inflight,
+            ),
+        )
+    except ValidationError as exc:
+        print(f"route: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        await router.start()
+        print(f"repro detection router listening on {router.host}:{router.port} "
+              f"(backends: {', '.join(router.backends)})", flush=True)
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop_requested.set)
+        await stop_requested.wait()
+        print("closing router ...", flush=True)
+        await router.stop()
+
+    asyncio.run(run())
+    return 0
+
+
 _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -486,6 +539,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "pool": _cmd_pool,
     "serve": _cmd_serve,
+    "route": _cmd_route,
 }
 
 

@@ -23,7 +23,12 @@ pool without ever blocking its event loop, and subscribers receive
 * :mod:`repro.server.persistence` — durable server state
   (:class:`CheckpointStore`, :class:`Checkpointer`): crash-safe
   incremental checkpoints under ``repro serve --state-dir`` and the
-  warm-restart restore path.
+  warm-restart restore path;
+* :mod:`repro.server.router` — the multi-node tier
+  (:class:`DetectionRouter`, ``repro route``): consistent-hash stream
+  placement across N backend daemons behind one server endpoint, with
+  zero-JSON hot-frame forwarding, seq-coherent event fan-in and
+  snapshot-based live migration on node join/leave.
 """
 
 from repro.server.client import AsyncDetectionClient, DetectionClient
@@ -35,6 +40,7 @@ from repro.server.persistence import (
     CorruptSegmentError,
 )
 from repro.server.protocol import PROTOCOL_VERSION, Frame, FrameType, ProtocolError
+from repro.server.router import DetectionRouter, RouterConfig, RouterThread
 from repro.server.server import DetectionServer, ServerConfig, ServerThread
 
 __all__ = [
@@ -45,11 +51,14 @@ __all__ = [
     "Checkpointer",
     "CorruptSegmentError",
     "DetectionClient",
+    "DetectionRouter",
     "DetectionServer",
     "Frame",
     "FrameType",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RouterConfig",
+    "RouterThread",
     "ServerConfig",
     "ServerThread",
 ]

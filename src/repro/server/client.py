@@ -43,6 +43,7 @@ range).
 from __future__ import annotations
 
 import asyncio
+import random
 import select
 import socket
 import time
@@ -58,8 +59,10 @@ __all__ = [
     "AsyncDetectionClient",
     "ConnectionClosedError",
     "DetectionClient",
+    "RETRY_DELAY_CAP",
     "ServerBusy",
     "ServerError",
+    "backoff_delay",
 ]
 
 
@@ -73,6 +76,34 @@ class ServerBusy(ServerError):
 
 class ConnectionClosedError(ConnectionError):
     """The server said BYE (drain) or the connection is gone."""
+
+
+#: Cap on one reconnect backoff step.  Growth is exponential from the
+#: caller's ``retry_delay`` but bounded: a fleet waiting out a long
+#: router restart should retry every few seconds, not every few minutes.
+RETRY_DELAY_CAP = 5.0
+
+#: Connect-time errors worth retrying: the daemon is not listening yet
+#: (refused) or is mid-restart and dropped the half-open handshake
+#: (reset / aborted).
+_RETRYABLE_CONNECT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
+
+def backoff_delay(
+    attempt: int, base: float, cap: float = RETRY_DELAY_CAP
+) -> float:
+    """Bounded exponential backoff with jitter for reconnect attempt N.
+
+    ``base * 2**attempt``, capped at ``cap``, then jittered uniformly
+    into ``[0.5, 1.0]`` of that bound so a fleet of clients reconnecting
+    to one restarted router (or backend) does not hammer it in lockstep.
+    """
+    bound = min(base * (2.0 ** max(attempt, 0)), cap)
+    return bound * (0.5 + 0.5 * random.random())
 
 
 def _as_batch(samples) -> np.ndarray:
@@ -152,9 +183,13 @@ class DetectionClient:
         Ask the server to remove any resident streams of this namespace
         during the handshake (a clean-slate reconnect).
     connect_retries, retry_delay:
-        Retry ``ConnectionRefusedError`` during connect — a daemon that
-        was *just* started (CI smoke jobs, examples) may not be
-        listening yet.
+        Retry refused/reset connects — a daemon that was *just* started
+        (CI smoke jobs, examples) or is mid-restart (a router bounce)
+        may not be listening yet.  ``retry_delay`` seeds a *bounded
+        exponential backoff with jitter* (see :func:`backoff_delay`):
+        attempt N sleeps ``min(retry_delay * 2**N,`` ``RETRY_DELAY_CAP)``
+        scaled by a uniform ``[0.5, 1.0]`` jitter, so a reconnecting
+        fleet spreads out instead of hammering the daemon in lockstep.
     timeout:
         Socket timeout in seconds for connect and replies.
     on_gap:
@@ -203,10 +238,10 @@ class DetectionClient:
             try:
                 self._sock = socket.create_connection((host, port), timeout=timeout)
                 break
-            except ConnectionRefusedError as exc:
+            except _RETRYABLE_CONNECT_ERRORS as exc:
                 last_error = exc
                 if attempt < connect_retries:
-                    time.sleep(retry_delay)
+                    time.sleep(backoff_delay(attempt, retry_delay))
         if self._sock is None:
             raise last_error  # type: ignore[misc]
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -587,6 +622,13 @@ class DetectionClient:
         reply = self._request(FrameType.RESTORE, {"states": tree}, arrays)
         return int(reply.meta["restored"])
 
+    def remove_streams(self, stream_ids: Sequence[str]) -> int:
+        """Drop named streams from this namespace; returns how many were
+        resident.  The namespace's journal keeps their already-produced
+        events replayable (see the server's REMOVE handler)."""
+        reply = self._request(FrameType.REMOVE, {"streams": list(stream_ids)})
+        return int(reply.meta["removed"])
+
     def stats(self, *, periods: bool = False) -> dict:
         """Pool + server statistics; ``periods=True`` adds this
         namespace's per-stream locked periods."""
@@ -642,6 +684,7 @@ class AsyncDetectionClient:
         self.events: asyncio.Queue = asyncio.Queue()
         self._closed = False
         self._saw_bye = False
+        self._conn_error: Exception | None = None
         self._hello = (namespace_hint, fresh)
         self._reader_task: asyncio.Task | None = None
         self.namespace = ""
@@ -677,12 +720,29 @@ class AsyncDetectionClient:
         *,
         namespace: str | None = None,
         fresh: bool = False,
+        connect_retries: int = 0,
+        retry_delay: float = 0.25,
         on_gap=None,
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
         max_protocol: int = protocol.PROTOCOL_VERSION,
     ) -> "AsyncDetectionClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        """Connect and handshake.  ``connect_retries`` / ``retry_delay``
+        retry refused/reset connects with the same bounded exponential
+        backoff + jitter as the blocking client (:func:`backoff_delay`)
+        — the router leans on this to ride out a backend respawn."""
+        reader = writer = None
+        last_error: Exception | None = None
+        for attempt in range(connect_retries + 1):
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except _RETRYABLE_CONNECT_ERRORS as exc:
+                last_error = exc
+                if attempt < connect_retries:
+                    await asyncio.sleep(backoff_delay(attempt, retry_delay))
+        if reader is None:
+            raise last_error  # type: ignore[misc]
         client = cls(
             reader,
             writer,
@@ -736,16 +796,26 @@ class AsyncDetectionClient:
             self._fail_pending(exc)
 
     def _fail_pending(self, exc: Exception) -> None:
+        # Remember the terminal error: a request issued *after* the read
+        # loop died would otherwise enqueue a future nothing resolves.
+        self._conn_error = exc
         pending, self._pending = self._pending, []
         for future in pending:
             if not future.done():
                 future.set_exception(exc)
 
+    def _check_usable(self) -> None:
+        if self._closed or self._saw_bye:
+            raise ConnectionClosedError("client is closed")
+        if self._conn_error is not None:
+            raise ConnectionClosedError(
+                f"connection unusable: {self._conn_error}"
+            ) from self._conn_error
+
     async def _request_raw(
         self, ftype: FrameType, meta=None, arrays: Iterable[np.ndarray] = ()
     ) -> Frame:
-        if self._closed or self._saw_bye:
-            raise ConnectionClosedError("client is closed")
+        self._check_usable()
         future = asyncio.get_running_loop().create_future()
         self._pending.append(future)
         self._writer.writelines(
@@ -762,8 +832,7 @@ class AsyncDetectionClient:
     async def _request_hot(
         self, ftype: FrameType, handles, matrix: np.ndarray
     ) -> Frame:
-        if self._closed or self._saw_bye:
-            raise ConnectionClosedError("client is closed")
+        self._check_usable()
         future = asyncio.get_running_loop().create_future()
         self._pending.append(future)
         self._writer.writelines(
@@ -810,13 +879,42 @@ class AsyncDetectionClient:
         matrix = np.ascontiguousarray(
             np.stack([np.asarray(traces[sid]).ravel() for sid in ids])
         )
+        return await self.ingest_rows(ids, matrix, lockstep=True)
+
+    async def ingest_rows(
+        self, ids: Sequence[str], matrix: np.ndarray, *, lockstep: bool = False
+    ) -> list[PeriodStartEvent]:
+        """Feed one pre-built matrix row per stream, without re-stacking.
+
+        The router's forwarding fast path: it already holds a decoded
+        hot-frame sample matrix and the per-backend row slice *is* the
+        payload — re-splitting it into per-stream dicts only to have
+        ``ingest_many`` stack them again would add a copy and a Python
+        loop per stream.  Hot-codeable dtypes go out as binary hot
+        frames (handles re-interned against *this* connection); anything
+        else falls back to the JSON frames.
+        """
+        ids = list(ids)
+        if matrix.ndim != 2 or matrix.shape[0] != len(ids):
+            raise ValueError("ingest_rows needs one matrix row per stream id")
         if self._version >= 3 and protocol.hot_dtype_code(matrix.dtype) is not None:
             handles = await self._ensure_handles(ids)
-            reply = await self._request_hot(FrameType.LOCKSTEP_HOT, handles, matrix)
+            reply = await self._request_hot(
+                FrameType.LOCKSTEP_HOT if lockstep else FrameType.INGEST_HOT,
+                handles,
+                matrix,
+            )
             return self._events_of(reply)
-        reply = await self._request(
-            FrameType.INGEST_LOCKSTEP, {"streams": ids}, [matrix]
-        )
+        if lockstep:
+            reply = await self._request(
+                FrameType.INGEST_LOCKSTEP,
+                {"streams": ids},
+                [np.ascontiguousarray(matrix)],
+            )
+        else:
+            reply = await self._request(
+                FrameType.INGEST, {"streams": ids}, list(matrix)
+            )
         return _events_from_frame(reply)
 
     @property
@@ -913,6 +1011,14 @@ class AsyncDetectionClient:
         tree, arrays = protocol.pack_object(dict(states))
         reply = await self._request(FrameType.RESTORE, {"states": tree}, arrays)
         return int(reply.meta["restored"])
+
+    async def remove_streams(self, stream_ids: Sequence[str]) -> int:
+        """Drop named streams from this namespace (journal untouched —
+        see :meth:`DetectionClient.remove_streams`)."""
+        reply = await self._request(
+            FrameType.REMOVE, {"streams": list(stream_ids)}
+        )
+        return int(reply.meta["removed"])
 
     async def stats(self, *, periods: bool = False) -> dict:
         """Pool + server statistics."""

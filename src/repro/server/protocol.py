@@ -86,6 +86,7 @@ __all__ = [
     "events_from_array",
     "events_to_array",
     "hot_dtype_code",
+    "merge_replay_answers",
     "pack_object",
     "read_frame",
     "read_frame_async",
@@ -136,6 +137,7 @@ class FrameType(IntEnum):
     REGISTER = 9  # v3: intern stream names -> per-connection handles
     INGEST_HOT = 10  # v3: binary multi-stream ingest by handle
     LOCKSTEP_HOT = 11  # v3: binary lockstep matrix by handle
+    REMOVE = 12  # v3: drop streams from the namespace (router migration)
     # replies and server pushes
     OK = 16
     ERROR = 17
@@ -676,6 +678,53 @@ def events_from_array(table: np.ndarray, ids: Sequence[str]) -> list[PeriodStart
             table["seq"].tolist(),
         )
     ]
+
+
+# ----------------------------------------------------------------------
+# router fan-in
+# ----------------------------------------------------------------------
+def merge_replay_answers(
+    answers: Sequence[tuple[list[PeriodStartEvent], int | None]],
+    from_seq: int,
+    upto: int | None = None,
+) -> tuple[list[PeriodStartEvent], int | None]:
+    """Fuse per-backend REPLAY answers into one seq-coherent answer.
+
+    A stream's journal history may be split across cluster nodes — each
+    migration leaves the already-journaled prefix on the old owner and
+    grows the tail on the new one — so a router answers REPLAY by asking
+    *every* backend and merging here.  Per-stream seqs are globally
+    monotonic (they travel with the stream's snapshot), which makes the
+    merge a plain seq-keyed union: sort, dedupe, and re-derive the gap.
+
+    The gap rules mirror ``EventJournal.replay``: a backend that never
+    saw the stream claims the whole range lost, but its claim only
+    stands when no other backend either covers the head or answered
+    without loss (``gap is None`` proves the stream never got past
+    ``from_seq`` on its owner — nothing was missed).
+    """
+    merged: dict[int, PeriodStartEvent] = {}
+    clean = False
+    gaps: list[int] = []
+    for events, gap in answers:
+        if gap is None:
+            clean = True
+        else:
+            gaps.append(gap)
+        for event in events:
+            merged.setdefault(event.seq, event)
+    fused = [merged[seq] for seq in sorted(merged)]
+    if fused:
+        first = fused[0].seq
+        return fused, (None if first <= from_seq else first)
+    if clean:
+        return [], None
+    if gaps:
+        return [], min(gaps)
+    # No backends answered at all: the honest empty-journal answer.
+    if upto is not None:
+        return [], upto
+    return [], (from_seq if from_seq > 0 else None)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,1353 @@
+"""Multi-node detection cluster: the consistent-hash router tier.
+
+One ``repro serve`` daemon scales to the cores of one machine (via
+:class:`~repro.service.sharding.ShardedDetectorPool`); this module
+scales past the machine.  :class:`DetectionRouter` (``repro route``) is
+an asyncio daemon that speaks the existing wire protocol
+(:mod:`repro.server.protocol`) on *both* sides and makes N backend
+``repro serve`` daemons look like one server:
+
+* **Placement** — streams are placed on backends by a consistent-hash
+  ring (:class:`~repro.service.sharding.HashRing`, the same process-
+  stable crc32 that backs ``shard_of``), so a node join/leave moves
+  ~1/N of the streams instead of re-homing everything.
+* **Hot-path forwarding, zero JSON** — an incoming ``INGEST_HOT`` /
+  ``LOCKSTEP_HOT`` frame is decoded once (a zero-copy view), its sample
+  matrix is sliced *row-wise* per owning backend, and each slice is
+  re-emitted as a binary hot frame with handles re-interned against the
+  backend connection.  The payload bytes are never re-encoded through
+  JSON; backends are driven concurrently, never serialised.
+* **Seq-coherent fan-in** — every stream lives on exactly one backend
+  at a time and its per-stream ``seq`` travels with its snapshot, so
+  the per-backend event feeds are already globally coherent per stream:
+  the router simply forwards each backend's pushes in arrival order and
+  no cross-node coordination is needed.  ``REPLAY`` fans out to every
+  backend and fuses the answers with
+  :func:`~repro.server.protocol.merge_replay_answers` — a stream's
+  journal history may be split across nodes by past migrations.
+* **Migration** — :meth:`DetectionRouter.add_backend` /
+  :meth:`~DetectionRouter.remove_backend` quiesce forwarding, move the
+  re-homed streams over the wire with the existing SNAPSHOT/RESTORE
+  frames (the snapshot carries the stream's seq counter, so the new
+  owner *continues* the numbering), drop them from the old owner with
+  REMOVE (its journal keeps the already-produced prefix replayable),
+  and flush pending backend pushes through a loop-side replay barrier
+  before new-owner events can be produced.  Subscribers therefore see
+  an exact, gap-replayable seq tail across a migration.  Migration
+  assumes backends without cross-call pipelining (the ``repro serve``
+  default), whose snapshots always observe fully applied state.
+* **STATS aggregation** — one STATS call sums the per-backend pool
+  blocks and merges ``kernel_backend`` / ``lockstep_backend`` exactly
+  like the sharded-pool stats merge (``"mixed"`` on disagreement), so a
+  heterogeneous fleet is visible at a glance; per-backend blocks ride
+  along under ``server.backends``.
+
+A backend that dies is reconnected on demand with the client layer's
+bounded exponential backoff; while it is down, requests that need it
+answer ERROR (producers retry), and once it respawns — ``repro serve
+--state-dir`` restores its streams and journal — the end subscriber's
+seq tracking replays exactly what the outage dropped, through the
+router, from the backend's recovered journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.server import protocol
+from repro.server.client import (
+    AsyncDetectionClient,
+    ConnectionClosedError,
+    ServerBusy,
+    backoff_delay,
+)
+from repro.server.protocol import Frame, FrameType, ProtocolError
+from repro.server.server import UnknownHandleError
+from repro.service.events import PeriodStartEvent
+from repro.service.sharding import HashRing
+from repro.util.logging import get_logger
+from repro.util.validation import ValidationError, check_positive_int
+
+__all__ = ["DetectionRouter", "RouterConfig", "RouterThread"]
+
+_logger = get_logger(__name__)
+
+_CLOSE = object()  # outbox sentinel: flush and stop the writer task
+
+#: Stream name of the loop-side replay used as a migration barrier; its
+#: reply queues behind every already-produced push on the same backend
+#: connection, so awaiting it (plus the pump's queue join) proves the
+#: old owner's events reached the upstream outbox first.
+_BARRIER_STREAM = "__router_migration_barrier__"
+
+
+def parse_backend(address: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` backend address."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValidationError(f"backend address must be HOST:PORT, got {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValidationError(f"bad backend port in {address!r}") from exc
+    return host, port
+
+
+@dataclass
+class RouterConfig:
+    """Configuration of :class:`DetectionRouter`.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address (port 0 picks a free port).
+    replicas:
+        Virtual points per backend on the hash ring.
+    max_inflight:
+        Per-upstream-connection bound on forwarded requests in flight;
+        beyond it the router answers ``BUSY`` itself (each backend
+        additionally applies its own bound).
+    push_queue:
+        Per-upstream-connection bound on queued event pushes; overflow
+        drops (the backend journals make that recoverable via REPLAY).
+    connect_retries, retry_delay:
+        Downstream (re)connect policy per backend — bounded exponential
+        backoff with jitter, shared with the client layer.  The default
+        rides out a backend respawn of a few seconds.
+    max_protocol:
+        Highest wire protocol version offered to upstream clients.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    replicas: int = 128
+    max_inflight: int = 32
+    push_queue: int = 256
+    connect_retries: int = 12
+    retry_delay: float = 0.1
+    max_protocol: int = protocol.PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.replicas, "replicas")
+        check_positive_int(self.max_inflight, "max_inflight")
+        check_positive_int(self.push_queue, "push_queue")
+        if self.connect_retries < 0:
+            raise ValidationError("connect_retries must be >= 0")
+        if self.retry_delay <= 0:
+            raise ValidationError("retry_delay must be positive")
+        if not (
+            protocol.BASELINE_VERSION
+            <= self.max_protocol
+            <= protocol.PROTOCOL_VERSION
+        ):
+            raise ValidationError(
+                f"max_protocol must be in "
+                f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}]"
+            )
+
+
+@dataclass
+class _BackendLink:
+    """One upstream connection's channel to one backend."""
+
+    backend: str
+    client: AsyncDetectionClient | None = None
+    pump: asyncio.Task | None = None
+    monitor: asyncio.Task | None = None
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class _RouterConn:
+    """Per-upstream-connection state (the router's server-side half)."""
+
+    def __init__(self, router: "DetectionRouter", writer: asyncio.StreamWriter):
+        self.router = router
+        self.writer = writer
+        self.namespace = ""
+        self.prefix = ""
+        self.subscription: str | None = None  # None | "own" | "all"
+        self.inflight = 0
+        self.queued_pushes = 0
+        self.dropped_events = 0
+        self.dead = False
+        self.version = protocol.BASELINE_VERSION
+        # Handle table, identical contract to the server's _Connection:
+        # one intern space shared by client REGISTERs and push announces.
+        self.handle_ids: list[str] = []
+        self.handle_of: dict[str, int] = {}
+        self.peer_known: set[int] = set()
+        #: Downstream clients, one per backend, created on demand.  Each
+        #: shares this connection's namespace, so stream names map 1:1.
+        self.links: dict[str, _BackendLink] = {}
+        cfg = router.config
+        self.outbox: asyncio.Queue = asyncio.Queue(
+            maxsize=2 * cfg.max_inflight + cfg.push_queue + 8
+        )
+        self.writer_task: asyncio.Task | None = None
+
+    # -- outbound ------------------------------------------------------
+    def enqueue_reply(self, entry) -> None:
+        try:
+            self.outbox.put_nowait(entry)
+        except asyncio.QueueFull:
+            _logger.warning(
+                "router connection %s: outbound queue overflow, closing",
+                self.namespace,
+            )
+            self.abort()
+
+    # -- handle table --------------------------------------------------
+    def intern(self, name: str) -> int:
+        handle = self.handle_of.get(name)
+        if handle is None:
+            handle = len(self.handle_ids)
+            self.handle_ids.append(name)
+            self.handle_of[name] = handle
+        return handle
+
+    def resolve_handles(self, handles: list[int]) -> list[str]:
+        table = self.handle_ids
+        names = []
+        for handle in handles:
+            if not 0 <= handle < len(table):
+                raise UnknownHandleError(
+                    f"unknown stream handle {handle}; REGISTER it first "
+                    "(handle tables are per connection and reset on reconnect)"
+                )
+            names.append(table[handle])
+        return names
+
+    def push_events(self, events: list[PeriodStartEvent]) -> None:
+        """Forward one backend push batch upstream (names pre-scoped)."""
+        if self.dead or self.queued_pushes >= self.router.config.push_queue:
+            self.dropped_events += len(events)
+            self.router.dropped_events += len(events)
+            return
+        ids = sorted({e.stream_id for e in events})
+        positions = {sid: pos for pos, sid in enumerate(ids)}
+        table = protocol.events_to_array(events, positions)
+        self.queued_pushes += 1
+        if self.version >= 3:
+            handles = []
+            announce = []
+            for sid in ids:
+                handle = self.intern(sid)
+                if handle not in self.peer_known:
+                    self.peer_known.add(handle)
+                    announce.append((handle, sid))
+                handles.append(handle)
+            self.enqueue_reply(("push_hot", handles, announce, table))
+        else:
+            self.enqueue_reply(("push", FrameType.EVENT, {"streams": ids}, (table,)))
+
+    def abort(self) -> None:
+        self.dead = True
+        try:
+            self.writer.transport.abort()
+        except Exception:  # pragma: no cover - transport already gone
+            pass
+
+
+class DetectionRouter:
+    """Present N backend detection servers as one (see module docstring).
+
+    Parameters
+    ----------
+    backends:
+        Initial backend addresses (``"HOST:PORT"``), at least one.
+    config:
+        Listen address, ring and queue bounds.
+    """
+
+    def __init__(
+        self, backends: Iterable[str], config: RouterConfig | None = None
+    ) -> None:
+        self.config = config or RouterConfig()
+        self._backends: dict[str, tuple[str, int]] = {}
+        for address in backends:
+            self._backends[address] = parse_backend(address)
+        if not self._backends:
+            raise ValidationError("a router needs at least one backend")
+        self.ring = HashRing(self._backends, replicas=self.config.replicas)
+        #: Every full ``<ns>/<stream>`` id the router has placed; the
+        #: enumeration basis for migrations (ownership itself is always
+        #: re-derived from the ring).
+        self._placement: dict[str, str] = {}
+        self._conns: set[_RouterConn] = set()
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_counter = 0
+        self._draining = False
+        # Forward quiescing: migrations close the gate, wait for the
+        # in-flight forwards to drain, move streams, reopen.
+        self._forward_gate = asyncio.Event()
+        self._forward_gate.set()
+        self._inflight_forwards = 0
+        self._forwards_idle = asyncio.Event()
+        self._forwards_idle.set()
+        self._migrate_lock = asyncio.Lock()
+        # Counters + per-layer profile (cumulative seconds), surfaced by
+        # STATS for the bench's --profile breakdown.
+        self.busy_replies = 0
+        self.dropped_events = 0
+        self.hot_forwards = 0
+        self.json_forwards = 0
+        self.fanin_batches = 0
+        self.replays_served = 0
+        self.migrations = 0
+        self.migrated_streams = 0
+        self.profile: dict[str, float] = {
+            "slice": 0.0,  # partition + row-slice of incoming matrices
+            "forward": 0.0,  # awaiting backend ingest replies
+            "encode": 0.0,  # upstream frame encode (writer)
+            "syscall": 0.0,  # upstream socket writes (writer)
+            "fanin": 0.0,  # backend push -> upstream outbox
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start serving (returns once listening)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def backends(self) -> list[str]:
+        """Current backend addresses, sorted."""
+        return sorted(self._backends)
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Say BYE upstream, close every connection and stop listening."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for conn in list(self._conns):
+            conn.enqueue_reply(("push", FrameType.BYE, {}, ()))
+            conn.enqueue_reply(_CLOSE)
+        for conn in list(self._conns):
+            if conn.writer_task is not None:
+                try:
+                    await asyncio.wait_for(conn.writer_task, timeout=5.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    conn.abort()
+            await self._close_links(conn)
+        self._conns.clear()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    async def _close_links(self, conn: _RouterConn) -> None:
+        for backend in list(conn.links):
+            await self._drop_link(conn, backend)
+        conn.links.clear()
+
+    # ------------------------------------------------------------------
+    # downstream links
+    # ------------------------------------------------------------------
+    async def _link_client(
+        self, conn: _RouterConn, backend: str, *, fresh: bool = False
+    ) -> AsyncDetectionClient:
+        """The connection's client for ``backend``, (re)connected on demand.
+
+        The whole connect *including the HELLO handshake* retries with
+        bounded exponential backoff: during a backend kill/respawn
+        window a connect can be accepted by the dying socket and reset
+        mid-handshake, which a refused-connect-only retry would miss.
+        """
+        link = conn.links.get(backend)
+        if link is None:
+            link = conn.links[backend] = _BackendLink(backend)
+        async with link.lock:
+            if link.client is None:
+                host, port = self._backends[backend]
+                for attempt in range(self.config.connect_retries + 1):
+                    try:
+                        client = await AsyncDetectionClient.connect(
+                            host,
+                            port,
+                            namespace=conn.namespace,
+                            fresh=fresh,
+                            max_protocol=self.config.max_protocol,
+                        )
+                        break
+                    except (ConnectionError, OSError):
+                        if attempt >= self.config.connect_retries:
+                            raise
+                        await asyncio.sleep(
+                            backoff_delay(attempt, self.config.retry_delay)
+                        )
+                link.client = client
+                if conn.subscription is not None:
+                    await client.subscribe(conn.subscription)
+                    self._start_pump(conn, link)
+        return link.client
+
+    async def _drop_link(self, conn: _RouterConn, backend: str) -> None:
+        """Tear a link down after a connection failure (or backend leave)."""
+        link = conn.links.get(backend)
+        if link is None:
+            return
+        for attr in ("pump", "monitor"):
+            task = getattr(link, attr)
+            if task is not None and task is not asyncio.current_task():
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            setattr(link, attr, None)
+        if link.client is not None:
+            try:
+                await link.client.close()
+            except Exception:  # pragma: no cover
+                pass
+            link.client = None
+
+    async def _on_link(self, conn: _RouterConn, backend: str, op):
+        """Run ``op(client)`` on a backend link, reconnecting once if the
+        connection turns out to be dead (a backend respawn)."""
+        for attempt in (0, 1):
+            client = await self._link_client(conn, backend)
+            try:
+                return await op(client)
+            except (ConnectionClosedError, ConnectionError, OSError):
+                await self._drop_link(conn, backend)
+                if attempt:
+                    raise
+
+    def _start_pump(self, conn: _RouterConn, link: _BackendLink) -> None:
+        link.pump = asyncio.ensure_future(self._pump(conn, link, link.client))
+        link.monitor = asyncio.ensure_future(
+            self._monitor_link(conn, link, link.client)
+        )
+
+    async def _monitor_link(
+        self, conn: _RouterConn, link: _BackendLink, client: AsyncDetectionClient
+    ) -> None:
+        """Repair a subscribed link whose backend connection died.
+
+        Pumps only *read* their client, so a killed backend would
+        otherwise leave the subscription silently dark until the next
+        request happened to touch that backend.  This watches the
+        client's reader task; when it ends unexpectedly (not a close we
+        initiated) the link reconnects with the usual backoff and
+        re-subscribes.  Events pushed while the backend was down surface
+        to the end subscriber as seq gaps, which its auto-replay
+        recovers through the router's replay fan-in from the respawned
+        backend's journal.
+        """
+        reader = client._reader_task
+        if reader is None:  # pragma: no cover - connect always sets it
+            return
+        await asyncio.wait({reader})
+        if (
+            self._draining
+            or conn.dead
+            or client._closed
+            or conn.links.get(link.backend) is not link
+            or link.client is not client
+        ):
+            return
+        link.monitor = None
+        _logger.warning(
+            "router: connection to backend %s lost; reconnecting", link.backend
+        )
+        try:
+            await self._drop_link(conn, link.backend)
+            await self._link_client(conn, link.backend)
+        except Exception as exc:
+            _logger.warning(
+                "router: reconnect to backend %s failed: %s", link.backend, exc
+            )
+
+    async def _pump(
+        self, conn: _RouterConn, link: _BackendLink, client: AsyncDetectionClient
+    ) -> None:
+        """Forward one backend subscription feed upstream, FIFO.
+
+        Per-stream ordering needs nothing more: a stream's events come
+        from its single owner in seq order, and migrations flush this
+        queue (``events.join()``) before the new owner may produce.
+        """
+        try:
+            while True:
+                batch = await client.events.get()
+                try:
+                    start = time.perf_counter()
+                    if batch:
+                        self.fanin_batches += 1
+                        conn.push_events(batch)
+                    self.profile["fanin"] += time.perf_counter() - start
+                finally:
+                    client.events.task_done()
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # pragma: no cover - defensive
+            _logger.exception("router pump for backend %s failed", link.backend)
+
+    # ------------------------------------------------------------------
+    # forward quiescing (migrations)
+    # ------------------------------------------------------------------
+    async def _acquire_forward(self) -> None:
+        while not self._forward_gate.is_set():
+            await self._forward_gate.wait()
+        self._inflight_forwards += 1
+        self._forwards_idle.clear()
+
+    def _release_forward(self) -> None:
+        self._inflight_forwards -= 1
+        if self._inflight_forwards == 0:
+            self._forwards_idle.set()
+
+    # ------------------------------------------------------------------
+    # membership + migration
+    # ------------------------------------------------------------------
+    async def add_backend(self, address: str) -> int:
+        """Join a backend and migrate the ~1/N streams it now owns.
+
+        Returns the number of migrated streams.  The new node must be
+        reachable; so must every old owner of a moving stream.
+        """
+        async with self._migrate_lock:
+            if address in self._backends:
+                return 0
+            target = parse_backend(address)
+            self._forward_gate.clear()
+            try:
+                await self._forwards_idle.wait()
+                self._backends[address] = target
+                self.ring.add(address)
+                moves = {
+                    sid: (old, self.ring.node_of(sid))
+                    for sid, old in self._placement.items()
+                    if self.ring.node_of(sid) != old
+                }
+                moved = await self._migrate(moves)
+                # Subscribed connections need a live, subscribed link to
+                # the new node *before* it can produce events (forwards
+                # are still gated here), or its pushes would be dropped
+                # until the next request touched it.
+                for conn in list(self._conns):
+                    if conn.subscription is not None and not conn.dead:
+                        await self._link_client(conn, address)
+            except BaseException:
+                # Failed joins must not leave a half-member node behind.
+                if not any(b == address for b in self._placement.values()):
+                    self.ring.remove(address)
+                    self._backends.pop(address, None)
+                raise
+            finally:
+                self._forward_gate.set()
+            self.migrations += 1
+            self.migrated_streams += moved
+            return moved
+
+    async def remove_backend(self, address: str) -> int:
+        """Gracefully drain a backend: migrate its streams off, drop it.
+
+        The leaving backend must still be reachable (its live stream
+        state is the only copy — replicated placement is future work).
+        """
+        async with self._migrate_lock:
+            if address not in self._backends:
+                raise ValidationError(f"unknown backend {address!r}")
+            if len(self._backends) == 1:
+                raise ValidationError("cannot remove the last backend")
+            self._forward_gate.clear()
+            try:
+                await self._forwards_idle.wait()
+                self.ring.remove(address)
+                moves = {
+                    sid: (address, self.ring.node_of(sid))
+                    for sid, old in self._placement.items()
+                    if old == address
+                }
+                moved = await self._migrate(moves)
+                for conn in list(self._conns):
+                    await self._drop_link(conn, address)
+                    conn.links.pop(address, None)
+                self._backends.pop(address, None)
+            except BaseException:
+                self.ring.add(address)
+                raise
+            finally:
+                self._forward_gate.set()
+            self.migrations += 1
+            self.migrated_streams += moved
+            return moved
+
+    async def _migrate(self, moves: dict[str, tuple[str, str]]) -> int:
+        """Move streams between backends via SNAPSHOT/RESTORE/REMOVE.
+
+        Runs with forwards quiesced.  Per (old owner, namespace) group:
+        snapshot on the old owner (ephemeral connection in that
+        namespace), restore on each stream's new owner, REMOVE the old
+        copies.  The snapshot carries the per-stream seq counter, so the
+        new owner continues the numbering exactly; the old owner's
+        journal keeps the produced prefix replayable.
+        """
+        if not moves:
+            return 0
+        groups: dict[tuple[str, str], list[str]] = {}
+        for sid, (old, _new) in moves.items():
+            ns, _, local = sid.partition("/")
+            groups.setdefault((old, ns), []).append(local)
+        moved = 0
+        touched_old: set[str] = set()
+        for (old, ns), locals_ in sorted(groups.items()):
+            host, port = self._backends[old]
+            snap_client = await AsyncDetectionClient.connect(
+                host,
+                port,
+                namespace=ns,
+                connect_retries=self.config.connect_retries,
+                retry_delay=self.config.retry_delay,
+            )
+            try:
+                states = await snap_client.snapshot(sorted(locals_))
+                by_new: dict[str, dict] = {}
+                for local, entry in states.items():
+                    new = moves[f"{ns}/{local}"][1]
+                    by_new.setdefault(new, {})[local] = entry
+                for new, entries in sorted(by_new.items()):
+                    nhost, nport = self._backends[new]
+                    restore_client = await AsyncDetectionClient.connect(
+                        nhost,
+                        nport,
+                        namespace=ns,
+                        connect_retries=self.config.connect_retries,
+                        retry_delay=self.config.retry_delay,
+                    )
+                    try:
+                        moved += await restore_client.restore(entries)
+                    finally:
+                        await restore_client.close()
+                if states:
+                    await snap_client.remove_streams(sorted(states))
+            finally:
+                await snap_client.close()
+            touched_old.add(old)
+        # Flush every subscribed link to an old owner: a loop-side
+        # replay's reply queues behind all pending pushes, and the queue
+        # join proves the pump forwarded them upstream — after this, no
+        # pre-migration event can trail a post-migration one.
+        for conn in list(self._conns):
+            if conn.subscription is None or conn.dead:
+                continue
+            for backend in touched_old:
+                link = conn.links.get(backend)
+                if link is None or link.client is None:
+                    continue
+                try:
+                    await link.client.replay(_BARRIER_STREAM, 0)
+                    await link.client.events.join()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass  # dead link: its pushes are gone anyway
+        for sid, (_old, new) in moves.items():
+            self._placement[sid] = new
+        return moved
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _RouterConn(self, writer)
+        conn.writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        self._conns.add(conn)
+        try:
+            await self._serve_frames(conn, reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer disconnected
+        except ProtocolError as exc:
+            conn.enqueue_reply(("push", FrameType.ERROR, {"message": str(exc)}, ()))
+        except Exception:  # pragma: no cover - defensive
+            _logger.exception("router connection %s: unexpected error", conn.namespace)
+        finally:
+            self._conns.discard(conn)
+            conn.enqueue_reply(_CLOSE)
+            if conn.writer_task is not None:
+                try:
+                    await conn.writer_task
+                except asyncio.CancelledError:  # pragma: no cover
+                    pass
+            await self._close_links(conn)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _serve_frames(self, conn: _RouterConn, reader) -> None:
+        hello = await protocol.read_frame_async(reader)
+        if hello.type != FrameType.HELLO:
+            raise ProtocolError("the first frame must be HELLO")
+        self._conn_counter += 1
+        namespace = hello.meta.get("namespace") or f"r{self._conn_counter}"
+        if not isinstance(namespace, str) or "/" in namespace or not namespace:
+            raise ProtocolError("namespace must be a non-empty string without '/'")
+        conn.namespace = namespace
+        conn.prefix = namespace + "/"
+        requested = hello.meta.get("protocol", protocol.BASELINE_VERSION)
+        if not isinstance(requested, int) or requested < 1:
+            raise ProtocolError("'protocol' must be a positive integer")
+        conn.version = max(
+            protocol.BASELINE_VERSION,
+            min(requested, self.config.max_protocol, protocol.PROTOCOL_VERSION),
+        )
+        fresh = bool(hello.meta.get("fresh"))
+        self._spawn_reply(
+            conn, self._finish_hello(conn, fresh), self._format_hello(conn)
+        )
+        while True:
+            frame = await protocol.read_frame_async(reader)
+            self._handle_request(conn, frame)
+            await asyncio.sleep(0)  # let the writer and tasks breathe
+
+    async def _finish_hello(self, conn: _RouterConn, fresh: bool) -> tuple[int, dict]:
+        """Eagerly connect this namespace to every backend.
+
+        The eager connect pins the namespace's links (so the first
+        ingest pays no extra round trips), forwards a ``fresh``
+        handshake to each backend, and yields one backend's server info
+        for the upstream HELLO reply (mode / window are fleet-wide pool
+        configuration).
+        """
+        if fresh:
+            for sid in [s for s in self._placement if s.startswith(conn.prefix)]:
+                self._placement.pop(sid, None)
+        removed = 0
+        info: dict = {}
+        for backend in sorted(self._backends):
+            client = await self._link_client(conn, backend, fresh=fresh)
+            removed += int(client.server_info.get("removed_streams", 0))
+            if not info:
+                info = client.server_info
+        return removed, info
+
+    def _format_hello(self, conn: _RouterConn):
+        def fmt(result):
+            removed, info = result
+            return (
+                FrameType.OK,
+                {
+                    "namespace": conn.namespace,
+                    "protocol": conn.version,
+                    "mode": info.get("mode"),
+                    "window_size": info.get("window_size"),
+                    "removed_streams": removed,
+                    "router": {"backends": len(self._backends)},
+                },
+                (),
+            )
+
+        return fmt
+
+    def _spawn_reply(self, conn: _RouterConn, coro, formatter) -> asyncio.Future:
+        """Run ``coro`` as a task whose result answers in request order."""
+        task = asyncio.ensure_future(coro)
+        conn.enqueue_reply(("future", task, formatter))
+        return task
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    def _handle_request(self, conn: _RouterConn, frame: Frame) -> None:
+        kind = frame.type
+        try:
+            if kind == FrameType.REGISTER:
+                self._handle_register(conn, frame)
+            elif kind in (
+                FrameType.INGEST,
+                FrameType.INGEST_LOCKSTEP,
+                FrameType.INGEST_HOT,
+                FrameType.LOCKSTEP_HOT,
+            ):
+                self._handle_ingest(conn, frame)
+            elif kind == FrameType.SUBSCRIBE:
+                self._handle_subscribe(conn, frame)
+            elif kind == FrameType.REPLAY:
+                self._handle_replay(conn, frame)
+            elif kind == FrameType.SNAPSHOT:
+                requested = (
+                    self._stream_list(frame)
+                    if frame.meta.get("streams") is not None
+                    else None
+                )
+                self._spawn_reply(
+                    conn,
+                    self._forward_snapshot(conn, requested),
+                    self._format_snapshot,
+                )
+            elif kind == FrameType.RESTORE:
+                self._handle_restore(conn, frame)
+            elif kind == FrameType.REMOVE:
+                ids = self._stream_list(frame)
+                self._spawn_reply(
+                    conn,
+                    self._forward_remove(conn, ids),
+                    lambda n: (FrameType.OK, {"removed": n}, ()),
+                )
+            elif kind == FrameType.STATS:
+                self._spawn_reply(
+                    conn,
+                    self._forward_stats(conn, bool(frame.meta.get("periods"))),
+                    lambda stats: (FrameType.OK, stats, ()),
+                )
+            else:
+                raise ProtocolError(f"unexpected frame type {kind.name}")
+        except UnknownHandleError as exc:
+            conn.enqueue_reply(("reply", FrameType.ERROR, {"message": str(exc)}, ()))
+
+    @staticmethod
+    def _stream_list(frame: Frame) -> list[str]:
+        ids = frame.meta.get("streams")
+        if not isinstance(ids, list) or not all(isinstance(s, str) for s in ids):
+            raise ProtocolError("'streams' must be a list of stream names")
+        if len(set(ids)) != len(ids):
+            raise ProtocolError("duplicate stream names in one request")
+        return ids
+
+    def _handle_register(self, conn: _RouterConn, frame: Frame) -> None:
+        names = self._stream_list(frame)
+        handles = []
+        for name in names:
+            if not name:
+                raise ProtocolError("stream names must be non-empty")
+            handle = conn.intern(name)
+            conn.peer_known.add(handle)
+            handles.append(handle)
+        conn.enqueue_reply(("reply", FrameType.OK, {"handles": handles}, ()))
+
+    def _handle_subscribe(self, conn: _RouterConn, frame: Frame) -> None:
+        scope = frame.meta.get("scope", "own")
+        if scope not in ("own", "all"):
+            raise ProtocolError(
+                f"subscribe scope must be 'own' or 'all', got {scope!r}"
+            )
+        conn.subscription = scope
+
+        async def run() -> str:
+            for backend in sorted(self._backends):
+                await self._on_link(conn, backend, self._subscribe_op(conn, scope))
+            return scope
+
+        self._spawn_reply(conn, run(), lambda s: (FrameType.OK, {"scope": s}, ()))
+
+    def _subscribe_op(self, conn: _RouterConn, scope: str):
+        async def op(client: AsyncDetectionClient):
+            await client.subscribe(scope)
+            link = next(
+                ln for ln in conn.links.values() if ln.client is client
+            )
+            if link.pump is None:
+                self._start_pump(conn, link)
+
+        return op
+
+    # -- ingest forwarding (the hot path) ------------------------------
+    def _handle_ingest(self, conn: _RouterConn, frame: Frame) -> None:
+        if self._draining:
+            conn.enqueue_reply(
+                ("reply", FrameType.ERROR, {"message": "router is draining"}, ())
+            )
+            return
+        if conn.inflight >= self.config.max_inflight:
+            self.busy_replies += 1
+            conn.enqueue_reply(
+                ("reply", FrameType.BUSY, {"inflight": conn.inflight}, ())
+            )
+            return
+        hot = frame.type in (FrameType.INGEST_HOT, FrameType.LOCKSTEP_HOT)
+        lockstep = frame.type in (FrameType.INGEST_LOCKSTEP, FrameType.LOCKSTEP_HOT)
+        if hot:
+            raw_handles = list(frame.meta["handles"])
+            local_ids = conn.resolve_handles(raw_handles)
+            if len(set(local_ids)) != len(local_ids):
+                raise ProtocolError("duplicate stream handles in one request")
+            matrix = frame.arrays[0]
+            # The decoded matrix is a zero-copy view into the network
+            # buffer; own the bytes before handing rows to concurrent
+            # forward tasks.
+            matrix = np.ascontiguousarray(matrix)
+            arrays: list[np.ndarray] | None = None
+            self.hot_forwards += 1
+        else:
+            local_ids = self._stream_list(frame)
+            if frame.type == FrameType.INGEST_LOCKSTEP:
+                if len(frame.arrays) != 1 or frame.arrays[0].ndim != 2:
+                    raise ProtocolError("INGEST_LOCKSTEP carries one 2-D matrix")
+                matrix = np.ascontiguousarray(frame.arrays[0])
+                if matrix.shape[0] != len(local_ids):
+                    raise ProtocolError("lockstep matrix rows must match 'streams'")
+                arrays = None
+            else:
+                if len(frame.arrays) != len(local_ids):
+                    raise ProtocolError(
+                        f"INGEST carries {len(frame.arrays)} arrays for "
+                        f"{len(local_ids)} streams"
+                    )
+                matrix = None
+                arrays = [np.array(arr, copy=True) for arr in frame.arrays]
+            self.json_forwards += 1
+        conn.inflight += 1
+        task = self._spawn_reply(
+            conn,
+            self._forward_ingest(conn, local_ids, matrix, arrays, lockstep),
+            self._format_ingest_reply(conn, local_ids, raw_handles if hot else None),
+        )
+        task.add_done_callback(lambda _t: setattr(conn, "inflight", conn.inflight - 1))
+
+    def _format_ingest_reply(
+        self, conn: _RouterConn, local_ids: list[str], handles: list[int] | None
+    ):
+        positions = {sid: pos for pos, sid in enumerate(local_ids)}
+
+        def fmt(events: list[PeriodStartEvent]):
+            table = protocol.events_to_array(events, positions)
+            if handles is not None and conn.version >= 3:
+                return (
+                    "raw",
+                    protocol.encode_hot_events(
+                        FrameType.EVENTS_HOT, handles, table, version=conn.version
+                    ),
+                )
+            return FrameType.EVENTS, {"streams": local_ids}, (table,)
+
+        return fmt
+
+    async def _forward_ingest(
+        self,
+        conn: _RouterConn,
+        local_ids: list[str],
+        matrix: np.ndarray | None,
+        arrays: list[np.ndarray] | None,
+        lockstep: bool,
+    ) -> list[PeriodStartEvent]:
+        """Split one ingest across owning backends and fuse the replies.
+
+        Matrix requests slice row-wise per backend and re-emit binary
+        hot frames downstream (zero JSON end to end); ragged JSON
+        ingests forward per-stream arrays.  Backends run concurrently.
+        """
+        await self._acquire_forward()
+        try:
+            start = time.perf_counter()
+            groups: dict[str, list[int]] = {}
+            for row, sid in enumerate(local_ids):
+                full = conn.prefix + sid
+                owner = self.ring.node_of(full)
+                groups.setdefault(owner, []).append(row)
+                self._placement[full] = owner
+            parts: list[tuple[str, list[str], np.ndarray | list[np.ndarray]]] = []
+            for backend, rows in groups.items():
+                ids = [local_ids[r] for r in rows]
+                if matrix is not None:
+                    # One backend owns everything: the frame's own matrix
+                    # is the forward payload, no slice needed.
+                    sub = matrix if len(groups) == 1 else matrix[rows]
+                    parts.append((backend, ids, sub))
+                else:
+                    parts.append((backend, ids, [arrays[r] for r in rows]))
+            self.profile["slice"] += time.perf_counter() - start
+
+            async def one(backend: str, ids: list[str], payload):
+                if matrix is not None:
+                    async def op(client: AsyncDetectionClient):
+                        return await client.ingest_rows(ids, payload, lockstep=lockstep)
+                else:
+                    async def op(client: AsyncDetectionClient):
+                        return await client.ingest_many(dict(zip(ids, payload)))
+                return await self._on_link(conn, backend, op)
+
+            start = time.perf_counter()
+            replies = await asyncio.gather(*(one(*part) for part in parts))
+            self.profile["forward"] += time.perf_counter() - start
+        finally:
+            self._release_forward()
+        events: list[PeriodStartEvent] = []
+        for batch in replies:
+            events.extend(batch)
+        return events
+
+    # -- replay fan-in -------------------------------------------------
+    def _handle_replay(self, conn: _RouterConn, frame: Frame) -> None:
+        stream = frame.meta.get("stream")
+        if not isinstance(stream, str) or not stream:
+            raise ProtocolError("'stream' must be a non-empty stream name")
+        scope = frame.meta.get("scope", "own")
+        if scope not in ("own", "all"):
+            raise ProtocolError(f"replay scope must be 'own' or 'all', got {scope!r}")
+        try:
+            from_seq = int(frame.meta["from_seq"])
+            upto_raw = frame.meta.get("upto")
+            upto = None if upto_raw is None else int(upto_raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "'from_seq' (and optional 'upto') must be integers"
+            ) from exc
+        if from_seq < 0 or (upto is not None and upto < from_seq):
+            raise ProtocolError("replay range must satisfy 0 <= from_seq <= upto")
+
+        async def run():
+            async def op_for(client: AsyncDetectionClient):
+                return await client.replay(stream, from_seq, upto=upto, scope=scope)
+
+            answers = []
+            for backend in sorted(self._backends):
+                try:
+                    answers.append(
+                        await self._on_link(
+                            conn, backend, lambda c: op_for(c)
+                        )
+                    )
+                except (ConnectionError, OSError):
+                    # A dead backend holds no replayable history right
+                    # now; the remaining answers (and the merge's gap
+                    # rules) stay honest about what is recoverable.
+                    continue
+            self.replays_served += 1
+            return protocol.merge_replay_answers(answers, from_seq, upto)
+
+        def fmt(result):
+            events, first_available = result
+            table = protocol.events_to_array(events, {stream: 0})
+            meta: dict = {"streams": [stream], "stream": stream, "from_seq": from_seq}
+            if upto is not None:
+                meta["upto"] = upto
+            if first_available is not None:
+                meta["first_available"] = first_available
+                return FrameType.EVENTS_GAP, meta, (table,)
+            return FrameType.EVENTS, meta, (table,)
+
+        self._spawn_reply(conn, run(), fmt)
+
+    # -- state + stats -------------------------------------------------
+    @staticmethod
+    def _format_snapshot(states: dict):
+        tree, arrays = protocol.pack_object(states)
+        return FrameType.OK, {"states": tree}, tuple(arrays)
+
+    async def _forward_snapshot(
+        self, conn: _RouterConn, requested: list[str] | None
+    ) -> dict:
+        merged: dict[str, dict] = {}
+        for backend in sorted(self._backends):
+            async def op(client: AsyncDetectionClient):
+                return await client.snapshot(requested)
+
+            states = await self._on_link(conn, backend, op)
+            for sid, entry in states.items():
+                merged.setdefault(sid, entry)
+        return merged
+
+    def _handle_restore(self, conn: _RouterConn, frame: Frame) -> None:
+        states = protocol.unpack_object(frame.meta.get("states"), frame.arrays)
+        if not isinstance(states, dict):
+            raise ProtocolError("RESTORE meta must carry a 'states' mapping")
+
+        async def run() -> int:
+            await self._acquire_forward()
+            try:
+                groups: dict[str, dict] = {}
+                for local, entry in states.items():
+                    full = conn.prefix + local
+                    owner = self.ring.node_of(full)
+                    groups.setdefault(owner, {})[local] = entry
+                    self._placement[full] = owner
+
+                async def one(backend: str, entries: dict) -> int:
+                    async def op(client: AsyncDetectionClient):
+                        return await client.restore(entries)
+
+                    return await self._on_link(conn, backend, op)
+
+                counts = await asyncio.gather(
+                    *(one(b, entries) for b, entries in groups.items())
+                )
+            finally:
+                self._release_forward()
+            return sum(counts)
+
+        self._spawn_reply(conn, run(), lambda n: (FrameType.OK, {"restored": n}, ()))
+
+    async def _forward_remove(self, conn: _RouterConn, ids: list[str]) -> int:
+        await self._acquire_forward()
+        try:
+            removed = 0
+            for backend in sorted(self._backends):
+                async def op(client: AsyncDetectionClient):
+                    return await client.remove_streams(ids)
+
+                removed += await self._on_link(conn, backend, op)
+            for sid in ids:
+                self._placement.pop(conn.prefix + sid, None)
+        finally:
+            self._release_forward()
+        return removed
+
+    async def _forward_stats(self, conn: _RouterConn, periods: bool) -> dict:
+        per_backend: dict[str, dict] = {}
+        for backend in sorted(self._backends):
+            async def op(client: AsyncDetectionClient):
+                return await client.stats(periods=periods)
+
+            try:
+                per_backend[backend] = await self._on_link(conn, backend, op)
+            except (ConnectionError, OSError):
+                per_backend[backend] = {"error": "backend unavailable"}
+        pools = [b["pool"] for b in per_backend.values() if "pool" in b]
+        # kernel_backend / lockstep_backend merge exactly like the
+        # sharded-pool stats merge: one value when the fleet agrees,
+        # "mixed" on disagreement, None when never reported.
+        lockstep = {p.get("lockstep_backend") for p in pools} - {None}
+        kernels = {p.get("kernel_backend") for p in pools} - {None}
+        modes = {p.get("mode") for p in pools} - {None}
+        merged_pool = {
+            "streams": sum(p.get("streams", 0) for p in pools),
+            "created": sum(p.get("created", 0) for p in pools),
+            "evicted": sum(p.get("evicted", 0) for p in pools),
+            "total_samples": sum(p.get("total_samples", 0) for p in pools),
+            "total_events": sum(p.get("total_events", 0) for p in pools),
+            "locked_streams": sum(p.get("locked_streams", 0) for p in pools),
+            "mode": modes.pop() if len(modes) == 1 else ("mixed" if modes else None),
+            "lockstep_backend": (
+                lockstep.pop()
+                if len(lockstep) == 1
+                else ("mixed" if lockstep else None)
+            ),
+            "kernel_backend": (
+                kernels.pop() if len(kernels) == 1 else ("mixed" if kernels else None)
+            ),
+        }
+        result: dict = {
+            "pool": merged_pool,
+            "server": {
+                "router": {
+                    "backends": sorted(self._backends),
+                    "ring": {
+                        "nodes": self.ring.nodes,
+                        "replicas": self.ring.replicas,
+                        "placed_streams": len(self._placement),
+                    },
+                    "connections": len(self._conns),
+                    "busy_replies": self.busy_replies,
+                    "dropped_events": self.dropped_events,
+                    "hot_forwards": self.hot_forwards,
+                    "json_forwards": self.json_forwards,
+                    "fanin_batches": self.fanin_batches,
+                    "replays_served": self.replays_served,
+                    "migrations": self.migrations,
+                    "migrated_streams": self.migrated_streams,
+                },
+                "profile": dict(self.profile),
+                "protocol": {
+                    "supported": protocol.PROTOCOL_VERSION,
+                    "max": self.config.max_protocol,
+                    "connection": conn.version,
+                },
+                "backends": per_backend,
+            },
+        }
+        if periods:
+            merged_periods: dict = {}
+            for block in per_backend.values():
+                for sid, period in block.get("periods", {}).items():
+                    if merged_periods.get(sid) is None:
+                        merged_periods[sid] = period
+            result["periods"] = merged_periods
+        return result
+
+    # ------------------------------------------------------------------
+    # writer task
+    # ------------------------------------------------------------------
+    def _encode_entry(self, conn: _RouterConn, entry) -> list:
+        start = time.perf_counter()
+        try:
+            if entry[0] == "push_hot":
+                _, handles, announce, table = entry
+                return protocol.encode_hot_events(
+                    FrameType.EVENT_HOT, handles, table, announce, version=conn.version
+                )
+            _, ftype, meta, arrays = entry
+            return protocol.encode_frame(ftype, meta, arrays, version=conn.version)
+        finally:
+            self.profile["encode"] += time.perf_counter() - start
+
+    async def _writer_loop(self, conn: _RouterConn) -> None:
+        """Flush the upstream outbox in FIFO order, one write per wakeup.
+
+        Futures resolve in place (flushing what is already encoded
+        first); a failed forward becomes a BUSY frame (backend
+        backpressure passes through) or an ERROR frame.  A write failure
+        marks the connection dead but keeps draining entries so tasks
+        never block on a gone peer.
+        """
+        pending: list = []
+
+        async def flush() -> None:
+            if pending and not conn.dead:
+                start = time.perf_counter()
+                try:
+                    conn.writer.writelines(pending)
+                    await conn.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    conn.dead = True
+                self.profile["syscall"] += time.perf_counter() - start
+            pending.clear()
+
+        while True:
+            entry = await conn.outbox.get()
+            batch = [entry]
+            while entry is not _CLOSE:
+                try:
+                    entry = conn.outbox.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                batch.append(entry)
+            closing = False
+            for entry in batch:
+                if entry is _CLOSE:
+                    closing = True
+                    break
+                if entry[0] == "future":
+                    _, future, formatter = entry
+                    if not future.done():
+                        await flush()  # ship encoded frames before waiting
+                        await asyncio.wait([future])
+                    if future.cancelled():
+                        continue
+                    exc = future.exception()
+                    if exc is not None:
+                        if isinstance(exc, ServerBusy):
+                            self.busy_replies += 1
+                            resolved = ("reply", FrameType.BUSY, {}, ())
+                        else:
+                            resolved = (
+                                "reply",
+                                FrameType.ERROR,
+                                {"message": f"{type(exc).__name__}: {exc}"},
+                                (),
+                            )
+                    else:
+                        formatted = formatter(future.result())
+                        if formatted[0] == "raw":
+                            if not conn.dead:
+                                pending.extend(formatted[1])
+                            continue
+                        ftype, meta, arrays = formatted
+                        resolved = ("reply", ftype, meta, arrays)
+                else:
+                    resolved = entry
+                    if resolved[0] == "push_hot" or (
+                        resolved[0] == "push" and resolved[1] == FrameType.EVENT
+                    ):
+                        conn.queued_pushes = max(0, conn.queued_pushes - 1)
+                if conn.dead:
+                    continue
+                pending.extend(self._encode_entry(conn, resolved))
+            await flush()
+            if closing:
+                return
+
+
+# ----------------------------------------------------------------------
+# threaded hosting (tests, benchmarks)
+# ----------------------------------------------------------------------
+class RouterThread:
+    """Host a :class:`DetectionRouter` on a private loop in a daemon
+    thread — the router twin of :class:`~repro.server.server.ServerThread`::
+
+        with RouterThread([f"{host}:{port}"]) as (rhost, rport):
+            client = DetectionClient(rhost, rport)
+    """
+
+    def __init__(
+        self, backends: Sequence[str], config: RouterConfig | None = None
+    ) -> None:
+        self.router = DetectionRouter(backends, config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._ready = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        import threading
+
+        if self._thread is not None:
+            raise ValidationError("router thread already started")
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self.router.host, self.router.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.router.start())
+        except BaseException as exc:  # surface bind errors in start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def _call(self, coro, timeout: float):
+        if self._loop is None:
+            raise ValidationError("router thread not started")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    def add_backend(self, address: str, timeout: float = 60.0) -> int:
+        """Join a backend (see :meth:`DetectionRouter.add_backend`)."""
+        return self._call(self.router.add_backend(address), timeout)
+
+    def remove_backend(self, address: str, timeout: float = 60.0) -> int:
+        """Drain a backend (see :meth:`DetectionRouter.remove_backend`)."""
+        return self._call(self.router.remove_backend(address), timeout)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(self.router.stop(), self._loop)
+            try:
+                future.result(timeout=timeout)
+            finally:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1066,6 +1066,7 @@ class DetectionServer:
             FrameType.REGISTER,
             FrameType.INGEST_HOT,
             FrameType.LOCKSTEP_HOT,
+            FrameType.REMOVE,
         ) and self.config.max_protocol < 3:
             # A frozen-v2 server has no hot path; a correct peer never
             # sends these after negotiating v2.
@@ -1097,6 +1098,8 @@ class DetectionServer:
             self._handle_snapshot(conn, frame)
         elif kind == FrameType.RESTORE:
             self._handle_restore(conn, frame)
+        elif kind == FrameType.REMOVE:
+            self._handle_remove(conn, frame)
         elif kind == FrameType.STATS:
             self._handle_stats(conn, frame)
         else:
@@ -1319,6 +1322,26 @@ class DetectionServer:
 
         self._submit_control(
             conn, run, lambda n: (FrameType.OK, {"restored": n}, ())
+        )
+
+    def _handle_remove(self, conn: _Connection, frame: Frame) -> None:
+        """Drop named streams from the connection's namespace.
+
+        The router's migration cleanup: after a stream's snapshot has
+        been restored on its new home node, the old owner drops the live
+        state.  The namespace journal is deliberately left untouched —
+        the already-journaled seq prefix stays replayable from here,
+        which is what keeps a subscriber's seq tail gap-free across a
+        migration.
+        """
+        local_ids = self._local_streams(conn, frame)
+        prefix = conn.prefix
+
+        def run() -> int:
+            return self.facade.remove_streams([prefix + sid for sid in local_ids])
+
+        self._submit_control(
+            conn, run, lambda n: (FrameType.OK, {"removed": n}, ())
         )
 
     def _handle_stats(self, conn: _Connection, frame: Frame) -> None:

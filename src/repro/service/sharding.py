@@ -38,12 +38,13 @@ No new detection semantics live here: a shard worker runs an unmodified
 
 from __future__ import annotations
 
+import bisect
 import functools
 import multiprocessing
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Mapping, Sequence, cast
+from typing import Iterable, Mapping, Sequence, cast
 
 import numpy as np
 
@@ -54,7 +55,7 @@ from repro.service.shm_ring import ShmSpanWriter, attach_shared_memory, map_span
 from repro.util.logging import get_logger
 from repro.util.validation import ValidationError, check_positive_int
 
-__all__ = ["ShardedDetectorPool", "ShardingConfig", "shard_of"]
+__all__ = ["HashRing", "ShardedDetectorPool", "ShardingConfig", "shard_of"]
 
 _logger = get_logger(__name__)
 
@@ -78,6 +79,103 @@ def shard_of(stream_id: str, shards: int) -> int:
     salted per process and would route the same stream to different
     shards after a restart)."""
     return zlib.crc32(stream_id.encode("utf-8")) % shards
+
+
+class HashRing:
+    """Consistent-hash placement of streams onto a mutable node set.
+
+    ``shard_of`` routes modulo a *fixed* shard count, so changing the
+    count remaps almost every stream.  The router tier needs the other
+    property: when a backend joins or leaves an N-node cluster, only
+    ~1/N of the streams may move.  The ring gets that the classic way —
+    each node is hashed onto a 32-bit circle at ``replicas`` pseudo-
+    random points (the same process-stable ``crc32`` that backs
+    ``shard_of``, over ``"node#i"``), and a stream belongs to the first
+    node point at or after its own hash, wrapping around.  Adding a node
+    inserts only that node's points, so only the arc segments directly
+    in front of them change owner.
+
+    Placement is a pure function of the node names and ``replicas`` —
+    identical across processes, interpreter runs and insertion order.
+
+    Examples
+    --------
+    >>> ring = HashRing(["a:1", "b:1"])
+    >>> ring.node_of("app-0") in {"a:1", "b:1"}
+    True
+    >>> ring.node_of("app-0") == HashRing(["b:1", "a:1"]).node_of("app-0")
+    True
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *, replicas: int = 128) -> None:
+        check_positive_int(replicas, "replicas")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> list[str]:
+        """Member node names, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _node_points(self, node: str) -> list[int]:
+        return [
+            zlib.crc32(f"{node}#{i}".encode("utf-8")) for i in range(self.replicas)
+        ]
+
+    def add(self, node: str) -> None:
+        """Insert a node's virtual points (idempotent)."""
+        if not node:
+            raise ValidationError("ring node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            at = bisect.bisect_left(self._points, point)
+            # Break crc32 point collisions by node name so the winner
+            # does not depend on insertion order.
+            while at < len(self._points) and self._points[at] == point:
+                if self._owners[at] < node:
+                    at += 1
+                else:
+                    break
+            self._points.insert(at, point)
+            self._owners.insert(at, node)
+
+    def remove(self, node: str) -> None:
+        """Drop a node's virtual points (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def node_of(self, key: str) -> str:
+        """Owning node of ``key`` — the first ring point clockwise from
+        the key's own hash position."""
+        if not self._nodes:
+            raise ValidationError("hash ring has no nodes")
+        at = bisect.bisect_right(self._points, zlib.crc32(key.encode("utf-8")))
+        if at == len(self._points):
+            at = 0
+        return self._owners[at]
+
+    def partition(self, keys: Iterable[str]) -> dict[str, list[str]]:
+        """Group ``keys`` by owning node (nodes with no keys omitted)."""
+        groups: dict[str, list[str]] = {}
+        for key in keys:
+            groups.setdefault(self.node_of(key), []).append(key)
+        return groups
 
 
 @dataclass

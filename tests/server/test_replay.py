@@ -17,7 +17,13 @@ import socket
 import pytest
 
 from _server_helpers import event_config, event_traces
-from repro.server.client import AsyncDetectionClient, DetectionClient, ServerError
+from repro.server.client import (
+    RETRY_DELAY_CAP,
+    AsyncDetectionClient,
+    DetectionClient,
+    ServerError,
+    backoff_delay,
+)
 from repro.server.server import EventJournal, ServerConfig, ServerThread
 from repro.service.events import PeriodStartEvent
 from repro.service.pool import DetectorPool
@@ -474,3 +480,113 @@ def test_throttled_subscriber_recovers_exact_sequence(workers, monkeypatch):
         throttled.close()
     finally:
         thread.stop()
+
+
+# ----------------------------------------------------------------------
+# reconnect backoff
+# ----------------------------------------------------------------------
+class TestReconnectBackoff:
+    """Reconnects back off exponentially with jitter, bounded by a cap.
+
+    A fleet of clients facing a restarting server (or router backend)
+    must neither hammer it in lockstep nor wait unboundedly long —
+    ``backoff_delay`` owns that policy for both client flavours and the
+    router's downstream links.
+    """
+
+    def test_delay_grows_exponentially_within_jitter_bounds(self):
+        base = 0.25
+        for attempt in range(12):
+            bound = min(base * 2**attempt, RETRY_DELAY_CAP)
+            for _ in range(50):
+                delay = backoff_delay(attempt, base)
+                assert bound * 0.5 <= delay <= bound
+
+    def test_delay_is_capped(self):
+        assert backoff_delay(60, 1.0) <= RETRY_DELAY_CAP
+        assert backoff_delay(0, 100.0) <= RETRY_DELAY_CAP
+
+    def test_delay_jitters(self):
+        delays = {backoff_delay(3, 0.25) for _ in range(20)}
+        assert len(delays) > 1  # not a fixed schedule
+
+    def _closed_port(self) -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_blocking_connect_sleeps_per_schedule_then_raises(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr("repro.server.client.time.sleep", sleeps.append)
+        retry_delay = 0.2
+        with pytest.raises(ConnectionRefusedError):
+            DetectionClient(
+                "127.0.0.1",
+                self._closed_port(),
+                connect_retries=4,
+                retry_delay=retry_delay,
+            )
+        assert len(sleeps) == 4  # one backoff between each of 5 attempts
+        for attempt, slept in enumerate(sleeps):
+            bound = min(retry_delay * 2**attempt, RETRY_DELAY_CAP)
+            assert bound * 0.5 <= slept <= bound
+
+    def test_async_connect_retries_then_raises(self, monkeypatch):
+        sleeps: list[float] = []
+
+        async def fake_sleep(delay: float) -> None:
+            sleeps.append(delay)
+
+        monkeypatch.setattr("repro.server.client.asyncio.sleep", fake_sleep)
+
+        async def attempt() -> None:
+            await AsyncDetectionClient.connect(
+                "127.0.0.1",
+                self._closed_port(),
+                connect_retries=3,
+                retry_delay=0.1,
+            )
+
+        with pytest.raises(ConnectionRefusedError):
+            asyncio.run(attempt())
+        assert len(sleeps) == 3
+        for attempt_no, slept in enumerate(sleeps):
+            bound = min(0.1 * 2**attempt_no, RETRY_DELAY_CAP)
+            assert bound * 0.5 <= slept <= bound
+
+    def test_successful_retry_preserves_resume_semantics(self, loopback):
+        # A reconnect that needed no retries is the common case; what
+        # matters is that the retry knobs do not disturb resume_seqs /
+        # on_gap behaviour on the connection that finally succeeds.
+        _, host, port = loopback()
+        traces = event_traces(2, samples=240)
+        with DetectionClient(host, port, namespace="prod") as producer:
+            subscriber = DetectionClient(host, port, namespace="prod")
+            subscriber.subscribe()
+            produced = producer.ingest_many(
+                {sid: tr[:120] for sid, tr in traces.items()}
+            )
+            seen = drain(subscriber, timeout=1.0)
+            carried = subscriber.last_seqs
+            subscriber.close()
+
+            produced += producer.ingest_many(
+                {sid: tr[120:] for sid, tr in traces.items()}
+            )  # missed while away
+            gaps: list[tuple] = []
+            resumed = DetectionClient(
+                host,
+                port,
+                namespace="prod",
+                connect_retries=3,
+                retry_delay=0.05,
+                resume_seqs=carried,
+                on_gap=lambda *args: gaps.append(args),
+            )
+            try:
+                resumed.subscribe()
+                seen += resumed.resync(traces)
+            finally:
+                resumed.close()
+            assert gaps == []
+            assert by_stream(seen) == by_stream(produced)

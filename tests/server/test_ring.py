@@ -1,0 +1,138 @@
+"""Consistent-hash ring properties the router tier depends on.
+
+Placement must be a pure function of (node names, key) — stable across
+processes, runs and construction orders — and membership changes must
+move only ~1/N of a large key population.  Violating either silently
+breaks router migrations: streams would re-home en masse (or
+differently on a router restart) without any SNAPSHOT/RESTORE moving
+their state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.sharding import HashRing
+from repro.util.validation import ValidationError
+
+NODES = ["node-a:1", "node-b:2", "node-c:3"]
+
+
+def keys(count: int) -> list[str]:
+    return [f"ns/s{i}" for i in range(count)]
+
+
+class TestStablePlacement:
+    def test_pinned_placements_never_change(self):
+        # Literal expected values: crc32 is process- and platform-stable,
+        # so these pins hold across interpreter restarts and machines.
+        # If this test fails, the ring function changed and every
+        # already-placed cluster would re-home streams on router restart.
+        ring = HashRing(NODES)
+        assert ring.node_of("ns/s0") == "node-c:3"
+        assert ring.node_of("ns/s1") == "node-c:3"
+        assert ring.node_of("ns/s2") == "node-a:1"
+        assert ring.node_of("prod/app-7") == "node-a:1"
+        assert ring.node_of("x/y") == "node-c:3"
+
+    def test_construction_order_is_irrelevant(self):
+        population = keys(500)
+        baseline = HashRing(NODES)
+        for seed in range(5):
+            shuffled = NODES[:]
+            random.Random(seed).shuffle(shuffled)
+            ring = HashRing(shuffled)
+            assert [ring.node_of(k) for k in population] == [
+                baseline.node_of(k) for k in population
+            ]
+
+    def test_incremental_add_equals_bulk_construction(self):
+        population = keys(500)
+        bulk = HashRing(NODES)
+        grown = HashRing()
+        for node in reversed(NODES):
+            grown.add(node)
+        assert [grown.node_of(k) for k in population] == [
+            bulk.node_of(k) for k in population
+        ]
+
+    def test_two_instances_agree(self):
+        a, b = HashRing(NODES), HashRing(NODES)
+        for key in keys(200):
+            assert a.node_of(key) == b.node_of(key)
+
+
+class TestMembershipChurn:
+    def test_join_remaps_at_most_two_over_n(self):
+        # The consistent-hashing contract the router's join cost rests
+        # on: going from N to N+1 nodes re-homes ~1/(N+1) of the keys.
+        # Allow 2x slack for hash-placement variance — still a far cry
+        # from the ~(N-1)/N a modulo scheme would move.
+        population = keys(5000)
+        nodes = [f"node-{i}:{7000 + i}" for i in range(4)]
+        before = HashRing(nodes)
+        old = {k: before.node_of(k) for k in population}
+        after = HashRing(nodes + ["node-4:7004"])
+        moved = sum(1 for k in population if after.node_of(k) != old[k])
+        n = len(nodes) + 1
+        assert moved <= 2 * len(population) / n
+        # Every moved key lands on the new node — a join never shuffles
+        # keys between the old nodes.
+        for k in population:
+            if after.node_of(k) != old[k]:
+                assert after.node_of(k) == "node-4:7004"
+
+    def test_leave_is_the_inverse_of_join(self):
+        population = keys(1000)
+        ring = HashRing(NODES)
+        placed = {k: ring.node_of(k) for k in population}
+        ring.add("node-d:4")
+        ring.remove("node-d:4")
+        assert {k: ring.node_of(k) for k in population} == placed
+
+    def test_leave_only_rehomes_the_leavers_keys(self):
+        population = keys(2000)
+        ring = HashRing(NODES)
+        placed = {k: ring.node_of(k) for k in population}
+        ring.remove("node-b:2")
+        for k in population:
+            if placed[k] != "node-b:2":
+                assert ring.node_of(k) == placed[k]
+            else:
+                assert ring.node_of(k) != "node-b:2"
+
+
+class TestRingApi:
+    def test_partition_groups_every_key_once(self):
+        ring = HashRing(NODES)
+        population = keys(300)
+        parts = ring.partition(population)
+        assert sorted(sid for group in parts.values() for sid in group) == sorted(
+            population
+        )
+        for node, group in parts.items():
+            assert group  # empty nodes are omitted
+            for sid in group:
+                assert ring.node_of(sid) == node
+
+    def test_membership_introspection(self):
+        ring = HashRing(NODES)
+        assert len(ring) == 3
+        assert "node-a:1" in ring
+        assert "node-z:9" not in ring
+        assert ring.nodes == sorted(NODES)
+        ring.add("node-a:1")  # idempotent
+        assert len(ring) == 3
+        ring.remove("node-z:9")  # idempotent
+        assert len(ring) == 3
+
+    def test_empty_ring_and_empty_name_are_errors(self):
+        ring = HashRing()
+        with pytest.raises(ValidationError):
+            ring.node_of("ns/s0")
+        with pytest.raises(ValidationError):
+            ring.add("")
+        with pytest.raises(ValidationError):
+            HashRing(NODES, replicas=0)
