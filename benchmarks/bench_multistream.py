@@ -269,6 +269,37 @@ def _pool_workload(mode: str, streams: int, samples: int, window: int):
 _BENCH_CHUNK = 128
 
 
+def _tls_cert_pair() -> tuple[str, str]:
+    """Certificate/key for the TLS loopback row.
+
+    Prefers the committed localhost test fixture
+    (``tests/server/certs/``); falls back to generating a throwaway
+    self-signed pair with ``openssl`` so the benchmark also runs from a
+    source tree without the test suite checked out.
+    """
+    base = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        os.pardir, "tests", "server", "certs",
+    )
+    cert = os.path.join(base, "server.pem")
+    key = os.path.join(base, "server.key")
+    if os.path.exists(cert) and os.path.exists(key):
+        return cert, key
+    import tempfile
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-tls-")
+    cert = os.path.join(tmp, "server.pem")
+    key = os.path.join(tmp, "server.key")
+    subprocess.run(
+        ["openssl", "req", "-x509", "-newkey", "rsa:2048", "-nodes",
+         "-days", "36500", "-subj", "/CN=localhost",
+         "-addext", "subjectAltName=DNS:localhost,IP:127.0.0.1",
+         "-keyout", key, "-out", cert],
+        check=True, capture_output=True,
+    )
+    return cert, key
+
+
 def _timed_run(pool, traces, periods, samples, lockstep: bool, sharded: bool):
     """Shared measurement loop: returns ``(elapsed_s, correct_locks)``.
 
@@ -373,6 +404,7 @@ def bench_sharded(
 def bench_loopback_server(
     streams: int, samples: int, window: int = 128, mode: str = "magnitude",
     lockstep: bool = False, pipeline_window: int = 8, profile: bool = False,
+    tls: bool = False,
 ) -> dict:
     """Throughput of the :func:`bench_pool` workload over loopback TCP.
 
@@ -382,6 +414,12 @@ def bench_loopback_server(
     — chunked ``ingest_many`` frames kept ``pipeline_window`` deep to
     hide round trips, or one ``INGEST_LOCKSTEP`` matrix frame.
 
+    With ``tls=True`` the server terminates TLS (the committed localhost
+    test certificate) and the client connects via ``repros://`` pinning
+    that certificate as its CA — the same bytes through an encrypted
+    transport, so the delta against the matching plaintext row is the
+    cost of record-layer encryption on the hot path.
+
     With ``profile=True`` the row additionally records the server's
     per-layer time breakdown (frame encode / socket syscalls /
     dispatcher / detection / fan-out, DFAnalyzer-style) for exactly this
@@ -389,11 +427,20 @@ def bench_loopback_server(
     a wire-path win or regression is attributable to its layer.
     """
     from repro.server.client import DetectionClient
-    from repro.server.server import ServerThread
+    from repro.server.server import ServerConfig, ServerThread
 
     traces, periods, config = _pool_workload(mode, streams, samples, window)
-    with ServerThread(DetectorPool(config)) as (host, port):
-        with DetectionClient(host, port, namespace="bench") as client:
+    server_config = None
+    scheme = "repro"
+    query = ""
+    if tls:
+        cert, cert_key = _tls_cert_pair()
+        server_config = ServerConfig(tls_cert=cert, tls_key=cert_key)
+        scheme = "repros"
+        query = f"?ca={cert}"
+    with ServerThread(DetectorPool(config), server_config) as (host, port):
+        endpoint = f"{scheme}://{host}:{port}{query}"
+        with DetectionClient(endpoint, namespace="bench") as client:
             before = client.stats()["server"] if profile else None
             started = time.perf_counter()
             if lockstep:
@@ -426,13 +473,18 @@ def bench_loopback_server(
         1 for i, sid in enumerate(traces) if remote_periods.get(sid) == periods[i]
     )
     total = streams * samples
+    ingest = "lockstep" if lockstep else f"pipelined x{pipeline_window}"
+    if tls:
+        # Distinct label on purpose: trajectory keys and the CI smoke
+        # lookup match the plaintext row by the exact string "lockstep".
+        ingest += "-tls"
     row = {
         "streams": streams,
         "samples_per_stream": samples,
         "window": window,
         "mode": mode,
-        "transport": "loopback-tcp",
-        "ingest": "lockstep" if lockstep else f"pipelined x{pipeline_window}",
+        "transport": "loopback-tls" if tls else "loopback-tcp",
+        "ingest": ingest,
         "elapsed_s": round(elapsed, 3),
         "samples_per_s": round(total / elapsed),
         "correct_locks": correct,
@@ -470,7 +522,7 @@ def bench_checkpoint_loopback(
 
     def run(server_config: ServerConfig | None):
         with ServerThread(DetectorPool(config), server_config) as (host, port):
-            with DetectionClient(host, port, namespace="bench") as client:
+            with DetectionClient(f"repro://{host}:{port}", namespace="bench") as client:
                 started = time.perf_counter()
                 for offset in range(0, samples, _BENCH_CHUNK):
                     client.ingest_lockstep(
@@ -533,7 +585,7 @@ def bench_mixed_loopback(
     def drive(mode: str, host: str, port: int) -> None:
         traces, periods, _config = workloads[mode]
         try:
-            with DetectionClient(host, port, namespace="bench") as client:
+            with DetectionClient(f"repro://{host}:{port}", namespace="bench") as client:
                 for offset in range(0, samples, _BENCH_CHUNK):
                     client.ingest_lockstep(
                         {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
@@ -614,7 +666,7 @@ def bench_router_lockstep(
     try:
         addresses = ["%s:%d" % server.start() for server in servers]
         with RouterThread(addresses) as (host, port):
-            with DetectionClient(host, port, namespace="bench") as client:
+            with DetectionClient(f"repro://{host}:{port}", namespace="bench") as client:
                 before = client.stats()["server"] if profile else None
                 started = time.perf_counter()
                 client.ingest_lockstep(traces)
@@ -688,7 +740,7 @@ def bench_router_mixed(
     def drive(mode: str, host: str, port: int) -> None:
         traces, periods, _config = workloads[mode]
         try:
-            with DetectionClient(host, port, namespace="bench") as client:
+            with DetectionClient(f"repro://{host}:{port}", namespace="bench") as client:
                 for offset in range(0, samples, _BENCH_CHUNK):
                     client.ingest_lockstep(
                         {sid: v[offset : offset + _BENCH_CHUNK] for sid, v in traces.items()}
@@ -922,6 +974,12 @@ def main(argv=None) -> int:
                 for layer, seconds in row["profile_s"].items()
             )
             print(f"    layers: {layers}")
+    tls_row = bench_loopback_server(
+        server_streams, server_samples, lockstep=True, tls=True
+    )
+    results["server"].append(tls_row)
+    print(f"  {tls_row['ingest']:14s}  {tls_row['samples_per_s']:>12,} samples/s  "
+          f"(locks {tls_row['correct_locks']}/{tls_row['streams']})")
 
     results["checkpoint"] = []
     print(f"\ncheckpointing overhead (magnitude, {server_streams} streams, "
@@ -1040,6 +1098,14 @@ def main(argv=None) -> int:
         print(f"\nWARNING: router+2-backend throughput ({two:,} samples/s) "
               f"fell below {bar:.2f}x the 1-backend row ({one:,} samples/s): "
               f"routing may be serialising the backends", file=sys.stderr)
+        ok = False
+    # TLS acceptance, same-run: record-layer encryption on the lockstep
+    # hot path must keep >= 80% of the plaintext lockstep row.
+    tls_rate = tls_row["samples_per_s"]
+    if tls_rate < 0.8 * direct_row["samples_per_s"]:
+        print(f"\nWARNING: TLS loopback lockstep throughput "
+              f"({tls_rate:,} samples/s) below 80% of same-run plaintext "
+              f"({direct_row['samples_per_s']:,} samples/s)", file=sys.stderr)
         ok = False
     return 0 if ok else 1
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Secure multi-tenant detection service: TLS + token auth + quotas.
+
+The example walks the security layers end to end, all through the one
+``repros://`` endpoint URL a deployment would put in its config:
+
+1. generate a throwaway self-signed certificate (the CLI equivalent is
+   ``repro serve --tls-cert server.pem --tls-key server.key
+   --auth-token ...``);
+2. host a daemon that terminates TLS, requires a token at HELLO and
+   caps the ``tenant-a`` namespace at two streams;
+3. connect with ``repro.server.connect`` and one endpoint URL carrying
+   the token and the pinned CA — then watch a wrong token get rejected
+   before any server state exists, and the stream quota answer a clean
+   per-request error while the connection lives on;
+4. read the per-tenant usage counters back out of STATS.
+
+Run with:  PYTHONPATH=src python examples/secure_server.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.server import connect
+from repro.server.client import ServerError
+from repro.server.server import ServerConfig, ServerThread
+from repro.service.pool import DetectorPool, PoolConfig
+from repro.traces.synthetic import repeat_pattern
+
+
+def make_certificate(directory: Path) -> tuple[str, str]:
+    """A self-signed localhost certificate, as a deployment tool would."""
+    cert = directory / "server.pem"
+    key = directory / "server.key"
+    subprocess.run(
+        ["openssl", "req", "-x509", "-newkey", "rsa:2048", "-nodes",
+         "-days", "2", "-subj", "/CN=localhost",
+         "-addext", "subjectAltName=DNS:localhost,IP:127.0.0.1",
+         "-keyout", str(key), "-out", str(cert)],
+        check=True, capture_output=True,
+    )
+    return str(cert), str(key)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-secure-") as tmp:
+        cert, key = make_certificate(Path(tmp))
+
+        # 1+2. TLS listener, one accepted token pinned to tenant-a, and
+        # a two-stream cap on that namespace.
+        server_config = ServerConfig(
+            tls_cert=cert,
+            tls_key=key,
+            auth_tokens={"s3cret-token": "tenant-a"},
+            quotas={"tenant-a": {"max_streams": 2}},
+        )
+        pool = DetectorPool(PoolConfig(mode="event", window_size=64))
+        with ServerThread(pool, server_config) as (host, port):
+            url = f"repros://s3cret-token@{host}:{port}?ca={cert}"
+            print(f"daemon listening on {host}:{port} (TLS + token auth)")
+
+            # 3a. A wrong token is rejected at HELLO — constant-time
+            # compare, ERROR before any pool mutation, socket closed.
+            try:
+                connect(f"repros://wrong-token@{host}:{port}?ca={cert}")
+            except ServerError as exc:
+                print(f"wrong token refused: {exc}")
+
+            # 3b. The real token connects; its namespace is forced to
+            # tenant-a no matter what the client asks for.
+            with connect(url, namespace="whatever") as client:
+                print(f"authenticated; serving namespace {client.namespace!r}")
+
+                traces = {
+                    f"app-{period}": repeat_pattern(
+                        100 * period + np.arange(period), 210
+                    )
+                    for period in (3, 5)
+                }
+                events = client.ingest_many(traces)
+                print(f"two streams admitted, {len(events)} period-start events")
+
+                # 3c. The third stream breaks the quota: that one request
+                # errors, the connection and admitted streams live on.
+                try:
+                    client.ingest("app-7", repeat_pattern(np.arange(7), 70))
+                except ServerError as exc:
+                    print(f"third stream refused: {exc}")
+                print(f"locked periods: {client.stats(periods=True)['periods']}")
+
+                # 4. Per-tenant usage, straight from STATS.
+                stats = client.stats()["server"]
+                print(f"auth counters: {stats['auth']}")
+                print(f"tenant-a quota counters: {stats['quotas']['tenant-a']}")
+    print("daemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

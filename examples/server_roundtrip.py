@@ -33,8 +33,9 @@ def main() -> None:
 
         # 2. A producer connection pushing three identifier streams with
         #    known periods 3, 5 and 7 — chunked, as a real sampler would.
-        producer = DetectionClient(host, port, namespace="producer")
-        watcher = DetectionClient(host, port, namespace="watch")
+        url = f"repro://{host}:{port}"
+        producer = DetectionClient(url, namespace="producer")
+        watcher = DetectionClient(url, namespace="watch")
         watcher.subscribe("all")
 
         traces = {
@@ -61,7 +62,7 @@ def main() -> None:
         # 4. Snapshot, drop the connection, reconnect fresh, restore, resume.
         states = producer.snapshot()
         producer.close()
-        resumed = DetectionClient(host, port, namespace="producer", fresh=True)
+        resumed = DetectionClient(url, namespace="producer", fresh=True)
         resumed.restore(states)
         more = resumed.ingest_many(
             {sid: trace[:70] for sid, trace in traces.items()}

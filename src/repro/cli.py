@@ -12,7 +12,9 @@ writing any Python::
     python -m repro detect trace.csv    # run the DPD over a recorded trace
     python -m repro pool --streams 1000 # multi-stream detection service
     python -m repro serve --port 8757   # network detection daemon
-    python -m repro pool --connect 127.0.0.1:8757   # drive a remote daemon
+    python -m repro pool --connect repro://127.0.0.1:8757   # drive a remote daemon
+    python -m repro serve --tls-cert c.pem --tls-key k.pem --auth-token s3cret
+    python -m repro pool --connect "repros://s3cret@127.0.0.1:8757?ca=c.pem"
 
 ``repro pool`` exercises the multi-stream service layer
 (:mod:`repro.service`): it generates N synthetic periodic traces with
@@ -30,12 +32,20 @@ shared-memory ingest.
 (:mod:`repro.server`): remote producers push batches over the framed
 TCP protocol and the daemon routes them into a (optionally sharded)
 pool without blocking its event loop.  ``repro pool --connect
-HOST:PORT`` turns the pool workload into such a producer — it pushes
+ENDPOINT`` turns the pool workload into such a producer — it pushes
 the same synthetic traces through the wire and verifies the locks
 remotely, so a serve/connect pair is a end-to-end smoke test of the
 network layer (the CI does exactly that).  ``--mode``/``--window``
 must match the serving daemon's configuration for the lock check to
 be meaningful.
+
+``serve``, ``route`` and ``pool`` share one set of transport security
+flags (TLS certificates, HELLO auth tokens — all optional, plaintext
+tokenless remains the default), and every connect path accepts either
+a bare ``HOST:PORT`` or a ``repro://`` / ``repros://`` endpoint URL
+(:mod:`repro.server.endpoint`).  ``serve`` additionally enforces
+per-namespace admission quotas via ``--quota-*`` flags
+(:mod:`repro.server.quotas`).
 
 Every command prints a plain-text table/plot and exits non-zero when the
 reproduction does not match the paper's qualitative claim, so the CLI can
@@ -73,6 +83,38 @@ from repro.traces.synthetic import periodic_signal, repeat_pattern
 __all__ = ["build_parser", "main"]
 
 
+def _transport_parent() -> argparse.ArgumentParser:
+    """The one shared parent for endpoint/TLS/token flags.
+
+    ``serve``, ``route`` and ``pool`` all inherit it, so the security
+    surface is spelled identically everywhere: ``--tls-cert``/
+    ``--tls-key`` secure a listener (serve, route), ``--tls-ca``/
+    ``--tls-insecure`` verify a remote certificate (pool ``--connect``,
+    route backends), and ``--auth-token``/``--auth-token-file`` name
+    the HELLO credential (required by servers, presented by clients).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("transport security")
+    group.add_argument("--tls-cert", default=None, metavar="PEM",
+                       help="serve TLS on the listener with this certificate chain "
+                            "(serve/route; requires --tls-key)")
+    group.add_argument("--tls-key", default=None, metavar="PEM",
+                       help="private key for --tls-cert")
+    group.add_argument("--tls-ca", default=None, metavar="PEM",
+                       help="CA bundle the remote certificate is verified against "
+                            "(pool --connect, route backends; a self-signed server "
+                            "cert verifies against itself)")
+    group.add_argument("--tls-insecure", action="store_true",
+                       help="skip remote certificate verification (testing only)")
+    group.add_argument("--auth-token", default=None, metavar="TOKEN",
+                       help="serve/route: accept this HELLO token from clients; "
+                            "pool --connect: present it to the server")
+    group.add_argument("--auth-token-file", default=None, metavar="FILE",
+                       help="serve/route: accept tokens from this file, one "
+                            "token[:namespace[:expires]] per line ('#' comments)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser of the ``repro`` command."""
     parser = argparse.ArgumentParser(
@@ -106,7 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="detector mode (default: inferred from the trace kind)")
     det.add_argument("--window", type=int, default=256, help="data window size N")
 
-    pl = sub.add_parser("pool", help="run N synthetic streams through the multi-stream detection service")
+    transport = _transport_parent()
+
+    pl = sub.add_parser("pool", parents=[transport],
+                        help="run N synthetic streams through the multi-stream detection service")
     pl.add_argument("--streams", type=int, default=64, help="number of concurrent streams")
     pl.add_argument("--samples", type=int, default=1024, help="samples per stream")
     pl.add_argument("--mode", choices=("magnitude", "event"), default="magnitude")
@@ -126,13 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--pipeline-depth", type=int, default=0,
                     help="with --workers >= 2: pipeline consecutive ingest calls with this "
                          "many unacknowledged requests per shard (0 = synchronous)")
-    pl.add_argument("--connect", metavar="HOST:PORT", default=None,
+    pl.add_argument("--connect", metavar="ENDPOINT", default=None,
                     help="push the workload to a running `repro serve` daemon instead "
-                         "of an in-process pool (--workers is then the server's business)")
+                         "of an in-process pool (--workers is then the server's "
+                         "business); HOST:PORT or a repro://, repros:// endpoint URL")
     pl.add_argument("--namespace", default=None,
                     help="stream namespace on the server (with --connect; default: server-assigned)")
 
-    sv = sub.add_parser("serve", help="run the network detection daemon (asyncio TCP server)")
+    sv = sub.add_parser("serve", parents=[transport],
+                        help="run the network detection daemon (asyncio TCP server)")
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument("--port", type=int, default=8757, help="TCP port (0 = ephemeral)")
     sv.add_argument("--mode", choices=("magnitude", "event"), default="magnitude")
@@ -175,14 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="with --state-dir: additionally checkpoint early once this "
                          "many ingest requests landed since the last pass (bounds "
                          "how much acknowledged work a crash can lose)")
+    sv.add_argument("--quota-max-streams", type=int, default=None,
+                    help="per-namespace cap on streams; past it ingest of new "
+                         "streams answers ERROR (existing streams keep working)")
+    sv.add_argument("--quota-max-samples-per-s", type=float, default=None,
+                    help="per-namespace sample-rate limit (token bucket with one "
+                         "second of burst); past it ingest answers BUSY until the "
+                         "bucket refills, exactly like inflight backpressure")
+    sv.add_argument("--quota-max-subscribers", type=int, default=None,
+                    help="per-namespace cap on concurrent event subscribers")
 
-    rt = sub.add_parser("route", help="run the multi-node router tier in front of "
-                                      "several `repro serve` backends")
+    rt = sub.add_parser("route", parents=[transport],
+                        help="run the multi-node router tier in front of "
+                             "several `repro serve` backends")
     rt.add_argument("--host", default="127.0.0.1")
     rt.add_argument("--port", type=int, default=8756, help="TCP port (0 = ephemeral)")
-    rt.add_argument("--backend", action="append", metavar="HOST:PORT", default=[],
-                    help="a backend `repro serve` address (repeat for each node; "
-                         "at least one required)")
+    rt.add_argument("--backend", action="append", metavar="ENDPOINT", default=[],
+                    help="a backend `repro serve` address — HOST:PORT or a "
+                         "repro://, repros:// endpoint URL (repeat for each node; "
+                         "at least one required; --tls-ca/--tls-insecure apply to "
+                         "TLS backends that do not set their own)")
+    rt.add_argument("--backend-token", default=None, metavar="TOKEN",
+                    help="HELLO token presented to backends that do not carry one "
+                         "in their endpoint URL")
     rt.add_argument("--replicas", type=int, default=128,
                     help="virtual points per backend on the consistent-hash ring "
                          "(more points = smoother balance, slower membership ops)")
@@ -312,18 +374,30 @@ def _synthetic_workload(mode: str, streams: int, samples: int):
 def _cmd_pool_connect(args, traces, periods) -> int:
     """``repro pool --connect``: push the workload to a running daemon."""
     from repro.server.client import DetectionClient, ServerError
+    from repro.server.endpoint import Endpoint
+    from repro.util.validation import ValidationError
 
-    host, _, port_text = args.connect.rpartition(":")
-    if not host or not port_text.isdigit():
-        print(f"--connect must be HOST:PORT, got {args.connect!r}", file=sys.stderr)
+    overrides: dict = {}
+    if args.auth_token is not None:
+        overrides["token"] = args.auth_token
+    if args.tls_ca is not None:
+        overrides["tls_ca"] = args.tls_ca
+    if args.tls_insecure:
+        overrides["tls_insecure"] = True
+    try:
+        endpoint = Endpoint.parse(args.connect, **overrides)
+    except ValidationError as exc:
+        print(f"bad --connect endpoint: {exc}", file=sys.stderr)
         return 2
     try:
         client = DetectionClient(
-            host, int(port_text), namespace=args.namespace,
+            endpoint, namespace=args.namespace,
             connect_retries=20, retry_delay=0.25,
         )
     except (ServerError, OSError) as exc:
-        # OSError covers refused/unreachable/timed-out sockets alike.
+        # OSError covers refused/unreachable/timed-out sockets alike
+        # (TLS handshake failures included); ServerError covers an
+        # auth-rejected HELLO.
         print(f"cannot reach the detection server: {exc}", file=sys.stderr)
         return 1
     with client:
@@ -440,6 +514,7 @@ def _cmd_serve(args) -> int:
     import signal
 
     from repro.server.server import DetectionServer, ServerConfig, build_pool
+    from repro.util.validation import ValidationError
 
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
@@ -447,12 +522,8 @@ def _cmd_serve(args) -> int:
     config = _synthetic_pool_config(
         args.mode, args.window, args.max_streams, args.eval_interval
     )
-    pool = build_pool(
-        config, workers=args.workers, pipeline_depth=max(args.pipeline_depth, 0)
-    )
-    server = DetectionServer(
-        pool,
-        ServerConfig(
+    try:
+        server_config = ServerConfig(
             host=args.host,
             port=args.port,
             max_inflight=args.max_inflight,
@@ -462,8 +533,28 @@ def _cmd_serve(args) -> int:
             state_dir=args.state_dir,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_max_dirty=args.checkpoint_max_dirty,
-        ),
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
+            auth_token=args.auth_token,
+            auth_token_file=args.auth_token_file,
+            quota_max_streams=args.quota_max_streams,
+            quota_max_samples_per_s=args.quota_max_samples_per_s,
+            quota_max_subscribers=args.quota_max_subscribers,
+        )
+    except ValidationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    pool = build_pool(
+        config, workers=args.workers, pipeline_depth=max(args.pipeline_depth, 0)
     )
+    try:
+        server = DetectionServer(pool, server_config)
+    except (ValidationError, ValueError, OSError) as exc:
+        # Bad token files surface here (build_authenticator reads them).
+        print(f"serve: {exc}", file=sys.stderr)
+        if hasattr(pool, "close"):
+            pool.close()
+        return 2
 
     async def run() -> None:
         await server.start()
@@ -475,6 +566,10 @@ def _cmd_serve(args) -> int:
                 f"(restored {restored.get('streams', 0)} streams, "
                 f"{restored.get('journals', 0)} journals)"
             )
+        if args.tls_cert:
+            layout += ", TLS"
+        if args.auth_token or args.auth_token_file:
+            layout += ", token auth"
         print(f"repro detection server listening on {server.host}:{server.port} "
               f"(mode={args.mode}, window={args.window}{layout})", flush=True)
         stop_requested = asyncio.Event()
@@ -497,7 +592,7 @@ def _cmd_route(args) -> int:
     from repro.util.validation import ValidationError
 
     if not args.backend:
-        print("route needs at least one --backend HOST:PORT", file=sys.stderr)
+        print("route needs at least one --backend ENDPOINT", file=sys.stderr)
         return 2
     try:
         router = DetectionRouter(
@@ -507,16 +602,26 @@ def _cmd_route(args) -> int:
                 port=args.port,
                 replicas=args.replicas,
                 max_inflight=args.max_inflight,
+                tls_cert=args.tls_cert,
+                tls_key=args.tls_key,
+                auth_token=args.auth_token,
+                auth_token_file=args.auth_token_file,
+                backend_token=args.backend_token,
+                backend_tls_ca=args.tls_ca,
+                backend_tls_insecure=args.tls_insecure,
             ),
         )
-    except ValidationError as exc:
+    except (ValidationError, ValueError, OSError) as exc:
         print(f"route: {exc}", file=sys.stderr)
         return 2
 
     async def run() -> None:
         await router.start()
+        security = ", TLS" if args.tls_cert else ""
+        if args.auth_token or args.auth_token_file:
+            security += ", token auth"
         print(f"repro detection router listening on {router.host}:{router.port} "
-              f"(backends: {', '.join(router.backends)})", flush=True)
+              f"(backends: {', '.join(router.backends)}{security})", flush=True)
         stop_requested = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):

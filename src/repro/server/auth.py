@@ -1,0 +1,146 @@
+"""Token authentication for the HELLO handshake.
+
+The detection server and router optionally require a bearer token in
+the HELLO frame's ``meta["token"]`` field.  Authentication happens
+*before* anything else the handshake would do — before the connection
+is counted, before the namespace is assigned, and in particular before
+a ``fresh`` handshake may drop streams — so a rejected peer leaves the
+pool untouched.
+
+Three properties matter here:
+
+* **Constant-time comparison** — the supplied token is compared against
+  *every* configured token with :func:`hmac.compare_digest`, without
+  early exit, so response timing reveals neither a prefix match nor
+  which token matched.
+* **Tokens map to namespaces** — a token may pin its holder to a
+  namespace (multi-tenant mode: the credential *is* the tenant
+  identity, overriding whatever namespace the client asked for), or
+  leave the namespace free (``None``).
+* **Expiry** — a token may carry an absolute POSIX expiry; expired
+  tokens are rejected exactly like unknown ones.
+
+Token files hold one token per line as ``token[:namespace[:expires]]``
+with ``#`` comments, e.g.::
+
+    # ops tooling, any namespace
+    s3cr3t-ops
+    # tenant-a is pinned to its namespace, expires 2033-01-01
+    s3cr3t-a:tenant-a:1988150400
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from collections.abc import Mapping
+from pathlib import Path
+
+__all__ = ["AuthError", "TokenAuthenticator"]
+
+
+class AuthError(Exception):
+    """The HELLO token was missing, unknown, or expired."""
+
+
+class TokenAuthenticator:
+    """Validates HELLO tokens and resolves them to namespaces.
+
+    ``tokens`` maps each accepted token to a forced namespace or
+    ``None`` (namespace left to the client).  ``expires`` optionally
+    maps tokens to absolute POSIX expiry timestamps.
+    """
+
+    def __init__(
+        self,
+        tokens: Mapping[str, str | None],
+        *,
+        expires: Mapping[str, float] | None = None,
+    ) -> None:
+        if not tokens:
+            raise ValueError("TokenAuthenticator requires at least one token")
+        for token in tokens:
+            if not isinstance(token, str) or not token:
+                raise ValueError(f"tokens must be non-empty strings, got {token!r}")
+        self._tokens: dict[str, str | None] = dict(tokens)
+        self._expires: dict[str, float] = dict(expires or {})
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TokenAuthenticator":
+        """Load ``token[:namespace[:expires]]`` lines from ``path``."""
+        tokens: dict[str, str | None] = {}
+        expires: dict[str, float] = {}
+        for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":")
+            if len(parts) > 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected token[:namespace[:expires]]"
+                )
+            token = parts[0]
+            if not token:
+                raise ValueError(f"{path}:{lineno}: empty token")
+            tokens[token] = parts[1] or None if len(parts) > 1 else None
+            if len(parts) == 3 and parts[2]:
+                try:
+                    expires[token] = float(parts[2])
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: bad expiry {parts[2]!r}"
+                    ) from exc
+        return cls(tokens, expires=expires)
+
+    @classmethod
+    def from_config(
+        cls,
+        *,
+        token: str | None = None,
+        token_file: str | Path | None = None,
+        tokens: Mapping[str, str | None] | None = None,
+    ) -> "TokenAuthenticator | None":
+        """Build from server/router config fields; ``None`` if no source.
+
+        All three sources combine; a single ``token`` carries no forced
+        namespace.
+        """
+        merged: dict[str, str | None] = {}
+        expires: dict[str, float] = {}
+        if token_file is not None:
+            loaded = cls.from_file(token_file)
+            merged.update(loaded._tokens)
+            expires.update(loaded._expires)
+        if tokens:
+            merged.update(tokens)
+        if token is not None:
+            merged[token] = None
+        if not merged:
+            return None
+        return cls(merged, expires=expires)
+
+    def authenticate(self, token: object, *, now: float | None = None) -> str | None:
+        """Return the token's forced namespace (or ``None``).
+
+        Raises :class:`AuthError` on a missing, unknown, or expired
+        token.  Every configured token is compared regardless of
+        earlier matches, keeping the scan constant-time in the number
+        of configured tokens.
+        """
+        supplied = token.encode("utf-8") if isinstance(token, str) else b""
+        matched: str | None = None
+        for known in self._tokens:
+            # No early exit: hmac.compare_digest runs for every token.
+            if hmac.compare_digest(supplied, known.encode("utf-8")):
+                matched = known
+        if matched is None:
+            raise AuthError("invalid or missing token")
+        deadline = self._expires.get(matched)
+        if deadline is not None:
+            current = time.time() if now is None else now
+            if current >= deadline:
+                raise AuthError("token expired")
+        return self._tokens[matched]

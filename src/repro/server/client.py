@@ -46,12 +46,14 @@ import asyncio
 import random
 import select
 import socket
+import ssl
 import time
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.server import protocol
+from repro.server.endpoint import _UNSET, Endpoint, resolve_endpoint
 from repro.server.protocol import Frame, FrameType, ProtocolError
 from repro.service.events import PeriodStartEvent
 
@@ -85,11 +87,12 @@ RETRY_DELAY_CAP = 5.0
 
 #: Connect-time errors worth retrying: the daemon is not listening yet
 #: (refused) or is mid-restart and dropped the half-open handshake
-#: (reset / aborted).
+#: (reset / aborted, or an EOF mid-TLS-handshake).
 _RETRYABLE_CONNECT_ERRORS = (
     ConnectionRefusedError,
     ConnectionResetError,
     ConnectionAbortedError,
+    ssl.SSLEOFError,
 )
 
 
@@ -173,8 +176,15 @@ class DetectionClient:
 
     Parameters
     ----------
-    host, port:
-        Server address.
+    endpoint:
+        Where (and how) to connect: an
+        :class:`~repro.server.endpoint.Endpoint`, or a URL string such
+        as ``"repro://127.0.0.1:8757"`` / ``"repros://token@host:port"``
+        (TLS), or a bare ``"HOST:PORT"``.  The endpoint carries the TLS
+        parameters and the auth token; the keyword ``token`` /
+        ``tls_ca`` / ``tls_insecure`` / ``timeout`` arguments override
+        its fields.  The old positional ``host, port`` pair still works
+        as a deprecated shim (it warns ``DeprecationWarning``).
     namespace:
         Stream namespace on the server.  ``None`` lets the server assign
         a fresh one; pass a stable name to reconnect to previous streams
@@ -190,8 +200,17 @@ class DetectionClient:
         attempt N sleeps ``min(retry_delay * 2**N,`` ``RETRY_DELAY_CAP)``
         scaled by a uniform ``[0.5, 1.0]`` jitter, so a reconnecting
         fleet spreads out instead of hammering the daemon in lockstep.
+        Every attempt re-resolves the endpoint's security material — a
+        fresh TLS context per try, the token re-sent in the new HELLO —
+        so a client riding out a TLS+auth server restart resumes
+        exactly like a plaintext one.
     timeout:
-        Socket timeout in seconds for connect and replies.
+        Socket timeout in seconds for connect and replies (overrides
+        the endpoint's).
+    token, tls_ca, tls_insecure:
+        Endpoint field overrides — the auth token presented in HELLO,
+        the CA bundle the server certificate is verified against, and
+        the verification kill-switch for testing.
     on_gap:
         ``on_gap(stream_id, from_seq, first_available)`` — called
         (exactly once per evicted range) when an automatic replay finds
@@ -219,24 +238,43 @@ class DetectionClient:
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        endpoint: "Endpoint | str",
+        port: int | None = None,
         *,
         namespace: str | None = None,
         fresh: bool = False,
         connect_retries: int = 0,
         retry_delay: float = 0.25,
-        timeout: float | None = 30.0,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
         on_gap=None,
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
         max_protocol: int = protocol.PROTOCOL_VERSION,
+        token: str | None = _UNSET,  # type: ignore[assignment]
+        tls_ca: str | None = _UNSET,  # type: ignore[assignment]
+        tls_insecure: bool = _UNSET,  # type: ignore[assignment]
     ) -> None:
+        self.endpoint = resolve_endpoint(
+            endpoint,
+            port,
+            token=token,
+            tls_ca=tls_ca,
+            tls_insecure=tls_insecure,
+            timeout=timeout,
+        )
+        if not (
+            protocol.BASELINE_VERSION <= max_protocol <= protocol.PROTOCOL_VERSION
+        ):
+            raise ValueError(
+                f"max_protocol must be in "
+                f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}], "
+                f"got {max_protocol}"
+            )
         last_error: Exception | None = None
         self._sock: socket.socket | None = None
         for attempt in range(connect_retries + 1):
             try:
-                self._sock = socket.create_connection((host, port), timeout=timeout)
+                self._sock = self._open_socket(self.endpoint)
                 break
             except _RETRYABLE_CONNECT_ERRORS as exc:
                 last_error = exc
@@ -254,19 +292,12 @@ class DetectionClient:
         # Per stream (named as delivered), the last seq handed to the
         # consumer; seeded from resume_seqs on a reconnect.
         self._last_seq: dict[str, int] = dict(resume_seqs or {})
-        if not (
-            protocol.BASELINE_VERSION <= max_protocol <= protocol.PROTOCOL_VERSION
-        ):
-            self._sock.close()
-            raise ValueError(
-                f"max_protocol must be in "
-                f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}], "
-                f"got {max_protocol}"
-            )
         self._max_protocol = max_protocol
         self._version = protocol.BASELINE_VERSION
         self._handles = _HandleRegistry()
         hello_meta: dict = {"namespace": namespace, "fresh": bool(fresh)}
+        if self.endpoint.token is not None:
+            hello_meta["token"] = self.endpoint.token
         if max_protocol > protocol.BASELINE_VERSION:
             # A v2 peer has no "protocol" key; omitting it at
             # max_protocol=2 keeps the frozen-v2 handshake byte-identical.
@@ -274,8 +305,8 @@ class DetectionClient:
         try:
             reply = self._request(FrameType.HELLO, hello_meta)
         except BaseException:
-            # A failed handshake (ERROR reply, draining server, protocol
-            # mismatch) must not leak the connected socket.
+            # A failed handshake (ERROR reply, rejected token, draining
+            # server, protocol mismatch) must not leak the socket.
             self._sock.close()
             raise
         self.server_info = reply.meta
@@ -284,6 +315,27 @@ class DetectionClient:
         self._version = max(
             protocol.BASELINE_VERSION, min(int(offered), max_protocol)
         )
+
+    @staticmethod
+    def _open_socket(endpoint: Endpoint) -> socket.socket:
+        """One connect attempt, TLS-wrapped when the endpoint asks.
+
+        The TLS context is built *inside* the attempt (see
+        :meth:`Endpoint.client_ssl_context`), so every backoff retry
+        negotiates from a fresh context.
+        """
+        sock = socket.create_connection(
+            (endpoint.host, endpoint.port), timeout=endpoint.timeout
+        )
+        if not endpoint.tls:
+            return sock
+        try:
+            context = endpoint.client_ssl_context()
+            assert context is not None
+            return context.wrap_socket(sock, server_hostname=endpoint.host)
+        except BaseException:
+            sock.close()
+            raise
 
     @property
     def protocol_version(self) -> int:
@@ -662,7 +714,7 @@ class AsyncDetectionClient:
     --------
     ::
 
-        client = await AsyncDetectionClient.connect("127.0.0.1", port)
+        client = await AsyncDetectionClient.connect(f"repro://127.0.0.1:{port}")
         events = await client.ingest("app", batch)
         await client.close()
     """
@@ -689,6 +741,7 @@ class AsyncDetectionClient:
         self._reader_task: asyncio.Task | None = None
         self.namespace = ""
         self.server_info: dict = {}
+        self.endpoint: Endpoint | None = None
         self._on_gap = on_gap
         self._auto_replay = bool(auto_replay)
         self._scope = "own"
@@ -715,8 +768,8 @@ class AsyncDetectionClient:
     @classmethod
     async def connect(
         cls,
-        host: str,
-        port: int,
+        endpoint: "Endpoint | str",
+        port: int | None = None,
         *,
         namespace: str | None = None,
         fresh: bool = False,
@@ -726,16 +779,46 @@ class AsyncDetectionClient:
         auto_replay: bool = True,
         resume_seqs: Mapping[str, int] | None = None,
         max_protocol: int = protocol.PROTOCOL_VERSION,
+        token: str | None = _UNSET,  # type: ignore[assignment]
+        tls_ca: str | None = _UNSET,  # type: ignore[assignment]
+        tls_insecure: bool = _UNSET,  # type: ignore[assignment]
     ) -> "AsyncDetectionClient":
-        """Connect and handshake.  ``connect_retries`` / ``retry_delay``
-        retry refused/reset connects with the same bounded exponential
+        """Connect and handshake.
+
+        ``endpoint`` follows :class:`DetectionClient`: an
+        :class:`~repro.server.endpoint.Endpoint`, a ``repro://`` /
+        ``repros://`` URL string, or the deprecated positional ``host,
+        port`` pair.  ``connect_retries`` / ``retry_delay`` retry
+        refused/reset connects with the same bounded exponential
         backoff + jitter as the blocking client (:func:`backoff_delay`)
-        — the router leans on this to ride out a backend respawn."""
+        — the router leans on this to ride out a backend respawn.
+        Every attempt builds a fresh TLS context and the HELLO it
+        completes re-presents the endpoint's auth token, so a restarted
+        TLS+auth backend is rejoined with full credentials."""
+        resolved = resolve_endpoint(
+            endpoint,
+            port,
+            token=token,
+            tls_ca=tls_ca,
+            tls_insecure=tls_insecure,
+            _deprecated_caller="AsyncDetectionClient.connect",
+        )
         reader = writer = None
         last_error: Exception | None = None
         for attempt in range(connect_retries + 1):
             try:
-                reader, writer = await asyncio.open_connection(host, port)
+                ssl_context = resolved.client_ssl_context()  # fresh per try
+                if ssl_context is not None:
+                    reader, writer = await asyncio.open_connection(
+                        resolved.host,
+                        resolved.port,
+                        ssl=ssl_context,
+                        server_hostname=resolved.host,
+                    )
+                else:
+                    reader, writer = await asyncio.open_connection(
+                        resolved.host, resolved.port
+                    )
                 break
             except _RETRYABLE_CONNECT_ERRORS as exc:
                 last_error = exc
@@ -753,11 +836,20 @@ class AsyncDetectionClient:
             resume_seqs,
             max_protocol,
         )
+        client.endpoint = resolved
         client._reader_task = asyncio.ensure_future(client._read_loop())
         hello_meta: dict = {"namespace": namespace, "fresh": bool(fresh)}
+        if resolved.token is not None:
+            hello_meta["token"] = resolved.token
         if max_protocol > protocol.BASELINE_VERSION:
             hello_meta["protocol"] = max_protocol
-        reply = await client._request(FrameType.HELLO, hello_meta)
+        try:
+            reply = await client._request(FrameType.HELLO, hello_meta)
+        except BaseException:
+            # A failed handshake (rejected token, draining server) must
+            # not leak the reader task + writer transport.
+            await client.close()
+            raise
         client.server_info = reply.meta
         client.namespace = reply.meta["namespace"]
         offered = reply.meta.get("protocol", protocol.BASELINE_VERSION)

@@ -394,6 +394,36 @@ class CheckpointStore:
         return list(self._segments)
 
     # ------------------------------------------------------------------
+    # named config documents
+    # ------------------------------------------------------------------
+    def save_config(self, name: str, payload: dict) -> None:
+        """Atomically persist a named JSON config document in the store.
+
+        Config documents (e.g. the server's quota policy, stored as
+        ``QUOTAS.json``) live beside the manifest, outside the segment
+        machinery: they are whole small policies, not deltas, so the
+        atomic temp+fsync+rename write is the right durability tool.
+        """
+        self._ensure_layout()
+        data = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self._write_atomic(self.root / f"{name.upper()}.json", data + b"\n")
+
+    def load_config(self, name: str) -> dict | None:
+        """The named config document, or ``None`` when never saved."""
+        path = self.root / f"{name.upper()}.json"
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise CheckpointError(f"corrupt config document {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"config document {path} must hold an object")
+        return payload
+
+    # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
     def write_delta(

@@ -44,6 +44,13 @@ frames, which remain fully valid inside a v3 conversation — v3 is a
 superset of v2, negotiated in HELLO (``{"protocol": <max supported>}``
 both ways, effective version = the minimum).
 
+HELLO also carries the optional auth credential: a server configured
+with tokens requires ``meta["token"]`` and answers ``ERROR`` with
+``{"auth": "denied"}`` (then closes) when it is missing, unknown or
+expired — before any connection state is created, so a rejected peer
+never mutates the pool.  Because HELLO is always stamped at the v2
+baseline, authentication covers v2 and v3 peers identically.
+
 The header carries the connection's protocol version; a peer that
 receives a frame from a *newer* protocol version raises
 :class:`ProtocolError` instead of mis-parsing it, mirroring the engine
@@ -60,6 +67,7 @@ from __future__ import annotations
 
 import json
 import socket
+import ssl
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
@@ -560,7 +568,10 @@ def send_buffers(sock: socket.socket, buffers: Sequence) -> None:
     Small frames coalesce into one ``sendall``; larger ones go through
     ``socket.sendmsg`` as a scatter-gather vector (one syscall for the
     whole frame instead of one per buffer), falling back to per-buffer
-    ``sendall`` where ``sendmsg`` is unavailable.
+    ``sendall`` where ``sendmsg`` is unavailable.  TLS sockets always
+    coalesce: ``ssl.SSLSocket.sendmsg`` raises ``NotImplementedError``,
+    and the record layer copies into its own buffers anyway, so
+    scatter-gather would buy nothing there.
     """
     views = [
         memoryview(buffer).cast("B") if not isinstance(buffer, memoryview) else buffer
@@ -568,7 +579,7 @@ def send_buffers(sock: socket.socket, buffers: Sequence) -> None:
         if len(buffer)
     ]
     total = sum(len(view) for view in views)
-    if total <= _JOIN_THRESHOLD:
+    if total <= _JOIN_THRESHOLD or isinstance(sock, ssl.SSLSocket):
         sock.sendall(b"".join(views))
         return
     if not hasattr(sock, "sendmsg"):

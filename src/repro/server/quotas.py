@@ -1,0 +1,251 @@
+"""Per-namespace admission quotas for the detection server.
+
+Quotas bound what one tenant (one namespace) may consume: how many
+streams it may create (``max_streams``), how fast it may push samples
+(``max_samples_per_s``, a token bucket), and how many live-event
+subscribers it may hold (``max_subscribers``).  All three are checked
+at *admission* — in the request handlers, before any work is queued —
+in the spirit of treating constraint checking as a first-class
+admission layer rather than scattering it through the hot path.
+
+Denials degrade gracefully instead of disconnecting:
+
+* rate-limit violations reuse the in-order BUSY reply machinery, so a
+  throttled client backs off and retries exactly as it does for
+  inflight backpressure;
+* stream-cap and subscriber-cap violations answer ERROR for that one
+  request and leave the connection (and every admitted stream) alive.
+
+The rate limiter is a *debt* token bucket: a burst of one second's
+allowance accrues while idle, any ingest arriving with positive
+balance is admitted in full (the balance may go negative), and further
+ingests are BUSY until the refill clears the debt.  Admitting-then-
+owing guarantees a batch larger than the burst still gets through
+eventually instead of wedging the tenant forever.
+
+All state lives on the server's event loop thread — no locks.  The
+manager's policy configuration serialises to a plain-JSON payload so a
+``--state-dir`` server can persist it and warm restarts keep enforcing
+the same quotas even when restarted without quota flags.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import asdict, dataclass
+
+__all__ = ["QuotaManager", "QuotaPolicy"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Limits for one namespace; ``None`` means unlimited."""
+
+    max_streams: int | None = None
+    max_samples_per_s: float | None = None
+    max_subscribers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_streams is not None and self.max_streams <= 0:
+            raise ValueError(f"max_streams must be positive, got {self.max_streams}")
+        if self.max_samples_per_s is not None and self.max_samples_per_s <= 0:
+            raise ValueError(
+                f"max_samples_per_s must be positive, got {self.max_samples_per_s}"
+            )
+        if self.max_subscribers is not None and self.max_subscribers <= 0:
+            raise ValueError(
+                f"max_subscribers must be positive, got {self.max_subscribers}"
+            )
+
+    def limits_anything(self) -> bool:
+        return any(
+            limit is not None
+            for limit in (self.max_streams, self.max_samples_per_s, self.max_subscribers)
+        )
+
+    @classmethod
+    def from_mapping(cls, payload: Mapping[str, object]) -> "QuotaPolicy":
+        allowed = {"max_streams", "max_samples_per_s", "max_subscribers"}
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ValueError(f"unknown quota policy fields: {sorted(unknown)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+class _Tenant:
+    """Loop-local accounting for one namespace."""
+
+    __slots__ = (
+        "policy",
+        "streams",
+        "subscribers",
+        "tokens",
+        "refill_at",
+        "counters",
+    )
+
+    def __init__(self, policy: QuotaPolicy, now: float) -> None:
+        self.policy = policy
+        self.streams: set[str] = set()
+        self.subscribers = 0
+        # The bucket starts full: one second's allowance of burst.
+        self.tokens = policy.max_samples_per_s or 0.0
+        self.refill_at = now
+        self.counters = {
+            "admitted": 0,
+            "denied_streams": 0,
+            "throttled": 0,
+            "subscribers_denied": 0,
+            "samples": 0,
+            "bytes": 0,
+        }
+
+    def refill(self, now: float) -> None:
+        rate = self.policy.max_samples_per_s
+        if rate is None:
+            return
+        elapsed = max(0.0, now - self.refill_at)
+        self.refill_at = now
+        self.tokens = min(rate, self.tokens + elapsed * rate)
+
+
+class QuotaManager:
+    """Admission-control ledger for every namespace on one server.
+
+    ``default`` applies to namespaces without an entry in
+    ``overrides``.  A namespace with neither is unlimited but still
+    counted, so STATS reports usage for every tenant.
+    """
+
+    def __init__(
+        self,
+        default: QuotaPolicy | None = None,
+        overrides: Mapping[str, QuotaPolicy] | None = None,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        self._default = default or QuotaPolicy()
+        self._overrides: dict[str, QuotaPolicy] = dict(overrides or {})
+        self._clock = clock
+        self._tenants: dict[str, _Tenant] = {}
+
+    def policy_for(self, namespace: str) -> QuotaPolicy:
+        return self._overrides.get(namespace, self._default)
+
+    def _tenant(self, namespace: str) -> _Tenant:
+        tenant = self._tenants.get(namespace)
+        if tenant is None:
+            tenant = _Tenant(self.policy_for(namespace), self._clock())
+            self._tenants[namespace] = tenant
+        return tenant
+
+    # -- ingest admission --------------------------------------------------
+
+    def admit_ingest(
+        self,
+        namespace: str,
+        stream_ids: Iterable[str],
+        samples: int,
+        nbytes: int,
+    ) -> str | None:
+        """Admit or deny one ingest batch.
+
+        Returns ``None`` (admitted), ``"streams"`` (stream cap hit —
+        answer ERROR) or ``"throttled"`` (rate limit hit — answer
+        BUSY).  Denied batches consume nothing.
+        """
+        tenant = self._tenant(namespace)
+        policy = tenant.policy
+        ids = set(stream_ids)
+        if policy.max_streams is not None:
+            new = ids - tenant.streams
+            if new and len(tenant.streams) + len(new) > policy.max_streams:
+                tenant.counters["denied_streams"] += 1
+                return "streams"
+        if policy.max_samples_per_s is not None:
+            tenant.refill(self._clock())
+            if tenant.tokens <= 0.0:
+                tenant.counters["throttled"] += 1
+                return "throttled"
+            # Debt bucket: admit in full, let the balance go negative.
+            tenant.tokens -= samples
+        tenant.streams.update(ids)
+        tenant.counters["admitted"] += 1
+        tenant.counters["samples"] += int(samples)
+        tenant.counters["bytes"] += int(nbytes)
+        return None
+
+    # -- subscriber slots --------------------------------------------------
+
+    def acquire_subscriber(self, namespace: str) -> bool:
+        tenant = self._tenant(namespace)
+        cap = tenant.policy.max_subscribers
+        if cap is not None and tenant.subscribers >= cap:
+            tenant.counters["subscribers_denied"] += 1
+            return False
+        tenant.subscribers += 1
+        return True
+
+    def release_subscriber(self, namespace: str) -> None:
+        tenant = self._tenants.get(namespace)
+        if tenant is not None and tenant.subscribers > 0:
+            tenant.subscribers -= 1
+
+    # -- stream lifecycle --------------------------------------------------
+
+    def seed_stream(self, namespace: str, stream_id: str) -> None:
+        """Record a pre-existing stream (state restore path)."""
+        self._tenant(namespace).streams.add(stream_id)
+
+    def note_remove(self, namespace: str, stream_ids: Iterable[str]) -> None:
+        tenant = self._tenants.get(namespace)
+        if tenant is not None:
+            tenant.streams.difference_update(stream_ids)
+
+    def reset_namespace(self, namespace: str) -> None:
+        """A ``fresh`` handshake dropped the namespace's streams."""
+        tenant = self._tenants.get(namespace)
+        if tenant is not None:
+            tenant.streams.clear()
+
+    # -- reporting & persistence -------------------------------------------
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-namespace counters for the STATS reply.
+
+        Values are all integers so the router's STATS merge can
+        aggregate multi-backend tenants by plain summation.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for namespace, tenant in sorted(self._tenants.items()):
+            block = dict(tenant.counters)
+            block["streams"] = len(tenant.streams)
+            block["subscribers"] = tenant.subscribers
+            out[namespace] = block
+        return out
+
+    def to_payload(self) -> dict:
+        """JSON-safe policy configuration (counters are not persisted)."""
+        return {
+            "default": asdict(self._default),
+            "overrides": {
+                namespace: asdict(policy)
+                for namespace, policy in sorted(self._overrides.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "QuotaManager":
+        default = QuotaPolicy.from_mapping(payload.get("default") or {})
+        overrides = {
+            str(namespace): QuotaPolicy.from_mapping(spec)
+            for namespace, spec in (payload.get("overrides") or {}).items()  # type: ignore[union-attr]
+        }
+        return cls(default, overrides)
+
+    def configured(self) -> bool:
+        """True when any policy actually limits something."""
+        return self._default.limits_anything() or any(
+            policy.limits_anything() for policy in self._overrides.values()
+        )

@@ -42,6 +42,16 @@ an asyncio daemon that speaks the existing wire protocol
   heterogeneous fleet is visible at a glance; per-backend blocks ride
   along under ``server.backends``.
 
+The router speaks the same optional security layer as ``repro serve``
+on both sides: TLS + token auth upstream (``RouterConfig.tls_cert`` /
+``auth_token``), and per-backend endpoints downstream (``repros://``
+URLs or ``backend_token`` / ``backend_tls_ca`` defaults), with every
+reconnect re-presenting the token and negotiating a fresh TLS context.
+Backend quota denials pass through untouched — a backend's BUSY
+becomes the upstream reply via the writer loop's ``ServerBusy``
+mapping, and backend quota STATS aggregate per namespace across the
+fleet.
+
 A backend that dies is reconnected on demand with the client layer's
 bounded exponential backoff; while it is down, requests that need it
 answer ERROR (producers retry), and once it respawns — ``repro serve
@@ -54,20 +64,22 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.server import protocol
+from repro.server.auth import AuthError
 from repro.server.client import (
     AsyncDetectionClient,
     ConnectionClosedError,
     ServerBusy,
     backoff_delay,
 )
+from repro.server.endpoint import Endpoint, server_ssl_context
 from repro.server.protocol import Frame, FrameType, ProtocolError
-from repro.server.server import UnknownHandleError
+from repro.server.server import UnknownHandleError, build_authenticator
 from repro.service.events import PeriodStartEvent
 from repro.service.sharding import HashRing
 from repro.util.logging import get_logger
@@ -121,6 +133,19 @@ class RouterConfig:
         rides out a backend respawn of a few seconds.
     max_protocol:
         Highest wire protocol version offered to upstream clients.
+    tls_cert, tls_key:
+        Serve TLS on the upstream listener with this certificate and
+        private key (both or neither).
+    auth_token, auth_token_file, auth_tokens:
+        Require a HELLO token from upstream clients — a single shared
+        token, a ``token[:namespace[:expires]]`` file, or an explicit
+        token→namespace mapping; all sources combine (see
+        :mod:`repro.server.auth`).
+    backend_token, backend_tls_ca, backend_tls_insecure:
+        Defaults applied to every backend endpoint that does not set
+        them itself: the token presented to backends' HELLO, the CA
+        bundle their certificates verify against, and (testing only)
+        disabling backend certificate verification.
     """
 
     host: str = "127.0.0.1"
@@ -131,6 +156,14 @@ class RouterConfig:
     connect_retries: int = 12
     retry_delay: float = 0.1
     max_protocol: int = protocol.PROTOCOL_VERSION
+    tls_cert: str | None = None
+    tls_key: str | None = None
+    auth_token: str | None = None
+    auth_token_file: str | None = None
+    auth_tokens: dict[str, str | None] | None = None
+    backend_token: str | None = None
+    backend_tls_ca: str | None = None
+    backend_tls_insecure: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.replicas, "replicas")
@@ -148,6 +181,10 @@ class RouterConfig:
             raise ValidationError(
                 f"max_protocol must be in "
                 f"[{protocol.BASELINE_VERSION}, {protocol.PROTOCOL_VERSION}]"
+            )
+        if bool(self.tls_cert) != bool(self.tls_key):
+            raise ValidationError(
+                "tls_cert and tls_key must be given together"
             )
 
 
@@ -259,18 +296,23 @@ class DetectionRouter:
     Parameters
     ----------
     backends:
-        Initial backend addresses (``"HOST:PORT"``), at least one.
+        Initial backend addresses, at least one — ``"HOST:PORT"`` or
+        ``repro[s]://`` endpoint URLs (see
+        :class:`~repro.server.endpoint.Endpoint`); the config's
+        ``backend_token`` / ``backend_tls_ca`` / ``backend_tls_insecure``
+        fill whatever a URL leaves unset.
     config:
-        Listen address, ring and queue bounds.
+        Listen address, ring and queue bounds, upstream TLS + auth.
     """
 
     def __init__(
         self, backends: Iterable[str], config: RouterConfig | None = None
     ) -> None:
         self.config = config or RouterConfig()
-        self._backends: dict[str, tuple[str, int]] = {}
+        self._auth = build_authenticator(self.config)
+        self._backends: dict[str, Endpoint] = {}
         for address in backends:
-            self._backends[address] = parse_backend(address)
+            self._backends[address] = self._backend_endpoint(address)
         if not self._backends:
             raise ValidationError("a router needs at least one backend")
         self.ring = HashRing(self._backends, replicas=self.config.replicas)
@@ -294,6 +336,8 @@ class DetectionRouter:
         # STATS for the bench's --profile breakdown.
         self.busy_replies = 0
         self.dropped_events = 0
+        self.auth_accepted = 0
+        self.auth_rejected = 0
         self.hot_forwards = 0
         self.json_forwards = 0
         self.fanin_batches = 0
@@ -308,13 +352,43 @@ class DetectionRouter:
             "fanin": 0.0,  # backend push -> upstream outbox
         }
 
+    def _backend_endpoint(self, address: str) -> Endpoint:
+        """Normalise one ``--backend`` address to an :class:`Endpoint`.
+
+        URL addresses carry their own TLS/token parameters; bare
+        ``HOST:PORT`` stays plain TCP.  Config-level backend defaults
+        fill only the fields the address left unset.
+        """
+        if "://" in address:
+            endpoint = Endpoint.parse(address)
+        else:
+            host, port = parse_backend(address)
+            endpoint = Endpoint(host=host, port=port)
+        cfg = self.config
+        updates: dict = {}
+        if endpoint.token is None and cfg.backend_token is not None:
+            updates["token"] = cfg.backend_token
+        if endpoint.tls and endpoint.tls_ca is None and cfg.backend_tls_ca:
+            updates["tls_ca"] = cfg.backend_tls_ca
+        if endpoint.tls and cfg.backend_tls_insecure and not endpoint.tls_insecure:
+            updates["tls_insecure"] = True
+        return replace(endpoint, **updates) if updates else endpoint
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start serving (returns once listening)."""
+        ssl_context = (
+            server_ssl_context(self.config.tls_cert, self.config.tls_key)
+            if self.config.tls_cert
+            else None
+        )
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            ssl=ssl_context,
         )
 
     @property
@@ -375,12 +449,14 @@ class DetectionRouter:
             link = conn.links[backend] = _BackendLink(backend)
         async with link.lock:
             if link.client is None:
-                host, port = self._backends[backend]
+                endpoint = self._backends[backend]
                 for attempt in range(self.config.connect_retries + 1):
                     try:
+                        # Each attempt re-resolves TLS (a fresh context
+                        # per try) and re-presents the backend token in
+                        # HELLO — both live on the endpoint.
                         client = await AsyncDetectionClient.connect(
-                            host,
-                            port,
+                            endpoint,
                             namespace=conn.namespace,
                             fresh=fresh,
                             max_protocol=self.config.max_protocol,
@@ -527,7 +603,7 @@ class DetectionRouter:
         async with self._migrate_lock:
             if address in self._backends:
                 return 0
-            target = parse_backend(address)
+            target = self._backend_endpoint(address)
             self._forward_gate.clear()
             try:
                 await self._forwards_idle.wait()
@@ -611,10 +687,8 @@ class DetectionRouter:
         moved = 0
         touched_old: set[str] = set()
         for (old, ns), locals_ in sorted(groups.items()):
-            host, port = self._backends[old]
             snap_client = await AsyncDetectionClient.connect(
-                host,
-                port,
+                self._backends[old],
                 namespace=ns,
                 connect_retries=self.config.connect_retries,
                 retry_delay=self.config.retry_delay,
@@ -626,10 +700,8 @@ class DetectionRouter:
                     new = moves[f"{ns}/{local}"][1]
                     by_new.setdefault(new, {})[local] = entry
                 for new, entries in sorted(by_new.items()):
-                    nhost, nport = self._backends[new]
                     restore_client = await AsyncDetectionClient.connect(
-                        nhost,
-                        nport,
+                        self._backends[new],
                         namespace=ns,
                         connect_retries=self.config.connect_retries,
                         retry_delay=self.config.retry_delay,
@@ -698,8 +770,32 @@ class DetectionRouter:
         hello = await protocol.read_frame_async(reader)
         if hello.type != FrameType.HELLO:
             raise ProtocolError("the first frame must be HELLO")
+        forced_namespace: str | None = None
+        if self._auth is not None:
+            # Authenticate before counting the connection and before
+            # _finish_hello may touch any backend (a ``fresh`` handshake
+            # drops streams): a rejected peer leaves the fleet untouched.
+            try:
+                forced_namespace = self._auth.authenticate(hello.meta.get("token"))
+            except AuthError as exc:
+                self.auth_rejected += 1
+                conn.enqueue_reply(
+                    (
+                        "reply",
+                        FrameType.ERROR,
+                        {
+                            "message": f"authentication failed: {exc}",
+                            "auth": "denied",
+                        },
+                        (),
+                    )
+                )
+                return
+            self.auth_accepted += 1
         self._conn_counter += 1
-        namespace = hello.meta.get("namespace") or f"r{self._conn_counter}"
+        namespace = (
+            forced_namespace or hello.meta.get("namespace") or f"r{self._conn_counter}"
+        )
         if not isinstance(namespace, str) or "/" in namespace or not namespace:
             raise ProtocolError("namespace must be a non-empty string without '/'")
         conn.namespace = namespace
@@ -1165,6 +1261,28 @@ class DetectionRouter:
                 "backends": per_backend,
             },
         }
+        if self._auth is not None:
+            result["server"]["auth"] = {
+                "accepted": self.auth_accepted,
+                "rejected": self.auth_rejected,
+            }
+        # Per-namespace quota counters are all integers by contract
+        # (see QuotaManager.stats), so a tenant spread across backends
+        # aggregates by plain summation.
+        quota_totals: dict[str, dict[str, int]] = {}
+        for block in per_backend.values():
+            backend_quotas = block.get("server", {}).get("quotas") or {}
+            for namespace, counters in backend_quotas.items():
+                dest = quota_totals.setdefault(namespace, {})
+                for key, value in counters.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    dest[key] = dest.get(key, 0) + value
+        if quota_totals:
+            result["server"]["quotas"] = {
+                namespace: quota_totals[namespace]
+                for namespace in sorted(quota_totals)
+            }
         if periods:
             merged_periods: dict = {}
             for block in per_backend.values():
@@ -1275,7 +1393,7 @@ class RouterThread:
     thread — the router twin of :class:`~repro.server.server.ServerThread`::
 
         with RouterThread([f"{host}:{port}"]) as (rhost, rport):
-            client = DetectionClient(rhost, rport)
+            client = DetectionClient(f"repro://{rhost}:{rport}")
     """
 
     def __init__(

@@ -71,8 +71,11 @@ from typing import Callable
 import numpy as np
 
 from repro.server import protocol
+from repro.server.auth import AuthError, TokenAuthenticator
+from repro.server.endpoint import server_ssl_context
 from repro.server.persistence import CheckpointStore, Checkpointer
 from repro.server.protocol import Frame, FrameType, ProtocolError
+from repro.server.quotas import QuotaManager, QuotaPolicy
 from repro.service.events import PeriodStartEvent
 from repro.service.facade import ThreadSafePool
 from repro.service.pool import DetectorPool, PoolConfig
@@ -310,6 +313,29 @@ class ServerConfig:
         When set, a pass is additionally kicked early once this many
         ingest jobs have landed since the last pass — bounding how much
         acknowledged work a crash can lose under heavy traffic.
+    tls_cert, tls_key:
+        Serve TLS with this certificate chain + private key (``repro
+        serve --tls-cert/--tls-key``).  Both unset (the default) keeps
+        the listener plain TCP; clients then connect with a
+        ``repros://`` endpoint.
+    auth_token, auth_token_file, auth_tokens:
+        When any is set, every HELLO must carry a matching ``token`` or
+        the handshake is answered ``ERROR`` and closed before any pool
+        mutation.  ``auth_token`` accepts one token (no forced
+        namespace); ``auth_token_file`` loads ``token[:namespace
+        [:expires]]`` lines; ``auth_tokens`` is the programmatic
+        token→namespace mapping.  A token's namespace, when set,
+        overrides the one the client asked for.
+    quota_max_streams, quota_max_samples_per_s, quota_max_subscribers:
+        Default per-namespace admission quotas (see
+        :mod:`repro.server.quotas`); ``None`` leaves the dimension
+        unlimited.
+    quotas:
+        Per-namespace policy overrides: a mapping of namespace to a
+        ``{"max_streams": ..., "max_samples_per_s": ...,
+        "max_subscribers": ...}`` mapping.  With a ``state_dir``, the
+        effective quota configuration is persisted and restored on warm
+        restart even when the restart omits the quota flags.
     """
 
     host: str = "127.0.0.1"
@@ -323,6 +349,15 @@ class ServerConfig:
     state_dir: str | None = None
     checkpoint_interval: float = 30.0
     checkpoint_max_dirty: int | None = None
+    tls_cert: str | None = None
+    tls_key: str | None = None
+    auth_token: str | None = None
+    auth_token_file: str | None = None
+    auth_tokens: dict[str, str | None] | None = None
+    quota_max_streams: int | None = None
+    quota_max_samples_per_s: float | None = None
+    quota_max_subscribers: int | None = None
+    quotas: dict[str, dict] | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.max_inflight, "max_inflight")
@@ -351,6 +386,49 @@ class ServerConfig:
             )
         if self.checkpoint_max_dirty is not None:
             check_positive_int(self.checkpoint_max_dirty, "checkpoint_max_dirty")
+        if bool(self.tls_cert) != bool(self.tls_key):
+            raise ValidationError(
+                "tls_cert and tls_key must be given together (or neither)"
+            )
+        try:
+            QuotaPolicy(
+                max_streams=self.quota_max_streams,
+                max_samples_per_s=self.quota_max_samples_per_s,
+                max_subscribers=self.quota_max_subscribers,
+            )
+            for spec in (self.quotas or {}).values():
+                QuotaPolicy.from_mapping(spec)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"bad quota configuration: {exc}") from exc
+
+
+def build_authenticator(config) -> TokenAuthenticator | None:
+    """The config's HELLO authenticator, or ``None`` when auth is off.
+
+    Shared by :class:`ServerConfig` and the router's ``RouterConfig`` —
+    both expose the same ``auth_token`` / ``auth_token_file`` /
+    ``auth_tokens`` trio.
+    """
+    return TokenAuthenticator.from_config(
+        token=config.auth_token,
+        token_file=config.auth_token_file,
+        tokens=config.auth_tokens,
+    )
+
+
+def _build_quotas(config: ServerConfig) -> QuotaManager | None:
+    """The config's quota manager, or ``None`` when nothing is limited."""
+    default = QuotaPolicy(
+        max_streams=config.quota_max_streams,
+        max_samples_per_s=config.quota_max_samples_per_s,
+        max_subscribers=config.quota_max_subscribers,
+    )
+    overrides = {
+        namespace: QuotaPolicy.from_mapping(spec)
+        for namespace, spec in (config.quotas or {}).items()
+    }
+    manager = QuotaManager(default, overrides)
+    return manager if manager.configured() else None
 
 
 @dataclass
@@ -536,6 +614,13 @@ class DetectionServer:
                 interval=self.config.checkpoint_interval,
                 max_dirty=self.config.checkpoint_max_dirty,
             )
+        # Admission layer (both optional): HELLO token auth and
+        # per-namespace quotas.  Built before the socket ever opens, so
+        # no connection is admitted under a half-configured policy.
+        self._auth = build_authenticator(self.config)
+        self._quotas = _build_quotas(self.config)
+        self.auth_accepted = 0
+        self.auth_rejected = 0
         # service counters, reported by STATS
         self.busy_replies = 0
         self.dropped_events = 0
@@ -574,14 +659,53 @@ class DetectionServer:
         background checkpointer starts alongside the dispatcher.
         """
         if self._checkpointer is not None:
+            await self._sync_quota_config()
             await self._restore_state()
             self._checkpointer.baseline()
             self._checkpointer.start()
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port
+        ssl_context = (
+            server_ssl_context(self.config.tls_cert, self.config.tls_key)
+            if self.config.tls_cert
+            else None
         )
-        _logger.info("detection server listening on %s:%d", self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            ssl=ssl_context,
+        )
+        _logger.info(
+            "detection server listening on %s:%d%s",
+            self.host,
+            self.port,
+            " (TLS)" if ssl_context is not None else "",
+        )
+
+    async def _sync_quota_config(self) -> None:
+        """Persist or restore the quota configuration (``state_dir``).
+
+        A server started *with* quota flags writes them to the store; a
+        warm restart started *without* them restores the stored policy,
+        so quotas survive restarts exactly like stream state does.
+        """
+        assert self._checkpointer is not None
+        loop = asyncio.get_running_loop()
+        store = self._checkpointer.store
+        if self._quotas is not None:
+            payload = self._quotas.to_payload()
+            await loop.run_in_executor(
+                self._executor, lambda: store.save_config("quotas", payload)
+            )
+            return
+        stored = await loop.run_in_executor(
+            self._executor, lambda: store.load_config("quotas")
+        )
+        if stored:
+            restored = QuotaManager.from_payload(stored)
+            if restored.configured():
+                self._quotas = restored
+                _logger.info("restored quota configuration from %s", store.root)
 
     async def _restore_state(self) -> None:
         """Rebuild pool streams + journals from the checkpoint store.
@@ -609,6 +733,10 @@ class DetectionServer:
                 )
 
         await loop.run_in_executor(self._executor, restore_streams)
+        if self._quotas is not None:
+            # Restored streams count against their tenants' stream caps.
+            for sid in result.streams:
+                self._quotas.seed_stream(sid.split("/", 1)[0], sid)
         trimmed = 0
         for namespace, (entries, last_seq) in result.journals.items():
             journal = self._journal_for(namespace)
@@ -991,6 +1119,8 @@ class DetectionServer:
             _logger.exception("connection %s: unexpected error", conn.namespace)
         finally:
             self._connections.discard(conn)
+            if self._quotas is not None and conn.subscription is not None:
+                self._quotas.release_subscriber(conn.namespace)
             conn.enqueue_reply(_CLOSE)
             if conn.writer_task is not None:
                 try:
@@ -1012,8 +1142,33 @@ class DetectionServer:
         hello = await protocol.read_frame_async(reader)
         if hello.type != FrameType.HELLO:
             raise ProtocolError("the first frame must be HELLO")
+        # Authentication happens before *anything* the handshake does —
+        # the connection is not counted, no namespace exists, and in
+        # particular the `fresh` stream purge below never runs for an
+        # unauthenticated peer.  HELLO is always a v2 frame, so v2 and
+        # v3 peers pass through the same gate.
+        forced_namespace: str | None = None
+        if self._auth is not None:
+            try:
+                forced_namespace = self._auth.authenticate(hello.meta.get("token"))
+            except AuthError as exc:
+                self.auth_rejected += 1
+                conn.enqueue_reply(
+                    (
+                        "reply",
+                        FrameType.ERROR,
+                        {"message": f"authentication failed: {exc}", "auth": "denied"},
+                        (),
+                    )
+                )
+                return  # _handle_connection flushes the ERROR and closes
+            self.auth_accepted += 1
         self._conn_counter += 1
-        namespace = hello.meta.get("namespace") or f"c{self._conn_counter}"
+        namespace = (
+            forced_namespace
+            or hello.meta.get("namespace")
+            or f"c{self._conn_counter}"
+        )
         if not isinstance(namespace, str) or "/" in namespace or not namespace:
             raise ProtocolError("namespace must be a non-empty string without '/'")
         conn.namespace = namespace
@@ -1033,6 +1188,8 @@ class DetectionServer:
             # (streams restart at seq 0), so its journal must go too —
             # stale high-seq entries would confuse later replays.
             self._journals.pop(namespace, None)
+            if self._quotas is not None:
+                self._quotas.reset_namespace(namespace)
             self._submit_control(
                 conn,
                 lambda: self.facade.remove_streams(
@@ -1090,6 +1247,27 @@ class DetectionServer:
                 raise ProtocolError(
                     f"subscribe scope must be 'own' or 'all', got {scope!r}"
                 )
+            # The quota slot is taken once per connection (re-SUBSCRIBE
+            # merely changes scope) and released on disconnect.  A
+            # denied subscribe answers ERROR; the connection survives.
+            if (
+                self._quotas is not None
+                and conn.subscription is None
+                and not self._quotas.acquire_subscriber(conn.namespace)
+            ):
+                conn.enqueue_reply(
+                    (
+                        "reply",
+                        FrameType.ERROR,
+                        {
+                            "message": "subscriber quota exceeded for namespace "
+                            f"{conn.namespace!r}",
+                            "quota": "subscribers",
+                        },
+                        (),
+                    )
+                )
+                return
             conn.subscription = scope
             conn.enqueue_reply(("reply", FrameType.OK, {"scope": scope}, ()))
         elif kind == FrameType.REPLAY:
@@ -1203,6 +1381,43 @@ class DetectionServer:
                 ("reply", FrameType.BUSY, {"inflight": conn.inflight}, ())
             )
             return
+        if self._quotas is not None:
+            samples = sum(int(batch.size) for batch in batches.values())
+            nbytes = sum(int(batch.nbytes) for batch in batches.values())
+            verdict = self._quotas.admit_ingest(
+                conn.namespace, batches.keys(), samples, nbytes
+            )
+            if verdict == "streams":
+                # A hard cap violation: this request is refused, but the
+                # connection (and every already-admitted stream) lives.
+                conn.enqueue_reply(
+                    (
+                        "reply",
+                        FrameType.ERROR,
+                        {
+                            "message": "stream quota exceeded for namespace "
+                            f"{conn.namespace!r}",
+                            "quota": "streams",
+                        },
+                        (),
+                    )
+                )
+                return
+            if verdict == "throttled":
+                # Rate-limit denials reuse the in-order BUSY machinery:
+                # the client backs off and retries exactly as for
+                # inflight backpressure, and recovers once the token
+                # bucket refills — no disconnect.
+                self.busy_replies += 1
+                conn.enqueue_reply(
+                    (
+                        "reply",
+                        FrameType.BUSY,
+                        {"inflight": conn.inflight, "throttled": True},
+                        (),
+                    )
+                )
+                return
         conn.inflight += 1
         future = asyncio.get_running_loop().create_future()
         future.add_done_callback(
@@ -1336,6 +1551,10 @@ class DetectionServer:
         """
         local_ids = self._local_streams(conn, frame)
         prefix = conn.prefix
+        if self._quotas is not None:
+            self._quotas.note_remove(
+                conn.namespace, [prefix + sid for sid in local_ids]
+            )
 
         def run() -> int:
             return self.facade.remove_streams([prefix + sid for sid in local_ids])
@@ -1381,6 +1600,13 @@ class DetectionServer:
                 "capacity": self.config.journal_size,
             },
         }
+        if self._auth is not None:
+            server_stats["auth"] = {
+                "accepted": self.auth_accepted,
+                "rejected": self.auth_rejected,
+            }
+        if self._quotas is not None:
+            server_stats["quotas"] = self._quotas.stats()
         if self._checkpointer is not None:
             server_stats["checkpoint"] = self._checkpointer.stats()
             server_stats["restore"] = self.restore_stats
@@ -1582,7 +1808,7 @@ class ServerThread:
     need a live server without an event loop of their own::
 
         with ServerThread(DetectorPool(PoolConfig())) as host_port:
-            client = DetectionClient(*host_port)
+            client = DetectionClient(Endpoint(*host_port))
             ...
 
     ``__enter__`` returns ``(host, port)`` once the server is listening;

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.service.pool import PoolConfig
 from repro.traces.synthetic import periodic_signal, repeat_pattern
+
+#: Committed localhost test certificate (see certs/README.md); clients
+#: verify by pinning the certificate itself as the CA.
+TLS_CERT = str(Path(__file__).resolve().parent / "certs" / "server.pem")
+TLS_KEY = str(Path(__file__).resolve().parent / "certs" / "server.key")
 
 
 def event_config(**overrides) -> PoolConfig:

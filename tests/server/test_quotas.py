@@ -1,0 +1,228 @@
+"""Per-namespace admission quotas: caps, token bucket, STATS, router.
+
+Stream-cap and subscriber-cap violations answer ERROR for that one
+request; rate-limit violations answer BUSY through the same in-order
+reply machinery as inflight backpressure.  All three leave the
+connection (and every admitted stream) alive, and all three hold
+identically over plaintext, TLS, and through the router.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _server_helpers import TLS_CERT, TLS_KEY, event_config
+from repro.server.client import DetectionClient, ServerBusy, ServerError
+from repro.server.endpoint import Endpoint
+from repro.server.quotas import QuotaManager, QuotaPolicy
+from repro.server.router import RouterConfig, RouterThread
+from repro.server.server import ServerConfig
+from repro.util.validation import ValidationError
+
+
+def _client(host, port, **kwargs) -> DetectionClient:
+    return DetectionClient(Endpoint(host=host, port=port), **kwargs)
+
+
+class TestQuotaPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotaPolicy(max_streams=0)
+        with pytest.raises(ValueError):
+            QuotaPolicy(max_samples_per_s=-1)
+        with pytest.raises(ValueError):
+            QuotaPolicy.from_mapping({"max_streams": 1, "max_cpus": 4})
+        assert not QuotaPolicy().limits_anything()
+        assert QuotaPolicy(max_streams=1).limits_anything()
+
+    def test_server_config_validation(self):
+        with pytest.raises(ValidationError, match="bad quota"):
+            ServerConfig(quota_max_streams=-3)
+        with pytest.raises(ValidationError, match="bad quota"):
+            ServerConfig(quotas={"ns": {"max_cpus": 4}})
+
+
+class TestQuotaManagerUnit:
+    def test_debt_bucket_admits_oversized_batch_then_recovers(self):
+        now = [0.0]
+        manager = QuotaManager(
+            QuotaPolicy(max_samples_per_s=100.0), clock=lambda: now[0]
+        )
+        # A batch larger than the burst is admitted into debt ...
+        assert manager.admit_ingest("ns", ["a"], 250, 1000) is None
+        # ... further ingest is throttled while the balance is negative ...
+        assert manager.admit_ingest("ns", ["a"], 1, 4) == "throttled"
+        now[0] = 1.0  # +100 tokens: still -50
+        assert manager.admit_ingest("ns", ["a"], 1, 4) == "throttled"
+        now[0] = 2.0  # balance clears
+        assert manager.admit_ingest("ns", ["a"], 1, 4) is None
+
+    def test_stream_cap_counts_only_new_streams(self):
+        manager = QuotaManager(QuotaPolicy(max_streams=2))
+        assert manager.admit_ingest("ns", ["a", "b"], 10, 10) is None
+        assert manager.admit_ingest("ns", ["a", "c"], 10, 10) == "streams"
+        assert manager.admit_ingest("ns", ["a", "b"], 10, 10) is None
+        manager.note_remove("ns", ["a"])
+        assert manager.admit_ingest("ns", ["c"], 10, 10) is None
+
+    def test_overrides_and_payload_roundtrip(self):
+        manager = QuotaManager(
+            QuotaPolicy(max_streams=5), {"vip": QuotaPolicy(max_streams=50)}
+        )
+        assert manager.policy_for("vip").max_streams == 50
+        assert manager.policy_for("other").max_streams == 5
+        clone = QuotaManager.from_payload(manager.to_payload())
+        assert clone.configured()
+        assert clone.policy_for("vip").max_streams == 50
+        assert clone.policy_for("other").max_streams == 5
+
+
+class TestServerQuotas:
+    def test_stream_cap_errors_and_connection_survives(self, loopback):
+        thread, host, port = loopback(
+            server_config=ServerConfig(quota_max_streams=2)
+        )
+        with _client(host, port, namespace="ns") as client:
+            assert client.ingest_many(
+                {"a": [1, 2, 3] * 20, "b": [4, 5, 6] * 20}
+            ) is not None
+            with pytest.raises(ServerError, match="stream quota"):
+                client.ingest("c", [7, 8, 9] * 20)
+            # The connection and the admitted streams keep working.
+            assert client.ingest("a", [1, 2, 3] * 20) is not None
+            counters = client.stats()["server"]["quotas"]["ns"]
+            assert counters["denied_streams"] == 1
+            assert counters["streams"] == 2
+            assert counters["admitted"] >= 2
+
+    def test_rate_limit_busy_then_recovery(self, loopback):
+        thread, host, port = loopback(
+            server_config=ServerConfig(quota_max_samples_per_s=1000.0)
+        )
+        with _client(host, port, namespace="ns") as client:
+            # 1500 samples dive the bucket ~500 into debt ...
+            assert client.ingest("app", [1, 2, 3] * 500) is not None
+            # ... so the immediate next batch answers BUSY, in order.
+            with pytest.raises(ServerBusy):
+                client.ingest("app", [1, 2, 3])
+            # The bucket refills at 1000/s; the tenant recovers without
+            # reconnecting.
+            time.sleep(1.2)
+            assert client.ingest("app", [1, 2, 3]) is not None
+            counters = client.stats()["server"]["quotas"]["ns"]
+            assert counters["throttled"] >= 1
+            assert counters["samples"] >= 1503
+
+    def test_subscriber_cap(self, loopback):
+        thread, host, port = loopback(
+            server_config=ServerConfig(quota_max_subscribers=1)
+        )
+        first = _client(host, port, namespace="ns")
+        second = _client(host, port, namespace="ns")
+        try:
+            first.subscribe()
+            with pytest.raises(ServerError, match="subscriber quota"):
+                second.subscribe()
+            # The denied connection stays usable for everything else.
+            assert second.ingest("app", [1, 2, 3] * 20) is not None
+            counters = second.stats()["server"]["quotas"]["ns"]
+            assert counters["subscribers_denied"] == 1
+            assert counters["subscribers"] == 1
+        finally:
+            first.close()
+            second.close()
+        # Once the server notices the disconnect the slot frees up.
+        third = _client(host, port, namespace="ns")
+        try:
+            deadline = time.monotonic() + 10.0
+            while True:
+                try:
+                    third.subscribe()
+                    break
+                except ServerError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.05)
+        finally:
+            third.close()
+
+    def test_per_namespace_isolation(self, loopback):
+        thread, host, port = loopback(
+            server_config=ServerConfig(quotas={"small": {"max_streams": 1}})
+        )
+        with _client(host, port, namespace="small") as client:
+            assert client.ingest("a", [1, 2, 3] * 20) is not None
+            with pytest.raises(ServerError, match="stream quota"):
+                client.ingest("b", [1, 2, 3] * 20)
+        # Other namespaces are untouched by the override.
+        with _client(host, port, namespace="big") as client:
+            assert client.ingest_many(
+                {f"s{i}": [1, 2, 3] * 20 for i in range(5)}
+            ) is not None
+
+    def test_quotas_enforced_over_tls(self, loopback):
+        thread, host, port = loopback(
+            server_config=ServerConfig(
+                tls_cert=TLS_CERT,
+                tls_key=TLS_KEY,
+                quota_max_samples_per_s=1000.0,
+            )
+        )
+        url = f"repros://{host}:{port}?ca={TLS_CERT}"
+        with DetectionClient(url, namespace="ns") as client:
+            assert client.ingest("app", [1, 2, 3] * 500) is not None
+            with pytest.raises(ServerBusy):
+                client.ingest("app", [1, 2, 3])
+            time.sleep(1.2)
+            assert client.ingest("app", [1, 2, 3]) is not None
+
+    def test_quota_config_survives_state_dir_restart(self, tmp_path, loopback):
+        state = str(tmp_path / "state")
+        thread, host, port = loopback(
+            server_config=ServerConfig(
+                state_dir=state, checkpoint_interval=60.0, quota_max_streams=1
+            )
+        )
+        with _client(host, port, namespace="ns") as client:
+            assert client.ingest("a", [1, 2, 3] * 20) is not None
+        thread.stop()
+        # The restart names no quota flags: the stored configuration
+        # (and the restored stream, counted against the cap) apply.
+        thread2, host, port = loopback(
+            server_config=ServerConfig(state_dir=state, checkpoint_interval=60.0)
+        )
+        with _client(host, port, namespace="ns") as client:
+            with pytest.raises(ServerError, match="stream quota"):
+                client.ingest("b", [1, 2, 3] * 20)
+            assert client.ingest("a", [1, 2, 3] * 20) is not None
+
+
+class TestRouterQuotas:
+    def test_quotas_enforced_through_router(self, loopback):
+        thread, host, port = loopback(
+            pool_config=event_config(),
+            server_config=ServerConfig(
+                quota_max_streams=2, quota_max_samples_per_s=1000.0
+            ),
+        )
+        with RouterThread([f"{host}:{port}"]) as (rhost, rport):
+            with _client(rhost, rport, namespace="ns") as client:
+                # 1500 samples over two streams: admitted into debt.
+                assert client.ingest_many(
+                    {"a": [1, 2, 3] * 250, "b": [4, 5, 6] * 250}
+                ) is not None
+                # Backend BUSY passes through the router as BUSY.
+                with pytest.raises(ServerBusy):
+                    client.ingest("a", [1, 2, 3])
+                time.sleep(1.2)
+                assert client.ingest("a", [1, 2, 3]) is not None
+                # The stream cap answers ERROR through the router too.
+                with pytest.raises(ServerError, match="stream quota"):
+                    client.ingest("c", [7, 8, 9])
+                # Router STATS aggregates the backend quota counters.
+                counters = client.stats()["server"]["quotas"]["ns"]
+                assert counters["throttled"] >= 1
+                assert counters["denied_streams"] >= 1
+                assert counters["streams"] == 2
